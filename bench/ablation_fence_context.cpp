@@ -1,0 +1,94 @@
+// Ablation: which machine-state mechanism produces which context-dependent
+// fence cost?  DESIGN.md's central modelling claim is that the paper's
+// in-vitro/in-vivo divergences come from store-buffer drain waits,
+// invalidation-queue backlogs and branch-predictor pressure — not from
+// hard-coded numbers.  This bench sweeps each state dimension independently
+// and prints the marginal fence cost, showing exactly where each divergence
+// comes from (and that dmb variants only separate once state is dirty).
+#include <iostream>
+
+#include "core/report.h"
+#include "sim/machine.h"
+
+using namespace wmm;
+
+namespace {
+
+double fence_cost(sim::Arch arch, sim::FenceKind kind, unsigned stores,
+                  unsigned invalidations, unsigned pollution) {
+  sim::Machine machine(sim::params_for(arch));
+  sim::Cpu& cpu = machine.cpu(0);
+  if (pollution > 0) cpu.pollute_predictor(pollution);
+  cpu.private_access(0, stores, 0.0);
+  for (unsigned i = 0; i < invalidations; ++i) {
+    cpu.receive_invalidation(cpu.now());
+  }
+  const double t0 = cpu.now();
+  cpu.fence(kind, 0xCC);
+  return cpu.now() - t0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: fence cost vs machine state (the mechanism behind\n"
+               "the paper's micro/macro divergence)\n\n";
+
+  std::cout << "--- store-buffer depth (ARM) ---\n";
+  core::Table sb({"stores buffered", "dmb ishst", "dmb ishld", "dmb ish", "isb"});
+  for (unsigned stores : {0u, 4u, 8u, 16u, 24u}) {
+    sb.add_row({std::to_string(stores),
+                core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIshSt, stores, 0, 0), 1),
+                core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIshLd, stores, 0, 0), 1),
+                core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIsh, stores, 0, 0), 1),
+                core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::Isb, stores, 0, 0), 1)});
+  }
+  sb.print(std::cout);
+  std::cout << "=> store fences expose the drain wait; ishld and isb do not.\n\n";
+
+  std::cout << "--- pending invalidations (ARM) ---\n";
+  core::Table inv({"invalidations", "dmb ishst", "dmb ishld", "dmb ish"});
+  for (unsigned n : {0u, 4u, 8u, 16u, 32u}) {
+    inv.add_row({std::to_string(n),
+                 core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIshSt, 0, n, 0), 1),
+                 core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIshLd, 0, n, 0), 1),
+                 core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIsh, 0, n, 0), 1)});
+  }
+  inv.print(std::cout);
+  std::cout << "=> load fences pay the invalidation backlog; store fences "
+               "do not.\n\n";
+
+  std::cout << "--- branch-predictor pressure (ARM ctrl dependency) ---\n";
+  core::Table ctrl({"polluting branches", "ctrl (mean of 32)", "ctrl+isb"});
+  for (unsigned n : {0u, 64u, 128u, 256u, 512u}) {
+    // Average over repeated invocations: the site retrains between uses.
+    double sum = 0.0;
+    sim::Machine machine(sim::arm_v8_params());
+    sim::Cpu& cpu = machine.cpu(0);
+    for (int i = 0; i < 32; ++i) {
+      cpu.pollute_predictor(n);
+      const double t0 = cpu.now();
+      cpu.fence(sim::FenceKind::CtrlDep, 0xCC);
+      sum += cpu.now() - t0;
+    }
+    ctrl.add_row({std::to_string(n), core::fmt_fixed(sum / 32.0, 2),
+                  core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::CtrlIsb, 0, 0, n), 2)});
+  }
+  ctrl.print(std::cout);
+  std::cout << "=> ctrl's cost scales with application branch pressure "
+               "(macro > micro);\n   ctrl+isb is flat: the flush dominates "
+               "(the paper's stability result).\n\n";
+
+  std::cout << "--- POWER: sync vs lwsync across store depth ---\n";
+  core::Table pw({"stores buffered", "lwsync", "sync", "delta"});
+  for (unsigned stores : {0u, 8u, 16u, 32u}) {
+    const double lw = fence_cost(sim::Arch::POWER7, sim::FenceKind::LwSync, stores, 0, 0);
+    const double hw = fence_cost(sim::Arch::POWER7, sim::FenceKind::HwSync, stores, 0, 0);
+    pw.add_row({std::to_string(stores), core::fmt_fixed(lw, 1),
+                core::fmt_fixed(hw, 1), core::fmt_fixed(hw - lw, 1)});
+  }
+  pw.print(std::cout);
+  std::cout << "=> the sync-lwsync delta is state-independent: POWER fence\n"
+               "   behaviour is workload-agnostic (paper section 4.2.1).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "bench_util.h"
+
+namespace wmm::bench {
+
+core::SweepResult jvm_sweep(const std::string& benchmark, sim::Arch arch,
+                            std::vector<jvm::Elemental> elementals,
+                            unsigned max_exp, const core::RunOptions& runs) {
+  const core::CostFunctionCalibration cal = jvm_calibration(arch, max_exp);
+  std::string path = "all-barriers";
+  if (elementals.size() == 1) path = jvm::elemental_name(elementals[0]);
+  return core::sweep_sensitivity(
+      benchmark, path,
+      [&](std::uint32_t iters) {
+        return workloads::make_jvm_benchmark(benchmark,
+                                             jvm_injected(arch, iters, elementals));
+      },
+      core::standard_sweep_sizes(max_exp),
+      [&](std::uint32_t iters) { return cal.ns_for(iters); }, runs);
+}
+
+core::SweepResult kernel_sweep(const std::string& benchmark, sim::Arch arch,
+                               kernel::KMacro m, unsigned max_exp,
+                               const core::RunOptions& runs) {
+  const core::CostFunctionCalibration cal = kernel_calibration(arch, max_exp);
+  return core::sweep_sensitivity(
+      benchmark, kernel::macro_name(m),
+      [&](std::uint32_t iters) {
+        return workloads::make_kernel_benchmark(benchmark,
+                                                kernel_injected(arch, m, iters));
+      },
+      core::standard_sweep_sizes(max_exp),
+      [&](std::uint32_t iters) { return cal.ns_for(iters); }, runs);
+}
+
+core::Comparison jvm_compare(const std::string& benchmark,
+                             const jvm::JvmConfig& base,
+                             const jvm::JvmConfig& test,
+                             const core::RunOptions& runs) {
+  return core::compare_configurations(
+      [&] { return workloads::make_jvm_benchmark(benchmark, base); },
+      [&] { return workloads::make_jvm_benchmark(benchmark, test); }, runs);
+}
+
+core::Comparison kernel_compare(const std::string& benchmark,
+                                const kernel::KernelConfig& base,
+                                const kernel::KernelConfig& test,
+                                const core::RunOptions& runs) {
+  return core::compare_configurations(
+      [&] { return workloads::make_kernel_benchmark(benchmark, base); },
+      [&] { return workloads::make_kernel_benchmark(benchmark, test); }, runs);
+}
+
+core::RankingMatrix build_kernel_ranking_matrix(sim::Arch arch) {
+  std::vector<std::string> macro_names;
+  for (kernel::KMacro m : kernel::kAllMacros) {
+    macro_names.push_back(kernel::macro_name(m));
+  }
+  const std::vector<std::string> benchmarks = workloads::kernel_benchmark_names();
+  core::RankingMatrix matrix(macro_names, benchmarks);
+
+  // Paper 4.3.1: "Expecting generally lower sensitivity to kernel behaviour,
+  // we inject a large cost function (1024 loop iterations) into each macro in
+  // turn, and measure the relative performance impact on all benchmarks."
+  constexpr std::uint32_t kLargeCost = 1024;
+  for (kernel::KMacro m : kernel::kAllMacros) {
+    for (const std::string& b : benchmarks) {
+      const core::Comparison cmp = kernel_compare(
+          b, kernel_base(arch), kernel_injected(arch, m, kLargeCost),
+          ranking_runs());
+      matrix.set(kernel::macro_name(m), b, cmp.value);
+    }
+  }
+  return matrix;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref
+            << " of Ritson & Owens, PPoPP 2016)\n"
+            << "==============================================================\n";
+}
+
+}  // namespace wmm::bench

@@ -1,0 +1,116 @@
+// Shared helpers for the figure/table regeneration binaries.
+//
+// Each binary under bench/ regenerates one table or figure of the paper:
+// it runs the relevant experiment through the full methodology pipeline
+// (fresh platform per configuration, warm-ups, >=6 samples, geometric means,
+// Student-t confidence intervals, curve fits) and prints the same rows or
+// series the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/report.h"
+#include "jvm/fencing.h"
+#include "kernel/barriers.h"
+#include "sim/calibrate.h"
+#include "workloads/jvm_workloads.h"
+#include "workloads/kernel_workloads.h"
+
+namespace wmm::bench {
+
+// Paper methodology: six or more samples after one or more warm-up runs.
+inline core::RunOptions paper_runs() { return core::RunOptions{2, 6}; }
+// Faster option for the 154-point ranking matrices (the injected cost
+// function is large, so effects dwarf noise).
+inline core::RunOptions ranking_runs() { return core::RunOptions{1, 4}; }
+
+// JVM configuration helpers ---------------------------------------------------
+
+inline jvm::JvmConfig jvm_base(sim::Arch arch,
+                               jvm::VolatileMode mode = jvm::VolatileMode::Barriers) {
+  jvm::JvmConfig c;
+  c.arch = arch;
+  c.mode = mode;
+  return c;
+}
+
+// Inject a cost function of `iters` loop iterations into the given elemental
+// barriers (all four when `elementals` is empty).
+inline jvm::JvmConfig jvm_injected(sim::Arch arch, std::uint32_t iters,
+                                   std::vector<jvm::Elemental> elementals = {}) {
+  jvm::JvmConfig c = jvm_base(arch);
+  if (elementals.empty()) {
+    elementals.assign(jvm::kAllElementals.begin(), jvm::kAllElementals.end());
+  }
+  if (iters > 0) {
+    for (jvm::Elemental e : elementals) {
+      c.injection_for(e) =
+          core::Injection::cost_function(iters, arch != sim::Arch::ARMV8);
+    }
+  }
+  return c;
+}
+
+inline kernel::KernelConfig kernel_base(sim::Arch arch) {
+  kernel::KernelConfig c;
+  c.arch = arch;
+  return c;
+}
+
+inline kernel::KernelConfig kernel_injected(sim::Arch arch, kernel::KMacro m,
+                                            std::uint32_t iters) {
+  kernel::KernelConfig c = kernel_base(arch);
+  if (iters > 0) {
+    c.injection_for(m) = core::Injection::cost_function(iters, true);
+  }
+  return c;
+}
+
+// The calibrated cost-function table for an architecture (JVM context: ARM
+// has a scratch register so the spill is elided; the kernel always spills).
+inline core::CostFunctionCalibration jvm_calibration(sim::Arch arch,
+                                                     unsigned max_exp) {
+  return sim::calibrate_cost_function(sim::params_for(arch), max_exp,
+                                      /*stack_spill=*/arch != sim::Arch::ARMV8);
+}
+inline core::CostFunctionCalibration kernel_calibration(sim::Arch arch,
+                                                        unsigned max_exp) {
+  return sim::calibrate_cost_function(sim::params_for(arch), max_exp,
+                                      /*stack_spill=*/true);
+}
+
+// Sweep one JVM benchmark across cost sizes injected into `elementals`.
+core::SweepResult jvm_sweep(const std::string& benchmark, sim::Arch arch,
+                            std::vector<jvm::Elemental> elementals,
+                            unsigned max_exp,
+                            const core::RunOptions& runs = paper_runs());
+
+// Sweep one kernel benchmark across cost sizes injected into macro `m`.
+core::SweepResult kernel_sweep(const std::string& benchmark, sim::Arch arch,
+                               kernel::KMacro m, unsigned max_exp,
+                               const core::RunOptions& runs = paper_runs());
+
+// Compare a test JVM config to the nop-padded base config for `benchmark`.
+core::Comparison jvm_compare(const std::string& benchmark,
+                             const jvm::JvmConfig& base,
+                             const jvm::JvmConfig& test,
+                             const core::RunOptions& runs = paper_runs());
+
+core::Comparison kernel_compare(const std::string& benchmark,
+                                const kernel::KernelConfig& base,
+                                const kernel::KernelConfig& test,
+                                const core::RunOptions& runs = paper_runs());
+
+// The 14-macro x 11-benchmark relative-performance matrix behind Figures 7/8
+// (1024-iteration cost function injected into one macro at a time).
+core::RankingMatrix build_kernel_ranking_matrix(sim::Arch arch);
+
+// Pretty header for a bench binary.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace wmm::bench

@@ -1,0 +1,34 @@
+// Figure 1: example of fitting the sensitivity model to a sampled sweep.
+// The paper's example fit reports k = 0.00277 +/- 2.5%.
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/rng.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Figure 1: example sensitivity curve fit", "Figure 1");
+
+  // Generate a synthetic sample set from the model with k = 0.00277 plus
+  // small multiplicative noise, then recover k by curve fitting.
+  constexpr double kTrue = 0.00277;
+  sim::Rng rng(20160312);
+  std::vector<core::SweepPoint> points;
+  for (std::uint32_t size : core::standard_sweep_sizes(14)) {
+    const double a = static_cast<double>(size);
+    const double p = core::model_performance(a, kTrue) * rng.next_lognormal(0.012);
+    points.push_back({a, p});
+  }
+
+  const core::SensitivityFit fit = core::fit_sensitivity(points);
+  std::cout << "true k      = " << core::fmt_fixed(kTrue, 5) << "\n";
+  std::cout << "fitted      : " << core::fmt_fit(fit) << "\n\n";
+
+  core::Table table({"cost fn size", "sample p", "fit p"});
+  for (const core::SweepPoint& pt : points) {
+    table.add_row({core::fmt_fixed(pt.cost_ns, 0), core::fmt_fixed(pt.rel_perf, 4),
+                   core::fmt_fixed(core::model_performance(pt.cost_ns, fit.k), 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}

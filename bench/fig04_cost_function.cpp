@@ -1,0 +1,31 @@
+// Figure 4: time taken to execute the cost function (Figures 2/3) as its
+// loop iteration count grows, for arm (with stack spill), arm-nostack
+// (scratch register available, spill elided) and power.  The relationship
+// becomes linear only once the iteration count dominates pipeline effects.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Figure 4: cost function execution time", "Figure 4");
+
+  std::cout << "ARM cost function (Figure 2): stp/mov/subs/bne/ldp — the\n"
+               "stack spill is elided when a scratch register is available\n"
+               "(OpenJDK on ARMv8).  POWER (Figure 3): std/li/addi/cmpwi/bne/ld.\n\n";
+
+  const sim::ArchParams arm = sim::arm_v8_params();
+  const sim::ArchParams power = sim::power7_params();
+
+  core::Table table({"iterations", "arm (ns)", "arm-nostack (ns)", "power (ns)"});
+  for (std::uint32_t size : core::standard_sweep_sizes(10)) {
+    table.add_row({
+        std::to_string(size),
+        core::fmt_fixed(sim::cost_function_time_ns(arm, size, true), 2),
+        core::fmt_fixed(sim::cost_function_time_ns(arm, size, false), 2),
+        core::fmt_fixed(sim::cost_function_time_ns(power, size, true), 2),
+    });
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 5: impact of increasing cost-function size when injected into all
+// elemental memory barriers of the JVM, for eight benchmarks on ARM and
+// POWER.  Prints each benchmark's sweep series and fitted sensitivity k.
+//
+// Expected shape (paper): spark is the most sensitive and stable benchmark
+// on both architectures (k = 0.0087 ARM / 0.0123 POWER), followed by xalan
+// on ARM; xalan is unstable to the point of uselessness on POWER.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header(
+      "Figure 5: OpenJDK sensitivity to all elemental memory barriers",
+      "Figure 5");
+
+  for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
+    std::cout << "\n--- " << sim::arch_name(arch) << " ---\n";
+    core::Table table({"benchmark", "k", "+/-", "p @ 2^8"});
+    std::vector<core::SweepResult> sweeps;
+    for (const std::string& name : workloads::jvm_benchmark_names()) {
+      core::SweepResult sweep = bench::jvm_sweep(name, arch, {}, 8);
+      table.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
+                     core::fmt_percent(sweep.fit.relative_error(), 0),
+                     core::fmt_fixed(sweep.points.back().rel_perf, 4)});
+      sweeps.push_back(std::move(sweep));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    for (const core::SweepResult& sweep : sweeps) {
+      core::print_sweep(std::cout, sweep);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6: performance impact on the spark benchmark of the cost function
+// when injected into each specific elemental memory barrier in turn.
+//
+// Expected shape (paper): StoreStore has the most impact on both
+// architectures (k = 0.0089 ARM / 0.0133 POWER), POWER being particularly
+// sensitive; on ARM LoadLoad/LoadStore matter more than on POWER (the ARM
+// implementation is more defensive), while POWER leans on StoreStore and
+// StoreLoad.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header(
+      "Figure 6: spark sensitivity per elemental memory barrier", "Figure 6");
+
+  for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
+    std::cout << "\n--- spark " << sim::arch_name(arch) << " ---\n";
+    core::Table table({"barrier", "k", "+/-"});
+    std::vector<core::SweepResult> sweeps;
+    for (jvm::Elemental e : jvm::kAllElementals) {
+      core::SweepResult sweep = bench::jvm_sweep("spark", arch, {e}, 8);
+      table.add_row({jvm::elemental_name(e), core::fmt_fixed(sweep.fit.k, 5),
+                     core::fmt_percent(sweep.fit.relative_error(), 0)});
+      sweeps.push_back(std::move(sweep));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    for (const core::SweepResult& sweep : sweeps) {
+      core::print_sweep(std::cout, sweep);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 7: sum of relative performance over all benchmarks, aggregated per
+// memory-model macro, after injecting a large (1024-iteration) cost function
+// into each macro in turn.  Lower sum = bigger impact.
+//
+// Expected shape (paper): smp_mb, read_once and read_barrier_depends have
+// the most impact; of those only smp_mb produces an instruction sequence by
+// default (dmb ish), the others being compiler barriers.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Figure 7: kernel macro impact ranking", "Figure 7");
+
+  const core::RankingMatrix matrix =
+      bench::build_kernel_ranking_matrix(sim::Arch::ARMV8);
+  std::cout << "data points: " << matrix.data_points() << "\n\n";
+  core::print_ranking(std::cout,
+                      "sum of relative performance per macro (lower = more impact)",
+                      matrix.aggregate_by_code_path());
+  return 0;
+}

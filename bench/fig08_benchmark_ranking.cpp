@@ -1,0 +1,26 @@
+// Figure 8: sum of relative performance over all macro modifications,
+// aggregated per benchmark.  Lower sum = the benchmark is more sensitive to
+// the kernel's fencing strategy overall.
+//
+// Expected shape (paper): the microbenchmarks netperf, ebizzy and lmbench
+// are most sensitive, with osm_stack (avg) and xalan the most sensitive
+// real-world candidates; h2 and spark are almost completely insensitive
+// (they coordinate their concurrency inside the JVM).
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Figure 8: kernel benchmark sensitivity ranking",
+                      "Figure 8");
+
+  const core::RankingMatrix matrix =
+      bench::build_kernel_ranking_matrix(sim::Arch::ARMV8);
+  std::cout << "data points: " << matrix.data_points() << "\n\n";
+  core::print_ranking(
+      std::cout,
+      "sum of relative performance per benchmark (lower = more sensitive)",
+      matrix.aggregate_by_benchmark());
+  return 0;
+}

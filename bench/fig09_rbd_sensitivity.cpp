@@ -1,0 +1,34 @@
+// Figure 9: sensitivity analysis of the six most interesting benchmarks with
+// respect to the read_barrier_depends macro (variable-size cost function).
+//
+// Expected shape (paper): real-world applications osm_stack and xalan show
+// very low sensitivity; ebizzy some; the networking benchmarks are the most
+// sensitive (netperf_udp k=0.0094) with netperf_tcp notably unstable;
+// lmbench k=0.0053.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Figure 9: sensitivity to read_barrier_depends",
+                      "Figure 9");
+
+  core::Table table({"benchmark", "k", "+/-"});
+  std::vector<core::SweepResult> sweeps;
+  for (const std::string& name : workloads::rbd_benchmark_names()) {
+    core::SweepResult sweep = bench::kernel_sweep(
+        name, sim::Arch::ARMV8, kernel::KMacro::ReadBarrierDepends, 9);
+    table.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
+                   core::fmt_percent(sweep.fit.relative_error(), 0)});
+    sweeps.push_back(std::move(sweep));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  for (const core::SweepResult& sweep : sweeps) {
+    core::print_sweep(std::cout, sweep);
+  }
+  std::cout << "paper: ebizzy 0.00106, xalan 0.00038, netperf_udp 0.00943,\n"
+               "       osm 0.00019, lmbench 0.00525, netperf_tcp 0.00355\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10: relative performance of candidate implementations of
+// read_barrier_depends — base case (compiler barrier + nop padding), ctrl,
+// ctrl+isb, dmb ishld, dmb ish, and la/sr (dmb ishld here plus ldar/stlr for
+// READ_ONCE/WRITE_ONCE) — on the six benchmarks of Figure 9.
+//
+// Expected shape (paper): ctrl+isb is clearly the worst (isb's pipeline
+// flush); if ordering is required, dmb ishld or dmb ish are the best cases;
+// osm_stack shows a small but significant drop of up to 1%; xalan improves
+// slightly whenever dmb ishld instructions are added.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Figure 10: read_barrier_depends strategies", "Figure 10");
+
+  for (const std::string& name : workloads::rbd_benchmark_names()) {
+    std::cout << "\n--- " << name << " ---\n";
+    core::Table table({"strategy", "rel perf", "min", "max", "95% CI"});
+    for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
+      kernel::KernelConfig test = bench::kernel_base(sim::Arch::ARMV8);
+      test.rbd = s;
+      if (s == kernel::RbdStrategy::BaseNop) {
+        table.add_row({kernel::rbd_strategy_name(s), "1.0000", "-", "-", "-"});
+        continue;
+      }
+      const core::Comparison cmp = bench::kernel_compare(
+          name, bench::kernel_base(sim::Arch::ARMV8), test);
+      table.add_row({kernel::rbd_strategy_name(s), core::fmt_fixed(cmp.value, 4),
+                     core::fmt_fixed(cmp.min, 4), core::fmt_fixed(cmp.max, 4),
+                     "+/-" + core::fmt_percent(cmp.ci95)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

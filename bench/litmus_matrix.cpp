@@ -1,0 +1,32 @@
+// Allowed/forbidden litmus outcome matrix across the simulated architecture
+// profiles — the semantic ground truth behind the fencing strategies the
+// performance experiments evaluate (extra deliverable; validates that the
+// simulated machines are genuinely weak).
+#include <iostream>
+
+#include "core/report.h"
+#include "sim/litmus.h"
+
+int main() {
+  using namespace wmm;
+  std::cout << "Litmus outcome matrix (relaxed outcome reachable?)\n"
+            << "architectures: sc, x86-tso, armv8 (multi-copy atomic),\n"
+            << "power7 (non-multi-copy atomic)\n\n";
+
+  core::Table table({"test", "sc", "tso", "arm", "power"});
+  for (const sim::LitmusCase& c : sim::litmus_suite()) {
+    std::vector<std::string> row{c.test.name};
+    for (sim::Arch arch : {sim::Arch::SC, sim::Arch::X86_TSO, sim::Arch::ARMV8,
+                           sim::Arch::POWER7}) {
+      const bool allowed = sim::outcome_allowed(c.test, c.relaxed_outcome, arch);
+      const auto expected = sim::expected_allowed(c, arch);
+      std::string cell = allowed ? "allow" : "forbid";
+      if (expected.has_value() && *expected != allowed) cell += " (!)";
+      row.push_back(cell);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n(!) marks divergence from the expected architectural result\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Google-benchmark microbenchmarks of the simulated fence instructions per
+// architecture — the in-vitro timings the paper's section 4.2.1/4.4 compare
+// against in-vivo results (sync ~3x lwsync; dmb ish variants
+// indistinguishable with empty buffers).
+#include <benchmark/benchmark.h>
+
+#include "sim/calibrate.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace wmm::sim;
+
+void fence_micro(benchmark::State& state, Arch arch, FenceKind kind) {
+  const ArchParams params = params_for(arch);
+  Machine machine(params);
+  Cpu& cpu = machine.cpu(0);
+  double last = cpu.now();
+  for (auto _ : state) {
+    cpu.fence(kind, 0x99);
+    benchmark::DoNotOptimize(cpu.now());
+  }
+  state.counters["sim_ns_per_fence"] =
+      (cpu.now() - last) / static_cast<double>(state.iterations());
+}
+
+void cost_loop_micro(benchmark::State& state, Arch arch, bool spill) {
+  const ArchParams params = params_for(arch);
+  const auto iters = static_cast<std::uint32_t>(state.range(0));
+  Machine machine(params);
+  Cpu& cpu = machine.cpu(0);
+  const double start = cpu.now();
+  for (auto _ : state) {
+    cpu.cost_loop(iters, spill);
+    benchmark::DoNotOptimize(cpu.now());
+  }
+  state.counters["sim_ns_per_call"] =
+      (cpu.now() - start) / static_cast<double>(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(fence_micro, arm_dmb_ish, Arch::ARMV8, FenceKind::DmbIsh);
+BENCHMARK_CAPTURE(fence_micro, arm_dmb_ishld, Arch::ARMV8, FenceKind::DmbIshLd);
+BENCHMARK_CAPTURE(fence_micro, arm_dmb_ishst, Arch::ARMV8, FenceKind::DmbIshSt);
+BENCHMARK_CAPTURE(fence_micro, arm_isb, Arch::ARMV8, FenceKind::Isb);
+BENCHMARK_CAPTURE(fence_micro, arm_ctrl, Arch::ARMV8, FenceKind::CtrlDep);
+BENCHMARK_CAPTURE(fence_micro, arm_ctrl_isb, Arch::ARMV8, FenceKind::CtrlIsb);
+BENCHMARK_CAPTURE(fence_micro, power_lwsync, Arch::POWER7, FenceKind::LwSync);
+BENCHMARK_CAPTURE(fence_micro, power_sync, Arch::POWER7, FenceKind::HwSync);
+BENCHMARK_CAPTURE(fence_micro, x86_mfence, Arch::X86_TSO, FenceKind::Mfence);
+BENCHMARK_CAPTURE(cost_loop_micro, arm_spill, Arch::ARMV8, true)->Range(1, 1024);
+BENCHMARK_CAPTURE(cost_loop_micro, arm_nostack, Arch::ARMV8, false)->Range(1, 1024);
+BENCHMARK_CAPTURE(cost_loop_micro, power, Arch::POWER7, true)->Range(1, 1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Google-benchmark microbenchmarks of real host fences via C++11 atomics —
+// the methodology's in-vitro leg on the hardware this reproduction actually
+// runs on (x86/TSO; the paper's footnote 1 case).
+#include <benchmark/benchmark.h>
+
+#include "native/fences.h"
+
+namespace {
+
+using namespace wmm::native;
+
+void host_fence(benchmark::State& state, HostFence f) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(time_host_fence_ns(f, 4096) );
+  }
+  state.counters["ns_per_op"] = time_host_fence_ns(f, 200000);
+}
+
+void host_cost_loop(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(time_host_cost_loop_ns(n, 512));
+  }
+  state.counters["ns_per_call"] = time_host_cost_loop_ns(n, 8192);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(host_fence, relaxed, HostFence::None);
+BENCHMARK_CAPTURE(host_fence, acq_rel, HostFence::AcquireRelease);
+BENCHMARK_CAPTURE(host_fence, seq_cst_store, HostFence::SeqCstStore);
+BENCHMARK_CAPTURE(host_fence, mfence, HostFence::ThreadFenceSeqCst);
+BENCHMARK_CAPTURE(host_fence, compiler_fence, HostFence::ThreadFenceAcqRel);
+BENCHMARK_CAPTURE(host_fence, lock_xadd, HostFence::RmwSeqCst);
+BENCHMARK(host_cost_loop)->Range(1, 1024);
+
+BENCHMARK_MAIN();

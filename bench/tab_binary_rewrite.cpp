@@ -1,0 +1,73 @@
+// Extension experiment (paper section 6): "Binary rewriting techniques may
+// also be applicable for exploring fencing strategies in already compiled
+// code, e.g. C11 atomics."
+//
+// A compiled C11 program using seq_cst atomics (full dmb ish fences on
+// AArch64) is scanned for litmus-shaped access patterns, then rewritten —
+// preserving the binary image size — to progressively weaker fencing
+// strategies, measuring the speedup of each.
+#include <iostream>
+
+#include "core/report.h"
+#include "core/stats.h"
+#include "sim/program.h"
+
+using namespace wmm;
+
+int main() {
+  std::cout << "Extension: binary rewriting of a compiled C11 program\n"
+               "(paper section 6 future work)\n\n";
+
+  const sim::Program original = sim::make_c11_seqcst_program(400, 0x900);
+  const sim::ShapeReport shapes = sim::scan_for_shapes(original);
+  std::cout << "static scan (Alglave-style shape detection):\n"
+            << "  fences: " << shapes.fences
+            << ", MP-writer shapes: " << shapes.mp_writer_shapes
+            << ", MP-reader shapes: " << shapes.mp_reader_shapes
+            << ", SB shapes: " << shapes.sb_shapes << "\n"
+            << "  fencing-sensitive: "
+            << (shapes.fencing_sensitive() ? "yes" : "no") << "\n\n";
+
+  struct Strategy {
+    const char* name;
+    sim::FenceSeq replacement;
+  };
+  const Strategy strategies[] = {
+      {"seq_cst (original: dmb ish)", {sim::FenceOp::of(sim::FenceKind::DmbIsh)}},
+      {"acq+rel (dmb ishld; dmb ishst)",
+       {sim::FenceOp::of(sim::FenceKind::DmbIshLd),
+        sim::FenceOp::of(sim::FenceKind::DmbIshSt)}},
+      {"release-only (dmb ishst)", {sim::FenceOp::of(sim::FenceKind::DmbIshSt)}},
+      {"acquire-only (dmb ishld)", {sim::FenceOp::of(sim::FenceKind::DmbIshLd)}},
+      {"relaxed (nop)", {sim::FenceOp::nops(1)}},
+  };
+
+  // Each strategy is compared against its own identically padded base image
+  // (the paper's alignment-invariance discipline).
+  const auto measure = [](const sim::Program& p) {
+    std::vector<double> samples;
+    for (int s = 0; s < 8; ++s) {
+      sim::Machine machine(sim::arm_v8_params());
+      machine.cpu(0).seed_rng(1000 + s);
+      samples.push_back(p.run(machine.cpu(0)));
+    }
+    samples.erase(samples.begin(), samples.begin() + 2);  // warm-ups
+    return core::summarize(samples);
+  };
+  core::Table table({"strategy", "image slots", "time (us)", "rel perf"});
+  for (const Strategy& s : strategies) {
+    sim::Program base, test;
+    sim::BinaryRewriter::replace_fences(original, sim::FenceKind::DmbIsh,
+                                        s.replacement, base, test);
+    const core::SampleSummary base_summary = measure(base);
+    const core::SampleSummary summary = measure(test);
+    table.add_row({s.name, std::to_string(test.total_slots()),
+                   core::fmt_fixed(summary.geomean / 1000.0, 1),
+                   core::fmt_fixed(base_summary.geomean / summary.geomean, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nimage size is held constant across strategies, so the\n"
+               "speedups are attributable to the fencing alone (no cache\n"
+               "alignment jitter) — the paper's rewriting discipline.\n";
+  return 0;
+}

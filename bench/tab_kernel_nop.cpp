@@ -1,0 +1,40 @@
+// Section 4.3 kernel nop baseline: the cost of the nop padding added to all
+// memory-model macros (against an unmodified kernel) that all further kernel
+// measurements are baselined on.
+//
+// Expected shape (paper): mean 1.9% drop across all benchmarks; the largest
+// drop (6.6%) in the netperf benchmarks.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Section 4.3: kernel nop-padding baseline cost",
+                      "section 4.3 in-text results");
+
+  core::Table table({"benchmark", "rel perf", "drop"});
+  double sum = 0.0, worst = 0.0;
+  std::string worst_name;
+  std::size_t n = 0;
+  for (const std::string& name : workloads::kernel_benchmark_names()) {
+    kernel::KernelConfig unmodified = bench::kernel_base(sim::Arch::ARMV8);
+    unmodified.pad_with_nops = false;
+    const core::Comparison cmp = bench::kernel_compare(
+        name, unmodified, bench::kernel_base(sim::Arch::ARMV8));
+    const double drop = 1.0 - cmp.value;
+    table.add_row({name, core::fmt_fixed(cmp.value, 4), core::fmt_percent(drop)});
+    sum += drop;
+    ++n;
+    if (drop > worst) {
+      worst = drop;
+      worst_name = name;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "mean drop: " << core::fmt_percent(sum / n)
+            << ", worst: " << core::fmt_percent(worst) << " (" << worst_name
+            << ")\n";
+  std::cout << "\npaper: mean 1.9%, worst 6.6% (netperf)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Section 4.3.1 implied-cost table: for each read_barrier_depends strategy,
+// recover the per-invocation cost `a` via equation 2 from the lmbench
+// microbenchmark suite and, separately, as the mean over the other
+// benchmarks.  Divergence between the two is the signature of complex
+// (context-dependent) instruction behaviour.
+//
+// Expected shape (paper):
+//   strategy    lmbench a   mean-others a
+//   ctrl          4.6 ns      10.1 ns   (branch-predictor pollution in vivo)
+//   ctrl+isb     24.5 ns      24.5 ns   (isb is stable everywhere)
+//   dmb ishld    10.7 ns       1.8 ns   (cheap in vivo: loads already done)
+//   dmb ish      11.0 ns      10.7 ns
+//   la/sr        21.7 ns      15.9 ns
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wmm;
+  bench::print_header("Section 4.3.1: implied read_barrier_depends costs",
+                      "section 4.3.1 cost table");
+
+  // Sensitivities from the Figure 9 sweep.
+  std::vector<std::pair<std::string, double>> ks;
+  for (const std::string& name : workloads::rbd_benchmark_names()) {
+    const core::SweepResult sweep = bench::kernel_sweep(
+        name, sim::Arch::ARMV8, kernel::KMacro::ReadBarrierDepends, 9);
+    ks.emplace_back(name, sweep.fit.k);
+  }
+
+  core::Table table({"strategy", "lmbench a (ns)", "mean others a (ns)"});
+  for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
+    if (s == kernel::RbdStrategy::BaseNop) continue;
+    kernel::KernelConfig test = bench::kernel_base(sim::Arch::ARMV8);
+    test.rbd = s;
+
+    std::vector<core::CostEstimate> estimates;
+    for (const auto& [name, k] : ks) {
+      const core::Comparison cmp = bench::kernel_compare(
+          name, bench::kernel_base(sim::Arch::ARMV8), test);
+      estimates.push_back(core::CostEstimate{name, k, cmp.value, 0.0});
+    }
+    const core::CostComparison costs = core::compare_costs(estimates, "lmbench");
+    table.add_row({kernel::rbd_strategy_name(s),
+                   core::fmt_fixed(costs.reference_cost_ns, 1),
+                   core::fmt_fixed(costs.mean_other_cost_ns, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: ctrl 4.6/10.1, ctrl+isb 24.5/24.5, ishld 10.7/1.8,\n"
+               "       ish 11.0/10.7, la/sr 21.7/15.9\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The paper's section 4.2 study end-to-end: which benchmarks are usable for
+// evaluating JVM fencing changes, and what do ARMv8's load-acquire /
+// store-release instructions buy over explicit barriers?
+#include <iostream>
+
+#include "core/harness.h"
+#include "core/report.h"
+#include "sim/calibrate.h"
+#include "workloads/jvm_workloads.h"
+
+using namespace wmm;
+
+namespace {
+
+core::SweepResult sweep_all_barriers(const std::string& name, sim::Arch arch) {
+  const bool spill = arch != sim::Arch::ARMV8;
+  const core::CostFunctionCalibration cal =
+      sim::calibrate_cost_function(sim::params_for(arch), 8, spill);
+  return core::sweep_sensitivity(
+      name, "all", [&](std::uint32_t iters) {
+        jvm::JvmConfig config;
+        config.arch = arch;
+        if (iters > 0) {
+          for (jvm::Elemental e : jvm::kAllElementals) {
+            config.injection_for(e) = core::Injection::cost_function(iters, spill);
+          }
+        }
+        return workloads::make_jvm_benchmark(name, config);
+      },
+      core::standard_sweep_sizes(8),
+      [&](std::uint32_t iters) { return cal.ns_for(iters); });
+}
+
+}  // namespace
+
+int main() {
+  // Step 1: establish which benchmarks are stable and sensitive enough to
+  // evaluate fencing changes at all.
+  std::cout << "step 1: benchmark selection via sensitivity fits (ARMv8)\n\n";
+  core::Table selection({"benchmark", "k", "+/-", "usable?"});
+  std::string best;
+  double best_k = 0.0;
+  for (const std::string& name : workloads::jvm_benchmark_names()) {
+    const core::SweepResult sweep = sweep_all_barriers(name, sim::Arch::ARMV8);
+    const bool usable = core::usable_for_evaluation(sweep.fit, 1e-3, 0.15);
+    selection.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
+                       core::fmt_percent(sweep.fit.relative_error(), 0),
+                       usable ? "yes" : "no"});
+    if (usable && sweep.fit.k > best_k) {
+      best_k = sweep.fit.k;
+      best = name;
+    }
+  }
+  selection.print(std::cout);
+  std::cout << "\nmost sensitive usable benchmark: " << best << "\n\n";
+
+  // Step 2: use the selected benchmark to evaluate the JDK9 acq/rel volatile
+  // lowering against JDK8 explicit barriers, and the dmb-elision lock patch.
+  std::cout << "step 2: strategy evaluation on " << best << " (ARMv8)\n\n";
+  const auto compare = [&](const jvm::JvmConfig& a, const jvm::JvmConfig& b) {
+    return core::compare_configurations(
+        [&] { return workloads::make_jvm_benchmark(best, a); },
+        [&] { return workloads::make_jvm_benchmark(best, b); });
+  };
+
+  jvm::JvmConfig barriers;
+  barriers.arch = sim::Arch::ARMV8;
+  jvm::JvmConfig acqrel = barriers;
+  acqrel.mode = jvm::VolatileMode::AcquireRelease;
+
+  const core::Comparison c1 = compare(barriers, acqrel);
+  std::cout << "barriers -> acq/rel volatiles : "
+            << core::fmt_percent(c1.value - 1.0) << " ("
+            << (c1.significant() ? "significant" : "not significant") << ")\n";
+
+  jvm::JvmConfig patched = acqrel;
+  patched.elide_monitor_dmb = true;
+  const core::Comparison c2 = compare(acqrel, patched);
+  std::cout << "dmb-elision lock patch (acq/rel mode): "
+            << core::fmt_percent(c2.value - 1.0) << "\n";
+
+  jvm::JvmConfig patched_barriers = barriers;
+  patched_barriers.elide_monitor_dmb = true;
+  const core::Comparison c3 = compare(barriers, patched_barriers);
+  std::cout << "dmb-elision lock patch (barriers mode): "
+            << core::fmt_percent(c3.value - 1.0) << "\n";
+  return 0;
+}

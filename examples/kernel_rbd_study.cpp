@@ -1,0 +1,72 @@
+// The paper's section 4.3.1 study end-to-end: should the Linux kernel give
+// read_barrier_depends a real instruction sequence on ARMv8, and if so,
+// which one?
+#include <iostream>
+
+#include "core/harness.h"
+#include "core/report.h"
+#include "sim/calibrate.h"
+#include "workloads/kernel_workloads.h"
+
+using namespace wmm;
+
+int main() {
+  constexpr sim::Arch kArch = sim::Arch::ARMV8;
+  kernel::KernelConfig base;
+  base.arch = kArch;
+
+  // Sensitivity of each candidate benchmark to the rbd code path.
+  const core::CostFunctionCalibration cal =
+      sim::calibrate_cost_function(sim::params_for(kArch), 9, /*spill=*/true);
+  std::cout << "sensitivity to read_barrier_depends:\n\n";
+  core::Table fits({"benchmark", "k", "+/-"});
+  std::vector<std::pair<std::string, double>> ks;
+  for (const std::string& name : workloads::rbd_benchmark_names()) {
+    const core::SweepResult sweep = core::sweep_sensitivity(
+        name, "rbd", [&](std::uint32_t iters) {
+          kernel::KernelConfig c = base;
+          if (iters > 0) {
+            c.injection_for(kernel::KMacro::ReadBarrierDepends) =
+                core::Injection::cost_function(iters, true);
+          }
+          return workloads::make_kernel_benchmark(name, c);
+        },
+        core::standard_sweep_sizes(9),
+        [&](std::uint32_t iters) { return cal.ns_for(iters); });
+    fits.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
+                  core::fmt_percent(sweep.fit.relative_error(), 0)});
+    ks.emplace_back(name, sweep.fit.k);
+  }
+  fits.print(std::cout);
+
+  // Evaluate each candidate instruction sequence and price it via eq. 2.
+  std::cout << "\nstrategy comparison (relative performance / implied ns):\n\n";
+  core::Table table({"strategy", "netperf_udp", "lmbench", "osm_stack_avg"});
+  for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
+    if (s == kernel::RbdStrategy::BaseNop) continue;
+    std::vector<std::string> row{kernel::rbd_strategy_name(s)};
+    for (const std::string& name :
+         {std::string("netperf_udp"), std::string("lmbench"),
+          std::string("osm_stack_avg")}) {
+      kernel::KernelConfig c = base;
+      c.rbd = s;
+      const core::Comparison cmp = core::compare_configurations(
+          [&] { return workloads::make_kernel_benchmark(name, base); },
+          [&] { return workloads::make_kernel_benchmark(name, c); });
+      double k = 0.0;
+      for (const auto& [n, kv] : ks) {
+        if (n == name) k = kv;
+      }
+      row.push_back(core::fmt_fixed(cmp.value, 4) + " / " +
+                    core::fmt_fixed(core::cost_of_change(cmp.value, k), 1) +
+                    "ns");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nconclusion (as the paper finds): isb's pipeline flush makes\n"
+               "ctrl+isb unreasonable; if ordering is required, dmb ishld or\n"
+               "dmb ish are the best cases.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Run the methodology's in-vitro leg on real hardware: time the host's
+// fences through C++11 atomics with the same statistics pipeline (warm-ups,
+// geometric mean, Student-t 95% confidence intervals) as the simulated
+// experiments.
+#include <iostream>
+
+#include "core/report.h"
+#include "native/fences.h"
+
+int main() {
+  using namespace wmm;
+  std::cout << "host fence microbenchmarks (x86/TSO; the paper's footnote-1\n"
+               "case: far fewer fencing choices than ARM/POWER)\n\n";
+
+  core::Table table({"operation", "geomean ns/op", "95% CI", "min", "max"});
+  double relaxed = 0.0;
+  for (native::HostFence f : native::all_host_fences()) {
+    const core::SampleSummary s = native::measure_host_fence(f);
+    if (f == native::HostFence::None) relaxed = s.geomean;
+    table.add_row({native::host_fence_name(f), core::fmt_fixed(s.geomean, 2),
+                   "+/-" + core::fmt_fixed(s.ci95, 2),
+                   core::fmt_fixed(s.min, 2), core::fmt_fixed(s.max, 2)});
+  }
+  table.print(std::cout);
+
+  const core::SampleSummary seq =
+      native::measure_host_fence(native::HostFence::SeqCstStore);
+  std::cout << "\nfull-fence premium over relaxed: "
+            << core::fmt_fixed(seq.geomean - relaxed, 2) << " ns/op ("
+            << core::fmt_fixed(seq.geomean / relaxed, 1) << "x)\n";
+
+  std::cout << "\nhost cost-function linearity (dependent spin loop):\n";
+  for (std::uint32_t n : {1u, 16u, 64u, 256u, 1024u}) {
+    std::cout << "  n=" << n << ": "
+              << core::fmt_fixed(native::time_host_cost_loop_ns(n, 4096), 2)
+              << " ns\n";
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: measure how sensitive a benchmark is to a fencing code path,
+// then put a price on a fencing-strategy change.
+//
+//   1. Calibrate the cost function (loop iterations -> nanoseconds).
+//   2. Sweep the benchmark with growing cost functions injected into the
+//      code path and fit the sensitivity k (paper eq. 1).
+//   3. Apply a real strategy change, measure relative performance, and
+//      recover the implied per-invocation cost via eq. 2.
+#include <iostream>
+
+#include "core/harness.h"
+#include "core/report.h"
+#include "sim/calibrate.h"
+#include "workloads/jvm_workloads.h"
+
+int main() {
+  using namespace wmm;
+
+  // The platform under study: the simulated Hotspot JVM on ARMv8, running
+  // the spark (PageRank) workload.
+  constexpr sim::Arch kArch = sim::Arch::ARMV8;
+
+  // 1. Calibrate: how long does a cost function of N loop iterations take?
+  //    (OpenJDK on ARMv8 has a scratch register, so no stack spill.)
+  const core::CostFunctionCalibration cal =
+      sim::calibrate_cost_function(sim::params_for(kArch), 8, /*spill=*/false);
+  std::cout << "cost function: 1 iter = " << core::fmt_fixed(cal.ns_for(1), 2)
+            << " ns, 256 iters = " << core::fmt_fixed(cal.ns_for(256), 2)
+            << " ns\n";
+
+  // 2. Sweep: inject the cost function into the StoreStore barrier code path
+  //    and fit the sensitivity model p = 1 / ((1-k) + k*a).
+  const auto factory = [&](std::uint32_t iters) {
+    jvm::JvmConfig config;
+    config.arch = kArch;
+    if (iters > 0) {
+      config.injection_for(jvm::Elemental::StoreStore) =
+          core::Injection::cost_function(iters, /*spill=*/false);
+    }
+    return workloads::make_jvm_benchmark("spark", config);
+  };
+  const core::SweepResult sweep = core::sweep_sensitivity(
+      "spark", "StoreStore", factory, core::standard_sweep_sizes(8),
+      [&](std::uint32_t iters) { return cal.ns_for(iters); });
+  std::cout << "sensitivity fit: " << core::fmt_fit(sweep.fit) << "\n";
+  if (!core::usable_for_evaluation(sweep.fit)) {
+    std::cout << "warning: this benchmark is not well suited to evaluating "
+                 "this code path\n";
+  }
+
+  // 3. Price a change: lower StoreStore to a full dmb ish instead of
+  //    dmb ishst and recover the implied per-invocation cost.
+  jvm::JvmConfig base;
+  base.arch = kArch;
+  jvm::JvmConfig test = base;
+  test.storestore_override = sim::FenceKind::DmbIsh;
+  const core::Comparison cmp = core::compare_configurations(
+      [&] { return workloads::make_jvm_benchmark("spark", base); },
+      [&] { return workloads::make_jvm_benchmark("spark", test); });
+
+  std::cout << "dmb ishst -> dmb ish: relative performance "
+            << core::fmt_fixed(cmp.value, 4) << " ("
+            << core::fmt_percent(cmp.value - 1.0) << ", "
+            << (cmp.significant() ? "significant" : "not significant") << ")\n";
+  std::cout << "implied cost of the change: "
+            << core::fmt_fixed(core::cost_of_change(cmp.value, sweep.fit.k), 2)
+            << " ns per barrier\n";
+  std::cout << "(in vitro the two instructions are indistinguishable: "
+            << core::fmt_fixed(
+                   sim::fence_time_ns(sim::params_for(kArch), sim::FenceKind::DmbIsh), 1)
+            << " vs "
+            << core::fmt_fixed(
+                   sim::fence_time_ns(sim::params_for(kArch), sim::FenceKind::DmbIshSt), 1)
+            << " ns)\n";
+  return 0;
+}

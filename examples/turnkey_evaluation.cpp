@@ -1,0 +1,62 @@
+// The "turnkey evaluation system" the paper's conclusion envisions: one call
+// that calibrates, sweeps, fits, gates on usability, and prices a set of
+// candidate fencing strategies for a code path.
+#include <iostream>
+
+#include "core/report.h"
+#include "core/turnkey.h"
+#include "sim/calibrate.h"
+#include "workloads/kernel_workloads.h"
+
+int main() {
+  using namespace wmm;
+
+  constexpr sim::Arch kArch = sim::Arch::ARMV8;
+  const std::string benchmark = "netperf_udp";
+  const core::CostFunctionCalibration cal =
+      sim::calibrate_cost_function(sim::params_for(kArch), 8, /*spill=*/true);
+
+  // The benchmark family with a cost function in read_barrier_depends.
+  const auto injected = [&](std::uint32_t iters) {
+    kernel::KernelConfig c;
+    c.arch = kArch;
+    if (iters > 0) {
+      c.injection_for(kernel::KMacro::ReadBarrierDepends) =
+          core::Injection::cost_function(iters, true);
+    }
+    return workloads::make_kernel_benchmark(benchmark, c);
+  };
+
+  // Candidate strategies to price.
+  std::vector<core::StrategyCandidate> candidates;
+  for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
+    if (s == kernel::RbdStrategy::BaseNop) continue;
+    candidates.push_back({kernel::rbd_strategy_name(s), [s, benchmark] {
+                            kernel::KernelConfig c;
+                            c.arch = kArch;
+                            c.rbd = s;
+                            return workloads::make_kernel_benchmark(benchmark, c);
+                          }});
+  }
+
+  const core::TurnkeyReport report = core::evaluate_code_path(
+      benchmark, "read_barrier_depends", injected,
+      [&](std::uint32_t iters) { return cal.ns_for(iters); }, candidates);
+
+  std::cout << "turnkey evaluation: " << benchmark
+            << " / read_barrier_depends\n\n";
+  std::cout << "fit: " << core::fmt_fit(report.sweep.fit) << " — benchmark "
+            << (report.benchmark_usable ? "USABLE" : "NOT USABLE")
+            << " for this code path\n\n";
+
+  core::Table table({"strategy", "rel perf", "implied cost", "significant"});
+  for (const core::PricedStrategy& s : report.strategies) {
+    table.add_row({s.name, core::fmt_fixed(s.comparison.value, 4),
+                   core::fmt_fixed(s.implied_cost_ns, 1) + " ns",
+                   s.comparison.significant() ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "\nrecommended (cheapest real ordering): " << report.recommended
+            << "\n";
+  return 0;
+}

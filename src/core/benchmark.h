@@ -1,0 +1,28 @@
+// The black-box benchmark abstraction of the methodology (paper section 3):
+// "consider each benchmark as a black box that we run across various fencing
+// strategies for the underlying platform, observing the resulting changes in
+// performance".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace wmm::core {
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  virtual std::string name() const = 0;
+
+  // Execute one full benchmark run over its fixed unit of work and return the
+  // time taken in nanoseconds.  `sample_index` distinguishes warm-up and
+  // measurement runs so implementations can model warm-up effects (e.g. JIT
+  // compilation) and draw independent run-to-run noise.
+  virtual double run_once(std::uint64_t sample_index) = 0;
+};
+
+using BenchmarkPtr = std::unique_ptr<Benchmark>;
+
+}  // namespace wmm::core

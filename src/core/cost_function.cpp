@@ -1,0 +1,53 @@
+#include "core/cost_function.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wmm::core {
+
+void CostFunctionCalibration::add(std::uint32_t iterations, double ns) {
+  const Point p{iterations, ns};
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), p,
+      [](const Point& a, const Point& b) { return a.iterations < b.iterations; });
+  if (it != points_.end() && it->iterations == iterations) {
+    it->ns = ns;
+  } else {
+    points_.insert(it, p);
+  }
+}
+
+double CostFunctionCalibration::ns_for(std::uint32_t iterations) const {
+  if (points_.empty()) {
+    throw std::logic_error("CostFunctionCalibration: no calibration points");
+  }
+  if (iterations <= points_.front().iterations) return points_.front().ns;
+  if (iterations >= points_.back().iterations) {
+    // Extrapolate linearly from the last two points; the relationship is
+    // linear for large iteration counts.
+    if (points_.size() == 1) return points_.back().ns;
+    const Point& a = points_[points_.size() - 2];
+    const Point& b = points_.back();
+    const double slope = (b.ns - a.ns) / static_cast<double>(b.iterations - a.iterations);
+    return b.ns + slope * static_cast<double>(iterations - b.iterations);
+  }
+  const auto hi = std::lower_bound(
+      points_.begin(), points_.end(), iterations,
+      [](const Point& p, std::uint32_t it) { return p.iterations < it; });
+  if (hi->iterations == iterations) return hi->ns;
+  const auto lo = hi - 1;
+  const double t = static_cast<double>(iterations - lo->iterations) /
+                   static_cast<double>(hi->iterations - lo->iterations);
+  return lo->ns + t * (hi->ns - lo->ns);
+}
+
+std::vector<std::uint32_t> standard_sweep_sizes(unsigned max_exponent) {
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(max_exponent + 1);
+  for (unsigned e = 0; e <= max_exponent; ++e) {
+    sizes.push_back(1u << e);
+  }
+  return sizes;
+}
+
+}  // namespace wmm::core

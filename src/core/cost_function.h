@@ -1,0 +1,69 @@
+// Cost functions: instruction sequences with a known, stable execution time
+// that are injected into a platform's barrier code paths.
+//
+// Unlike invocation counters, a cost function does no useful work and touches
+// as little machine state as possible: a spin loop over a register, spilling
+// one register to the stack only when no scratch register is available (the
+// paper's Figures 2 and 3 show the ARMv8 and POWER sequences).  The base case
+// receives nop padding of identical code size so that binary layout, and in
+// particular cache alignment, is held constant across configurations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wmm::core {
+
+// Specification of an injected sequence at a code path.  Exactly one of the
+// three shapes is active:
+//   - baseline nop padding (`nops` > 0, `loop_iterations` == 0),
+//   - a spin-loop cost function (`loop_iterations` > 0),
+//   - nothing (an unmodified binary; used only for the nop-impact study).
+struct Injection {
+  std::uint32_t nops = 0;
+  std::uint32_t loop_iterations = 0;
+  bool stack_spill = true;  // false when a scratch register is available
+
+  static Injection none() { return Injection{}; }
+  static Injection nop_padding(std::uint32_t count) { return Injection{count, 0, true}; }
+  static Injection cost_function(std::uint32_t iterations, bool spill = true) {
+    return Injection{0, iterations, spill};
+  }
+
+  bool is_cost_function() const { return loop_iterations > 0; }
+  bool is_nop_padding() const { return nops > 0 && loop_iterations == 0; }
+  bool empty() const { return nops == 0 && loop_iterations == 0; }
+};
+
+// Calibration table mapping cost-function loop iteration counts to measured
+// execution times in nanoseconds (the paper's Figure 4).  Due to pipelining
+// the relationship is only linear for large iteration counts, so the table is
+// built empirically and interpolated, exactly as the paper applies "the
+// observed execution time of a given cost function size" to each data point.
+class CostFunctionCalibration {
+ public:
+  void add(std::uint32_t iterations, double ns);
+
+  // Measured/interpolated execution time for `iterations` loop iterations.
+  double ns_for(std::uint32_t iterations) const;
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  struct Point {
+    std::uint32_t iterations;
+    double ns;
+  };
+  std::span<const Point> points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;  // kept sorted by iterations
+};
+
+// The standard sweep of cost-function sizes used by the paper's figures:
+// powers of two from 2^0 to 2^`max_exponent`.
+std::vector<std::uint32_t> standard_sweep_sizes(unsigned max_exponent);
+
+}  // namespace wmm::core

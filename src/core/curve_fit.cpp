@@ -1,0 +1,175 @@
+#include "core/curve_fit.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wmm::core {
+
+namespace {
+
+double chi_squared(const Model& model, std::span<const double> xs,
+                   std::span<const double> ys, std::span<const double> params) {
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - model(xs[i], params);
+    chi2 += r * r;
+  }
+  return chi2;
+}
+
+// Numerical Jacobian: J[i][j] = d f(x_i) / d p_j, row-major xs.size() * np.
+std::vector<double> jacobian(const Model& model, std::span<const double> xs,
+                             std::span<const double> params, double rel_step) {
+  const std::size_t np = params.size();
+  std::vector<double> j(xs.size() * np);
+  std::vector<double> p(params.begin(), params.end());
+  for (std::size_t c = 0; c < np; ++c) {
+    const double h = rel_step * std::max(std::abs(p[c]), 1e-12);
+    const double saved = p[c];
+    p[c] = saved + h;
+    for (std::size_t r = 0; r < xs.size(); ++r) {
+      j[r * np + c] = model(xs[r], p);
+    }
+    p[c] = saved - h;
+    for (std::size_t r = 0; r < xs.size(); ++r) {
+      j[r * np + c] = (j[r * np + c] - model(xs[r], p)) / (2.0 * h);
+    }
+    p[c] = saved;
+  }
+  return j;
+}
+
+}  // namespace
+
+double FitResult::relative_error(std::size_t i) const {
+  if (i >= params.size() || params[i] == 0.0) return 0.0;
+  return std::abs(stderrs[i] / params[i]);
+}
+
+bool solve_linear_system(std::vector<double> a, std::vector<double> b,
+                         std::size_t n, std::vector<double>& x) {
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * x[c];
+    x[ri] = sum / a[ri * n + ri];
+  }
+  return true;
+}
+
+FitResult curve_fit(const Model& model, std::span<const double> xs,
+                    std::span<const double> ys, std::span<const double> initial,
+                    const FitOptions& options) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("curve_fit: xs and ys must have equal length");
+  }
+  if (initial.empty()) {
+    throw std::invalid_argument("curve_fit: at least one parameter required");
+  }
+  const std::size_t np = initial.size();
+  const std::size_t nd = xs.size();
+
+  FitResult result;
+  result.params.assign(initial.begin(), initial.end());
+  result.stderrs.assign(np, 0.0);
+  if (nd == 0) return result;
+
+  double lambda = options.initial_lambda;
+  double chi2 = chi_squared(model, xs, ys, result.params);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const std::vector<double> j = jacobian(model, xs, result.params, options.jacobian_step);
+
+    // Normal equations: (J^T J + lambda diag(J^T J)) delta = J^T r.
+    std::vector<double> jtj(np * np, 0.0);
+    std::vector<double> jtr(np, 0.0);
+    for (std::size_t r = 0; r < nd; ++r) {
+      const double resid = ys[r] - model(xs[r], result.params);
+      for (std::size_t c1 = 0; c1 < np; ++c1) {
+        jtr[c1] += j[r * np + c1] * resid;
+        for (std::size_t c2 = 0; c2 < np; ++c2) {
+          jtj[c1 * np + c2] += j[r * np + c1] * j[r * np + c2];
+        }
+      }
+    }
+
+    bool improved = false;
+    for (int attempt = 0; attempt < 24 && !improved; ++attempt) {
+      std::vector<double> damped = jtj;
+      for (std::size_t d = 0; d < np; ++d) {
+        damped[d * np + d] += lambda * std::max(jtj[d * np + d], 1e-30);
+      }
+      std::vector<double> delta;
+      if (!solve_linear_system(damped, jtr, np, delta)) {
+        lambda *= 10.0;
+        continue;
+      }
+      std::vector<double> trial = result.params;
+      for (std::size_t d = 0; d < np; ++d) trial[d] += delta[d];
+      const double trial_chi2 = chi_squared(model, xs, ys, trial);
+      if (trial_chi2 < chi2) {
+        const double rel_gain = (chi2 - trial_chi2) / std::max(chi2, 1e-300);
+        result.params = std::move(trial);
+        chi2 = trial_chi2;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        improved = true;
+        if (rel_gain < options.tolerance) {
+          result.converged = true;
+        }
+      } else {
+        lambda *= 10.0;
+      }
+    }
+    if (!improved || result.converged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.chi2 = chi2;
+
+  // Parameter standard errors from sigma^2 (J^T J)^-1 (columns solved
+  // individually against unit vectors).
+  if (nd > np) {
+    const double sigma2 = chi2 / static_cast<double>(nd - np);
+    const std::vector<double> j = jacobian(model, xs, result.params, options.jacobian_step);
+    std::vector<double> jtj(np * np, 0.0);
+    for (std::size_t r = 0; r < nd; ++r) {
+      for (std::size_t c1 = 0; c1 < np; ++c1) {
+        for (std::size_t c2 = 0; c2 < np; ++c2) {
+          jtj[c1 * np + c2] += j[r * np + c1] * j[r * np + c2];
+        }
+      }
+    }
+    for (std::size_t c = 0; c < np; ++c) {
+      std::vector<double> e(np, 0.0);
+      e[c] = 1.0;
+      std::vector<double> col;
+      if (solve_linear_system(jtj, e, np, col) && col[c] > 0.0) {
+        result.stderrs[c] = std::sqrt(sigma2 * col[c]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wmm::core

@@ -1,0 +1,48 @@
+// Non-linear least-squares curve fitting (Levenberg-Marquardt).
+//
+// The paper fits its sensitivity model with scipy's curve_fit and reports the
+// estimated variance of the fit.  This is a from-scratch replacement: a
+// damped Gauss-Newton (Levenberg-Marquardt) solver with numerically estimated
+// Jacobians and parameter standard errors derived from the covariance matrix
+// sigma^2 * (J^T J)^-1.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace wmm::core {
+
+// Model: y = f(x, params).
+using Model = std::function<double(double x, std::span<const double> params)>;
+
+struct FitOptions {
+  std::size_t max_iterations = 200;
+  double initial_lambda = 1e-3;      // LM damping
+  double tolerance = 1e-12;          // relative chi^2 improvement stop
+  double jacobian_step = 1e-7;       // relative finite-difference step
+};
+
+struct FitResult {
+  std::vector<double> params;
+  std::vector<double> stderrs;       // per-parameter standard error
+  double chi2 = 0.0;                 // final sum of squared residuals
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  // Relative standard error of parameter i, as a fraction (0.06 == 6%).
+  double relative_error(std::size_t i) const;
+};
+
+// Fit `model` to the points (xs[i], ys[i]) starting from `initial`.
+FitResult curve_fit(const Model& model, std::span<const double> xs,
+                    std::span<const double> ys, std::span<const double> initial,
+                    const FitOptions& options = {});
+
+// Solve the dense linear system A x = b (Gaussian elimination with partial
+// pivoting).  A is row-major n*n.  Returns false when singular.
+bool solve_linear_system(std::vector<double> a, std::vector<double> b,
+                         std::size_t n, std::vector<double>& x);
+
+}  // namespace wmm::core

@@ -1,0 +1,104 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/sensitivity.h"
+
+namespace wmm::core {
+
+RankingMatrix::RankingMatrix(std::vector<std::string> code_paths,
+                             std::vector<std::string> benchmarks)
+    : code_paths_(std::move(code_paths)),
+      benchmarks_(std::move(benchmarks)),
+      cells_(code_paths_.size() * benchmarks_.size()) {}
+
+std::size_t RankingMatrix::index_of(const std::vector<std::string>& names,
+                                    const std::string& name) const {
+  const auto it = std::find(names.begin(), names.end(), name);
+  if (it == names.end()) {
+    throw std::out_of_range("RankingMatrix: unknown name " + name);
+  }
+  return static_cast<std::size_t>(it - names.begin());
+}
+
+void RankingMatrix::set(const std::string& code_path, const std::string& benchmark,
+                        double relative_performance) {
+  const std::size_t r = index_of(code_paths_, code_path);
+  const std::size_t c = index_of(benchmarks_, benchmark);
+  cells_[r * benchmarks_.size() + c] = relative_performance;
+}
+
+std::optional<double> RankingMatrix::get(const std::string& code_path,
+                                         const std::string& benchmark) const {
+  const std::size_t r = index_of(code_paths_, code_path);
+  const std::size_t c = index_of(benchmarks_, benchmark);
+  return cells_[r * benchmarks_.size() + c];
+}
+
+std::size_t RankingMatrix::data_points() const {
+  std::size_t n = 0;
+  for (const auto& cell : cells_) {
+    if (cell.has_value()) ++n;
+  }
+  return n;
+}
+
+std::vector<RankingMatrix::Aggregate> RankingMatrix::aggregate_by_code_path() const {
+  std::vector<Aggregate> out;
+  out.reserve(code_paths_.size());
+  for (std::size_t r = 0; r < code_paths_.size(); ++r) {
+    Aggregate a{code_paths_[r], 0.0, 0};
+    for (std::size_t c = 0; c < benchmarks_.size(); ++c) {
+      if (const auto& cell = cells_[r * benchmarks_.size() + c]) {
+        a.sum += *cell;
+        ++a.count;
+      }
+    }
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Aggregate& a, const Aggregate& b) { return a.sum < b.sum; });
+  return out;
+}
+
+std::vector<RankingMatrix::Aggregate> RankingMatrix::aggregate_by_benchmark() const {
+  std::vector<Aggregate> out;
+  out.reserve(benchmarks_.size());
+  for (std::size_t c = 0; c < benchmarks_.size(); ++c) {
+    Aggregate a{benchmarks_[c], 0.0, 0};
+    for (std::size_t r = 0; r < code_paths_.size(); ++r) {
+      if (const auto& cell = cells_[r * benchmarks_.size() + c]) {
+        a.sum += *cell;
+        ++a.count;
+      }
+    }
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Aggregate& a, const Aggregate& b) { return a.sum < b.sum; });
+  return out;
+}
+
+CostComparison compare_costs(const std::vector<CostEstimate>& inputs,
+                             const std::string& reference_benchmark) {
+  CostComparison out;
+  out.estimates = inputs;
+  double other_sum = 0.0;
+  std::size_t other_count = 0;
+  for (CostEstimate& e : out.estimates) {
+    e.cost_ns = cost_of_change(e.rel_perf, e.k);
+    if (e.benchmark == reference_benchmark) {
+      out.reference_cost_ns = e.cost_ns;
+    } else {
+      other_sum += e.cost_ns;
+      ++other_count;
+    }
+  }
+  if (other_count > 0) {
+    out.mean_other_cost_ns = other_sum / static_cast<double>(other_count);
+  }
+  return out;
+}
+
+}  // namespace wmm::core

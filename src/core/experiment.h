@@ -1,0 +1,84 @@
+// Experiment orchestration: the two complementary applications of the
+// methodology (paper section 3):
+//   1. establishing the significance of a fencing choice for a platform by
+//      measuring sensitivity across benchmarks, and
+//   2. establishing the sensitivity of a benchmark by running it across a
+//      variety of fencing choices.
+//
+// The RankingMatrix implements the paper's section 4.3.1 map-the-space-first
+// approach: inject one large fixed-size cost function into each code path in
+// turn, record relative performance for every benchmark, and aggregate by
+// row (code path, Figure 7) or column (benchmark, Figure 8).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+
+namespace wmm::core {
+
+class RankingMatrix {
+ public:
+  RankingMatrix(std::vector<std::string> code_paths,
+                std::vector<std::string> benchmarks);
+
+  void set(const std::string& code_path, const std::string& benchmark,
+           double relative_performance);
+  std::optional<double> get(const std::string& code_path,
+                            const std::string& benchmark) const;
+
+  std::size_t data_points() const;  // number of filled cells (paper: 154)
+
+  struct Aggregate {
+    std::string name;
+    double sum = 0.0;       // sum of relative performance over the other axis
+    std::size_t count = 0;  // cells contributing to the sum
+  };
+
+  // Sum of relative performance for each code path across all benchmarks,
+  // sorted ascending (lowest sum = biggest impact); Figure 7.
+  std::vector<Aggregate> aggregate_by_code_path() const;
+
+  // Sum of relative performance for each benchmark across all code paths,
+  // sorted ascending (lowest sum = most sensitive benchmark); Figure 8.
+  std::vector<Aggregate> aggregate_by_benchmark() const;
+
+  const std::vector<std::string>& code_paths() const { return code_paths_; }
+  const std::vector<std::string>& benchmarks() const { return benchmarks_; }
+
+ private:
+  std::size_t index_of(const std::vector<std::string>& names,
+                       const std::string& name) const;
+
+  std::vector<std::string> code_paths_;
+  std::vector<std::string> benchmarks_;
+  std::vector<std::optional<double>> cells_;  // row-major [code_path][benchmark]
+};
+
+// Cross-validation of in-vitro vs in-vivo costs (paper section 4.3.1): given
+// per-benchmark relative performance and fitted sensitivities for a strategy
+// change, compute the implied per-invocation cost for each benchmark via
+// eq. 2 and report the reference benchmark's value alongside the mean of the
+// others.  Divergence between the two "is interesting and indicates a
+// benchmark is useful for testing a given code path".
+struct CostEstimate {
+  std::string benchmark;
+  double k = 0.0;
+  double rel_perf = 0.0;
+  double cost_ns = 0.0;
+};
+
+struct CostComparison {
+  std::vector<CostEstimate> estimates;
+  double reference_cost_ns = 0.0;   // the designated reference benchmark
+  double mean_other_cost_ns = 0.0;  // arithmetic mean over the rest
+};
+
+CostComparison compare_costs(const std::vector<CostEstimate>& inputs,
+                             const std::string& reference_benchmark);
+
+}  // namespace wmm::core

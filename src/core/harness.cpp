@@ -1,0 +1,53 @@
+#include "core/harness.h"
+
+namespace wmm::core {
+
+RunResult run_benchmark(Benchmark& benchmark, const RunOptions& options) {
+  RunResult result;
+  result.name = benchmark.name();
+  for (std::size_t w = 0; w < options.warmups; ++w) {
+    (void)benchmark.run_once(w);
+  }
+  result.raw_times.reserve(options.samples);
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    result.raw_times.push_back(benchmark.run_once(options.warmups + s));
+  }
+  result.times = summarize(result.raw_times);
+  return result;
+}
+
+Comparison compare_configurations(const BenchmarkFactory& base,
+                                  const BenchmarkFactory& test,
+                                  const RunOptions& options) {
+  const BenchmarkPtr base_bench = base();
+  const BenchmarkPtr test_bench = test();
+  const RunResult base_result = run_benchmark(*base_bench, options);
+  const RunResult test_result = run_benchmark(*test_bench, options);
+  return relative_performance(base_result.times, test_result.times);
+}
+
+SweepResult sweep_sensitivity(
+    const std::string& benchmark_name, const std::string& code_path,
+    const std::function<BenchmarkPtr(std::uint32_t iterations)>& factory,
+    const std::vector<std::uint32_t>& sizes,
+    const std::function<double(std::uint32_t)>& cost_ns_for,
+    const RunOptions& options) {
+  SweepResult result;
+  result.benchmark = benchmark_name;
+  result.code_path = code_path;
+
+  const BenchmarkPtr base_bench = factory(0);
+  const RunResult base = run_benchmark(*base_bench, options);
+
+  result.points.reserve(sizes.size());
+  for (std::uint32_t size : sizes) {
+    const BenchmarkPtr bench = factory(size);
+    const RunResult run = run_benchmark(*bench, options);
+    const Comparison cmp = relative_performance(base.times, run.times);
+    result.points.push_back(SweepPoint{cost_ns_for(size), cmp.value});
+  }
+  result.fit = fit_sensitivity(result.points);
+  return result;
+}
+
+}  // namespace wmm::core

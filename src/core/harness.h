@@ -1,0 +1,62 @@
+// Benchmark execution harness: warm-ups, repeated sampling, summarisation,
+// and base-vs-test comparison (paper section 4.1 common methodology).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "core/sensitivity.h"
+#include "core/stats.h"
+
+namespace wmm::core {
+
+struct RunOptions {
+  std::size_t warmups = 2;   // paper: first two iterations discarded
+  std::size_t samples = 6;   // paper: six or more samples
+};
+
+struct RunResult {
+  std::string name;
+  SampleSummary times;             // per-run times, ns
+  std::vector<double> raw_times;   // retained for inspection
+};
+
+// Run one benchmark: `warmups` discarded iterations followed by `samples`
+// measured iterations, all within the same benchmark instance (mirroring the
+// paper's same-JVM repeated execution).
+RunResult run_benchmark(Benchmark& benchmark, const RunOptions& options = {});
+
+// A factory producing a fresh benchmark under a named configuration.  The
+// configuration string is interpreted by the platform adapter (e.g. which
+// injection or fencing strategy to apply).
+using BenchmarkFactory = std::function<BenchmarkPtr()>;
+
+// Run base and test configurations and compare them.  Relative performance
+// below 1.0 means the test configuration is slower.
+Comparison compare_configurations(const BenchmarkFactory& base,
+                                  const BenchmarkFactory& test,
+                                  const RunOptions& options = {});
+
+// Sweep a benchmark across increasing cost-function execution times.  The
+// caller provides a factory parameterised by the cost-function loop iteration
+// count (0 = base case with nop padding) and the calibrated execution time of
+// each size; the result is the set of (cost ns, relative performance) points
+// plus the fitted sensitivity.
+struct SweepResult {
+  std::string benchmark;
+  std::string code_path;
+  std::vector<SweepPoint> points;
+  SensitivityFit fit;
+};
+
+SweepResult sweep_sensitivity(
+    const std::string& benchmark_name, const std::string& code_path,
+    const std::function<BenchmarkPtr(std::uint32_t iterations)>& factory,
+    const std::vector<std::uint32_t>& sizes,
+    const std::function<double(std::uint32_t)>& cost_ns_for,
+    const RunOptions& options = {});
+
+}  // namespace wmm::core

@@ -1,0 +1,92 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace wmm::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_fit(const SensitivityFit& fit) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "k=%.5f +/- %.0f%%", fit.k,
+                std::abs(fit.relative_error()) * 100.0);
+  return buf;
+}
+
+void print_sweep(std::ostream& os, const SweepResult& sweep) {
+  os << sweep.benchmark << " / " << sweep.code_path << "  [" << fmt_fit(sweep.fit)
+     << "]\n";
+  os << "  cost_ns    rel_perf   model\n";
+  for (const SweepPoint& p : sweep.points) {
+    os << "  " << fmt_fixed(p.cost_ns, 2) << std::string(11 - std::min<std::size_t>(10, fmt_fixed(p.cost_ns, 2).size()), ' ')
+       << fmt_fixed(p.rel_perf, 5) << "    "
+       << fmt_fixed(model_performance(p.cost_ns, sweep.fit.k), 5) << '\n';
+  }
+}
+
+void print_ranking(std::ostream& os, const std::string& title,
+                   const std::vector<RankingMatrix::Aggregate>& aggregates) {
+  os << title << '\n';
+  double max_sum = 0.0;
+  std::size_t max_name = 0;
+  for (const auto& a : aggregates) {
+    max_sum = std::max(max_sum, a.sum);
+    max_name = std::max(max_name, a.name.size());
+  }
+  for (const auto& a : aggregates) {
+    os << "  " << a.name << std::string(max_name - a.name.size() + 2, ' ')
+       << fmt_fixed(a.sum, 3) << "  " << ascii_bar(a.sum, max_sum) << '\n';
+  }
+}
+
+std::string ascii_bar(double value, double max, int width) {
+  if (max <= 0.0) return {};
+  const int n = static_cast<int>(std::lround(value / max * width));
+  return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
+}
+
+}  // namespace wmm::core

@@ -1,0 +1,44 @@
+// Plain-text reporting helpers that print tables and series in the layout of
+// the paper's figures, so bench binaries can regenerate each figure/table as
+// rows on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/harness.h"
+
+namespace wmm::core {
+
+// Fixed-width column table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helpers.
+std::string fmt_fixed(double value, int decimals);
+std::string fmt_percent(double fraction, int decimals = 1);  // 0.045 -> "4.5%"
+// "k=0.00870 +/- 6%" as the paper's figure legends print fits.
+std::string fmt_fit(const SensitivityFit& fit);
+
+// A sensitivity sweep as a series: one line per point, "2^e  cost_ns  p".
+void print_sweep(std::ostream& os, const SweepResult& sweep);
+
+// Aggregate ranking as a horizontal bar list (Figures 7/8).
+void print_ranking(std::ostream& os, const std::string& title,
+                   const std::vector<RankingMatrix::Aggregate>& aggregates);
+
+// An ASCII bar of width proportional to `fraction` of `max` (for rankings).
+std::string ascii_bar(double value, double max, int width = 40);
+
+}  // namespace wmm::core

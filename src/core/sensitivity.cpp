@@ -1,0 +1,44 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+
+namespace wmm::core {
+
+double model_performance(double a_ns, double k) {
+  return 1.0 / ((1.0 - k) + k * a_ns);
+}
+
+double cost_of_change(double p, double k) {
+  return -((1.0 - k) * p - 1.0) / (k * p);
+}
+
+SensitivityFit fit_sensitivity(std::span<const SweepPoint> points) {
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const SweepPoint& pt : points) {
+    xs.push_back(pt.cost_ns);
+    ys.push_back(pt.rel_perf);
+  }
+  const Model model = [](double x, std::span<const double> params) {
+    return model_performance(x, params[0]);
+  };
+  const double initial[] = {1e-3};
+  const FitResult fit = curve_fit(model, xs, ys, initial);
+
+  SensitivityFit s;
+  s.k = fit.params[0];
+  s.stderr_k = fit.stderrs[0];
+  s.chi2 = fit.chi2;
+  s.converged = fit.converged;
+  return s;
+}
+
+bool usable_for_evaluation(const SensitivityFit& fit, double min_k,
+                           double max_rel_error) {
+  if (!fit.converged) return false;
+  if (fit.k < min_k) return false;
+  return std::abs(fit.relative_error()) <= max_rel_error;
+}
+
+}  // namespace wmm::core

@@ -1,0 +1,63 @@
+// The paper's sensitivity model (equations 1 and 2).
+//
+// Normalised benchmark performance under an injected per-invocation cost of
+// `a` nanoseconds is modelled as
+//
+//     p = 1 / ((1 - k) + k * a)                                   (eq. 1)
+//
+// where `k` is the benchmark's sensitivity to the instrumented code path (a
+// dimensionless ratio of execution times).  The (1 - k) term rather than 1
+// encodes that the base case is never free: its nop padding and untaken
+// branches cost roughly one time unit per invocation.
+//
+// Once `k` is known for a benchmark/code-path pair, a fencing-strategy change
+// observed to run at normalised performance `p` implies a per-invocation cost
+//
+//     a = -((1 - k) * p - 1) / (k * p)                            (eq. 2)
+//
+// which lets in-vivo (macrobenchmark) results be compared on the same scale
+// as in-vitro (microbenchmark) timings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/curve_fit.h"
+
+namespace wmm::core {
+
+// Equation 1: normalised performance given cost `a_ns` and sensitivity `k`.
+double model_performance(double a_ns, double k);
+
+// Equation 2: per-invocation cost (ns) implied by normalised performance `p`
+// at sensitivity `k`.
+double cost_of_change(double p, double k);
+
+// One point of a sensitivity sweep: injected cost-function execution time (in
+// nanoseconds) and measured relative performance.
+struct SweepPoint {
+  double cost_ns = 0.0;
+  double rel_perf = 0.0;
+};
+
+struct SensitivityFit {
+  double k = 0.0;
+  double stderr_k = 0.0;
+  double chi2 = 0.0;
+  bool converged = false;
+
+  // Relative error as a fraction; the paper reports e.g. "k=0.00870 +/- 6%".
+  double relative_error() const { return k != 0.0 ? stderr_k / k : 0.0; }
+};
+
+// Fit `k` to a sweep by non-linear least squares on eq. 1.
+SensitivityFit fit_sensitivity(std::span<const SweepPoint> points);
+
+// A benchmark is considered usable for evaluating a code path when its
+// sensitivity is non-trivial and the fit variance is low (paper: "If k is
+// comparatively low or variance is high, then the benchmark is not well
+// suited to evaluating changes in the given code path").
+bool usable_for_evaluation(const SensitivityFit& fit, double min_k = 1e-4,
+                           double max_rel_error = 0.25);
+
+}  // namespace wmm::core

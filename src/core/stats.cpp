@@ -1,0 +1,114 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <vector>
+#include <cmath>
+#include <stdexcept>
+
+namespace wmm::core {
+
+namespace {
+
+// Table of two-sided 97.5% t quantiles for small degrees of freedom.  For
+// df > 30 we interpolate towards the normal quantile 1.960.
+constexpr double kTTable[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+};
+
+}  // namespace
+
+double student_t_975(std::size_t df) {
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTTable[df - 1];
+  if (df <= 40) return 2.042 + (2.021 - 2.042) * (static_cast<double>(df) - 30) / 10.0;
+  if (df <= 60) return 2.021 + (2.000 - 2.021) * (static_cast<double>(df) - 40) / 20.0;
+  if (df <= 120) return 2.000 + (1.980 - 2.000) * (static_cast<double>(df) - 60) / 60.0;
+  return 1.960;
+}
+
+double arithmetic_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geometric_mean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = arithmetic_mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+ResponseSummary summarize_response(std::span<const double> samples) {
+  ResponseSummary r;
+  if (samples.empty()) return r;
+  r.p50 = percentile(samples, 50.0);
+  r.p95 = percentile(samples, 95.0);
+  r.p99 = percentile(samples, 99.0);
+  r.worst = *std::max_element(samples.begin(), samples.end());
+  return r;
+}
+
+SampleSummary summarize(std::span<const double> samples) {
+  SampleSummary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.mean = arithmetic_mean(samples);
+  s.geomean = geometric_mean(samples);
+  s.stddev = sample_stddev(samples);
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  s.min = *lo;
+  s.max = *hi;
+  if (s.n >= 2) {
+    s.ci95 = student_t_975(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+Comparison relative_performance(const SampleSummary& base, const SampleSummary& test) {
+  Comparison c;
+  if (base.geomean <= 0.0 || test.geomean <= 0.0) return c;
+  // Both summaries are of times, so performance ratio = base time / test time.
+  c.value = base.geomean / test.geomean;
+  // Compounded pessimistic bounds, per the paper: comparative minimum is the
+  // test-case minimum (performance) divided by the base-case maximum, i.e.
+  // for times: slowest test over fastest base.
+  c.min = base.min / test.max;
+  c.max = base.max / test.min;
+  // First-order error propagation for a ratio of independent means.
+  const double rel_base = base.mean > 0 ? base.ci95 / base.mean : 0.0;
+  const double rel_test = test.mean > 0 ? test.ci95 / test.mean : 0.0;
+  c.ci95 = c.value * std::sqrt(rel_base * rel_base + rel_test * rel_test);
+  return c;
+}
+
+}  // namespace wmm::core

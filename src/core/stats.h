@@ -1,0 +1,73 @@
+// Statistics used throughout the benchmarking methodology.
+//
+// The paper reports geometric means (to reduce the impact of outliers) of six
+// or more samples, with 95% confidence intervals computed from the Student's
+// t-distribution (appropriate for small sample counts).  Comparative results
+// compound errors pessimistically: the comparative minimum is the test-case
+// minimum divided by the base-case maximum, and vice versa.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wmm::core {
+
+// Two-sided 97.5% quantile of the Student's t-distribution with `df` degrees
+// of freedom (i.e. the multiplier for a 95% confidence interval).
+double student_t_975(std::size_t df);
+
+// Summary of a set of positive samples (times or throughputs).
+struct SampleSummary {
+  std::size_t n = 0;
+  double mean = 0.0;       // arithmetic mean
+  double geomean = 0.0;    // geometric mean (primary reported statistic)
+  double stddev = 0.0;     // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;       // 95% CI half-width around the arithmetic mean
+
+  double ci_lo() const { return mean - ci95; }
+  double ci_hi() const { return mean + ci95; }
+};
+
+SampleSummary summarize(std::span<const double> samples);
+
+// A comparative (relative-performance) result: test vs base.  `value` is the
+// ratio of geometric means; min/max compound errors as the paper describes.
+struct Comparison {
+  double value = 0.0;  // base.geomean / test.geomean when comparing times
+  double min = 0.0;    // pessimistic lower bound (compounded)
+  double max = 0.0;    // optimistic upper bound (compounded)
+  double ci95 = 0.0;   // propagated CI half-width on the ratio
+
+  // True when the confidence interval excludes 1.0 (no change).
+  bool significant() const { return (value - ci95) > 1.0 || (value + ci95) < 1.0; }
+};
+
+// Relative performance of `test` against `base` where both summarize *times*
+// (lower time = better).  A value of 0.95 means the test case achieves 95% of
+// the base case's performance.
+Comparison relative_performance(const SampleSummary& base, const SampleSummary& test);
+
+// Linear-interpolated percentile (p in [0,100]) of the samples; response-time
+// analysis uses p95/p99 alongside the paper's worst-case maximum.
+double percentile(std::span<const double> xs, double p);
+
+// Response-time summary for latency-oriented benchmarks (paper section 2:
+// "for response time in particular, the maximum value obtained by testing
+// (worst case) is a key measure").
+struct ResponseSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double worst = 0.0;
+};
+
+ResponseSummary summarize_response(std::span<const double> samples);
+
+double arithmetic_mean(std::span<const double> xs);
+double geometric_mean(std::span<const double> xs);
+double sample_stddev(std::span<const double> xs);
+
+}  // namespace wmm::core

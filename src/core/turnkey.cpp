@@ -1,0 +1,41 @@
+#include "core/turnkey.h"
+
+#include <limits>
+
+#include "core/cost_function.h"
+
+namespace wmm::core {
+
+TurnkeyReport evaluate_code_path(
+    const std::string& benchmark, const std::string& code_path,
+    const std::function<BenchmarkPtr(std::uint32_t)>& injected,
+    const std::function<double(std::uint32_t)>& cost_ns_for,
+    const std::vector<StrategyCandidate>& candidates,
+    const TurnkeyOptions& options) {
+  TurnkeyReport report;
+
+  report.sweep = sweep_sensitivity(benchmark, code_path, injected,
+                                   standard_sweep_sizes(options.max_exponent),
+                                   cost_ns_for, options.runs);
+  report.benchmark_usable = usable_for_evaluation(
+      report.sweep.fit, options.min_k, options.max_fit_error);
+
+  const BenchmarkFactory base = [&] { return injected(0); };
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const StrategyCandidate& candidate : candidates) {
+    PricedStrategy priced;
+    priced.name = candidate.name;
+    priced.comparison =
+        compare_configurations(base, candidate.factory, options.runs);
+    priced.implied_cost_ns =
+        cost_of_change(priced.comparison.value, report.sweep.fit.k);
+    if (report.benchmark_usable && priced.implied_cost_ns < best_cost) {
+      best_cost = priced.implied_cost_ns;
+      report.recommended = priced.name;
+    }
+    report.strategies.push_back(std::move(priced));
+  }
+  return report;
+}
+
+}  // namespace wmm::core

@@ -1,0 +1,58 @@
+// Turnkey evaluation system (paper section 6): "The process of iterating the
+// cost function could also be encapsulated in the VM, potentially yielding a
+// turnkey evaluation system."
+//
+// One call runs the whole methodology for a code path: calibrate-aware
+// sensitivity sweep, fit, usability gate, and pricing of every candidate
+// fencing strategy via eq. 2 — returning a structured report.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+
+namespace wmm::core {
+
+struct StrategyCandidate {
+  std::string name;
+  BenchmarkFactory factory;  // benchmark under the candidate strategy
+};
+
+struct PricedStrategy {
+  std::string name;
+  Comparison comparison;      // vs the nop-padded base case
+  double implied_cost_ns = 0.0;  // eq. 2, using the fitted sensitivity
+};
+
+struct TurnkeyReport {
+  SweepResult sweep;
+  bool benchmark_usable = false;  // k large enough, fit variance low enough
+  std::vector<PricedStrategy> strategies;
+
+  // The cheapest candidate by implied per-invocation cost (empty when the
+  // benchmark is unusable or no candidates were given).
+  std::string recommended;
+};
+
+struct TurnkeyOptions {
+  unsigned max_exponent = 8;       // cost-function sweep 2^0..2^max
+  RunOptions runs{2, 6};
+  double min_k = 1e-4;             // usability gate
+  double max_fit_error = 0.25;
+};
+
+// Run the full evaluation:
+//  - `injected(iters)` builds the benchmark with a cost function of `iters`
+//    loop iterations in the code path (iters == 0 -> nop-padded base case);
+//  - `cost_ns_for(iters)` is the calibrated cost-function execution time;
+//  - `candidates` are real strategy changes to price.
+TurnkeyReport evaluate_code_path(
+    const std::string& benchmark, const std::string& code_path,
+    const std::function<BenchmarkPtr(std::uint32_t)>& injected,
+    const std::function<double(std::uint32_t)>& cost_ns_for,
+    const std::vector<StrategyCandidate>& candidates,
+    const TurnkeyOptions& options = {});
+
+}  // namespace wmm::core

@@ -1,0 +1,41 @@
+#include "jvm/barriers.h"
+
+namespace wmm::jvm {
+
+const char* elemental_name(Elemental e) {
+  switch (e) {
+    case Elemental::LoadLoad: return "LoadLoad";
+    case Elemental::LoadStore: return "LoadStore";
+    case Elemental::StoreLoad: return "StoreLoad";
+    case Elemental::StoreStore: return "StoreStore";
+  }
+  return "?";
+}
+
+const char* ir_barrier_name(IrBarrier b) {
+  switch (b) {
+    case IrBarrier::Volatile: return "Volatile";
+    case IrBarrier::Acquire: return "Acquire";
+    case IrBarrier::Release: return "Release";
+    case IrBarrier::LoadFence: return "LoadFence";
+    case IrBarrier::StoreFence: return "StoreFence";
+  }
+  return "?";
+}
+
+std::vector<Elemental> ir_components(IrBarrier b) {
+  switch (b) {
+    case IrBarrier::Volatile:
+      return {Elemental::LoadLoad, Elemental::LoadStore, Elemental::StoreLoad,
+              Elemental::StoreStore};
+    case IrBarrier::Acquire:
+    case IrBarrier::LoadFence:
+      return {Elemental::LoadLoad, Elemental::LoadStore};
+    case IrBarrier::Release:
+    case IrBarrier::StoreFence:
+      return {Elemental::LoadStore, Elemental::StoreStore};
+  }
+  return {};
+}
+
+}  // namespace wmm::jvm

@@ -1,0 +1,34 @@
+// The OpenJDK Hotspot barrier vocabulary (paper section 4.2).
+//
+// The Java Memory Model is enforced inside Hotspot by four *elemental*
+// memory barriers emitted by the JIT compiler — LoadLoad, LoadStore,
+// StoreLoad and StoreStore — which the backend assembles according to the
+// target's WMM.  Higher-level IR barriers are combinations of the elemental
+// ones: each volatile load is preceded by Volatile and followed by Acquire;
+// each volatile store is preceded by Release and followed by Volatile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wmm::jvm {
+
+enum class Elemental : std::uint8_t { LoadLoad, LoadStore, StoreLoad, StoreStore };
+inline constexpr std::array<Elemental, 4> kAllElementals = {
+    Elemental::LoadLoad, Elemental::LoadStore, Elemental::StoreLoad,
+    Elemental::StoreStore};
+
+const char* elemental_name(Elemental e);
+
+enum class IrBarrier : std::uint8_t { Volatile, Acquire, Release, LoadFence, StoreFence };
+
+const char* ir_barrier_name(IrBarrier b);
+
+// The elemental components of an IR barrier.  When a cost function is
+// injected into one elemental code path, every IR barrier containing that
+// elemental receives it — the paper: "if a combination of barriers is
+// requested ... then a code path will appear in multiple results".
+std::vector<Elemental> ir_components(IrBarrier b);
+
+}  // namespace wmm::jvm

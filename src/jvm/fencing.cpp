@@ -1,0 +1,97 @@
+#include "jvm/fencing.h"
+
+#include <algorithm>
+
+namespace wmm::jvm {
+
+const char* volatile_mode_name(VolatileMode mode) {
+  return mode == VolatileMode::Barriers ? "barriers" : "acq/rel";
+}
+
+FencingStrategy::FencingStrategy(const JvmConfig& config) : config_(config) {}
+
+sim::FenceKind FencingStrategy::lowering(Elemental e) const {
+  using sim::FenceKind;
+  if (e == Elemental::StoreStore && config_.storestore_override) {
+    return *config_.storestore_override;
+  }
+  switch (config_.arch) {
+    case sim::Arch::ARMV8:
+      // JDK9 AArch64 lowering (paper 4.2): LoadLoad/LoadStore -> dmb ishld,
+      // StoreStore -> dmb ishst, StoreLoad -> dmb ish.
+      switch (e) {
+        case Elemental::LoadLoad:
+        case Elemental::LoadStore: return FenceKind::DmbIshLd;
+        case Elemental::StoreStore: return FenceKind::DmbIshSt;
+        case Elemental::StoreLoad: return FenceKind::DmbIsh;
+      }
+      break;
+    case sim::Arch::POWER7:
+      // StoreLoad -> hwsync; all other elemental barriers -> lwsync.
+      return e == Elemental::StoreLoad ? FenceKind::HwSync : FenceKind::LwSync;
+    case sim::Arch::X86_TSO:
+      // TSO only needs StoreLoad fencing.
+      return e == Elemental::StoreLoad ? FenceKind::Mfence : FenceKind::CompilerOnly;
+    case sim::Arch::SC:
+      return FenceKind::CompilerOnly;
+  }
+  return FenceKind::None;
+}
+
+sim::FenceSeq FencingStrategy::ir_sequence(IrBarrier b) const {
+  const std::vector<Elemental> members = ir_components(b);
+  // Subsumption: if the combination includes StoreLoad, the full barrier it
+  // lowers to covers every weaker member.
+  const bool has_storeload =
+      std::find(members.begin(), members.end(), Elemental::StoreLoad) != members.end();
+  sim::FenceSeq seq;
+  if (has_storeload) {
+    seq.push_back(sim::FenceOp::of(lowering(Elemental::StoreLoad)));
+    return seq;
+  }
+  for (Elemental e : members) {
+    const sim::FenceKind k = lowering(e);
+    const bool dup = std::any_of(seq.begin(), seq.end(), [&](const sim::FenceOp& op) {
+      return op.kind == k;
+    });
+    if (!dup && k != sim::FenceKind::CompilerOnly && k != sim::FenceKind::None) {
+      seq.push_back(sim::FenceOp::of(k));
+    }
+  }
+  return seq;
+}
+
+std::uint32_t FencingStrategy::injected_slots() const {
+  // Cost-function instruction count (Figures 2/3): mov+subs+bne = 3 with a
+  // scratch register; two more for the stack spill/reload on ARM, three more
+  // on POWER (std/li/addi/cmpwi/bne/ld = 6).
+  if (config_.scratch_register()) return 3;
+  return config_.arch == sim::Arch::POWER7 ? 6 : 5;
+}
+
+void FencingStrategy::run_injection(sim::Cpu& cpu, const core::Injection& inj) const {
+  if (inj.is_cost_function()) {
+    cpu.cost_loop(inj.loop_iterations, !config_.scratch_register());
+  } else if (inj.is_nop_padding()) {
+    cpu.nops(inj.nops);
+  } else if (config_.pad_with_nops) {
+    cpu.nops(injected_slots());
+  }
+}
+
+void FencingStrategy::emit_elemental(sim::Cpu& cpu, Elemental e,
+                                     std::uint64_t site) const {
+  cpu.fence(lowering(e), site);
+  run_injection(cpu, config_.injection_for(e));
+}
+
+void FencingStrategy::emit_ir(sim::Cpu& cpu, IrBarrier b, std::uint64_t site) const {
+  cpu.exec_seq(ir_sequence(b), site);
+  // Every member elemental's code path runs at this site, so each member's
+  // injection applies.
+  for (Elemental e : ir_components(b)) {
+    run_injection(cpu, config_.injection_for(e));
+  }
+}
+
+}  // namespace wmm::jvm

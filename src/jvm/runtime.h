@@ -1,0 +1,96 @@
+// A miniature managed runtime exposing the concurrency operations whose
+// fencing the paper investigates: volatile field accesses, atomic
+// compare-and-swap, monitors (synchronized blocks) with the optional
+// dmb-elision patch, and allocation with stop-the-world collection pauses.
+//
+// Operations drive a sim::Cpu; the fencing strategy decides which barrier
+// instructions (and injected cost functions) each operation executes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "jvm/fencing.h"
+#include "sim/machine.h"
+
+namespace wmm::jvm {
+
+// A Java object monitor.  Critical sections are serialised by publishing the
+// time at which the lock becomes free again; because the machine always steps
+// the thread with the smallest clock, acquisition order is global time order.
+struct Monitor {
+  sim::LineId line = 0;
+  double free_at = 0.0;        // lock available again at this time
+  double visible_at = 0.0;     // when the releasing store is globally visible
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+};
+
+struct GcOptions {
+  // Throughput collector (paper: G1 disabled, JDK8 parallel collector).
+  double heap_budget_bytes = 64.0 * 1024 * 1024;  // allocation between GCs
+  double pause_ns_per_mb = 140000.0;              // pause scaling
+  unsigned parallel_threads = 8;
+};
+
+class JvmRuntime {
+ public:
+  JvmRuntime(sim::Machine& machine, const JvmConfig& config,
+             const GcOptions& gc = {});
+
+  const FencingStrategy& strategy() const { return strategy_; }
+  sim::Machine& machine() { return machine_; }
+
+  // --- Volatile accesses (Java Memory Model: sequentially consistent) ------
+  void volatile_load(sim::Cpu& cpu, sim::LineId field);
+  void volatile_store(sim::Cpu& cpu, sim::LineId field);
+
+  // Plain (non-volatile) field accesses on shared objects.
+  void plain_load(sim::Cpu& cpu, sim::LineId field) { cpu.load_shared(field); }
+  void plain_store(sim::Cpu& cpu, sim::LineId field) { cpu.store_shared(field); }
+
+  // Private heap traffic with write-barrier semantics: every second store is
+  // a reference store that emits the collector's card-mark / publication
+  // StoreStore barrier (the reason StoreStore is by far the hottest
+  // elemental barrier in store-heavy workloads like spark and xalan).
+  void heap_stores(sim::Cpu& cpu, unsigned stores, double miss_rate);
+
+  // Atomic compare-and-swap (java.util.concurrent machinery).
+  void cas(sim::Cpu& cpu, sim::LineId field);
+
+  // Final-field publication store (Release semantics before the store).
+  void final_store(sim::Cpu& cpu, sim::LineId field);
+
+  // --- Monitors --------------------------------------------------------------
+  // Run `body` while holding `monitor`.  Returns contention status.
+  bool synchronized(sim::Cpu& cpu, Monitor& monitor,
+                    const std::function<void()>& body);
+
+  // --- Allocation / GC --------------------------------------------------------
+  // Allocate `bytes`; may trigger a stop-the-world collection.
+  void alloc(sim::Cpu& cpu, double bytes);
+
+  std::uint64_t gc_count() const { return gc_count_; }
+  double allocated_bytes() const { return total_allocated_; }
+
+  // Barrier code-path invocation counters (diagnostics; the methodology
+  // deliberately avoids relying on these, but tests use them).
+  std::uint64_t ir_barrier_count(IrBarrier b) const {
+    return ir_counts_[static_cast<std::size_t>(b)];
+  }
+
+ private:
+  void count(IrBarrier b) { ++ir_counts_[static_cast<std::size_t>(b)]; }
+
+  sim::Machine& machine_;
+  FencingStrategy strategy_;
+  GcOptions gc_;
+
+  double allocated_since_gc_ = 0.0;
+  double total_allocated_ = 0.0;
+  std::uint64_t gc_count_ = 0;
+  std::uint64_t ir_counts_[5] = {0, 0, 0, 0, 0};
+};
+
+}  // namespace wmm::jvm

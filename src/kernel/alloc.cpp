@@ -1,0 +1,49 @@
+#include "kernel/alloc.h"
+
+namespace wmm::kernel {
+
+namespace {
+constexpr std::uint64_t kAllocSite = 0x41;
+}
+
+void SlabAllocator::refill(sim::Cpu& cpu, const KernelBarriers& b) {
+  ++slow_paths_;
+  zone_lock_.with(cpu, b, [&] {
+    // Pull a batch from the shared zone: page-list manipulation with
+    // full-barrier atomics.
+    b.fence(cpu, KMacro::SmpMbBeforeAtomic, kAllocSite);
+    cpu.private_access(8, 8, 0.15);
+    b.fence(cpu, KMacro::SmpMbAfterAtomic, kAllocSite);
+    cpu.compute(60.0);
+  });
+  magazine_ = magazine_size_;
+}
+
+void SlabAllocator::alloc(sim::Cpu& cpu, const KernelBarriers& b,
+                          unsigned bytes) {
+  ++allocations_;
+  if (magazine_ == 0) refill(cpu, b);
+  --magazine_;
+  // Fast path: pop from the per-cpu magazine and touch the object header.
+  b.read_once(cpu, 0x4100, kAllocSite);
+  cpu.compute(6.0);
+  cpu.private_access(1, bytes / 256 + 1, 0.05);
+}
+
+void SlabAllocator::free(sim::Cpu& cpu, const KernelBarriers& b) {
+  cpu.compute(4.0);
+  // Freelist push is a plain store under the magazine's local ownership.
+  cpu.private_access(0, 1, 0.0);
+  if (++freelist_ >= magazine_size_) {
+    freelist_ = 0;
+    ++slow_paths_;
+    zone_lock_.with(cpu, b, [&] {
+      b.fence(cpu, KMacro::SmpMbBeforeAtomic, kAllocSite);
+      cpu.private_access(6, 6, 0.12);
+      b.fence(cpu, KMacro::SmpMbAfterAtomic, kAllocSite);
+      cpu.compute(45.0);
+    });
+  }
+}
+
+}  // namespace wmm::kernel

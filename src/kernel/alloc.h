@@ -1,0 +1,39 @@
+// Slab-style kernel memory allocator with per-cpu magazines.  The fast path
+// is barrier-light; the refill/drain slow path takes the zone spinlock and
+// issues full barriers — the memory-management stress that makes ebizzy
+// sensitive to smp_mb and the atomics macros.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/barriers.h"
+#include "kernel/sync.h"
+
+namespace wmm::kernel {
+
+class SlabAllocator {
+ public:
+  SlabAllocator(sim::LineId zone_line, unsigned magazine_size = 32)
+      : zone_lock_(zone_line), magazine_size_(magazine_size) {}
+
+  // kmalloc-ish allocation of `bytes`.
+  void alloc(sim::Cpu& cpu, const KernelBarriers& b, unsigned bytes);
+
+  // kfree.
+  void free(sim::Cpu& cpu, const KernelBarriers& b);
+
+  std::uint64_t slow_paths() const { return slow_paths_; }
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  void refill(sim::Cpu& cpu, const KernelBarriers& b);
+
+  Spinlock zone_lock_;
+  unsigned magazine_size_;
+  unsigned magazine_ = 0;    // objects available on the per-cpu magazine
+  unsigned freelist_ = 0;    // objects waiting to be returned to the zone
+  std::uint64_t slow_paths_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace wmm::kernel

@@ -1,0 +1,178 @@
+#include "kernel/barriers.h"
+
+namespace wmm::kernel {
+
+const char* macro_name(KMacro m) {
+  switch (m) {
+    case KMacro::SmpMb: return "smp_mb";
+    case KMacro::SmpRmb: return "smp_rmb";
+    case KMacro::SmpWmb: return "smp_wmb";
+    case KMacro::Mb: return "mb";
+    case KMacro::Rmb: return "rmb";
+    case KMacro::Wmb: return "wmb";
+    case KMacro::ReadOnce: return "read_once";
+    case KMacro::WriteOnce: return "write_once";
+    case KMacro::ReadBarrierDepends: return "read_barrier_depends";
+    case KMacro::SmpLoadAcquire: return "smp_load_acquire";
+    case KMacro::SmpStoreRelease: return "smp_store_release";
+    case KMacro::SmpMbBeforeAtomic: return "smp_mb_before_atomic";
+    case KMacro::SmpMbAfterAtomic: return "smp_mb_after_atomic";
+    case KMacro::SmpStoreMb: return "smp_store_mb";
+  }
+  return "?";
+}
+
+const char* rbd_strategy_name(RbdStrategy s) {
+  switch (s) {
+    case RbdStrategy::BaseNop: return "base case";
+    case RbdStrategy::Ctrl: return "ctrl";
+    case RbdStrategy::CtrlIsb: return "ctrl+isb";
+    case RbdStrategy::DmbIshld: return "dmb ishld";
+    case RbdStrategy::DmbIsh: return "dmb ish";
+    case RbdStrategy::LaSr: return "la/sr";
+  }
+  return "?";
+}
+
+KernelBarriers::KernelBarriers(const KernelConfig& config) : config_(config) {}
+
+sim::FenceKind KernelBarriers::lowering(KMacro m) const {
+  using sim::FenceKind;
+  switch (config_.arch) {
+    case sim::Arch::ARMV8:
+      switch (m) {
+        case KMacro::SmpMb:
+        case KMacro::SmpMbBeforeAtomic:
+        case KMacro::SmpMbAfterAtomic:
+        case KMacro::SmpStoreMb: return FenceKind::DmbIsh;
+        case KMacro::SmpRmb: return FenceKind::DmbIshLd;
+        case KMacro::SmpWmb: return FenceKind::DmbIshSt;
+        case KMacro::Mb:
+        case KMacro::Rmb:
+        case KMacro::Wmb: return FenceKind::DsbSy;  // dsb sy / ld / st
+        case KMacro::ReadOnce:
+        case KMacro::WriteOnce: return FenceKind::CompilerOnly;
+        case KMacro::ReadBarrierDepends:
+          switch (config_.rbd) {
+            case RbdStrategy::BaseNop: return FenceKind::CompilerOnly;
+            case RbdStrategy::Ctrl: return FenceKind::CtrlDep;
+            case RbdStrategy::CtrlIsb: return FenceKind::CtrlIsb;
+            case RbdStrategy::DmbIshld:
+            case RbdStrategy::LaSr: return FenceKind::DmbIshLd;
+            case RbdStrategy::DmbIsh: return FenceKind::DmbIsh;
+          }
+          return FenceKind::CompilerOnly;
+        case KMacro::SmpLoadAcquire:
+        case KMacro::SmpStoreRelease: return FenceKind::None;  // ldar/stlr
+      }
+      break;
+    case sim::Arch::POWER7:
+      switch (m) {
+        case KMacro::SmpMb:
+        case KMacro::Mb:
+        case KMacro::SmpMbBeforeAtomic:
+        case KMacro::SmpMbAfterAtomic:
+        case KMacro::SmpStoreMb: return FenceKind::HwSync;
+        case KMacro::SmpRmb:
+        case KMacro::Rmb:
+        case KMacro::SmpWmb:
+        case KMacro::Wmb: return FenceKind::LwSync;
+        case KMacro::ReadOnce:
+        case KMacro::WriteOnce:
+        case KMacro::ReadBarrierDepends: return FenceKind::CompilerOnly;
+        case KMacro::SmpLoadAcquire: return FenceKind::ISync;  // ld;cmp;bne;isync
+        case KMacro::SmpStoreRelease: return FenceKind::LwSync;
+      }
+      break;
+    case sim::Arch::X86_TSO:
+      switch (m) {
+        case KMacro::SmpMb:
+        case KMacro::Mb:
+        case KMacro::SmpStoreMb: return FenceKind::Mfence;
+        default: return FenceKind::CompilerOnly;
+      }
+    case sim::Arch::SC:
+      return FenceKind::CompilerOnly;
+  }
+  return FenceKind::None;
+}
+
+std::uint32_t KernelBarriers::injected_slots() const {
+  return config_.arch == sim::Arch::POWER7 ? 6 : 5;
+}
+
+void KernelBarriers::run_injection(sim::Cpu& cpu, KMacro m) const {
+  const core::Injection& inj = config_.injection_for(m);
+  if (inj.is_cost_function()) {
+    cpu.cost_loop(inj.loop_iterations, /*stack_spill=*/true);
+  } else if (inj.is_nop_padding()) {
+    cpu.nops(inj.nops);
+  } else if (config_.pad_with_nops) {
+    cpu.nops(injected_slots());
+  }
+}
+
+void KernelBarriers::fence(sim::Cpu& cpu, KMacro m, std::uint64_t site) const {
+  cpu.fence(lowering(m), site);
+  run_injection(cpu, m);
+}
+
+void KernelBarriers::read_once(sim::Cpu& cpu, sim::LineId line,
+                               [[maybe_unused]] std::uint64_t site) const {
+  if (config_.arch == sim::Arch::ARMV8 && config_.rbd == RbdStrategy::LaSr) {
+    // la/sr strategy: READ_ONCE gains load-acquire semantics.
+    cpu.load_acquire(line);
+  } else {
+    cpu.load_shared(line);
+  }
+  run_injection(cpu, KMacro::ReadOnce);
+}
+
+void KernelBarriers::write_once(sim::Cpu& cpu, sim::LineId line,
+                                [[maybe_unused]] std::uint64_t site) const {
+  if (config_.arch == sim::Arch::ARMV8 && config_.rbd == RbdStrategy::LaSr) {
+    // la/sr strategy: WRITE_ONCE gains store-release semantics (dmb ishst is
+    // folded into the stlr in the paper's description).
+    cpu.store_release(line);
+  } else {
+    cpu.store_shared(line);
+  }
+  run_injection(cpu, KMacro::WriteOnce);
+}
+
+void KernelBarriers::load_acquire(sim::Cpu& cpu, sim::LineId line,
+                                  std::uint64_t site) const {
+  if (config_.arch == sim::Arch::ARMV8) {
+    cpu.load_acquire(line);
+  } else {
+    cpu.load_shared(line);
+    cpu.fence(lowering(KMacro::SmpLoadAcquire), site);
+  }
+  run_injection(cpu, KMacro::SmpLoadAcquire);
+}
+
+void KernelBarriers::store_release(sim::Cpu& cpu, sim::LineId line,
+                                   std::uint64_t site) const {
+  if (config_.arch == sim::Arch::ARMV8) {
+    cpu.store_release(line);
+  } else {
+    cpu.fence(lowering(KMacro::SmpStoreRelease), site);
+    cpu.store_shared(line);
+  }
+  run_injection(cpu, KMacro::SmpStoreRelease);
+}
+
+void KernelBarriers::store_mb(sim::Cpu& cpu, sim::LineId line,
+                              std::uint64_t site) const {
+  cpu.store_shared(line);
+  cpu.fence(lowering(KMacro::SmpStoreMb), site);
+  run_injection(cpu, KMacro::SmpStoreMb);
+}
+
+void KernelBarriers::read_barrier_depends(sim::Cpu& cpu,
+                                          std::uint64_t site) const {
+  cpu.fence(lowering(KMacro::ReadBarrierDepends), site);
+  run_injection(cpu, KMacro::ReadBarrierDepends);
+}
+
+}  // namespace wmm::kernel

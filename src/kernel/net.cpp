@@ -1,0 +1,92 @@
+#include "kernel/net.h"
+
+namespace wmm::kernel {
+
+namespace {
+constexpr std::uint64_t kNetSite = 0x31;
+constexpr double kChecksumNsPerLine = 0.9;
+constexpr double kPollDelayNs = 120.0;
+}  // namespace
+
+bool LoopbackQueue::produce(sim::Cpu& cpu, const KernelBarriers& b,
+                            unsigned bytes) {
+  if (depth_ >= capacity_) {
+    // Ring full: back off until the consumer catches up (polling delay).
+    cpu.advance(kPollDelayNs);
+    return false;
+  }
+  // Stage the payload into the ring (one cache line per 64 bytes).
+  const unsigned lines = bytes / 64 + 1;
+  cpu.private_access(0, lines, 0.0);
+  // Publish: payload before index.
+  b.fence(cpu, KMacro::SmpWmb, kNetSite);
+  b.write_once(cpu, head_line_, kNetSite);
+  // Wake the consumer: the wake-up path orders the publish against the
+  // waiter's state check with a full barrier.
+  b.fence(cpu, KMacro::SmpMb, kNetSite);
+  ++depth_;
+  ++stats_.packets;
+  stats_.bytes += bytes;
+  return true;
+}
+
+bool LoopbackQueue::consume(sim::Cpu& cpu, const KernelBarriers& b,
+                            unsigned bytes) {
+  b.read_once(cpu, head_line_, kNetSite);
+  if (depth_ == 0) {
+    cpu.advance(kPollDelayNs);
+    return false;
+  }
+  // Order the index read with the dependent payload reads.
+  b.read_barrier_depends(cpu, kNetSite);
+  const unsigned lines = bytes / 64 + 1;
+  cpu.private_access(lines, 0, 0.04);
+  // Release the slot.
+  b.fence(cpu, KMacro::SmpMb, kNetSite);
+  b.write_once(cpu, tail_line_, kNetSite);
+  --depth_;
+  return true;
+}
+
+bool NetEndpoint::send(sim::Cpu& cpu, const KernelBarriers& b, unsigned bytes) {
+  const unsigned lines = bytes / 64 + 1;
+  if (queue.depth() >= 64) {
+    // Ring full: skip the protocol work and just back off.
+    return queue.produce(cpu, b, bytes);
+  }
+  if (tcp) {
+    // TCP: socket lock, congestion bookkeeping, checksum, then queue.
+    socket_lock.with(cpu, b, [&] {
+      cpu.compute(230.0);                      // tcp_sendmsg bookkeeping
+      cpu.private_access(6, 4, 0.02);          // cwnd/skb state
+    });
+    cpu.compute(kChecksumNsPerLine * lines);
+  } else {
+    cpu.compute(18.0);                         // udp_sendmsg
+    cpu.compute(kChecksumNsPerLine * lines);
+  }
+  return queue.produce(cpu, b, bytes);
+}
+
+bool NetEndpoint::receive(sim::Cpu& cpu, const KernelBarriers& b,
+                          unsigned bytes) {
+  // RX socket lookup: the demux walks RCU-published hash chains
+  // (sk = rcu_dereference(...)), one dependent read per hop.
+  b.read_once(cpu, 0x7005, 0x32);
+  b.read_barrier_depends(cpu, 0x32);
+  b.read_once(cpu, 0x7006, 0x32);
+  b.read_barrier_depends(cpu, 0x32);
+  const bool got = queue.consume(cpu, b, bytes);
+  if (!got) return false;
+  if (tcp) {
+    socket_lock.with(cpu, b, [&] {
+      cpu.compute(170.0);                      // ack/window update
+      cpu.private_access(4, 3, 0.02);
+    });
+  } else {
+    cpu.compute(12.0);
+  }
+  return true;
+}
+
+}  // namespace wmm::kernel

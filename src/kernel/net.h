@@ -1,0 +1,64 @@
+// Loopback networking path: a producer/consumer ring buffer following the
+// kernel's circular-buffer discipline (Documentation/circular-buffers.txt,
+// Linux 4.2 era): the producer writes the payload, issues smp_wmb, then
+// publishes the head index with WRITE_ONCE; the consumer samples the head
+// with READ_ONCE, orders the dependent payload reads (read_barrier_depends /
+// rcu_dereference pattern for skb pointers), consumes, and releases the tail.
+//
+// This is the code structure that makes netperf the most sensitive benchmark
+// to read_once / smp_wmb / read_barrier_depends in Figures 7-9.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/barriers.h"
+#include "kernel/sync.h"
+
+namespace wmm::kernel {
+
+struct NetStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+class LoopbackQueue {
+ public:
+  LoopbackQueue(sim::LineId head_line, sim::LineId tail_line, unsigned capacity)
+      : head_line_(head_line), tail_line_(tail_line), capacity_(capacity) {}
+
+  // Producer side: stage `bytes` of payload and publish one packet.
+  // Returns false (after a back-off delay) when the ring is full.
+  bool produce(sim::Cpu& cpu, const KernelBarriers& b, unsigned bytes);
+
+  // Consumer side: consume one packet of `bytes` if available; returns false
+  // (after a polling delay) when the queue is empty.
+  bool consume(sim::Cpu& cpu, const KernelBarriers& b, unsigned bytes);
+
+  unsigned depth() const { return depth_; }
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  sim::LineId head_line_;
+  sim::LineId tail_line_;
+  unsigned capacity_;
+  unsigned depth_ = 0;
+  NetStats stats_;
+};
+
+// One TCP-ish segment transmission over loopback: checksum + socket lock +
+// queue publish; the receive path mirrors it.  UDP skips the socket-lock
+// heavy parts, making it more stable (the paper finds netperf_udp more
+// indicative than tcp).
+struct NetEndpoint {
+  LoopbackQueue queue;
+  Spinlock socket_lock;
+  bool tcp = true;
+
+  NetEndpoint(sim::LineId base, unsigned capacity, bool is_tcp)
+      : queue(base, base + 1, capacity), socket_lock(base + 2), tcp(is_tcp) {}
+
+  bool send(sim::Cpu& cpu, const KernelBarriers& b, unsigned bytes);
+  bool receive(sim::Cpu& cpu, const KernelBarriers& b, unsigned bytes);
+};
+
+}  // namespace wmm::kernel

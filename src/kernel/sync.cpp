@@ -1,0 +1,79 @@
+#include "kernel/sync.h"
+
+#include <algorithm>
+
+namespace wmm::kernel {
+
+namespace {
+constexpr std::uint64_t kSpinlockSite = 0x21;
+constexpr std::uint64_t kSeqlockSite = 0x22;
+constexpr double kGracePeriodNs = 1.2e6;  // synchronize_rcu ~ milliseconds
+}  // namespace
+
+bool Spinlock::with(sim::Cpu& cpu, const KernelBarriers& b,
+                    const std::function<void()>& body) {
+  const bool contended = free_at_ > cpu.now();
+  if (contended) {
+    cpu.advance(free_at_ - cpu.now());
+    ++contentions_;
+  }
+  ++acquisitions_;
+  // arch_spin_lock: acquire-ordered exclusive pair, emitted as inline
+  // assembly in the kernel (not via the smp_load_acquire macro, so macro
+  // injection does not reach it).
+  (void)b;
+  cpu.load_acquire(line_);
+  cpu.store_shared(line_);
+
+  body();
+
+  // arch_spin_unlock: release store (stlr).
+  cpu.store_release(line_);
+  free_at_ = cpu.now();
+  return contended;
+}
+
+void SeqLock::write(sim::Cpu& cpu, const KernelBarriers& b,
+                    const std::function<void()>& update) {
+  const double start = cpu.now();
+  b.write_once(cpu, line_, kSeqlockSite);  // seq++ (odd)
+  b.fence(cpu, KMacro::SmpWmb, kSeqlockSite);
+  update();
+  b.fence(cpu, KMacro::SmpWmb, kSeqlockSite);
+  b.write_once(cpu, line_, kSeqlockSite);  // seq++ (even)
+  writer_until_ = std::max(writer_until_, cpu.now());
+  (void)start;
+}
+
+void SeqLock::read(sim::Cpu& cpu, const KernelBarriers& b,
+                   const std::function<void()>& read_body) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const double begin = cpu.now();
+    b.read_once(cpu, line_, kSeqlockSite);  // read_seqbegin
+    b.fence(cpu, KMacro::SmpRmb, kSeqlockSite);
+    read_body();
+    b.fence(cpu, KMacro::SmpRmb, kSeqlockSite);
+    b.read_once(cpu, line_, kSeqlockSite);  // read_seqretry
+    // A writer window overlapping the read section forces a retry.
+    if (begin >= writer_until_) break;
+    ++retries_;
+  }
+}
+
+void Rcu::read_lock(sim::Cpu& cpu) const { cpu.compute(0.8); }
+void Rcu::read_unlock(sim::Cpu& cpu) const { cpu.compute(0.8); }
+
+void Rcu::dereference(sim::Cpu& cpu, const KernelBarriers& b,
+                      std::uint64_t site) const {
+  b.read_once(cpu, ptr_line_, site);
+  b.read_barrier_depends(cpu, site);
+}
+
+void Rcu::assign_pointer(sim::Cpu& cpu, const KernelBarriers& b,
+                         std::uint64_t site) const {
+  b.store_release(cpu, ptr_line_, site);
+}
+
+void Rcu::synchronize(sim::Cpu& cpu) const { cpu.advance(kGracePeriodNs); }
+
+}  // namespace wmm::kernel

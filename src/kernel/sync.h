@@ -1,0 +1,81 @@
+// Kernel synchronisation primitives built on the barrier macros: spinlock,
+// seqlock and RCU.  These are the larger concurrency frameworks through
+// which most kernel code reaches the memory-model macros.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "kernel/barriers.h"
+
+namespace wmm::kernel {
+
+// A queued (ticket-style) spinlock.  Acquisition is serialised via the
+// published `free_at` time; the machine's time-ordered stepping makes this
+// equivalent to FIFO hand-off.
+class Spinlock {
+ public:
+  explicit Spinlock(sim::LineId line) : line_(line) {}
+
+  // Run `body` inside the critical section; returns true when the lock was
+  // contended.
+  bool with(sim::Cpu& cpu, const KernelBarriers& b,
+            const std::function<void()>& body);
+
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t contentions() const { return contentions_; }
+
+ private:
+  sim::LineId line_;
+  double free_at_ = 0.0;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contentions_ = 0;
+};
+
+// Sequence lock: writers bump a sequence counter around the update (with
+// smp_wmb on both sides); readers sample it with smp_rmb and retry when a
+// writer interleaved.
+class SeqLock {
+ public:
+  explicit SeqLock(sim::LineId line) : line_(line) {}
+
+  void write(sim::Cpu& cpu, const KernelBarriers& b,
+             const std::function<void()>& update);
+
+  // Read under the seqlock; `read_body` runs once per attempt.
+  void read(sim::Cpu& cpu, const KernelBarriers& b,
+            const std::function<void()>& read_body);
+
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  sim::LineId line_;
+  double writer_until_ = -1.0;
+  std::uint64_t retries_ = 0;
+};
+
+// Read-copy-update.  rcu_dereference is where read_barrier_depends lives:
+// it orders a pointer load with the dependent accesses through it.
+class Rcu {
+ public:
+  explicit Rcu(sim::LineId ptr_line) : ptr_line_(ptr_line) {}
+
+  void read_lock(sim::Cpu& cpu) const;    // preempt-count bump: compute only
+  void read_unlock(sim::Cpu& cpu) const;
+
+  // rcu_dereference(p): READ_ONCE + read_barrier_depends.
+  void dereference(sim::Cpu& cpu, const KernelBarriers& b,
+                   std::uint64_t site) const;
+
+  // rcu_assign_pointer(p, v): smp_store_release.
+  void assign_pointer(sim::Cpu& cpu, const KernelBarriers& b,
+                      std::uint64_t site) const;
+
+  // synchronize_rcu(): wait for a grace period.
+  void synchronize(sim::Cpu& cpu) const;
+
+ private:
+  sim::LineId ptr_line_;
+};
+
+}  // namespace wmm::kernel

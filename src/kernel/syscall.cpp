@@ -1,0 +1,134 @@
+#include "kernel/syscall.h"
+
+namespace wmm::kernel {
+
+namespace {
+constexpr std::uint64_t kSyscallSite = 0x51;
+constexpr std::uint64_t kFdSite = 0x52;
+constexpr std::uint64_t kSigSite = 0x53;
+constexpr std::uint64_t kSemSite = 0x54;
+}  // namespace
+
+const char* syscall_name(Syscall s) {
+  switch (s) {
+    case Syscall::Null: return "syscall_null";
+    case Syscall::Read: return "syscall_read";
+    case Syscall::Write: return "syscall_write";
+    case Syscall::Open: return "syscall_open";
+    case Syscall::Fstat: return "syscall_fstat";
+    case Syscall::Fcntl: return "fcntl";
+    case Syscall::Select100: return "select_100";
+    case Syscall::Sem: return "sem";
+    case Syscall::SigInstall: return "sig_install";
+    case Syscall::SigCatch: return "sig_catch";
+    case Syscall::ProcFork: return "proc_fork";
+    case Syscall::ProcExec: return "proc_exec";
+  }
+  return "?";
+}
+
+SyscallLayer::SyscallLayer(sim::LineId base, SlabAllocator* slab)
+    : fdtable_(base),
+      file_lock_(base + 1),
+      sighand_lock_(base + 2),
+      sem_lock_(base + 3),
+      slab_(slab) {}
+
+void SyscallLayer::entry(sim::Cpu& cpu, const KernelBarriers& b) {
+  cpu.compute(62.0);  // trap, register save, entry assembly
+  // current->thread_info flags check on the return path is ordered with the
+  // work the syscall performed.
+  b.read_once(cpu, 0x5100, kSyscallSite);
+}
+
+void SyscallLayer::exit(sim::Cpu& cpu, const KernelBarriers& b) {
+  b.read_once(cpu, 0x5101, kSyscallSite);  // TIF_ flags recheck
+  cpu.compute(48.0);  // register restore, eret
+}
+
+void SyscallLayer::fd_lookup(sim::Cpu& cpu, const KernelBarriers& b) {
+  // fget_light: rcu_read_lock; fdt = rcu_dereference(files->fdt);
+  // file = rcu_dereference(fdt->fd[fd]); rcu_read_unlock.
+  fdtable_.read_lock(cpu);
+  fdtable_.dereference(cpu, b, kFdSite);
+  fdtable_.dereference(cpu, b, kFdSite);
+  cpu.compute(9.0);
+  fdtable_.read_unlock(cpu);
+}
+
+void SyscallLayer::invoke(sim::Cpu& cpu, const KernelBarriers& b, Syscall s) {
+  entry(cpu, b);
+  switch (s) {
+    case Syscall::Null:
+      cpu.compute(3.0);
+      break;
+    case Syscall::Read:
+    case Syscall::Write:
+      fd_lookup(cpu, b);
+      cpu.private_access(10, s == Syscall::Write ? 10 : 4, 0.03);  // copy
+      cpu.compute(70.0);
+      break;
+    case Syscall::Open:
+      fd_lookup(cpu, b);
+      file_lock_.with(cpu, b, [&] {
+        cpu.compute(120.0);  // dentry walk
+        cpu.private_access(14, 4, 0.08);
+      });
+      if (slab_) slab_->alloc(cpu, b, 256);  // struct file
+      break;
+    case Syscall::Fstat:
+      fd_lookup(cpu, b);
+      cpu.private_access(8, 4, 0.02);
+      cpu.compute(40.0);
+      break;
+    case Syscall::Fcntl:
+      fd_lookup(cpu, b);
+      file_lock_.with(cpu, b, [&] { cpu.compute(30.0); });
+      break;
+    case Syscall::Select100:
+      // Poll 100 descriptors: 100 RCU fd lookups.
+      for (int fd = 0; fd < 100; ++fd) fd_lookup(cpu, b);
+      cpu.compute(180.0);
+      break;
+    case Syscall::Sem:
+      sem_lock_.with(cpu, b, [&] {
+        b.fence(cpu, KMacro::SmpMb, kSemSite);  // semaphore ordering
+        cpu.compute(35.0);
+      });
+      b.fence(cpu, KMacro::SmpMbAfterAtomic, kSemSite);
+      break;
+    case Syscall::SigInstall:
+      sighand_lock_.with(cpu, b, [&] {
+        cpu.private_access(4, 6, 0.02);
+        cpu.compute(45.0);
+      });
+      break;
+    case Syscall::SigCatch:
+      sighand_lock_.with(cpu, b, [&] { cpu.compute(30.0); });
+      b.fence(cpu, KMacro::SmpMb, kSigSite);  // signal delivery ordering
+      cpu.compute(160.0);                     // frame setup + sigreturn
+      b.read_once(cpu, 0x5300, kSigSite);
+      break;
+    case Syscall::ProcFork:
+      if (slab_) {
+        for (int i = 0; i < 6; ++i) slab_->alloc(cpu, b, 1024);  // task structs
+      }
+      cpu.private_access(200, 160, 0.12);  // copy mm, page tables
+      b.fence(cpu, KMacro::SmpMb, kSyscallSite);
+      b.fence(cpu, KMacro::SmpWmb, kSyscallSite);  // publish task
+      cpu.compute(22000.0);
+      break;
+    case Syscall::ProcExec:
+      if (slab_) {
+        for (int i = 0; i < 10; ++i) slab_->alloc(cpu, b, 4096);  // image pages
+      }
+      cpu.private_access(400, 300, 0.15);
+      b.fence(cpu, KMacro::SmpMb, kSyscallSite);
+      b.fence(cpu, KMacro::Mb, kSyscallSite);  // icache/dcache maintenance
+      cpu.compute(180000.0);
+      break;
+  }
+  exit(cpu, b);
+}
+
+}  // namespace wmm::kernel

@@ -1,0 +1,58 @@
+// System-call layer: the kernel entry/exit path plus the bodies of the
+// syscalls lmbench measures.  File-descriptor lookup goes through RCU
+// (rcu_dereference = READ_ONCE + read_barrier_depends on the fdtable
+// pointer), which is why the lmbench aggregate is highly sensitive to
+// read_once and read_barrier_depends in the paper's Figures 7-9.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/alloc.h"
+#include "kernel/barriers.h"
+#include "kernel/sync.h"
+
+namespace wmm::kernel {
+
+enum class Syscall : std::uint8_t {
+  Null,
+  Read,
+  Write,
+  Open,
+  Fstat,
+  Fcntl,
+  Select100,
+  Sem,
+  SigInstall,
+  SigCatch,
+  ProcFork,
+  ProcExec,
+};
+inline constexpr std::array<Syscall, 12> kLmbenchSyscalls = {
+    Syscall::Fcntl,     Syscall::ProcExec, Syscall::ProcFork,
+    Syscall::Select100, Syscall::Sem,      Syscall::SigCatch,
+    Syscall::SigInstall, Syscall::Fstat,   Syscall::Null,
+    Syscall::Open,      Syscall::Read,     Syscall::Write,
+};
+
+const char* syscall_name(Syscall s);
+
+class SyscallLayer {
+ public:
+  SyscallLayer(sim::LineId base, SlabAllocator* slab);
+
+  // Execute one system call on `cpu`.
+  void invoke(sim::Cpu& cpu, const KernelBarriers& b, Syscall s);
+
+ private:
+  void entry(sim::Cpu& cpu, const KernelBarriers& b);
+  void exit(sim::Cpu& cpu, const KernelBarriers& b);
+  void fd_lookup(sim::Cpu& cpu, const KernelBarriers& b);
+
+  Rcu fdtable_;
+  Spinlock file_lock_;
+  Spinlock sighand_lock_;
+  Spinlock sem_lock_;
+  SlabAllocator* slab_;
+};
+
+}  // namespace wmm::kernel

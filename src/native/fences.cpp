@@ -1,0 +1,114 @@
+#include "native/fences.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace wmm::native {
+
+namespace {
+
+std::atomic<std::uint64_t> g_cell{0};
+
+inline double now_ns() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* host_fence_name(HostFence f) {
+  switch (f) {
+    case HostFence::None: return "relaxed";
+    case HostFence::AcquireRelease: return "acq/rel";
+    case HostFence::SeqCstStore: return "seq_cst store";
+    case HostFence::ThreadFenceSeqCst: return "thread_fence(seq_cst)";
+    case HostFence::ThreadFenceAcqRel: return "thread_fence(acq_rel)";
+    case HostFence::RmwSeqCst: return "fetch_add(seq_cst)";
+  }
+  return "?";
+}
+
+std::vector<HostFence> all_host_fences() {
+  return {HostFence::None,          HostFence::AcquireRelease,
+          HostFence::SeqCstStore,   HostFence::ThreadFenceSeqCst,
+          HostFence::ThreadFenceAcqRel, HostFence::RmwSeqCst};
+}
+
+double time_host_fence_ns(HostFence f, std::uint64_t iterations) {
+  std::uint64_t acc = 0;
+  const double start = now_ns();
+  switch (f) {
+    case HostFence::None:
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        acc += g_cell.load(std::memory_order_relaxed);
+        g_cell.store(acc & 1, std::memory_order_relaxed);
+      }
+      break;
+    case HostFence::AcquireRelease:
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        acc += g_cell.load(std::memory_order_acquire);
+        g_cell.store(acc & 1, std::memory_order_release);
+      }
+      break;
+    case HostFence::SeqCstStore:
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        acc += g_cell.load(std::memory_order_relaxed);
+        g_cell.store(acc & 1, std::memory_order_seq_cst);
+      }
+      break;
+    case HostFence::ThreadFenceSeqCst:
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        acc += g_cell.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        g_cell.store(acc & 1, std::memory_order_relaxed);
+      }
+      break;
+    case HostFence::ThreadFenceAcqRel:
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        acc += g_cell.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acq_rel);
+        g_cell.store(acc & 1, std::memory_order_relaxed);
+      }
+      break;
+    case HostFence::RmwSeqCst:
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        acc += g_cell.fetch_add(1, std::memory_order_seq_cst);
+      }
+      break;
+  }
+  const double elapsed = now_ns() - start;
+  // Keep `acc` live.
+  g_cell.store(acc & 1, std::memory_order_relaxed);
+  return elapsed / static_cast<double>(iterations);
+}
+
+core::SampleSummary measure_host_fence(HostFence f, std::size_t samples,
+                                       std::uint64_t iterations) {
+  // Two warm-up runs, then measured samples (paper methodology).
+  (void)time_host_fence_ns(f, iterations);
+  (void)time_host_fence_ns(f, iterations);
+  std::vector<double> values;
+  values.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    values.push_back(time_host_fence_ns(f, iterations));
+  }
+  return core::summarize(values);
+}
+
+double time_host_cost_loop_ns(std::uint32_t n, std::uint64_t repetitions) {
+  volatile std::uint64_t sink = 0;
+  const double start = now_ns();
+  for (std::uint64_t r = 0; r < repetitions; ++r) {
+    std::uint64_t x = n;
+    // Dependent chain mirroring the paper's mov/subs/bne loop.
+    while (x > 0) {
+      asm volatile("" : "+r"(x));
+      --x;
+    }
+    sink = sink + x;
+  }
+  return (now_ns() - start) / static_cast<double>(repetitions);
+}
+
+}  // namespace wmm::native

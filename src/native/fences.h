@@ -1,0 +1,46 @@
+// Host-hardware fence microbenchmarks via C++11 atomics.
+//
+// The paper's methodology starts from microbenchmarked instruction timings
+// (its footnote 1 sets x86/TSO aside as the semantically simple case); this
+// module provides that in-vitro leg on the machine the reproduction actually
+// runs on, using the same statistics pipeline as the simulated experiments.
+// C++11 memory orders map onto the host's fences: seq_cst stores/fences
+// lower to mfence or lock-prefixed instructions on x86, while acquire /
+// release are free at the instruction level under TSO.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace wmm::native {
+
+enum class HostFence : std::uint8_t {
+  None,              // plain load+store baseline
+  AcquireRelease,    // std::atomic acquire load / release store
+  SeqCstStore,       // seq_cst store (xchg / mfence on x86)
+  ThreadFenceSeqCst, // std::atomic_thread_fence(seq_cst) -> mfence
+  ThreadFenceAcqRel, // compiler-only on x86
+  RmwSeqCst,         // fetch_add(seq_cst): lock xadd
+};
+
+const char* host_fence_name(HostFence f);
+std::vector<HostFence> all_host_fences();
+
+// Time one operation of the given kind, averaged over a tight loop of
+// `iterations` (returns ns/op).  The loop body also performs a dependent
+// add so the compiler cannot elide it.
+double time_host_fence_ns(HostFence f, std::uint64_t iterations);
+
+// Repeated measurement with the paper's statistics (warm-ups discarded,
+// geometric mean, Student-t CI).
+core::SampleSummary measure_host_fence(HostFence f, std::size_t samples = 8,
+                                       std::uint64_t iterations = 200000);
+
+// Host cost-function analogue: a dependent spin loop of `n` iterations,
+// timed (ns), used to validate the linearity assumption on real hardware.
+double time_host_cost_loop_ns(std::uint32_t n, std::uint64_t repetitions);
+
+}  // namespace wmm::native

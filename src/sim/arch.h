@@ -1,0 +1,91 @@
+// Architecture profiles for the timing simulator.
+//
+// Base latencies are calibrated against the paper's microbenchmark numbers
+// (POWER7: lwsync 6.1 ns / sync 18.9 ns; ARMv8: dmb variants indistinguishable
+// in vitro; isb/ctrl+isb around 24.5 ns).  Everything context-dependent (store
+// buffer occupancy, invalidation queues, branch-predictor pressure) is
+// modelled mechanistically in Cpu and is what produces the in-vivo results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wmm::sim {
+
+enum class Arch : std::uint8_t {
+  ARMV8,    // X-Gene-1-like, 8 cores @ 2.4 GHz
+  POWER7,   // 12 cores @ 3.7 GHz, SMT
+  X86_TSO,  // host-like TSO profile
+  SC,       // idealised sequentially consistent machine
+};
+
+const char* arch_name(Arch arch);
+
+struct ArchParams {
+  Arch arch = Arch::ARMV8;
+  unsigned num_cores = 8;
+
+  // Basic pipeline costs (ns).
+  double nop_ns = 0.21;           // superscalar nop retire cost
+  double branch_ns = 0.42;        // predicted branch
+  double mispredict_ns = 13.0;    // branch mispredict penalty
+  double pipeline_flush_ns = 23.5;  // isb / full pipeline flush
+
+  // Memory hierarchy (ns).
+  double load_l1_ns = 1.7;
+  double load_l2_ns = 7.5;
+  double load_mem_ns = 95.0;
+  double store_issue_ns = 0.5;     // issue into the store buffer
+  double coherence_miss_ns = 28.0; // line owned modified by another core
+  double bus_transfer_ns = 9.0;    // bus occupancy per coherence transaction
+
+  // Store buffer.
+  unsigned sb_capacity = 24;
+  double sb_drain_ns = 1.9;        // per-entry drain time to coherence point
+
+  // Invalidation queue.
+  double inv_process_ns = 1.35;    // per pending invalidation acknowledged
+
+  // Fence base latencies (ns) with empty buffers/queues.
+  double dmb_base_ns = 4.6;        // all dmb variants, in vitro
+  double dmb_ish_extra_ns = 0.4;   // extra coherence ping for full dmb ish
+  double dsb_extra_ns = 12.0;      // dsb over dmb
+  double ldar_extra_ns = 2.6;      // load-acquire over plain load
+  double stlr_extra_ns = 3.2;      // store-release over plain store
+  double lwsync_base_ns = 5.9;
+  double hwsync_base_ns = 18.3;
+  double isync_base_ns = 9.0;
+  double mfence_base_ns = 5.5;
+
+  // Occupancy coupling: fraction of the store-buffer drain wait a fence of
+  // each family actually exposes (out-of-order execution hides the rest).
+  double lwsync_sb_factor = 0.30;
+  double hwsync_sb_factor = 0.34;  // nearly identical: POWER fences are
+                                   // workload-agnostic in the paper
+  double stlr_sb_factor = 0.25;
+
+  // Cost-function loop (Figures 2/3): per-iteration latency, fixed startup,
+  // and stack spill/reload cost when no scratch register is available.
+  double cost_loop_iter_ns = 0.55;
+  double cost_loop_startup_ns = 1.4;
+  double cost_loop_spill_ns = 2.6;
+
+  // Whether a scratch register is generally available so the stack spill can
+  // be elided (true for OpenJDK on ARMv8, per the paper).
+  bool scratch_register_available = false;
+
+  // SMT interference: probability per run that a sample lands in a degraded
+  // phase, and the slowdown factor of that phase.  Models the instability the
+  // paper attributes to POWER7's symmetric multithreading.
+  double smt_phase_probability = 0.0;
+  double smt_phase_slowdown = 1.0;
+};
+
+// Preset profiles.
+ArchParams arm_v8_params();
+ArchParams power7_params();
+ArchParams x86_tso_params();
+ArchParams sc_params();
+ArchParams params_for(Arch arch);
+
+}  // namespace wmm::sim

@@ -1,0 +1,40 @@
+#include "sim/calibrate.h"
+
+#include "sim/machine.h"
+
+namespace wmm::sim {
+
+double cost_function_time_ns(const ArchParams& params, std::uint32_t iterations,
+                             bool stack_spill) {
+  Machine machine(params);
+  Cpu& cpu = machine.cpu(0);
+  constexpr int kReps = 256;
+  const double start = cpu.now();
+  for (int i = 0; i < kReps; ++i) {
+    cpu.cost_loop(iterations, stack_spill);
+  }
+  return (cpu.now() - start) / kReps;
+}
+
+core::CostFunctionCalibration calibrate_cost_function(const ArchParams& params,
+                                                      unsigned max_exponent,
+                                                      bool stack_spill) {
+  core::CostFunctionCalibration cal;
+  for (std::uint32_t size : core::standard_sweep_sizes(max_exponent)) {
+    cal.add(size, cost_function_time_ns(params, size, stack_spill));
+  }
+  return cal;
+}
+
+double fence_time_ns(const ArchParams& params, FenceKind kind) {
+  Machine machine(params);
+  Cpu& cpu = machine.cpu(0);
+  constexpr int kReps = 256;
+  const double start = cpu.now();
+  for (int i = 0; i < kReps; ++i) {
+    cpu.fence(kind, /*site=*/0x77);
+  }
+  return (cpu.now() - start) / kReps;
+}
+
+}  // namespace wmm::sim

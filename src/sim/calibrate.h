@@ -1,0 +1,30 @@
+// In-vitro measurement of cost-function execution times (the paper's
+// Figure 4): time the spin loop in isolation on an otherwise idle core, for
+// each loop size used in a sweep, producing the calibration table that maps
+// injected loop iterations to nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_function.h"
+#include "sim/arch.h"
+#include "sim/fence.h"
+
+namespace wmm::sim {
+
+// Microbenchmarked execution time of one cost-function invocation with
+// `iterations` loop iterations (averaged over many repetitions).
+double cost_function_time_ns(const ArchParams& params, std::uint32_t iterations,
+                             bool stack_spill);
+
+// Calibration table over the standard power-of-two sweep 2^0 .. 2^max_exp.
+core::CostFunctionCalibration calibrate_cost_function(const ArchParams& params,
+                                                      unsigned max_exponent,
+                                                      bool stack_spill);
+
+// Microbenchmarked execution time of a bare fence instruction in a tight
+// loop with empty buffers (the in-vitro numbers of section 4.2.1/4.4, e.g.
+// lwsync 6.1 ns vs sync 18.9 ns, dmb variants indistinguishable).
+double fence_time_ns(const ArchParams& params, FenceKind kind);
+
+}  // namespace wmm::sim

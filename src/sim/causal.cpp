@@ -1,0 +1,100 @@
+#include "sim/causal.h"
+
+namespace wmm::sim {
+
+namespace {
+
+// Executes one program instruction per scheduler step, so cross-thread
+// perturbations interleave at instruction granularity.
+class ProgramThread final : public SimThread {
+ public:
+  ProgramThread(const Program& program, Machine& machine, FenceKind watch,
+                double delay_others_ns)
+      : program_(program),
+        machine_(machine),
+        watch_(watch),
+        delay_others_ns_(delay_others_ns) {}
+
+  bool step(Cpu& cpu) override {
+    if (index_ >= program_.instrs().size()) return false;
+    const ProgInstr& i = program_.instrs()[index_++];
+    Program one({i});
+    one.run(cpu);
+    if (delay_others_ns_ > 0.0 && cpu.index() == 0 && i.op == ProgOp::Fence &&
+        i.fence == watch_) {
+      // Virtual speedup of this site: everyone else loses the same time.
+      for (unsigned c = 0; c < machine_.num_cpus(); ++c) {
+        if (static_cast<int>(c) != cpu.index()) {
+          machine_.cpu(c).advance(delay_others_ns_);
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Program& program_;
+  Machine& machine_;
+  FenceKind watch_;
+  double delay_others_ns_;
+  std::size_t index_ = 0;
+};
+
+double run_with_delay(const ArchParams& params,
+                      const std::vector<Program>& programs, FenceKind kind,
+                      double delay_ns) {
+  Machine machine(params);
+  std::vector<std::unique_ptr<ProgramThread>> threads;
+  std::vector<SimThread*> raw;
+  for (const Program& p : programs) {
+    threads.push_back(
+        std::make_unique<ProgramThread>(p, machine, kind, delay_ns));
+    raw.push_back(threads.back().get());
+  }
+  return machine.run(raw);
+}
+
+}  // namespace
+
+double run_programs(Machine& machine, const std::vector<Program>& programs) {
+  std::vector<std::unique_ptr<ProgramThread>> threads;
+  std::vector<SimThread*> raw;
+  for (const Program& p : programs) {
+    threads.push_back(std::make_unique<ProgramThread>(
+        p, machine, FenceKind::None, 0.0));
+    raw.push_back(threads.back().get());
+  }
+  return machine.run(raw);
+}
+
+CausalEstimate causal_virtual_speedup(const ArchParams& params,
+                                      const std::vector<Program>& programs,
+                                      FenceKind kind,
+                                      double virtual_speedup_ns) {
+  CausalEstimate e;
+  e.baseline_ns = run_with_delay(params, programs, kind, 0.0);
+  e.perturbed_ns = run_with_delay(params, programs, kind, virtual_speedup_ns);
+  return e;
+}
+
+CausalEstimate cost_function_slowdown(const ArchParams& params,
+                                      const std::vector<Program>& programs,
+                                      FenceKind kind, std::uint32_t iterations,
+                                      bool spill) {
+  // Mirror the causal experiment: the code path under study is thread 0's;
+  // only its program receives the injection (base keeps nop padding).
+  std::vector<Program> bases = programs, tests = programs;
+  if (!programs.empty()) {
+    Program base, test;
+    BinaryRewriter::inject_cost_function(programs[0], kind, iterations, spill,
+                                         base, test);
+    bases[0] = std::move(base);
+    tests[0] = std::move(test);
+  }
+  CausalEstimate e;
+  e.baseline_ns = run_with_delay(params, bases, kind, 0.0);
+  e.perturbed_ns = run_with_delay(params, tests, kind, 0.0);
+  return e;
+}
+
+}  // namespace wmm::sim

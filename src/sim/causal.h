@@ -1,0 +1,48 @@
+// Causal-profiling comparison (paper section 5, Curtsinger & Berger's Coz).
+//
+// Causal profiling estimates the whole-program impact of *speeding up* a code
+// path by virtually slowing down every concurrently executing thread whenever
+// the path runs.  The paper's cost-function technique instead slows down only
+// the path under evaluation, thread-agnostically.  This module implements
+// both on the same multi-threaded program so their estimates can be compared
+// (they should broadly agree on paths without cross-thread contention, and
+// diverge where the path sits on a serialised critical path).
+#pragma once
+
+#include <vector>
+
+#include "sim/program.h"
+
+namespace wmm::sim {
+
+struct CausalEstimate {
+  double baseline_ns = 0.0;
+  double perturbed_ns = 0.0;
+  // Relative change attributed to the code path: >0 means the path matters.
+  double impact() const {
+    return baseline_ns > 0.0 ? (perturbed_ns - baseline_ns) / baseline_ns : 0.0;
+  }
+};
+
+// Run `programs` (one per thread, each executed in instruction-quantum
+// lockstep) to completion.  Returns the makespan in simulated ns.
+double run_programs(Machine& machine, const std::vector<Program>& programs);
+
+// Coz-style virtual speedup of *thread 0's* code path: whenever thread 0
+// executes a fence of `kind`, every other thread is delayed by
+// `virtual_speedup_ns` (equivalent to the path having become that much
+// faster).  The impact is the resulting relative change in makespan.
+CausalEstimate causal_virtual_speedup(const ArchParams& params,
+                                      const std::vector<Program>& programs,
+                                      FenceKind kind,
+                                      double virtual_speedup_ns);
+
+// The paper's technique on the same programs: inject a cost function of
+// `iterations` after each of thread 0's fences of `kind` (slowdown of only
+// the path itself).
+CausalEstimate cost_function_slowdown(const ArchParams& params,
+                                      const std::vector<Program>& programs,
+                                      FenceKind kind, std::uint32_t iterations,
+                                      bool spill);
+
+}  // namespace wmm::sim

@@ -1,0 +1,104 @@
+// Shared-line coherence directory and interconnect bus.
+//
+// Named shared cache lines (locks, queue indices, volatile fields) go through
+// a MESI-like directory: a store by core A to a line shared with core B sends
+// B an invalidation (landing in B's invalidation queue), and a load of a line
+// that another core holds modified pays a coherence-miss transfer over the
+// bus.  The bus serialises transfers, so heavily contended runs also queue.
+//
+// Bulk private traffic does not use the directory; it is modelled
+// statistically in Cpu::private_access.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wmm::sim {
+
+using LineId = std::uint64_t;
+
+class Bus {
+ public:
+  // Reserve the bus for one transfer starting no earlier than `now`; returns
+  // the time the transfer completes, including queueing behind earlier
+  // transfers.
+  //
+  // Cores step with loosely synchronised local clocks, so reservations
+  // arrive out of time order; a reservation stamped far ahead of the
+  // requester (e.g. a store drain scheduled by a core whose clock has run
+  // ahead) must not head-of-line-block everyone else.  Queueing is therefore
+  // capped at a short horizon past the requester's clock — contention is
+  // felt when the bus is genuinely saturated, not across clock skew.
+  double reserve(double now, double transfer_ns) {
+    double start = busy_until_ > now ? busy_until_ : now;
+    if (start > now + kQueueHorizonNs) start = now + kQueueHorizonNs;
+    busy_until_ = start + transfer_ns;
+    return busy_until_;
+  }
+
+  static constexpr double kQueueHorizonNs = 60.0;
+
+  double busy_until() const { return busy_until_; }
+  void reset() { busy_until_ = 0.0; }
+
+ private:
+  double busy_until_ = 0.0;
+};
+
+// Directory state for one shared line.
+struct LineState {
+  int owner = -1;            // core holding the line modified; -1 = clean
+  std::uint32_t sharers = 0; // bitmask of cores with a (possibly stale) copy
+};
+
+class CoherenceDirectory {
+ public:
+  LineState& line(LineId id) { return lines_[id]; }
+
+  // Record a read by `core`: returns true when the access is a coherence miss
+  // (the line is modified in another core's cache).  Updates sharer state.
+  bool read(LineId id, int core) {
+    LineState& l = lines_[id];
+    const bool miss = l.owner >= 0 && l.owner != core;
+    if (miss) {
+      // Owner's copy is downgraded to shared.
+      l.sharers |= (1u << l.owner);
+      l.owner = -1;
+    }
+    const bool had_copy = (l.sharers >> core) & 1u;
+    l.sharers |= (1u << core);
+    return miss || !had_copy;
+  }
+
+  // Record a write by `core`: fills `invalidated` with the other cores that
+  // must be sent an invalidation and returns true when ownership had to be
+  // transferred (line modified elsewhere or shared).
+  bool write(LineId id, int core, std::vector<int>& invalidated) {
+    LineState& l = lines_[id];
+    invalidated.clear();
+    bool transfer = false;
+    if (l.owner >= 0 && l.owner != core) {
+      invalidated.push_back(l.owner);
+      transfer = true;
+    }
+    const std::uint32_t others = l.sharers & ~(1u << core);
+    for (int c = 0; c < 32; ++c) {
+      if ((others >> c) & 1u) {
+        if (l.owner != c) invalidated.push_back(c);
+        transfer = true;
+      }
+    }
+    l.owner = core;
+    l.sharers = (1u << core);
+    return transfer;
+  }
+
+  void reset() { lines_.clear(); }
+  std::size_t tracked_lines() const { return lines_.size(); }
+
+ private:
+  std::unordered_map<LineId, LineState> lines_;
+};
+
+}  // namespace wmm::sim

@@ -1,0 +1,95 @@
+#include "sim/fence.h"
+
+namespace wmm::sim {
+
+const char* fence_name(FenceKind kind) {
+  switch (kind) {
+    case FenceKind::None: return "none";
+    case FenceKind::DmbIsh: return "dmb ish";
+    case FenceKind::DmbIshLd: return "dmb ishld";
+    case FenceKind::DmbIshSt: return "dmb ishst";
+    case FenceKind::DsbSy: return "dsb sy";
+    case FenceKind::Isb: return "isb";
+    case FenceKind::CtrlDep: return "ctrl";
+    case FenceKind::CtrlIsb: return "ctrl+isb";
+    case FenceKind::HwSync: return "sync";
+    case FenceKind::LwSync: return "lwsync";
+    case FenceKind::ISync: return "isync";
+    case FenceKind::Mfence: return "mfence";
+    case FenceKind::Nop: return "nop";
+    case FenceKind::CompilerOnly: return "compiler-only";
+  }
+  return "?";
+}
+
+FenceOrder fence_order(FenceKind kind) {
+  switch (kind) {
+    case FenceKind::DmbIsh:
+    case FenceKind::DsbSy:
+    case FenceKind::HwSync:
+    case FenceKind::Mfence:
+      return FenceOrder{true, true, true, true};
+    case FenceKind::LwSync:
+      // lwsync orders everything except store->load.
+      return FenceOrder{true, true, false, true};
+    case FenceKind::DmbIshLd:
+      // Orders loads before the barrier with loads and stores after.
+      return FenceOrder{true, true, false, false};
+    case FenceKind::DmbIshSt:
+      // Orders stores before the barrier with stores after.
+      return FenceOrder{false, false, false, true};
+    case FenceKind::CtrlIsb:
+    case FenceKind::ISync:
+      // A control dependency completed by isb/isync orders prior reads with
+      // all later accesses (ARMv8 manual B2.7.4 read-ordering recipe).
+      return FenceOrder{true, true, false, false};
+    case FenceKind::Isb:
+      // isb alone (no dependency) does not order memory accesses.
+      return FenceOrder{};
+    case FenceKind::CtrlDep:
+    case FenceKind::None:
+    case FenceKind::Nop:
+    case FenceKind::CompilerOnly:
+      return FenceOrder{};
+  }
+  return FenceOrder{};
+}
+
+std::string fence_seq_name(const FenceSeq& seq) {
+  if (seq.empty()) return "empty";
+  std::string out;
+  for (const FenceOp& op : seq) {
+    if (!out.empty()) out += "; ";
+    out += fence_name(op.kind);
+    if (op.kind == FenceKind::Nop && op.count > 1) {
+      out += "*" + std::to_string(op.count);
+    }
+  }
+  return out;
+}
+
+std::uint32_t fence_seq_size(const FenceSeq& seq) {
+  std::uint32_t size = 0;
+  for (const FenceOp& op : seq) {
+    switch (op.kind) {
+      case FenceKind::Nop:
+        size += op.count;
+        break;
+      case FenceKind::CompilerOnly:
+      case FenceKind::None:
+        break;
+      case FenceKind::CtrlDep:
+        size += 2;  // cmp + branch
+        break;
+      case FenceKind::CtrlIsb:
+        size += 3;  // cmp + branch + isb
+        break;
+      default:
+        size += 1;
+        break;
+    }
+  }
+  return size;
+}
+
+}  // namespace wmm::sim

@@ -1,0 +1,68 @@
+// Fence and synchronisation-instruction vocabulary across the simulated
+// architectures, plus the ordering semantics used by the litmus executor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wmm::sim {
+
+enum class FenceKind : std::uint8_t {
+  None,
+  // ARMv8.
+  DmbIsh,     // full barrier (orders everything)
+  DmbIshLd,   // orders loads before with loads and stores after
+  DmbIshSt,   // orders stores before with stores after
+  DsbSy,      // system-wide DSB (rmb/wmb map here on arm64 Linux as dsb ld/st)
+  Isb,        // instruction synchronisation barrier (pipeline flush)
+  CtrlDep,    // synthetic control dependency (compare + conditional branch)
+  CtrlIsb,    // control dependency followed by isb
+  // POWER.
+  HwSync,     // heavyweight sync
+  LwSync,     // lightweight sync
+  ISync,      // isync (with ctrl dep: acquire-like)
+  // x86.
+  Mfence,
+  // Pseudo-entries used by injection and lowering.
+  Nop,
+  CompilerOnly,  // compiler barrier: no instruction emitted
+};
+
+const char* fence_name(FenceKind kind);
+
+// Ordering classes for the litmus executor: which program-order access pairs
+// a fence forces to commit in order.  R = read, W = write.
+struct FenceOrder {
+  bool rr = false;  // read before fence ordered with read after
+  bool rw = false;  // read before ordered with write after
+  bool wr = false;  // write before ordered with read after
+  bool ww = false;  // write before ordered with write after
+
+  bool full() const { return rr && rw && wr && ww; }
+};
+
+// Architectural ordering strength of `kind`.  CompilerOnly/Nop order nothing
+// at the hardware level; CtrlDep orders reads with *dependent writes* only
+// (that relationship is handled via explicit dependencies, not here).
+FenceOrder fence_order(FenceKind kind);
+
+// One element of a lowered barrier sequence.  `count` is the nop repeat count
+// for Nop entries and the loop iteration count for cost-function entries.
+struct FenceOp {
+  FenceKind kind = FenceKind::None;
+  std::uint32_t count = 0;
+
+  static FenceOp of(FenceKind k) { return FenceOp{k, 0}; }
+  static FenceOp nops(std::uint32_t n) { return FenceOp{FenceKind::Nop, n}; }
+};
+
+using FenceSeq = std::vector<FenceOp>;
+
+std::string fence_seq_name(const FenceSeq& seq);
+
+// Number of instruction slots a sequence occupies; used to keep the binary
+// size of base and test cases identical via nop padding.
+std::uint32_t fence_seq_size(const FenceSeq& seq);
+
+}  // namespace wmm::sim

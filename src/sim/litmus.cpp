@@ -1,0 +1,371 @@
+#include "sim/litmus.h"
+
+namespace wmm::sim {
+
+namespace {
+
+constexpr int kX = 0;
+constexpr int kY = 1;
+
+LitmusInstr read_dep(int reg, int var, int addr_dep) {
+  LitmusInstr i = LitmusInstr::read(reg, var);
+  i.addr_dep = addr_dep;
+  return i;
+}
+
+LitmusInstr write_data_dep(int var, int value, int data_dep) {
+  LitmusInstr i = LitmusInstr::write(var, value);
+  i.data_dep = data_dep;
+  return i;
+}
+
+}  // namespace
+
+bool outcome_allowed(const LitmusTest& test, const Outcome& outcome, Arch arch) {
+  return enumerate_outcomes(test, arch).count(outcome) > 0;
+}
+
+std::optional<bool> expected_allowed(const LitmusCase& c, Arch arch) {
+  switch (arch) {
+    case Arch::SC: return c.allowed_sc;
+    case Arch::X86_TSO: return c.allowed_tso;
+    case Arch::ARMV8: return c.allowed_arm;
+    case Arch::POWER7: return c.allowed_power;
+  }
+  return std::nullopt;
+}
+
+LitmusCase make_sb() {
+  LitmusCase c;
+  c.test.name = "SB";
+  c.test.num_vars = 2;
+  c.test.num_regs = 2;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1), LitmusInstr::read(0, kY)}},
+      {{LitmusInstr::write(kY, 1), LitmusInstr::read(1, kX)}},
+  };
+  c.relaxed_outcome = {0, 0, 1, 1};
+  c.allowed_sc = false;
+  c.allowed_tso = true;
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_sb_fenced(FenceKind kind) {
+  LitmusCase c = make_sb();
+  c.test.name = std::string("SB+") + fence_name(kind);
+  for (auto& t : c.test.threads) {
+    t.instrs.insert(t.instrs.begin() + 1, LitmusInstr::barrier(kind));
+  }
+  const bool full = fence_order(kind).full();
+  c.allowed_sc = false;
+  c.allowed_tso = !full;
+  c.allowed_arm = !fence_order(kind).wr;
+  c.allowed_power = !fence_order(kind).wr;
+  return c;
+}
+
+LitmusCase make_mp() {
+  LitmusCase c;
+  c.test.name = "MP";
+  c.test.num_vars = 2;
+  c.test.num_regs = 2;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1), LitmusInstr::write(kY, 1)}},
+      {{LitmusInstr::read(0, kY), LitmusInstr::read(1, kX)}},
+  };
+  c.relaxed_outcome = {1, 0, 1, 1};  // saw the flag but not the payload
+  c.allowed_sc = false;
+  c.allowed_tso = false;
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_mp_fenced_dep(FenceKind writer_fence) {
+  LitmusCase c = make_mp();
+  c.test.name = std::string("MP+") + fence_name(writer_fence) + "+addr";
+  c.test.threads[0].instrs.insert(c.test.threads[0].instrs.begin() + 1,
+                                  LitmusInstr::barrier(writer_fence));
+  c.test.threads[1].instrs[1] = read_dep(1, kX, /*addr_dep=*/0);
+  // Writer store-store order plus reader address dependency forbids the
+  // relaxed outcome on every architecture whose fence orders WW.
+  const bool ww = fence_order(writer_fence).ww;
+  c.allowed_arm = !ww;
+  c.allowed_power = !ww;
+  c.allowed_tso = false;
+  c.allowed_sc = false;
+  return c;
+}
+
+LitmusCase make_mp_writer_fence_only(FenceKind kind) {
+  LitmusCase c = make_mp();
+  c.test.name = std::string("MP+") + fence_name(kind) + "+po";
+  c.test.threads[0].instrs.insert(c.test.threads[0].instrs.begin() + 1,
+                                  LitmusInstr::barrier(kind));
+  // Without reader-side ordering the reader may still reorder its reads.
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  c.allowed_tso = false;
+  c.allowed_sc = false;
+  return c;
+}
+
+LitmusCase make_mp_ctrl() {
+  LitmusCase c = make_mp_writer_fence_only(FenceKind::DmbIshSt);
+  c.test.name = "MP+dmb.ishst+ctrl";
+  // Reader: second read control-depends on the first; a bare control
+  // dependency does not order read->read (reads can be speculated).
+  c.test.threads[1].instrs[1].ctrl_dep = 0;
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_mp_ctrl_isb() {
+  LitmusCase c = make_mp_ctrl();
+  c.test.name = "MP+dmb.ishst+ctrl+isb";
+  // ctrl+isb after the first read orders it with subsequent reads.
+  c.test.threads[1].instrs.insert(c.test.threads[1].instrs.begin() + 1,
+                                  LitmusInstr::barrier(FenceKind::CtrlIsb));
+  c.allowed_arm = false;
+  c.allowed_power = false;  // isync analogue
+  return c;
+}
+
+LitmusCase make_mp_acq_rel() {
+  LitmusCase c = make_mp();
+  c.test.name = "MP+rel+acq";
+  c.test.threads[0].instrs[1].release = true;  // stlr y
+  c.test.threads[1].instrs[0].acquire = true;  // ldar y
+  c.allowed_arm = false;
+  c.allowed_power = false;
+  c.allowed_tso = false;
+  c.allowed_sc = false;
+  return c;
+}
+
+LitmusCase make_lb() {
+  LitmusCase c;
+  c.test.name = "LB";
+  c.test.num_vars = 2;
+  c.test.num_regs = 2;
+  c.test.threads = {
+      {{LitmusInstr::read(0, kX), LitmusInstr::write(kY, 1)}},
+      {{LitmusInstr::read(1, kY), LitmusInstr::write(kX, 1)}},
+  };
+  c.relaxed_outcome = {1, 1, 1, 1};
+  c.allowed_sc = false;
+  c.allowed_tso = false;
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_lb_deps() {
+  LitmusCase c = make_lb();
+  c.test.name = "LB+datas";
+  c.test.threads[0].instrs[1] = write_data_dep(kY, 1, 0);
+  c.test.threads[1].instrs[1] = write_data_dep(kX, 1, 1);
+  c.allowed_arm = false;
+  c.allowed_power = false;
+  return c;
+}
+
+LitmusCase make_corr() {
+  LitmusCase c;
+  c.test.name = "CoRR";
+  c.test.num_vars = 1;
+  c.test.num_regs = 2;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1)}},
+      {{LitmusInstr::read(0, kX), LitmusInstr::read(1, kX)}},
+  };
+  c.relaxed_outcome = {1, 0, 1};  // new then old value: coherence violation
+  c.allowed_sc = false;
+  c.allowed_tso = false;
+  c.allowed_arm = false;
+  c.allowed_power = false;
+  return c;
+}
+
+LitmusCase make_2p2w() {
+  LitmusCase c;
+  c.test.name = "2+2W";
+  c.test.num_vars = 2;
+  c.test.num_regs = 0;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1), LitmusInstr::write(kY, 2)}},
+      {{LitmusInstr::write(kY, 1), LitmusInstr::write(kX, 2)}},
+  };
+  c.relaxed_outcome = {1, 1};  // both first writes finish last
+  c.allowed_sc = false;
+  c.allowed_tso = false;
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_s() {
+  LitmusCase c;
+  c.test.name = "S";
+  c.test.num_vars = 2;
+  c.test.num_regs = 1;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 2), LitmusInstr::write(kY, 1)}},
+      {{LitmusInstr::read(0, kY), LitmusInstr::write(kX, 1)}},
+  };
+  // Saw the flag, yet the dependent write lost the coherence race.
+  c.relaxed_outcome = {1, 2, 1};
+  c.allowed_sc = false;
+  c.allowed_tso = false;  // WW and RW are both ordered under TSO
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_s_fenced_dep() {
+  LitmusCase c = make_s();
+  c.test.name = "S+dmb.ishst+data";
+  c.test.threads[0].instrs.insert(c.test.threads[0].instrs.begin() + 1,
+                                  LitmusInstr::barrier(FenceKind::DmbIshSt));
+  c.test.threads[1].instrs[1] = write_data_dep(kX, 1, 0);
+  c.allowed_arm = false;
+  c.allowed_power = false;
+  return c;
+}
+
+LitmusCase make_r() {
+  LitmusCase c;
+  c.test.name = "R";
+  c.test.num_vars = 2;
+  c.test.num_regs = 1;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1), LitmusInstr::write(kY, 1)}},
+      {{LitmusInstr::write(kY, 2), LitmusInstr::read(0, kX)}},
+  };
+  // T1's write wins the y race yet its read misses T0's x: needs the
+  // store->load reordering, so even TSO allows it.
+  c.relaxed_outcome = {0, 1, 2};
+  c.allowed_sc = false;
+  c.allowed_tso = true;
+  c.allowed_arm = true;
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_r_fenced(FenceKind kind) {
+  LitmusCase c = make_r();
+  c.test.name = std::string("R+") + fence_name(kind);
+  for (auto& t : c.test.threads) {
+    t.instrs.insert(t.instrs.begin() + 1, LitmusInstr::barrier(kind));
+  }
+  const bool full = fence_order(kind).full();
+  c.allowed_sc = false;
+  c.allowed_tso = !full;
+  c.allowed_arm = !full;
+  c.allowed_power = !full;
+  return c;
+}
+
+LitmusCase make_wrc_dep() {
+  LitmusCase c;
+  c.test.name = "WRC+data+addr";
+  c.test.num_vars = 2;
+  c.test.num_regs = 3;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1)}},
+      {{LitmusInstr::read(0, kX), write_data_dep(kY, 1, 0)}},
+      {{LitmusInstr::read(1, kY), read_dep(2, kX, 1)}},
+  };
+  c.relaxed_outcome = {1, 1, 0, 1, 1};
+  c.allowed_sc = false;
+  c.allowed_tso = false;
+  c.allowed_arm = false;  // ARMv8 is multi-copy atomic
+  c.allowed_power = true; // write visible to T1 before T2
+  return c;
+}
+
+LitmusCase make_wrc_sync() {
+  LitmusCase c = make_wrc_dep();
+  c.test.name = "WRC+sync+addr";
+  c.test.threads[1].instrs = {LitmusInstr::read(0, kX),
+                              LitmusInstr::barrier(FenceKind::HwSync),
+                              LitmusInstr::write(kY, 1)};
+  c.allowed_power = false;  // sync is cumulative
+  return c;
+}
+
+LitmusCase make_iriw() {
+  LitmusCase c;
+  c.test.name = "IRIW";
+  c.test.num_vars = 2;
+  c.test.num_regs = 4;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1)}},
+      {{LitmusInstr::write(kY, 1)}},
+      {{LitmusInstr::read(0, kX), LitmusInstr::read(1, kY)}},
+      {{LitmusInstr::read(2, kY), LitmusInstr::read(3, kX)}},
+  };
+  c.relaxed_outcome = {1, 0, 1, 0, 1, 1};  // readers disagree on write order
+  c.allowed_sc = false;
+  c.allowed_tso = false;
+  c.allowed_arm = true;   // plain reads may reorder locally
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_iriw_fenced(FenceKind kind) {
+  LitmusCase c = make_iriw();
+  c.test.name = std::string("IRIW+") + fence_name(kind);
+  for (std::size_t t = 2; t < 4; ++t) {
+    c.test.threads[t].instrs.insert(c.test.threads[t].instrs.begin() + 1,
+                                    LitmusInstr::barrier(kind));
+  }
+  const bool orders_reads = fence_order(kind).rr;
+  // With reads locally ordered the outcome survives only on architectures
+  // that are not multi-copy atomic, and a full barrier's reader catch-up
+  // (sync, dmb ish) kills it even there; lwsync does not catch readers up.
+  c.allowed_arm = !orders_reads;
+  c.allowed_power = !orders_reads || !fence_order(kind).full();
+  c.allowed_tso = false;
+  c.allowed_sc = false;
+  return c;
+}
+
+std::vector<LitmusCase> litmus_suite() {
+  return {
+      make_sb(),
+      make_sb_fenced(FenceKind::DmbIsh),
+      make_sb_fenced(FenceKind::HwSync),
+      make_sb_fenced(FenceKind::Mfence),
+      make_sb_fenced(FenceKind::LwSync),
+      make_sb_fenced(FenceKind::DmbIshSt),
+      make_mp(),
+      make_mp_fenced_dep(FenceKind::DmbIshSt),
+      make_mp_fenced_dep(FenceKind::LwSync),
+      make_mp_fenced_dep(FenceKind::DmbIsh),
+      make_mp_writer_fence_only(FenceKind::DmbIshSt),
+      make_mp_ctrl(),
+      make_mp_ctrl_isb(),
+      make_mp_acq_rel(),
+      make_lb(),
+      make_lb_deps(),
+      make_corr(),
+      make_2p2w(),
+      make_s(),
+      make_s_fenced_dep(),
+      make_r(),
+      make_r_fenced(FenceKind::DmbIsh),
+      make_r_fenced(FenceKind::HwSync),
+      make_wrc_dep(),
+      make_wrc_sync(),
+      make_iriw(),
+      make_iriw_fenced(FenceKind::DmbIsh),
+      make_iriw_fenced(FenceKind::LwSync),
+      make_iriw_fenced(FenceKind::HwSync),
+  };
+}
+
+}  // namespace wmm::sim

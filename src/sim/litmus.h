@@ -1,0 +1,57 @@
+// Library of classic litmus tests and an expected allowed/forbidden matrix
+// per architecture, used to validate that the simulated architectures exhibit
+// genuine weak-memory semantics (and that fences restore order as the
+// fencing strategies assume).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/memory_model.h"
+
+namespace wmm::sim {
+
+struct LitmusCase {
+  LitmusTest test;
+  // The "interesting" relaxed outcome the test asks about (registers then
+  // final variable values, same layout as enumerate_outcomes produces).
+  Outcome relaxed_outcome;
+  // Expected answer per architecture; empty = unspecified (not asserted).
+  std::optional<bool> allowed_sc;
+  std::optional<bool> allowed_tso;
+  std::optional<bool> allowed_arm;
+  std::optional<bool> allowed_power;
+};
+
+// Whether `outcome` is reachable for `test` on `arch`.
+bool outcome_allowed(const LitmusTest& test, const Outcome& outcome, Arch arch);
+
+std::optional<bool> expected_allowed(const LitmusCase& c, Arch arch);
+
+// The full suite.
+std::vector<LitmusCase> litmus_suite();
+
+// Individual constructors (exposed for focused tests).
+LitmusCase make_sb();                      // store buffering
+LitmusCase make_sb_fenced(FenceKind kind); // SB + fence on both threads
+LitmusCase make_mp();                      // message passing
+LitmusCase make_mp_fenced_dep(FenceKind writer_fence);  // + reader addr dep
+LitmusCase make_mp_writer_fence_only(FenceKind kind);
+LitmusCase make_mp_ctrl();                 // reader ctrl dep only
+LitmusCase make_mp_ctrl_isb();             // reader ctrl+isb
+LitmusCase make_mp_acq_rel();              // stlr / ldar on the flag
+LitmusCase make_lb();                      // load buffering
+LitmusCase make_lb_deps();                 // LB + data deps both sides
+LitmusCase make_corr();                    // same-location read coherence
+LitmusCase make_2p2w();                    // 2+2W
+LitmusCase make_s();                       // S: write racing a dependent write
+LitmusCase make_s_fenced_dep();            // S + writer fence + data dep
+LitmusCase make_r();                       // R: coherence vs store-load order
+LitmusCase make_r_fenced(FenceKind kind);  // R + fences on both threads
+LitmusCase make_wrc_dep();                 // WRC + data dep + addr dep
+LitmusCase make_wrc_sync();                // WRC with sync on middle thread
+LitmusCase make_iriw();                    // plain IRIW
+LitmusCase make_iriw_fenced(FenceKind kind);  // IRIW + reader fences
+
+}  // namespace wmm::sim

@@ -1,0 +1,162 @@
+// The simulated weak-memory multicore: per-core timing state (store buffer,
+// invalidation queue, outstanding loads, branch predictor) over a shared
+// coherence directory and bus, with per-architecture fence cost semantics.
+//
+// This is a timing model, not a functional simulator: workloads drive each
+// Cpu with loads/stores/fences/compute and the machine answers "how long did
+// that take", with fence costs depending on machine state.  Functional
+// weak-memory *semantics* (which outcomes are possible) live in the separate
+// litmus executor (sim/memory_model.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/arch.h"
+#include "sim/branch_predictor.h"
+#include "sim/coherence.h"
+#include "sim/fence.h"
+#include "sim/rng.h"
+#include "sim/store_buffer.h"
+
+namespace wmm::sim {
+
+class Machine;
+
+// One simulated hardware thread's timing state.
+class Cpu {
+ public:
+  Cpu(Machine* machine, int index, const ArchParams& params);
+
+  int index() const { return index_; }
+  double now() const { return now_; }
+  void advance(double ns) { now_ += ns; }
+
+  // --- Execution primitives -------------------------------------------------
+
+  // Plain computation taking `ns` of pipeline time.
+  void compute(double ns) { now_ += ns; }
+
+  void nops(std::uint32_t n);
+
+  // Load/store of a named shared line (goes through the coherence directory).
+  void load_shared(LineId line);
+  void store_shared(LineId line);
+
+  // ARMv8 load-acquire / store-release on a shared line.
+  void load_acquire(LineId line);
+  void store_release(LineId line);
+
+  // Statistical private-memory traffic: `loads` loads with the given L1 miss
+  // rate plus `stores` stores into the store buffer.
+  void private_access(unsigned loads, unsigned stores, double miss_rate);
+
+  // A conditional branch at `site` that goes direction `taken`.
+  void branch(std::uint64_t site, bool taken);
+
+  // Bulk application branch activity: costs nothing extra here (it is part
+  // of the workload's compute time) but ages the branch predictor, evicting
+  // the history of injected ctrl-dependency sites.
+  void pollute_predictor(unsigned branches);
+
+  // A memory-ordering instruction; `site` identifies the code path (used for
+  // ctrl-dependency branch prediction).
+  void fence(FenceKind kind, std::uint64_t site = 0);
+
+  // Execute a lowered barrier sequence.
+  void exec_seq(const FenceSeq& seq, std::uint64_t site = 0);
+
+  // The injected spin-loop cost function (Figures 2/3): `iterations` loop
+  // iterations, optionally spilling a register to the stack.
+  void cost_loop(std::uint32_t iterations, bool stack_spill);
+
+  // --- Introspection (tests, fences) ----------------------------------------
+
+  double store_buffer_wait() const { return sb_.drain_wait(now_); }
+  double store_buffer_occupancy() const { return sb_.occupancy(now_); }
+  double pending_invalidations() const;
+  double outstanding_load_wait() const;
+
+  // Invalidation delivered by another core's store.
+  void receive_invalidation(double at_time);
+
+  Rng& rng() { return rng_; }
+  void seed_rng(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  void reset();
+
+ private:
+  friend class Machine;
+
+  double process_invalidations();  // returns processing cost, clears queue
+
+  Machine* machine_;
+  int index_;
+  const ArchParams* params_;
+
+  double now_ = 0.0;
+  StoreBuffer sb_;
+  BranchPredictor predictor_;
+  Rng rng_;
+
+  // Invalidation queue as a decaying counter: entries are acknowledged in the
+  // background at one per `inv_background_ns` when the core is not fencing.
+  double invq_pending_ = 0.0;
+  double invq_updated_ = 0.0;
+  static constexpr double kInvBackgroundNs = 18.0;
+
+  double last_load_complete_ = 0.0;
+};
+
+// A simulated thread: the machine repeatedly steps whichever active thread
+// has the smallest local clock, so cross-thread interactions happen in global
+// time order.  `step` performs one quantum of work on its Cpu and returns
+// false when the thread has finished.
+class SimThread {
+ public:
+  virtual ~SimThread() = default;
+  virtual bool step(Cpu& cpu) = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const ArchParams& params);
+
+  const ArchParams& params() const { return params_; }
+  Arch arch() const { return params_.arch; }
+
+  unsigned num_cpus() const { return static_cast<unsigned>(cpus_.size()); }
+  Cpu& cpu(unsigned i) { return *cpus_[i]; }
+
+  Bus& bus() { return bus_; }
+  CoherenceDirectory& directory() { return directory_; }
+
+  // Deliver an invalidation to every core in `targets` at time `at`.
+  void send_invalidations(const std::vector<int>& targets, double at);
+
+  // Stop-the-world pause (e.g. garbage collection): all cores advance to the
+  // max clock plus `ns`.
+  void stall_all(double ns);
+
+  // Run `threads` (thread i on cpu `cpu_of[i]`) until all have finished.
+  // Returns the final simulated time (max over cpus that ran).
+  double run(const std::vector<SimThread*>& threads,
+             const std::vector<unsigned>& cpu_of);
+
+  // Convenience: one thread per cpu starting at cpu 0.
+  double run(const std::vector<SimThread*>& threads);
+
+  void reset();
+
+ private:
+  ArchParams params_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  Bus bus_;
+  CoherenceDirectory directory_;
+  std::vector<int> invalidation_scratch_;
+
+  friend class Cpu;
+};
+
+}  // namespace wmm::sim

@@ -1,0 +1,431 @@
+#include "sim/memory_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wmm::sim {
+
+namespace {
+
+bool is_access(const LitmusInstr& in) { return in.type != AccessType::Fence; }
+bool is_read(const LitmusInstr& in) { return in.type == AccessType::Read; }
+bool is_write(const LitmusInstr& in) { return in.type == AccessType::Write; }
+
+// Full barriers are modelled as nodes in the commit order (they genuinely
+// order everything on both sides); weaker fences only constrain specific
+// access-class pairs and must not appear as nodes, or transitivity through
+// the node would forbid reorderings the fence permits (e.g. store->load
+// across an lwsync).
+bool is_full_barrier(FenceKind kind) { return fence_order(kind).full(); }
+
+// Does instruction `j` depend on a register produced by read `i`?
+bool depends_on(const LitmusInstr& i, const LitmusInstr& j, bool& write_only) {
+  write_only = false;
+  if (!is_read(i) || i.reg < 0) return false;
+  if (j.addr_dep == i.reg || j.data_dep == i.reg) return true;
+  if (j.ctrl_dep == i.reg) {
+    // A bare control dependency orders the read only with dependent *writes*
+    // (reads may still be speculated past the branch without isb).
+    write_only = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool allows_early_forwarding(Arch arch) { return arch == Arch::POWER7; }
+
+bool must_commit_in_order(const LitmusThread& thread, std::size_t i,
+                          std::size_t j, Arch arch) {
+  if (i >= j || j >= thread.instrs.size()) return false;
+  const LitmusInstr& a = thread.instrs[i];
+  const LitmusInstr& b = thread.instrs[j];
+
+  // Full-barrier fence nodes order with everything on the same thread.
+  if (!is_access(a) || !is_access(b)) {
+    const bool a_full = !is_access(a) && is_full_barrier(a.fence);
+    const bool b_full = !is_access(b) && is_full_barrier(b.fence);
+    return a_full || b_full || (!is_access(a) && !is_access(b));
+  }
+
+  if (arch == Arch::SC) return true;
+
+  // Per-location coherence: same-variable accesses stay in program order.
+  if (a.var >= 0 && a.var == b.var) return true;
+
+  // Dependencies.
+  bool write_only = false;
+  if (depends_on(a, b, write_only)) {
+    if (!write_only || is_write(b)) return true;
+  }
+
+  // Acquire/release flags.
+  if (a.acquire && is_read(a)) return true;
+  if (b.release && is_write(b)) return true;
+  if (a.release && b.acquire) return true;  // stlr ; ldar (RCsc)
+
+  if (arch == Arch::X86_TSO) {
+    // TSO: everything ordered except write -> later read.
+    if (!(is_write(a) && is_read(b))) return true;
+  }
+
+  // Fences strictly between a and b in program order.
+  for (std::size_t f = i + 1; f < j; ++f) {
+    const LitmusInstr& fence = thread.instrs[f];
+    if (is_access(fence)) continue;
+    const FenceOrder order = fence_order(fence.fence);
+    const bool first_read = is_read(a);
+    const bool second_read = is_read(b);
+    const bool covered = first_read ? (second_read ? order.rr : order.rw)
+                                    : (second_read ? order.wr : order.ww);
+    if (covered) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Identifier of one instruction in the global sequence.
+struct EventRef {
+  int tid;
+  int idx;  // instruction index within the thread
+};
+
+struct ThreadOrders {
+  // Node list: indices of instructions that participate in the commit order
+  // (accesses + full-barrier fences).
+  std::vector<int> nodes;
+  // All valid commit orders, as sequences of instruction indices.
+  std::vector<std::vector<int>> orders;
+};
+
+void enumerate_linear_extensions(const std::vector<int>& nodes,
+                                 const std::vector<std::vector<bool>>& edge,
+                                 std::vector<int>& current,
+                                 std::vector<bool>& used,
+                                 std::vector<std::vector<int>>& out) {
+  if (current.size() == nodes.size()) {
+    out.push_back(current);
+    return;
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (used[n]) continue;
+    bool ready = true;
+    for (std::size_t m = 0; m < nodes.size() && ready; ++m) {
+      if (!used[m] && m != n && edge[m][n]) ready = false;
+    }
+    if (!ready) continue;
+    used[n] = true;
+    current.push_back(nodes[n]);
+    enumerate_linear_extensions(nodes, edge, current, used, out);
+    current.pop_back();
+    used[n] = false;
+  }
+}
+
+ThreadOrders thread_orders(const LitmusThread& thread, Arch arch) {
+  ThreadOrders result;
+  for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+    const LitmusInstr& in = thread.instrs[i];
+    if (is_access(in) || is_full_barrier(in.fence) ||
+        in.fence == FenceKind::LwSync) {
+      // lwsync nodes are needed in the sequence for cumulativity timing even
+      // though they do not constrain all pairs; they get only the edges that
+      // its ordering classes justify (reads/writes before it commit first
+      // when the class is ordered with *anything*) — but to avoid transitive
+      // overconstraint we add no edges for it at all and instead let the
+      // executor trigger its cumulativity at the first post-fence write
+      // (which IS ordered after group A).  So: node without edges.
+      result.nodes.push_back(static_cast<int>(i));
+    }
+  }
+  const std::size_t n = result.nodes.size();
+  std::vector<std::vector<bool>> edge(n, std::vector<bool>(n, false));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const std::size_t i = static_cast<std::size_t>(result.nodes[a]);
+      const std::size_t j = static_cast<std::size_t>(result.nodes[b]);
+      const LitmusInstr& ii = thread.instrs[i];
+      const LitmusInstr& jj = thread.instrs[j];
+      // lwsync nodes float freely except against full barriers (handled by
+      // must_commit_in_order's fence-node branch treating them as non-full).
+      const bool i_lw = !is_access(ii) && ii.fence == FenceKind::LwSync;
+      const bool j_lw = !is_access(jj) && jj.fence == FenceKind::LwSync;
+      if (i_lw || j_lw) {
+        // Keep an lwsync after the accesses of its group A that it orders
+        // against *everything* is too strong; instead keep it merely after
+        // prior reads (rw+rr cover reads) and before later writes (ww+rw),
+        // which matches its cumulativity trigger without constraining the
+        // store->load pairs it permits to reorder.
+        if (i_lw && !j_lw) {
+          if (is_write(jj)) edge[a][b] = true;  // lwsync before later writes
+        } else if (j_lw && !i_lw) {
+          if (is_read(ii)) edge[a][b] = true;   // prior reads before lwsync
+          if (is_write(ii)) edge[a][b] = true;  // prior writes before lwsync
+        } else {
+          edge[a][b] = true;  // fence-fence in order
+        }
+        continue;
+      }
+      if (must_commit_in_order(thread, i, j, arch)) edge[a][b] = true;
+    }
+  }
+  std::vector<int> current;
+  std::vector<bool> used(n, false);
+  enumerate_linear_extensions(result.nodes, edge, current, used, result.orders);
+  return result;
+}
+
+struct Execution {
+  const LitmusTest* test;
+  Arch arch;
+  bool forwarding;
+
+  // The global commit sequence being executed.
+  std::vector<EventRef> sequence;
+
+  // Delay choices: for each (write-event, reader-thread), true = visibility
+  // delayed until pushed/caught-up.  Indexed via delay_index.
+  std::vector<std::pair<EventRef, int>> delay_slots;  // (write, reader tid)
+  std::vector<bool> delays;
+
+  std::set<Outcome>* outcomes;
+};
+
+struct CommittedWrite {
+  int pos;      // position in the global sequence (coherence order proxy)
+  int tid;
+  int var;
+  int value;
+  // visible_from[r]: earliest position from which reader r sees this write.
+  std::vector<int> visible_from;
+};
+
+constexpr int kNever = 1 << 28;
+
+void execute_sequence(Execution& ex) {
+  const LitmusTest& test = *ex.test;
+  const int num_threads = static_cast<int>(test.threads.size());
+
+  std::vector<int> regs(static_cast<std::size_t>(test.num_regs), 0);
+  std::vector<CommittedWrite> writes;
+  // Writes observed by each thread (indices into `writes`), including its own.
+  std::vector<std::vector<int>> observed(static_cast<std::size_t>(num_threads));
+  // Coherence floor: latest write position already read per (thread, var).
+  std::vector<std::vector<int>> seen_floor(
+      static_cast<std::size_t>(num_threads),
+      std::vector<int>(static_cast<std::size_t>(test.num_vars), -1));
+
+  auto delay_of = [&](int write_tid, int write_idx, int reader) -> bool {
+    for (std::size_t s = 0; s < ex.delay_slots.size(); ++s) {
+      if (ex.delay_slots[s].first.tid == write_tid &&
+          ex.delay_slots[s].first.idx == write_idx &&
+          ex.delay_slots[s].second == reader) {
+        return ex.delays[s];
+      }
+    }
+    return false;
+  };
+
+  for (int pos = 0; pos < static_cast<int>(ex.sequence.size()); ++pos) {
+    const EventRef ev = ex.sequence[static_cast<std::size_t>(pos)];
+    const LitmusInstr& in =
+        test.threads[static_cast<std::size_t>(ev.tid)].instrs[static_cast<std::size_t>(ev.idx)];
+
+    if (is_write(in)) {
+      CommittedWrite w;
+      w.pos = pos;
+      w.tid = ev.tid;
+      w.var = in.var;
+      w.value = in.value;
+      w.visible_from.assign(static_cast<std::size_t>(num_threads), pos);
+      if (ex.forwarding) {
+        for (int r = 0; r < num_threads; ++r) {
+          if (r != ev.tid && delay_of(ev.tid, ev.idx, r)) {
+            w.visible_from[static_cast<std::size_t>(r)] = kNever;
+          }
+        }
+      }
+      writes.push_back(std::move(w));
+      observed[static_cast<std::size_t>(ev.tid)].push_back(
+          static_cast<int>(writes.size()) - 1);
+
+      // Cumulativity trigger: hardware barriers (lwsync, sync, dmb variants
+      // ordering stores) are cumulative — writes the thread had observed
+      // before the barrier propagate everywhere before writes after it.
+      // This write commits after every group-A access of any WW-ordering
+      // fence that program-precedes it, so trigger those pushes here.  A
+      // release store is itself cumulative in the same way.
+      if (ex.forwarding) {
+        const auto& instrs = test.threads[static_cast<std::size_t>(ev.tid)].instrs;
+        bool push = in.release;
+        for (int f = 0; f < ev.idx && !push; ++f) {
+          const LitmusInstr& fi = instrs[static_cast<std::size_t>(f)];
+          if (!is_access(fi) && fence_order(fi.fence).ww) push = true;
+        }
+        if (push) {
+          for (int wi : observed[static_cast<std::size_t>(ev.tid)]) {
+            CommittedWrite& ow = writes[static_cast<std::size_t>(wi)];
+            for (int r = 0; r < num_threads; ++r) {
+              ow.visible_from[static_cast<std::size_t>(r)] =
+                  std::min(ow.visible_from[static_cast<std::size_t>(r)], pos);
+            }
+          }
+        }
+      }
+    } else if (is_read(in)) {
+      // Read the coherence-latest write visible to this thread, never going
+      // below the per-location floor already observed.
+      int best = -1;
+      for (int wi = 0; wi < static_cast<int>(writes.size()); ++wi) {
+        const CommittedWrite& w = writes[static_cast<std::size_t>(wi)];
+        if (w.var != in.var) continue;
+        const bool visible =
+            w.tid == ev.tid ||
+            w.visible_from[static_cast<std::size_t>(ev.tid)] <= pos;
+        const bool floored =
+            w.pos <= seen_floor[static_cast<std::size_t>(ev.tid)][static_cast<std::size_t>(in.var)];
+        if (visible || floored) {
+          if (best < 0 || w.pos > writes[static_cast<std::size_t>(best)].pos) best = wi;
+        }
+      }
+      int value = 0;
+      if (best >= 0) {
+        const CommittedWrite& w = writes[static_cast<std::size_t>(best)];
+        value = w.value;
+        seen_floor[static_cast<std::size_t>(ev.tid)][static_cast<std::size_t>(in.var)] =
+            std::max(seen_floor[static_cast<std::size_t>(ev.tid)][static_cast<std::size_t>(in.var)],
+                     w.pos);
+        observed[static_cast<std::size_t>(ev.tid)].push_back(best);
+      }
+      if (in.reg >= 0) regs[static_cast<std::size_t>(in.reg)] = value;
+    } else {
+      // Fence node committed.  Any full barrier is cumulative: it pushes the
+      // thread's observed writes to everyone and catches the thread up on
+      // everything already committed (sync/dmb ish/mfence semantics).
+      if (ex.forwarding && is_full_barrier(in.fence)) {
+        // Group-A push: writes observed by accesses program-before the sync.
+        for (int wi : observed[static_cast<std::size_t>(ev.tid)]) {
+          CommittedWrite& ow = writes[static_cast<std::size_t>(wi)];
+          for (int r = 0; r < num_threads; ++r) {
+            ow.visible_from[static_cast<std::size_t>(r)] =
+                std::min(ow.visible_from[static_cast<std::size_t>(r)], pos);
+          }
+        }
+        // Reader catch-up: everything committed so far becomes visible to
+        // this thread.
+        for (CommittedWrite& w : writes) {
+          w.visible_from[static_cast<std::size_t>(ev.tid)] =
+              std::min(w.visible_from[static_cast<std::size_t>(ev.tid)], pos);
+        }
+      }
+    }
+  }
+
+  // Outcome = registers followed by the final (coherence-latest) value of
+  // each variable.
+  Outcome outcome = regs;
+  for (int v = 0; v < test.num_vars; ++v) {
+    int best = -1;
+    for (int wi = 0; wi < static_cast<int>(writes.size()); ++wi) {
+      if (writes[static_cast<std::size_t>(wi)].var != v) continue;
+      if (best < 0 ||
+          writes[static_cast<std::size_t>(wi)].pos > writes[static_cast<std::size_t>(best)].pos) {
+        best = wi;
+      }
+    }
+    outcome.push_back(best >= 0 ? writes[static_cast<std::size_t>(best)].value : 0);
+  }
+  ex.outcomes->insert(std::move(outcome));
+}
+
+void execute_with_delays(Execution& ex) {
+  if (!ex.forwarding || ex.delay_slots.empty()) {
+    execute_sequence(ex);
+    return;
+  }
+  const std::size_t bits = ex.delay_slots.size();
+  if (bits > 20) {
+    throw std::invalid_argument("litmus test too large for delay enumeration");
+  }
+  for (std::uint64_t mask = 0; mask < (1ULL << bits); ++mask) {
+    for (std::size_t b = 0; b < bits; ++b) ex.delays[b] = (mask >> b) & 1ULL;
+    execute_sequence(ex);
+  }
+}
+
+void interleave(Execution& ex,
+                const std::vector<std::vector<int>>& chosen_orders,
+                std::vector<std::size_t>& cursor) {
+  bool done = true;
+  for (std::size_t t = 0; t < chosen_orders.size(); ++t) {
+    if (cursor[t] < chosen_orders[t].size()) {
+      done = false;
+      cursor[t] += 1;
+      ex.sequence.push_back(EventRef{static_cast<int>(t),
+                                     chosen_orders[t][cursor[t] - 1]});
+      interleave(ex, chosen_orders, cursor);
+      ex.sequence.pop_back();
+      cursor[t] -= 1;
+    }
+  }
+  if (done) execute_with_delays(ex);
+}
+
+}  // namespace
+
+std::set<Outcome> enumerate_outcomes(const LitmusTest& test, Arch arch) {
+  std::set<Outcome> outcomes;
+
+  std::vector<ThreadOrders> per_thread;
+  per_thread.reserve(test.threads.size());
+  for (const LitmusThread& t : test.threads) {
+    per_thread.push_back(thread_orders(t, arch));
+  }
+
+  Execution ex;
+  ex.test = &test;
+  ex.arch = arch;
+  ex.forwarding = allows_early_forwarding(arch);
+  ex.outcomes = &outcomes;
+
+  if (ex.forwarding) {
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+      const auto& instrs = test.threads[t].instrs;
+      for (std::size_t i = 0; i < instrs.size(); ++i) {
+        if (!is_write(instrs[i])) continue;
+        for (std::size_t r = 0; r < test.threads.size(); ++r) {
+          if (r == t) continue;
+          ex.delay_slots.push_back(
+              {EventRef{static_cast<int>(t), static_cast<int>(i)},
+               static_cast<int>(r)});
+        }
+      }
+    }
+    ex.delays.assign(ex.delay_slots.size(), false);
+  }
+
+  // Cartesian product of per-thread commit orders, then all interleavings.
+  std::vector<std::size_t> pick(test.threads.size(), 0);
+  while (true) {
+    std::vector<std::vector<int>> chosen;
+    chosen.reserve(test.threads.size());
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+      chosen.push_back(per_thread[t].orders[pick[t]]);
+    }
+    std::vector<std::size_t> cursor(test.threads.size(), 0);
+    interleave(ex, chosen, cursor);
+
+    // Advance the product counter.
+    std::size_t t = 0;
+    for (; t < test.threads.size(); ++t) {
+      if (++pick[t] < per_thread[t].orders.size()) break;
+      pick[t] = 0;
+    }
+    if (t == test.threads.size()) break;
+  }
+  return outcomes;
+}
+
+}  // namespace wmm::sim

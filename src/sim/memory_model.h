@@ -1,0 +1,103 @@
+// Operational weak-memory-model executor for litmus tests.
+//
+// Each thread's program is a straight-line list of reads, writes, and fences
+// with explicit address/data/control dependencies.  The executor enumerates
+// every per-thread *commit order* allowed by the architecture (a permutation
+// of the program respecting same-location coherence order, dependencies, and
+// fences), then every interleaving of those commit orders, executing against
+// a shared memory.  The union of reachable final register states is the set
+// of architecturally allowed outcomes.
+//
+// Architecture strength:
+//   SC       — no reordering at all.
+//   X86_TSO  — only write -> later read (different location) may reorder
+//              (the store buffer), unless an mfence intervenes.
+//   ARMV8 /
+//   POWER7   — any pair of accesses to different locations may reorder unless
+//              ordered by a dependency, a fence, or acquire/release flags.
+//
+// This model is deliberately a conservative approximation of the full
+// Flur et al. / Sarkar et al. models: it is thread-local-reorder + interleave
+// (i.e. multi-copy atomic), which matches ARMv8's other-multi-copy-atomic
+// revision and allows the classic SB/MP/LB/S/R/2+2W behaviours that the
+// paper's fencing strategies exist to control.  Non-multi-copy-atomic POWER
+// behaviours (e.g. WRC without sync, IRIW) are additionally admitted through
+// an early-forwarding rule, see `allows_early_forwarding`.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/arch.h"
+#include "sim/fence.h"
+
+namespace wmm::sim {
+
+enum class AccessType : std::uint8_t { Read, Write, Fence };
+
+struct LitmusInstr {
+  AccessType type = AccessType::Fence;
+  int var = -1;    // variable index (Read/Write)
+  int value = 0;   // value written (Write)
+  int reg = -1;    // destination register (Read)
+  FenceKind fence = FenceKind::None;
+
+  // Dependencies on earlier reads (register indices, -1 = none).
+  int addr_dep = -1;  // address computed from this register
+  int data_dep = -1;  // (Write) data computed from this register
+  int ctrl_dep = -1;  // guarded by a branch on this register
+
+  bool acquire = false;  // Read: load-acquire (ldar)
+  bool release = false;  // Write: store-release (stlr)
+
+  static LitmusInstr read(int reg, int var) {
+    LitmusInstr i;
+    i.type = AccessType::Read;
+    i.reg = reg;
+    i.var = var;
+    return i;
+  }
+  static LitmusInstr write(int var, int value) {
+    LitmusInstr i;
+    i.type = AccessType::Write;
+    i.var = var;
+    i.value = value;
+    return i;
+  }
+  static LitmusInstr barrier(FenceKind kind) {
+    LitmusInstr i;
+    i.type = AccessType::Fence;
+    i.fence = kind;
+    return i;
+  }
+};
+
+struct LitmusThread {
+  std::vector<LitmusInstr> instrs;
+};
+
+struct LitmusTest {
+  std::string name;
+  std::vector<LitmusThread> threads;
+  int num_vars = 0;
+  int num_regs = 0;  // registers are global indices across threads
+};
+
+// A final state: register values indexed by register id.
+using Outcome = std::vector<int>;
+
+// Enumerate all architecturally reachable outcomes of `test` on `arch`.
+std::set<Outcome> enumerate_outcomes(const LitmusTest& test, Arch arch);
+
+// True when program-order pair (i, j) of `thread` must commit in order on
+// `arch` (exposed for tests).
+bool must_commit_in_order(const LitmusThread& thread, std::size_t i,
+                          std::size_t j, Arch arch);
+
+// Whether `arch` is non-multi-copy-atomic: a thread may read another thread's
+// write before it reaches main memory (POWER; enables WRC/IRIW relaxations).
+bool allows_early_forwarding(Arch arch);
+
+}  // namespace wmm::sim

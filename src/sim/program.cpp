@@ -1,0 +1,236 @@
+#include "sim/program.h"
+
+#include <algorithm>
+
+namespace wmm::sim {
+
+ProgInstr ProgInstr::compute(double ns) {
+  ProgInstr i;
+  i.op = ProgOp::Compute;
+  i.ns = ns;
+  return i;
+}
+
+ProgInstr ProgInstr::loads(std::uint32_t n, double miss_rate) {
+  ProgInstr i;
+  i.op = ProgOp::PrivateLoad;
+  i.count = n;
+  i.miss_rate = miss_rate;
+  return i;
+}
+
+ProgInstr ProgInstr::stores(std::uint32_t n) {
+  ProgInstr i;
+  i.op = ProgOp::PrivateStore;
+  i.count = n;
+  return i;
+}
+
+ProgInstr ProgInstr::shared_load(LineId line) {
+  ProgInstr i;
+  i.op = ProgOp::SharedLoad;
+  i.line = line;
+  return i;
+}
+
+ProgInstr ProgInstr::shared_store(LineId line) {
+  ProgInstr i;
+  i.op = ProgOp::SharedStore;
+  i.line = line;
+  return i;
+}
+
+ProgInstr ProgInstr::barrier(FenceKind kind, std::uint64_t site) {
+  ProgInstr i;
+  i.op = ProgOp::Fence;
+  i.fence = kind;
+  i.site = site;
+  return i;
+}
+
+ProgInstr ProgInstr::nops(std::uint32_t n) {
+  ProgInstr i;
+  i.op = ProgOp::Nop;
+  i.count = n;
+  return i;
+}
+
+ProgInstr ProgInstr::cost_loop(std::uint32_t iterations, bool spill) {
+  ProgInstr i;
+  i.op = ProgOp::CostLoop;
+  i.count = iterations;
+  i.spill = spill;
+  return i;
+}
+
+std::uint32_t ProgInstr::slots() const {
+  switch (op) {
+    case ProgOp::Compute:
+      return static_cast<std::uint32_t>(ns / 2.0) + 1;  // rough density proxy
+    case ProgOp::PrivateLoad:
+    case ProgOp::PrivateStore:
+    case ProgOp::Nop:
+      return count;
+    case ProgOp::SharedLoad:
+    case ProgOp::SharedStore:
+    case ProgOp::Branch:
+      return 1;
+    case ProgOp::Fence:
+      return fence_seq_size({FenceOp::of(fence)});
+    case ProgOp::CostLoop:
+      // mov/subs/bne (+ spill/reload): size independent of the iteration
+      // count, which lives in the immediate.
+      return spill ? 5 : 3;
+  }
+  return 1;
+}
+
+std::uint32_t Program::total_slots() const {
+  std::uint32_t total = 0;
+  for (const ProgInstr& i : instrs_) total += i.slots();
+  return total;
+}
+
+double Program::run(Cpu& cpu) const {
+  const double start = cpu.now();
+  for (const ProgInstr& i : instrs_) {
+    switch (i.op) {
+      case ProgOp::Compute: cpu.compute(i.ns); break;
+      case ProgOp::PrivateLoad: cpu.private_access(i.count, 0, i.miss_rate); break;
+      case ProgOp::PrivateStore: cpu.private_access(0, i.count, 0.0); break;
+      case ProgOp::SharedLoad: cpu.load_shared(i.line); break;
+      case ProgOp::SharedStore: cpu.store_shared(i.line); break;
+      case ProgOp::Fence: cpu.fence(i.fence, i.site); break;
+      case ProgOp::Nop: cpu.nops(i.count); break;
+      case ProgOp::CostLoop: cpu.cost_loop(i.count, i.spill); break;
+      case ProgOp::Branch: cpu.branch(i.site, i.taken); break;
+    }
+  }
+  return cpu.now() - start;
+}
+
+std::size_t Program::count_fences(FenceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(instrs_.begin(), instrs_.end(), [&](const ProgInstr& i) {
+        return i.op == ProgOp::Fence && i.fence == kind;
+      }));
+}
+
+void BinaryRewriter::replace_fences(const Program& original, FenceKind from,
+                                    const FenceSeq& to, Program& base_out,
+                                    Program& test_out) {
+  base_out = Program();
+  test_out = Program();
+  for (const ProgInstr& i : original.instrs()) {
+    if (i.op != ProgOp::Fence || i.fence != from) {
+      base_out.push(i);
+      test_out.push(i);
+      continue;
+    }
+    const std::uint32_t from_slots = i.slots();
+    const std::uint32_t to_slots = fence_seq_size(to);
+    const std::uint32_t width = std::max(from_slots, to_slots);
+    // Base keeps the original instruction, padded up to the common width.
+    base_out.push(i);
+    if (width > from_slots) base_out.push(ProgInstr::nops(width - from_slots));
+    // Test gets the replacement sequence plus padding.
+    for (const FenceOp& op : to) {
+      if (op.kind == FenceKind::Nop) {
+        test_out.push(ProgInstr::nops(op.count == 0 ? 1 : op.count));
+      } else {
+        test_out.push(ProgInstr::barrier(op.kind, i.site));
+      }
+    }
+    if (width > to_slots) test_out.push(ProgInstr::nops(width - to_slots));
+  }
+}
+
+void BinaryRewriter::inject_cost_function(const Program& original, FenceKind at,
+                                          std::uint32_t iterations, bool spill,
+                                          Program& base_out, Program& test_out) {
+  base_out = Program();
+  test_out = Program();
+  const std::uint32_t loop_slots = spill ? 5u : 3u;
+  for (const ProgInstr& i : original.instrs()) {
+    base_out.push(i);
+    test_out.push(i);
+    if (i.op == ProgOp::Fence && i.fence == at) {
+      base_out.push(ProgInstr::nops(loop_slots));
+      test_out.push(ProgInstr::cost_loop(iterations, spill));
+    }
+  }
+}
+
+namespace {
+
+bool is_store(const ProgInstr& i) {
+  return i.op == ProgOp::SharedStore || i.op == ProgOp::PrivateStore;
+}
+bool is_load(const ProgInstr& i) {
+  return i.op == ProgOp::SharedLoad || i.op == ProgOp::PrivateLoad;
+}
+bool is_shared(const ProgInstr& i) {
+  return i.op == ProgOp::SharedLoad || i.op == ProgOp::SharedStore;
+}
+
+}  // namespace
+
+ShapeReport scan_for_shapes(const Program& program) {
+  ShapeReport report;
+  const auto& is_ = program.instrs();
+  for (std::size_t idx = 0; idx < is_.size(); ++idx) {
+    if (is_[idx].op == ProgOp::Fence) ++report.fences;
+  }
+  // Window scan: access ; [fence] ; access triples (ignoring compute/nops).
+  std::vector<std::size_t> events;
+  for (std::size_t idx = 0; idx < is_.size(); ++idx) {
+    const ProgInstr& i = is_[idx];
+    if (is_store(i) || is_load(i) || i.op == ProgOp::Fence) events.push_back(idx);
+  }
+  for (std::size_t e = 0; e + 1 < events.size(); ++e) {
+    const ProgInstr& a = is_[events[e]];
+    const ProgInstr& b = is_[events[e + 1]];
+    // Adjacent pair, possibly with a fence between.
+    if (a.op == ProgOp::Fence || (!is_store(a) && !is_load(a))) continue;
+    std::size_t next = e + 1;
+    FenceKind between = FenceKind::None;
+    if (b.op == ProgOp::Fence && next + 1 < events.size()) {
+      between = b.fence;
+      ++next;
+    }
+    const ProgInstr& c = is_[events[next]];
+    if (c.op == ProgOp::Fence) continue;
+    const FenceOrder order = fence_order(between);
+    if (is_store(a) && is_store(c) && order.ww) ++report.mp_writer_shapes;
+    if (is_load(a) && is_load(c) && order.rr) ++report.mp_reader_shapes;
+    if (is_store(a) && is_load(c)) ++report.sb_shapes;
+    if (between == FenceKind::None && is_shared(a) && is_shared(c)) {
+      ++report.unfenced_racy_pairs;
+    }
+  }
+  return report;
+}
+
+Program make_c11_seqcst_program(unsigned iterations, LineId base_line) {
+  // A seqlock-ish reader/writer hot loop as a C11 compiler would emit it
+  // with seq_cst atomics on AArch64: full dmb ish around every atomic access
+  // (conservative pre-LLVM-outline-atomics style lowering).
+  Program p;
+  for (unsigned i = 0; i < iterations; ++i) {
+    p.push(ProgInstr::compute(40.0));
+    p.push(ProgInstr::loads(6, 0.03));
+    // atomic_load(seq, seq_cst)
+    p.push(ProgInstr::shared_load(base_line));
+    p.push(ProgInstr::barrier(FenceKind::DmbIsh, 0xC11));
+    p.push(ProgInstr::loads(8, 0.02));  // payload reads
+    // atomic_store(seq', seq_cst)
+    p.push(ProgInstr::barrier(FenceKind::DmbIsh, 0xC11));
+    p.push(ProgInstr::shared_store(base_line + 1));
+    p.push(ProgInstr::barrier(FenceKind::DmbIsh, 0xC11));
+    p.push(ProgInstr::stores(4));
+    p.push(ProgInstr::compute(25.0));
+  }
+  return p;
+}
+
+}  // namespace wmm::sim

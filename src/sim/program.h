@@ -1,0 +1,128 @@
+// Compiled-program representation and binary rewriting.
+//
+// The paper instruments the Linux kernel by compiling barrier macros to
+// "illegal, but uniquely identifiable, instruction sequences" and rewriting
+// the kernel binary with nop/dmb/cost-function sequences while keeping the
+// code size of every section invariant.  Section 6 proposes the same
+// technique for already-compiled code using C11 atomics.
+//
+// This module provides that substrate: a linear instruction representation
+// with explicit slot sizes, a rewriter that swaps fence implementations
+// (padding with nops so the program's slot count never changes), and an
+// Alglave-style scanner that finds litmus-test shapes (MP/SB-like access
+// patterns around fences) to flag code whose behaviour may change with the
+// fencing strategy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fence.h"
+#include "sim/machine.h"
+
+namespace wmm::sim {
+
+enum class ProgOp : std::uint8_t {
+  Compute,      // ns of straight-line work
+  PrivateLoad,  // count loads at miss_rate
+  PrivateStore, // count stores
+  SharedLoad,   // coherent load of `line`
+  SharedStore,  // coherent store of `line`
+  Fence,        // a fence instruction (rewriting target)
+  Nop,          // count nops (padding)
+  CostLoop,     // injected cost function of `count` iterations
+  Branch,       // conditional branch at `site`
+};
+
+struct ProgInstr {
+  ProgOp op = ProgOp::Compute;
+  double ns = 0.0;          // Compute
+  std::uint32_t count = 1;  // loads/stores/nops/iterations
+  double miss_rate = 0.0;   // PrivateLoad
+  LineId line = 0;          // shared accesses
+  FenceKind fence = FenceKind::None;
+  std::uint64_t site = 0;   // Branch / Fence site id
+  bool taken = true;        // Branch direction
+  bool spill = true;        // CostLoop stack spill
+
+  static ProgInstr compute(double ns);
+  static ProgInstr loads(std::uint32_t n, double miss_rate);
+  static ProgInstr stores(std::uint32_t n);
+  static ProgInstr shared_load(LineId line);
+  static ProgInstr shared_store(LineId line);
+  static ProgInstr barrier(FenceKind kind, std::uint64_t site = 0);
+  static ProgInstr nops(std::uint32_t n);
+  static ProgInstr cost_loop(std::uint32_t iterations, bool spill);
+
+  // Instruction slots this entry occupies in the binary image.
+  std::uint32_t slots() const;
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<ProgInstr> instrs) : instrs_(std::move(instrs)) {}
+
+  void push(ProgInstr instr) { instrs_.push_back(instr); }
+
+  const std::vector<ProgInstr>& instrs() const { return instrs_; }
+  std::size_t size() const { return instrs_.size(); }
+
+  // Total instruction slots (binary image size proxy); rewrites must keep
+  // this invariant.
+  std::uint32_t total_slots() const;
+
+  // Execute once on `cpu`; returns elapsed simulated ns.
+  double run(Cpu& cpu) const;
+
+  // Number of fence entries of `kind`.
+  std::size_t count_fences(FenceKind kind) const;
+
+ private:
+  std::vector<ProgInstr> instrs_;
+};
+
+// Binary rewriting with size preservation: each transformation pads the
+// replacement to the slot count of the original sequence (or pads the
+// original with leading nops when the replacement is larger, growing both
+// sides identically so that base and test binaries stay comparable).
+class BinaryRewriter {
+ public:
+  // Replace every fence of kind `from` with the sequence `to`, padding with
+  // nops so every rewritten site occupies max(slots(from-site), slots(to)).
+  // Returns the rewritten program; `reference` (the base case) receives the
+  // same padding and is returned through `base_out`.
+  static void replace_fences(const Program& original, FenceKind from,
+                             const FenceSeq& to, Program& base_out,
+                             Program& test_out);
+
+  // Inject a cost function after every fence of kind `at` (test) / the same
+  // number of nop slots (base).
+  static void inject_cost_function(const Program& original, FenceKind at,
+                                   std::uint32_t iterations, bool spill,
+                                   Program& base_out, Program& test_out);
+};
+
+// Alglave-style static scan: occurrences of litmus-shaped access patterns.
+struct ShapeReport {
+  std::size_t fences = 0;            // total fence instructions
+  std::size_t mp_writer_shapes = 0;  // store ; fence(WW) ; store
+  std::size_t mp_reader_shapes = 0;  // load ; fence(RR) ; load
+  std::size_t sb_shapes = 0;         // store ; fence(WR or none) ; load
+  std::size_t unfenced_racy_pairs = 0;  // adjacent shared accesses, no fence
+
+  // A program with shapes but few/no fences is a candidate for evaluation
+  // under a changed fencing strategy (the paper's section 5 use case).
+  bool fencing_sensitive() const {
+    return mp_writer_shapes + mp_reader_shapes + sb_shapes > 0;
+  }
+};
+
+ShapeReport scan_for_shapes(const Program& program);
+
+// A ready-made "compiled C11 application": a seqlock-style reader/writer
+// loop compiled with seq_cst atomics (full fences), as a rewriting target.
+Program make_c11_seqcst_program(unsigned iterations, LineId base_line);
+
+}  // namespace wmm::sim

@@ -1,0 +1,15 @@
+#include "sim/rng.h"
+
+namespace wmm::sim {
+
+std::uint64_t hash_string(const char* s) {
+  // FNV-1a folded through splitmix for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s; ++s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
+}
+
+}  // namespace wmm::sim

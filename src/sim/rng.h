@@ -1,0 +1,82 @@
+// Deterministic, seedable random number generation for the simulator.
+//
+// All stochastic elements of the simulation (cache miss draws, run-to-run
+// noise, workload data) derive from explicit seeds so that every experiment
+// is exactly reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace wmm::sim {
+
+// SplitMix64: used for seed derivation / hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combine seeds/hashes deterministically.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+std::uint64_t hash_string(const char* s);
+
+// xoshiro256**-style compact PRNG (PCG-like quality, tiny state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    state_[0] = splitmix64(seed);
+    state_[1] = splitmix64(state_[0]);
+    state_[2] = splitmix64(state_[1]);
+    state_[3] = splitmix64(state_[2]);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+  bool next_bool(double probability) { return next_double() < probability; }
+
+  // Standard normal via Box-Muller (one value per call; simple and adequate).
+  double next_normal() {
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  // Lognormal multiplier with median 1 and shape sigma (run-to-run jitter).
+  double next_lognormal(double sigma) { return std::exp(sigma * next_normal()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace wmm::sim

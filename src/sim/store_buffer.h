@@ -1,0 +1,69 @@
+// Store buffer timing model.
+//
+// Stores retire into a per-core FIFO buffer and drain to the coherence point
+// at a fixed per-entry rate.  The model tracks the time at which the buffer
+// will be empty (`drain_complete_time`); occupancy at any instant follows
+// from that and the drain rate.  Store-ordering fences expose some or all of
+// the remaining drain time; a full buffer back-pressures the core.
+//
+// This is the state that makes dmb ishst / dmb ish / lwsync / hwsync costs
+// context-dependent: in a microbenchmark the buffer is empty and fences cost
+// their base latency; in a store-heavy macrobenchmark the drain wait
+// dominates.
+#pragma once
+
+#include <algorithm>
+
+namespace wmm::sim {
+
+class StoreBuffer {
+ public:
+  StoreBuffer(unsigned capacity, double drain_ns)
+      : capacity_(capacity), drain_ns_(drain_ns) {}
+
+  // Append one store at time `now`; returns the stall time (ns) suffered by
+  // the core when the buffer is full.
+  double push(double now) {
+    double stall = 0.0;
+    const double full_horizon = static_cast<double>(capacity_) * drain_ns_;
+    if (drain_complete_ - now > full_horizon) {
+      // Buffer full: the core stalls until one slot frees up.
+      stall = (drain_complete_ - now) - full_horizon;
+      now += stall;
+    }
+    drain_complete_ = std::max(drain_complete_, now) + drain_ns_;
+    return stall;
+  }
+
+  // Append `n` stores in bulk (statistical private-memory traffic).
+  double push_bulk(double now, unsigned n) {
+    double stall = 0.0;
+    for (unsigned i = 0; i < n; ++i) stall += push(now + stall);
+    return stall;
+  }
+
+  // Extend the drain of the most recent store (e.g. a store to a line owned
+  // by another core pays an ownership-transfer delay at drain time).
+  void delay_drain(double extra_ns) { drain_complete_ += extra_ns; }
+
+  // Time at which the buffer becomes empty (<= now means already empty).
+  double drain_complete_time() const { return drain_complete_; }
+
+  // Remaining drain wait as observed at `now`.
+  double drain_wait(double now) const { return std::max(0.0, drain_complete_ - now); }
+
+  // Number of entries still buffered at `now`.
+  double occupancy(double now) const { return drain_wait(now) / drain_ns_; }
+
+  unsigned capacity() const { return capacity_; }
+  double drain_ns_per_entry() const { return drain_ns_; }
+
+  void reset() { drain_complete_ = 0.0; }
+
+ private:
+  unsigned capacity_;
+  double drain_ns_;
+  double drain_complete_ = 0.0;
+};
+
+}  // namespace wmm::sim

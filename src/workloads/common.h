@@ -1,0 +1,86 @@
+// Shared workload scaffolding: lambda-backed simulated threads, the noise
+// model for run-to-run variation, and the Benchmark adapter that runs a
+// simulated workload to completion and reports its time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "sim/machine.h"
+
+namespace wmm::workloads {
+
+class LambdaThread final : public sim::SimThread {
+ public:
+  explicit LambdaThread(std::function<bool(sim::Cpu&)> fn) : fn_(std::move(fn)) {}
+  bool step(sim::Cpu& cpu) override { return fn_(cpu); }
+
+ private:
+  std::function<bool(sim::Cpu&)> fn_;
+};
+
+// Run-to-run noise: a lognormal jitter plus an occasional degraded phase
+// (e.g. SMT interference or unlucky page placement).  Benchmarks the paper
+// finds unstable get a larger sigma and phase probability.
+struct NoiseModel {
+  double sigma = 0.004;
+  double phase_probability = 0.0;
+  double phase_slowdown = 1.0;
+
+  double sample(sim::Rng& rng, const sim::ArchParams& params) const {
+    double mult = rng.next_lognormal(sigma);
+    if (rng.next_bool(phase_probability)) mult *= phase_slowdown;
+    if (rng.next_bool(params.smt_phase_probability)) {
+      mult *= params.smt_phase_slowdown;
+    }
+    return mult;
+  }
+};
+
+// A benchmark whose body builds a fresh simulated machine per run, executes
+// the workload, and returns simulated nanoseconds (scaled by noise and, for
+// early samples, a JIT warm-up factor).
+class SimBenchmark final : public core::Benchmark {
+ public:
+  // `body(machine, sample_seed)` returns the simulated time of one run.
+  using Body = std::function<double(std::uint64_t sample_seed)>;
+
+  SimBenchmark(std::string name, sim::ArchParams params, NoiseModel noise,
+               double warmup_factor, Body body)
+      : name_(std::move(name)),
+        params_(params),
+        noise_(noise),
+        warmup_factor_(warmup_factor),
+        body_(std::move(body)) {}
+
+  std::string name() const override { return name_; }
+
+  double run_once(std::uint64_t sample_index) override {
+    const std::uint64_t seed =
+        sim::hash_combine(sim::hash_string(name_.c_str()), sample_index);
+    double t = body_(seed);
+    // Paired noise: the draw depends on benchmark and sample index but not on
+    // the platform configuration, so base and test runs at the same sample
+    // index share jitter (matching the paper's repeated same-JVM runs).
+    sim::Rng noise_rng(sim::hash_combine(seed, 0x9e15ULL));
+    t *= noise_.sample(noise_rng, params_);
+    if (sample_index < 2 && warmup_factor_ > 0.0) {
+      t *= 1.0 + warmup_factor_ / (1.0 + static_cast<double>(sample_index));
+    }
+    return t;
+  }
+
+ private:
+  std::string name_;
+  sim::ArchParams params_;
+  NoiseModel noise_;
+  double warmup_factor_;
+  Body body_;
+};
+
+}  // namespace wmm::workloads

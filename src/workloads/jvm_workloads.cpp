@@ -1,0 +1,301 @@
+#include "workloads/jvm_workloads.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace wmm::workloads {
+
+namespace {
+
+std::vector<JvmWorkloadProfile> build_profiles() {
+  std::vector<JvmWorkloadProfile> out;
+
+  // spark: GraphX PageRank — store-heavy shuffle writes, accumulator
+  // volatiles, frequent CAS on rank vectors.  The most barrier-dense and the
+  // most stable of the set (Figure 5: k=0.0087 ARM / 0.0123 POWER).
+  {
+    JvmWorkloadProfile p;
+    p.name = "spark";
+    p.threads = 8;
+    p.units = 260;
+    p.compute_ns = 5750.0;
+    p.power_compute_scale = 0.60;
+    p.loads = 26;
+    p.stores = 30;           // shuffle buffers: store pressure at barriers
+    p.miss_rate = 0.08;
+    p.volatile_loads = 3;
+    p.volatile_stores = 3;
+    p.cas_ops = 1;
+    p.lock_every = 16;       // partition merge
+    p.lock_hold_ns = 220.0;
+    p.alloc_bytes = 512.0;
+    p.sigma_arm = 0.0035;
+    p.sigma_power = 0.0045;
+    out.push_back(p);
+  }
+
+  // h2: in-memory transactional database — lock-dominated with moderate
+  // volatile traffic (k=0.0034 ARM).
+  {
+    JvmWorkloadProfile p;
+    p.name = "h2";
+    p.threads = 8;
+    p.units = 220;
+    p.compute_ns = 8800.0;
+    p.power_compute_scale = 1.36;
+    p.loads = 55;
+    p.stores = 22;
+    p.miss_rate = 0.05;
+    p.volatile_loads = 1;
+    p.volatile_stores = 1;
+    p.cas_ops = 1;
+    p.lock_every = 4;        // per-transaction table lock
+    p.lock_hold_ns = 340.0;
+    p.alloc_bytes = 384.0;
+    p.sigma_arm = 0.005;
+    p.sigma_power = 0.005;
+    out.push_back(p);
+  }
+
+  // lusearch: lucene text search — read-dominated, light synchronisation,
+  // noticeably unstable on ARM in the paper.
+  {
+    JvmWorkloadProfile p;
+    p.name = "lusearch";
+    p.threads = 8;
+    p.units = 240;
+    p.compute_ns = 4300.0;
+    p.power_compute_scale = 1.90;
+    p.loads = 80;
+    p.stores = 8;
+    p.miss_rate = 0.11;
+    p.volatile_loads = 1;
+    p.volatile_stores = 0;
+    p.cas_ops = 0;
+    p.lock_every = 24;
+    p.lock_hold_ns = 90.0;
+    p.alloc_bytes = 192.0;
+    p.sigma_arm = 0.016;      // unstable on ARM
+    p.phase_probability_arm = 0.12;
+    p.sigma_power = 0.006;
+    out.push_back(p);
+  }
+
+  // sunflow: ray tracer — compute-bound, work-stealing queues touched
+  // rarely; low sensitivity, unstable on POWER.
+  {
+    JvmWorkloadProfile p;
+    p.name = "sunflow";
+    p.threads = 8;
+    p.units = 200;
+    p.compute_ns = 8250.0;
+    p.power_compute_scale = 1.16;
+    p.loads = 45;
+    p.stores = 9;
+    p.miss_rate = 0.025;
+    p.volatile_loads = 1;
+    p.volatile_stores = 1;
+    p.cas_ops = 0;
+    p.lock_every = 32;
+    p.lock_hold_ns = 110.0;
+    p.alloc_bytes = 128.0;
+    p.sigma_arm = 0.005;
+    p.sigma_power = 0.017;
+    p.phase_probability_power = 0.15;
+    out.push_back(p);
+  }
+
+  // tomcat: servlet container — request parsing, session locks, allocation
+  // churn; unstable on both architectures.
+  {
+    JvmWorkloadProfile p;
+    p.name = "tomcat";
+    p.threads = 8;
+    p.units = 210;
+    p.compute_ns = 14400.0;
+    p.power_compute_scale = 0.59;
+    p.loads = 48;
+    p.stores = 24;
+    p.miss_rate = 0.07;
+    p.volatile_loads = 2;
+    p.volatile_stores = 1;
+    p.cas_ops = 1;
+    p.lock_every = 6;
+    p.lock_hold_ns = 260.0;
+    p.alloc_bytes = 448.0;
+    p.sigma_arm = 0.014;
+    p.phase_probability_arm = 0.10;
+    p.sigma_power = 0.015;
+    p.phase_probability_power = 0.12;
+    out.push_back(p);
+  }
+
+  // tradebeans: client-server-database transactions over beans.
+  {
+    JvmWorkloadProfile p;
+    p.name = "tradebeans";
+    p.threads = 8;
+    p.units = 190;
+    p.compute_ns = 14400.0;
+    p.power_compute_scale = 0.65;
+    p.loads = 58;
+    p.stores = 26;
+    p.miss_rate = 0.06;
+    p.volatile_loads = 2;
+    p.volatile_stores = 1;
+    p.cas_ops = 1;
+    p.lock_every = 5;
+    p.lock_hold_ns = 300.0;
+    p.alloc_bytes = 512.0;
+    p.sigma_arm = 0.013;      // significant instability on ARM
+    p.phase_probability_arm = 0.10;
+    p.sigma_power = 0.006;
+    out.push_back(p);
+  }
+
+  // tradesoap: as tradebeans with SOAP marshalling (more allocation and
+  // stores, slightly longer units).
+  {
+    JvmWorkloadProfile p;
+    p.name = "tradesoap";
+    p.threads = 8;
+    p.units = 180;
+    p.compute_ns = 17200.0;
+    p.power_compute_scale = 0.75;
+    p.loads = 64;
+    p.stores = 34;
+    p.miss_rate = 0.06;
+    p.volatile_loads = 2;
+    p.volatile_stores = 1;
+    p.cas_ops = 1;
+    p.lock_every = 5;
+    p.lock_hold_ns = 320.0;
+    p.alloc_bytes = 768.0;
+    p.sigma_arm = 0.007;
+    p.sigma_power = 0.006;
+    out.push_back(p);
+  }
+
+  // xalan: XML-to-HTML transform — output-building store bursts and a
+  // shared output lock; sensitive on ARM (k=0.0061), pathologically
+  // unstable on POWER (the paper attributes this to SMT).
+  {
+    JvmWorkloadProfile p;
+    p.name = "xalan";
+    p.threads = 8;
+    p.units = 240;
+    p.compute_ns = 6500.0;
+    p.power_compute_scale = 4.40;
+    p.loads = 36;
+    p.stores = 44;           // serialised output buffers
+    p.miss_rate = 0.06;
+    p.volatile_loads = 2;
+    p.volatile_stores = 2;
+    p.cas_ops = 0;
+    p.lock_every = 8;
+    p.lock_hold_ns = 180.0;
+    p.alloc_bytes = 320.0;
+    p.sigma_arm = 0.006;
+    p.sigma_power = 0.030;    // not a reasonable benchmark on POWER
+    p.phase_probability_power = 0.35;
+    p.phase_slowdown = 1.12;
+    out.push_back(p);
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<JvmWorkloadProfile>& jvm_profiles() {
+  static const std::vector<JvmWorkloadProfile> profiles = build_profiles();
+  return profiles;
+}
+
+const JvmWorkloadProfile& jvm_profile(const std::string& name) {
+  for (const JvmWorkloadProfile& p : jvm_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown JVM workload: " + name);
+}
+
+std::vector<std::string> jvm_benchmark_names() {
+  std::vector<std::string> names;
+  for (const JvmWorkloadProfile& p : jvm_profiles()) names.push_back(p.name);
+  return names;
+}
+
+double run_jvm_workload(const JvmWorkloadProfile& profile,
+                        const jvm::JvmConfig& config, std::uint64_t seed) {
+  sim::ArchParams params = sim::params_for(config.arch);
+  sim::Machine machine(params);
+  jvm::GcOptions gc;
+  gc.parallel_threads = config.arch == sim::Arch::POWER7 ? 8 : 4;
+  jvm::JvmRuntime runtime(machine, config, gc);
+
+  const double cscale = config.arch == sim::Arch::POWER7
+                            ? profile.power_compute_scale
+                            : 1.0;
+  const unsigned nthreads = std::min(profile.threads, machine.num_cpus());
+  std::array<jvm::Monitor, 4> monitors{};
+  std::vector<std::unique_ptr<LambdaThread>> threads;
+  std::vector<sim::SimThread*> raw;
+
+  for (unsigned t = 0; t < nthreads; ++t) {
+    machine.cpu(t).seed_rng(sim::hash_combine(seed, t));
+    auto state = std::make_shared<unsigned>(0);
+    threads.push_back(std::make_unique<LambdaThread>([&, t, state](sim::Cpu& cpu) {
+      const unsigned unit = (*state)++;
+      if (unit >= profile.units) return false;
+
+      cpu.compute(profile.compute_ns * cscale);
+      cpu.private_access(profile.loads, 0, profile.miss_rate);
+      runtime.heap_stores(cpu, profile.stores, profile.miss_rate);
+
+      // Volatile fields: a small set of shared lines (rank accumulators,
+      // status flags) with genuine cross-thread contention.
+      for (unsigned i = 0; i < profile.volatile_loads; ++i) {
+        runtime.volatile_load(cpu, 0x6000 + ((unit + i + t) & 3));
+      }
+      for (unsigned i = 0; i < profile.volatile_stores; ++i) {
+        runtime.volatile_store(cpu, 0x6000 + ((unit + i + t) & 3));
+      }
+      for (unsigned i = 0; i < profile.cas_ops; ++i) {
+        runtime.cas(cpu, 0x6010 + ((unit + t) & 1));
+      }
+      if (profile.lock_every > 0 && unit % profile.lock_every == 0) {
+        jvm::Monitor& m = monitors[(unit / profile.lock_every + t) & 3];
+        runtime.synchronized(cpu, m, [&] {
+          cpu.compute(profile.lock_hold_ns * cscale);
+          cpu.private_access(4, 4, 0.05);
+        });
+      }
+      if (profile.alloc_bytes > 0) runtime.alloc(cpu, profile.alloc_bytes);
+      return true;
+    }));
+    raw.push_back(threads.back().get());
+  }
+
+  return machine.run(raw);
+}
+
+core::BenchmarkPtr make_jvm_benchmark(const std::string& name,
+                                      const jvm::JvmConfig& config) {
+  const JvmWorkloadProfile& profile = jvm_profile(name);
+  NoiseModel noise;
+  if (config.arch == sim::Arch::POWER7) {
+    noise.sigma = profile.sigma_power;
+    noise.phase_probability = profile.phase_probability_power;
+  } else {
+    noise.sigma = profile.sigma_arm;
+    noise.phase_probability = profile.phase_probability_arm;
+  }
+  noise.phase_slowdown = profile.phase_slowdown;
+  return std::make_unique<SimBenchmark>(
+      name, sim::params_for(config.arch), noise, profile.warmup_factor,
+      [profile, config](std::uint64_t seed) {
+        return run_jvm_workload(profile, config, seed);
+      });
+}
+
+}  // namespace wmm::workloads

@@ -1,0 +1,58 @@
+// Synthetic analogues of the paper's OpenJDK benchmarks (DaCapo subset with
+// notable concurrent behaviour per Kalibera et al., plus the Spark PageRank
+// big-data benchmark).  Each workload executes real algorithmic structure —
+// the volatile/lock/allocation mix of its namesake — through the simulated
+// Hotspot runtime, so its sensitivity to each barrier code path emerges from
+// how often and in what memory context it reaches that path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "jvm/runtime.h"
+#include "workloads/common.h"
+
+namespace wmm::workloads {
+
+// Mix parameters of one JVM workload.
+struct JvmWorkloadProfile {
+  std::string name;
+  unsigned threads = 8;
+  unsigned units = 300;           // work units per thread per run
+  double compute_ns = 400.0;      // pure computation per unit
+  unsigned loads = 40;            // private loads per unit
+  unsigned stores = 20;           // private stores per unit
+  double miss_rate = 0.05;
+  unsigned volatile_loads = 1;    // per unit
+  unsigned volatile_stores = 1;
+  unsigned cas_ops = 0;
+  unsigned lock_every = 0;        // synchronized block every N units (0 = off)
+  double lock_hold_ns = 120.0;
+  double alloc_bytes = 256.0;
+  // POWER7 runs at a different clock and with SMT; per-workload scale factor
+  // applied to compute_ns/lock_hold_ns on POWER (tuned so fitted k values
+  // land near the paper's Figure 5).
+  double power_compute_scale = 1.0;
+  double sigma_arm = 0.004;       // run-to-run noise per architecture
+  double sigma_power = 0.004;
+  double phase_probability_arm = 0.0;   // instability phases
+  double phase_probability_power = 0.0;
+  double phase_slowdown = 1.06;
+  double warmup_factor = 0.25;    // JIT warm-up cost on discarded iterations
+};
+
+// The eight benchmarks of Figure 5.
+const std::vector<JvmWorkloadProfile>& jvm_profiles();
+const JvmWorkloadProfile& jvm_profile(const std::string& name);
+std::vector<std::string> jvm_benchmark_names();
+
+// Simulated time of one full run of `profile` under `config` (no noise).
+double run_jvm_workload(const JvmWorkloadProfile& profile,
+                        const jvm::JvmConfig& config, std::uint64_t seed);
+
+// Benchmark adapter (applies noise/warm-up around run_jvm_workload).
+core::BenchmarkPtr make_jvm_benchmark(const std::string& name,
+                                      const jvm::JvmConfig& config);
+
+}  // namespace wmm::workloads

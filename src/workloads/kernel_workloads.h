@@ -1,0 +1,38 @@
+// Synthetic analogues of the paper's Linux-kernel benchmarks (section 4.3):
+// netperf TCP/UDP over loopback, ebizzy, the lmbench syscall suite, the
+// OpenStreetMap tile stack, a parallel kernel compile, and the three JVM
+// benchmarks (h2, spark, xalan) re-run against the kernel configuration —
+// which reach kernel macros only through occasional system calls and are
+// therefore nearly insensitive to them (Figure 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "kernel/barriers.h"
+#include "kernel/syscall.h"
+#include "workloads/common.h"
+
+namespace wmm::workloads {
+
+// The eleven kernel benchmark names in the paper's Figure 8 order.
+std::vector<std::string> kernel_benchmark_names();
+
+// The six benchmarks carried into the Figure 9/10 read_barrier_depends
+// study.
+std::vector<std::string> rbd_benchmark_names();
+
+core::BenchmarkPtr make_kernel_benchmark(const std::string& name,
+                                         const kernel::KernelConfig& config);
+
+// One lmbench sub-benchmark (time per call of one syscall).
+core::BenchmarkPtr make_lmbench_syscall(kernel::Syscall s,
+                                        const kernel::KernelConfig& config);
+
+// Simulated time of one run (no noise), exposed for tests.
+double run_kernel_workload(const std::string& name,
+                           const kernel::KernelConfig& config,
+                           std::uint64_t seed);
+
+}  // namespace wmm::workloads

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "core/cost_function.h"
+#include "core/harness.h"
+#include "core/report.h"
+
+namespace wmm::core {
+namespace {
+
+// A deterministic fake benchmark: time = base + slowdown, with a distinct
+// warm-up penalty on early samples.
+class FakeBenchmark final : public Benchmark {
+ public:
+  FakeBenchmark(double base, double extra) : base_(base), extra_(extra) {}
+
+  std::string name() const override { return "fake"; }
+
+  double run_once(std::uint64_t sample_index) override {
+    ++runs_;
+    double t = base_ + extra_;
+    if (sample_index < 2) t *= 1.5;  // warm-up cost
+    // Small deterministic jitter by sample index.
+    t *= 1.0 + 0.001 * static_cast<double>(sample_index % 3);
+    return t;
+  }
+
+  int runs_ = 0;
+
+ private:
+  double base_;
+  double extra_;
+};
+
+TEST(Harness, RunsWarmupsPlusSamples) {
+  FakeBenchmark bench(100.0, 0.0);
+  const RunResult result = run_benchmark(bench, RunOptions{2, 6});
+  EXPECT_EQ(bench.runs_, 8);
+  EXPECT_EQ(result.times.n, 6u);
+  // Warm-up samples (x1.5) must be excluded from the summary.
+  EXPECT_LT(result.times.max, 140.0);
+  EXPECT_GT(result.times.min, 99.0);
+}
+
+TEST(Harness, CompareDetectsSlowdown) {
+  const Comparison c = compare_configurations(
+      [] { return std::make_unique<FakeBenchmark>(100.0, 0.0); },
+      [] { return std::make_unique<FakeBenchmark>(100.0, 10.0); });
+  EXPECT_NEAR(c.value, 100.0 / 110.0, 0.01);
+}
+
+TEST(Harness, SweepFitsModelBenchmark) {
+  // A benchmark family that exactly follows the paper's model with
+  // k = 0.002: T(a) = T0 * ((1-k) + k*a).
+  constexpr double kTrue = 0.002;
+  constexpr double kBase = 1000.0;
+  const auto factory = [&](std::uint32_t iters) -> BenchmarkPtr {
+    const double a = iters == 0 ? 1.0 : static_cast<double>(iters);
+    return std::make_unique<FakeBenchmark>(kBase * ((1.0 - kTrue) + kTrue * a),
+                                           0.0);
+  };
+  const SweepResult sweep = sweep_sensitivity(
+      "model", "path", factory, standard_sweep_sizes(10),
+      [](std::uint32_t iters) { return static_cast<double>(iters); });
+  EXPECT_TRUE(sweep.fit.converged);
+  EXPECT_NEAR(sweep.fit.k, kTrue, 2e-4);
+  EXPECT_EQ(sweep.points.size(), 11u);
+}
+
+// --- RankingMatrix ------------------------------------------------------------
+
+TEST(RankingMatrixTest, AggregatesAndSorts) {
+  RankingMatrix m({"macro_a", "macro_b"}, {"bench1", "bench2", "bench3"});
+  // macro_a hurts everything; macro_b is benign.
+  m.set("macro_a", "bench1", 0.80);
+  m.set("macro_a", "bench2", 0.90);
+  m.set("macro_a", "bench3", 0.85);
+  m.set("macro_b", "bench1", 0.99);
+  m.set("macro_b", "bench2", 1.00);
+  m.set("macro_b", "bench3", 0.98);
+
+  EXPECT_EQ(m.data_points(), 6u);
+
+  const auto by_macro = m.aggregate_by_code_path();
+  ASSERT_EQ(by_macro.size(), 2u);
+  EXPECT_EQ(by_macro[0].name, "macro_a");  // lowest sum = most impact first
+  EXPECT_NEAR(by_macro[0].sum, 2.55, 1e-12);
+  EXPECT_EQ(by_macro[0].count, 3u);
+
+  const auto by_bench = m.aggregate_by_benchmark();
+  ASSERT_EQ(by_bench.size(), 3u);
+  EXPECT_EQ(by_bench[0].name, "bench1");  // most sensitive benchmark
+}
+
+TEST(RankingMatrixTest, MissingCellsSkipped) {
+  RankingMatrix m({"a"}, {"x", "y"});
+  m.set("a", "x", 0.9);
+  EXPECT_EQ(m.data_points(), 1u);
+  EXPECT_FALSE(m.get("a", "y").has_value());
+  const auto agg = m.aggregate_by_code_path();
+  EXPECT_EQ(agg[0].count, 1u);
+}
+
+TEST(RankingMatrixTest, UnknownNameThrows) {
+  RankingMatrix m({"a"}, {"x"});
+  EXPECT_THROW(m.set("nope", "x", 1.0), std::out_of_range);
+  EXPECT_THROW(m.get("a", "nope"), std::out_of_range);
+}
+
+TEST(CostComparisonTest, SeparatesReferenceFromOthers) {
+  std::vector<CostEstimate> estimates = {
+      {"lmbench", 0.005, model_performance(10.0, 0.005), 0.0},
+      {"other1", 0.002, model_performance(20.0, 0.002), 0.0},
+      {"other2", 0.004, model_performance(30.0, 0.004), 0.0},
+  };
+  const CostComparison cc = compare_costs(estimates, "lmbench");
+  EXPECT_NEAR(cc.reference_cost_ns, 10.0, 1e-6);
+  EXPECT_NEAR(cc.mean_other_cost_ns, 25.0, 1e-6);
+}
+
+// --- Report -------------------------------------------------------------------
+
+TEST(Report, TablePadsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer_name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.045), "4.5%");
+  EXPECT_EQ(fmt_percent(-0.007), "-0.7%");
+  SensitivityFit fit{0.00870, 0.00052, 0.0, true};
+  EXPECT_EQ(fmt_fit(fit), "k=0.00870 +/- 6%");
+}
+
+TEST(Report, AsciiBar) {
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10), "");
+  EXPECT_EQ(ascii_bar(1.0, 0.0, 10), "");
+}
+
+}  // namespace
+}  // namespace wmm::core

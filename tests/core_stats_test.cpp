@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_function.h"
+#include "core/curve_fit.h"
+#include "core/sensitivity.h"
+#include "core/stats.h"
+
+namespace wmm::core {
+namespace {
+
+TEST(Stats, ArithmeticAndGeometricMeans) {
+  const double xs[] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(xs), 7.0 / 3.0);
+  EXPECT_NEAR(geometric_mean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  const double xs[] = {1.0, 0.0};
+  EXPECT_THROW(geometric_mean(xs), std::invalid_argument);
+}
+
+TEST(Stats, EmptyInputs) {
+  EXPECT_EQ(arithmetic_mean({}), 0.0);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  EXPECT_EQ(sample_stddev({}), 0.0);
+  const SampleSummary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Stats, SampleStddevMatchesHandComputation) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Known: population sd = 2, sample sd = sqrt(32/7).
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, StudentTTableValues) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(5), 2.571, 1e-3);   // six samples
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_975(1000), 1.960, 1e-3);
+  EXPECT_EQ(student_t_975(0), 0.0);
+}
+
+TEST(Stats, StudentTMonotonicallyDecreases) {
+  for (std::size_t df = 1; df < 200; ++df) {
+    EXPECT_GE(student_t_975(df), student_t_975(df + 1)) << "df=" << df;
+  }
+}
+
+TEST(Stats, SummaryCi95CoversKnownCase) {
+  // Six samples, as the paper uses.
+  const double xs[] = {10.0, 10.2, 9.9, 10.1, 10.0, 9.8};
+  const SampleSummary s = summarize(xs);
+  EXPECT_EQ(s.n, 6u);
+  EXPECT_NEAR(s.mean, 10.0, 1e-9);
+  EXPECT_GT(s.ci95, 0.0);
+  EXPECT_LT(s.ci95, 0.5);
+  EXPECT_NEAR(s.ci95, student_t_975(5) * s.stddev / std::sqrt(6.0), 1e-12);
+}
+
+TEST(Stats, RelativePerformanceCompoundsErrors) {
+  // Base 10% slower than test -> performance ratio > 1.
+  const double base[] = {110.0, 111.0, 109.0};
+  const double test[] = {100.0, 101.0, 99.0};
+  const Comparison c = relative_performance(summarize(base), summarize(test));
+  EXPECT_NEAR(c.value, 1.1, 0.02);
+  // Paper rule: comparative minimum is base min over test max.
+  EXPECT_NEAR(c.min, 109.0 / 101.0, 1e-12);
+  EXPECT_NEAR(c.max, 111.0 / 99.0, 1e-12);
+  EXPECT_LT(c.min, c.value);
+  EXPECT_GT(c.max, c.value);
+  EXPECT_TRUE(c.significant());
+}
+
+TEST(Stats, InsignificantWhenIntervalsOverlap) {
+  const double base[] = {100.0, 105.0, 95.0, 102.0, 98.0, 101.0};
+  const double test[] = {100.5, 104.0, 96.0, 101.0, 99.0, 100.0};
+  const Comparison c = relative_performance(summarize(base), summarize(test));
+  EXPECT_FALSE(c.significant());
+}
+
+// --- Sensitivity model -------------------------------------------------------
+
+TEST(SensitivityModel, UnitCostIsUnitPerformance) {
+  // p(1) = 1 by construction: the baseline nop padding costs one time unit.
+  EXPECT_DOUBLE_EQ(model_performance(1.0, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(model_performance(1.0, 0.5), 1.0);
+}
+
+TEST(SensitivityModel, ZeroSensitivityIgnoresCost) {
+  EXPECT_DOUBLE_EQ(model_performance(1000.0, 0.0), 1.0);
+}
+
+TEST(SensitivityModel, PerformanceDecreasesWithCost) {
+  double prev = 2.0;
+  for (double a = 1.0; a < 1e5; a *= 2.0) {
+    const double p = model_performance(a, 0.003);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+// Property sweep: eq. 2 inverts eq. 1 exactly over a (k, a) grid.
+class ModelRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ModelRoundTrip, CostOfChangeInvertsModel) {
+  const auto [k, a] = GetParam();
+  const double p = model_performance(a, k);
+  EXPECT_NEAR(cost_of_change(p, k), a, 1e-9 * a + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelRoundTrip,
+    ::testing::Combine(::testing::Values(1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5),
+                       ::testing::Values(0.25, 1.0, 3.0, 25.0, 333.0, 4096.0)));
+
+TEST(SensitivityFitTest, RecoversExactModel) {
+  std::vector<SweepPoint> points;
+  for (double a = 1.0; a <= 512.0; a *= 2.0) {
+    points.push_back({a, model_performance(a, 0.0042)});
+  }
+  const SensitivityFit fit = fit_sensitivity(points);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.k, 0.0042, 1e-6);
+  EXPECT_LT(fit.relative_error(), 0.01);
+}
+
+TEST(SensitivityFitTest, UsabilityGate) {
+  SensitivityFit good{0.005, 0.0002, 0.0, true};
+  EXPECT_TRUE(usable_for_evaluation(good));
+  SensitivityFit tiny{1e-6, 1e-7, 0.0, true};
+  EXPECT_FALSE(usable_for_evaluation(tiny));
+  SensitivityFit noisy{0.005, 0.004, 0.0, true};  // 80% relative error
+  EXPECT_FALSE(usable_for_evaluation(noisy));
+  SensitivityFit diverged{0.005, 0.0002, 0.0, false};
+  EXPECT_FALSE(usable_for_evaluation(diverged));
+}
+
+// --- Curve fitting ------------------------------------------------------------
+
+TEST(CurveFit, LinearSystemSolver) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  std::vector<double> a = {2, 1, 1, -1};
+  std::vector<double> b = {5, 1};
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system(a, b, 2, x));
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(CurveFit, SingularSystemRejected) {
+  std::vector<double> a = {1, 1, 2, 2};
+  std::vector<double> b = {1, 2};
+  std::vector<double> x;
+  EXPECT_FALSE(solve_linear_system(a, b, 2, x));
+}
+
+TEST(CurveFit, FitsTwoParameterExponential) {
+  const Model model = [](double x, std::span<const double> p) {
+    return p[0] * std::exp(-p[1] * x);
+  };
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x < 10.0; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::exp(-0.7 * x));
+  }
+  const double init[] = {1.0, 0.1};
+  const FitResult fit = curve_fit(model, xs, ys, init);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.params[0], 3.0, 1e-4);
+  EXPECT_NEAR(fit.params[1], 0.7, 1e-4);
+}
+
+TEST(CurveFit, ReportsParameterErrorsUnderNoise) {
+  const Model model = [](double x, std::span<const double> p) {
+    return p[0] * x + p[1];
+  };
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 5.0 + ((i % 3) - 1) * 0.1);  // deterministic noise
+  }
+  const double init[] = {1.0, 0.0};
+  const FitResult fit = curve_fit(model, xs, ys, init);
+  EXPECT_NEAR(fit.params[0], 2.0, 0.01);
+  EXPECT_NEAR(fit.params[1], 5.0, 0.1);
+  EXPECT_GT(fit.stderrs[0], 0.0);
+  EXPECT_LT(fit.relative_error(0), 0.01);
+}
+
+TEST(CurveFit, MismatchedInputsThrow) {
+  const Model model = [](double x, std::span<const double> p) { return p[0] * x; };
+  const double xs[] = {1.0, 2.0};
+  const double ys[] = {1.0};
+  const double init[] = {1.0};
+  EXPECT_THROW(curve_fit(model, xs, ys, init), std::invalid_argument);
+  EXPECT_THROW(curve_fit(model, ys, ys, {}), std::invalid_argument);
+}
+
+// --- Cost function calibration -------------------------------------------------
+
+TEST(CostFunctionTest, InjectionShapes) {
+  EXPECT_TRUE(Injection::none().empty());
+  EXPECT_TRUE(Injection::nop_padding(5).is_nop_padding());
+  EXPECT_TRUE(Injection::cost_function(64).is_cost_function());
+  EXPECT_FALSE(Injection::cost_function(64).is_nop_padding());
+}
+
+TEST(CostFunctionTest, CalibrationInterpolatesAndExtrapolates) {
+  CostFunctionCalibration cal;
+  cal.add(1, 2.0);
+  cal.add(4, 5.0);
+  cal.add(16, 17.0);
+  EXPECT_DOUBLE_EQ(cal.ns_for(1), 2.0);
+  EXPECT_DOUBLE_EQ(cal.ns_for(4), 5.0);
+  EXPECT_NEAR(cal.ns_for(2), 3.0, 1e-12);   // interpolation
+  EXPECT_NEAR(cal.ns_for(10), 11.0, 1e-12);
+  EXPECT_NEAR(cal.ns_for(32), 33.0, 1e-12); // linear extrapolation
+  EXPECT_DOUBLE_EQ(cal.ns_for(0), 2.0);     // clamp below
+}
+
+TEST(CostFunctionTest, CalibrationReplacesDuplicates) {
+  CostFunctionCalibration cal;
+  cal.add(8, 10.0);
+  cal.add(8, 12.0);
+  EXPECT_EQ(cal.size(), 1u);
+  EXPECT_DOUBLE_EQ(cal.ns_for(8), 12.0);
+}
+
+TEST(CostFunctionTest, EmptyCalibrationThrows) {
+  CostFunctionCalibration cal;
+  EXPECT_THROW(cal.ns_for(4), std::logic_error);
+}
+
+TEST(CostFunctionTest, StandardSweepSizes) {
+  const auto sizes = standard_sweep_sizes(8);
+  ASSERT_EQ(sizes.size(), 9u);
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_EQ(sizes.back(), 256u);
+}
+
+}  // namespace
+}  // namespace wmm::core

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "native/fences.h"
+
+namespace wmm::native {
+namespace {
+
+TEST(NativeFences, AllKindsProducePositiveTimes) {
+  for (HostFence f : all_host_fences()) {
+    EXPECT_GT(time_host_fence_ns(f, 20000), 0.0) << host_fence_name(f);
+    EXPECT_STRNE(host_fence_name(f), "?");
+  }
+}
+
+TEST(NativeFences, SeqCstStoreCostsMoreThanRelaxedOnTso) {
+  // On x86 a seq_cst store lowers to xchg/mfence while relaxed and
+  // acquire/release stores are plain mov: the full fence must be measurably
+  // slower per operation.
+  const double relaxed = measure_host_fence(HostFence::None, 6, 200000).geomean;
+  const double seq_cst =
+      measure_host_fence(HostFence::SeqCstStore, 6, 200000).geomean;
+  EXPECT_GT(seq_cst, relaxed * 1.5);
+}
+
+TEST(NativeFences, AcquireReleaseNearlyFreeOnTso) {
+  const double relaxed = measure_host_fence(HostFence::None, 6, 200000).geomean;
+  const double acqrel =
+      measure_host_fence(HostFence::AcquireRelease, 6, 200000).geomean;
+  EXPECT_LT(acqrel, relaxed * 2.0 + 1.0);
+}
+
+TEST(NativeFences, SummaryHasPaperStatistics) {
+  const core::SampleSummary s = measure_host_fence(HostFence::None, 6, 50000);
+  EXPECT_EQ(s.n, 6u);
+  EXPECT_GT(s.geomean, 0.0);
+  EXPECT_GE(s.max, s.min);
+  EXPECT_GE(s.ci95, 0.0);
+}
+
+TEST(NativeCostLoop, GrowsWithIterations) {
+  const double t16 = time_host_cost_loop_ns(16, 20000);
+  const double t1024 = time_host_cost_loop_ns(1024, 2000);
+  EXPECT_GT(t1024, t16 * 8.0);
+}
+
+}  // namespace
+}  // namespace wmm::native

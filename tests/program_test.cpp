@@ -1,0 +1,239 @@
+// Tests for the binary-rewriting substrate, the litmus-shape scanner, the
+// causal-profiling comparison, the turnkey evaluator, and response-time
+// statistics.
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "core/turnkey.h"
+#include "sim/causal.h"
+#include "sim/program.h"
+
+namespace wmm {
+namespace {
+
+// --- Program representation -------------------------------------------------
+
+TEST(ProgramTest, SlotAccounting) {
+  sim::Program p;
+  p.push(sim::ProgInstr::nops(4));
+  p.push(sim::ProgInstr::barrier(sim::FenceKind::DmbIsh));
+  p.push(sim::ProgInstr::barrier(sim::FenceKind::CtrlIsb));
+  p.push(sim::ProgInstr::cost_loop(512, true));
+  EXPECT_EQ(p.total_slots(), 4u + 1u + 3u + 5u);
+  // Cost-loop size is independent of the iteration count.
+  sim::Program q;
+  q.push(sim::ProgInstr::cost_loop(4, true));
+  EXPECT_EQ(q.total_slots(), 5u);
+}
+
+TEST(ProgramTest, RunAdvancesCpu) {
+  sim::Machine machine(sim::arm_v8_params());
+  sim::Program p;
+  p.push(sim::ProgInstr::compute(100.0));
+  p.push(sim::ProgInstr::barrier(sim::FenceKind::DmbIsh));
+  const double t = p.run(machine.cpu(0));
+  EXPECT_GT(t, 100.0);
+  EXPECT_DOUBLE_EQ(machine.cpu(0).now(), t);
+}
+
+TEST(ProgramTest, CountFences) {
+  const sim::Program p = sim::make_c11_seqcst_program(10, 0x100);
+  EXPECT_EQ(p.count_fences(sim::FenceKind::DmbIsh), 30u);
+  EXPECT_EQ(p.count_fences(sim::FenceKind::LwSync), 0u);
+}
+
+// --- Binary rewriting ---------------------------------------------------------
+
+TEST(RewriterTest, ReplaceKeepsImageSizeEqual) {
+  const sim::Program original = sim::make_c11_seqcst_program(8, 0x200);
+  sim::Program base, test;
+  // seq_cst (dmb ish) -> acquire/release style: dmb ishld + dmb ishst.
+  sim::BinaryRewriter::replace_fences(
+      original, sim::FenceKind::DmbIsh,
+      {sim::FenceOp::of(sim::FenceKind::DmbIshLd),
+       sim::FenceOp::of(sim::FenceKind::DmbIshSt)},
+      base, test);
+  // Base and test images are identical in size (the methodology's
+  // alignment-invariance requirement).
+  EXPECT_EQ(base.total_slots(), test.total_slots());
+  EXPECT_EQ(base.count_fences(sim::FenceKind::DmbIsh),
+            original.count_fences(sim::FenceKind::DmbIsh));
+  EXPECT_EQ(test.count_fences(sim::FenceKind::DmbIsh), 0u);
+  EXPECT_EQ(test.count_fences(sim::FenceKind::DmbIshLd),
+            original.count_fences(sim::FenceKind::DmbIsh));
+}
+
+TEST(RewriterTest, WeakerFencesRunFaster) {
+  const sim::Program original = sim::make_c11_seqcst_program(50, 0x300);
+  sim::Program base, test;
+  sim::BinaryRewriter::replace_fences(
+      original, sim::FenceKind::DmbIsh,
+      {sim::FenceOp::of(sim::FenceKind::DmbIshSt)}, base, test);
+  sim::Machine m1(sim::arm_v8_params());
+  sim::Machine m2(sim::arm_v8_params());
+  const double t_base = base.run(m1.cpu(0));
+  const double t_test = test.run(m2.cpu(0));
+  EXPECT_LT(t_test, t_base);
+}
+
+TEST(RewriterTest, CostInjectionPadsBaseWithNops) {
+  const sim::Program original = sim::make_c11_seqcst_program(4, 0x400);
+  sim::Program base, test;
+  sim::BinaryRewriter::inject_cost_function(original, sim::FenceKind::DmbIsh,
+                                            128, true, base, test);
+  EXPECT_EQ(base.total_slots(), test.total_slots());
+  sim::Machine m1(sim::arm_v8_params());
+  sim::Machine m2(sim::arm_v8_params());
+  const double t_base = base.run(m1.cpu(0));
+  const double t_test = test.run(m2.cpu(0));
+  // 12 fences x ~72ns loop.
+  EXPECT_GT(t_test - t_base, 12 * 60.0);
+}
+
+// --- Shape scanner ---------------------------------------------------------------
+
+TEST(ShapeScanner, FindsMessagePassingWriter) {
+  sim::Program p;
+  p.push(sim::ProgInstr::shared_store(1));  // payload
+  p.push(sim::ProgInstr::barrier(sim::FenceKind::DmbIshSt));
+  p.push(sim::ProgInstr::shared_store(2));  // flag
+  const sim::ShapeReport r = sim::scan_for_shapes(p);
+  EXPECT_EQ(r.mp_writer_shapes, 1u);
+  EXPECT_EQ(r.fences, 1u);
+  EXPECT_TRUE(r.fencing_sensitive());
+}
+
+TEST(ShapeScanner, FindsStoreBufferingShape) {
+  sim::Program p;
+  p.push(sim::ProgInstr::shared_store(1));
+  p.push(sim::ProgInstr::shared_load(2));
+  const sim::ShapeReport r = sim::scan_for_shapes(p);
+  EXPECT_EQ(r.sb_shapes, 1u);
+  EXPECT_EQ(r.unfenced_racy_pairs, 1u);
+}
+
+TEST(ShapeScanner, PureComputeIsInsensitive) {
+  sim::Program p;
+  p.push(sim::ProgInstr::compute(100.0));
+  p.push(sim::ProgInstr::loads(10, 0.0));
+  p.push(sim::ProgInstr::compute(50.0));
+  const sim::ShapeReport r = sim::scan_for_shapes(p);
+  EXPECT_FALSE(r.fencing_sensitive());
+  EXPECT_EQ(r.fences, 0u);
+}
+
+// --- Causal profiling comparison ---------------------------------------------------
+
+TEST(CausalTest, VirtualSpeedupSlowsOtherThreads) {
+  std::vector<sim::Program> programs;
+  for (int t = 0; t < 4; ++t) {
+    programs.push_back(sim::make_c11_seqcst_program(40, 0x500 + 16 * t));
+  }
+  const sim::CausalEstimate est = sim::causal_virtual_speedup(
+      sim::arm_v8_params(), programs, sim::FenceKind::DmbIsh, 10.0);
+  EXPECT_GT(est.perturbed_ns, est.baseline_ns);
+  EXPECT_GT(est.impact(), 0.05);  // the path runs 120 times
+}
+
+TEST(CausalTest, BothTechniquesAgreeOnIndependentThreads) {
+  // Threads that never interact: the causal estimate of delaying others by d
+  // per invocation and the cost-function estimate of slowing the path by d
+  // per invocation must broadly agree (same critical-path growth).
+  std::vector<sim::Program> programs;
+  for (int t = 0; t < 2; ++t) {
+    programs.push_back(sim::make_c11_seqcst_program(60, 0x600 + 32 * t));
+  }
+  const double delay = 30.0;
+  const sim::CausalEstimate causal = sim::causal_virtual_speedup(
+      sim::arm_v8_params(), programs, sim::FenceKind::DmbIsh, delay);
+  // Cost function sized to roughly `delay` ns.
+  const sim::CausalEstimate cost = sim::cost_function_slowdown(
+      sim::arm_v8_params(), programs, sim::FenceKind::DmbIsh, 50, false);
+  EXPECT_GT(causal.impact(), 0.0);
+  EXPECT_GT(cost.impact(), 0.0);
+  EXPECT_NEAR(causal.impact(), cost.impact(), 0.6 * causal.impact());
+}
+
+TEST(CausalTest, NoWatchedFenceMeansNoImpact) {
+  std::vector<sim::Program> programs = {sim::make_c11_seqcst_program(20, 0x700)};
+  const sim::CausalEstimate est = sim::causal_virtual_speedup(
+      sim::arm_v8_params(), programs, sim::FenceKind::LwSync, 50.0);
+  EXPECT_DOUBLE_EQ(est.baseline_ns, est.perturbed_ns);
+}
+
+// --- Turnkey evaluator ------------------------------------------------------------
+
+class ModelBenchmark final : public core::Benchmark {
+ public:
+  ModelBenchmark(double t0, double per_invocation_ns, double invocations)
+      : t0_(t0), per_(per_invocation_ns), n_(invocations) {}
+  std::string name() const override { return "model"; }
+  double run_once(std::uint64_t) override { return t0_ + n_ * per_; }
+
+ private:
+  double t0_, per_, n_;
+};
+
+TEST(TurnkeyTest, EvaluatesAndRecommends) {
+  // Synthetic platform: T0 = 10000ns, 40 invocations of the code path; nop
+  // padding costs 1ns per invocation, candidate A costs 3ns, candidate B 8ns.
+  constexpr double kT0 = 10000.0;
+  constexpr double kN = 40.0;
+  const auto injected = [&](std::uint32_t iters) -> core::BenchmarkPtr {
+    const double a = iters == 0 ? 1.0 : static_cast<double>(iters);
+    return std::make_unique<ModelBenchmark>(kT0, a, kN);
+  };
+  const std::vector<core::StrategyCandidate> candidates = {
+      {"cheap", [&] { return std::make_unique<ModelBenchmark>(kT0, 3.0, kN); }},
+      {"dear", [&] { return std::make_unique<ModelBenchmark>(kT0, 8.0, kN); }},
+  };
+  const core::TurnkeyReport report = core::evaluate_code_path(
+      "model", "path", injected,
+      [](std::uint32_t iters) { return static_cast<double>(std::max(1u, iters)); },
+      candidates);
+  EXPECT_TRUE(report.benchmark_usable);
+  EXPECT_NEAR(report.sweep.fit.k, kN / (kT0 + kN), 5e-4);
+  ASSERT_EQ(report.strategies.size(), 2u);
+  EXPECT_NEAR(report.strategies[0].implied_cost_ns, 3.0, 0.3);
+  EXPECT_NEAR(report.strategies[1].implied_cost_ns, 8.0, 0.5);
+  EXPECT_EQ(report.recommended, "cheap");
+}
+
+TEST(TurnkeyTest, UnusableBenchmarkFlagged) {
+  // A benchmark that never invokes the code path: zero sensitivity.
+  const auto injected = [](std::uint32_t) -> core::BenchmarkPtr {
+    return std::make_unique<ModelBenchmark>(5000.0, 0.0, 0.0);
+  };
+  const core::TurnkeyReport report = core::evaluate_code_path(
+      "inert", "path", injected,
+      [](std::uint32_t iters) { return static_cast<double>(std::max(1u, iters)); },
+      {});
+  EXPECT_FALSE(report.benchmark_usable);
+  EXPECT_TRUE(report.recommended.empty());
+}
+
+// --- Response-time statistics -------------------------------------------------------
+
+TEST(ResponseStats, PercentileInterpolation) {
+  const double xs[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(core::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(core::percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(core::percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(core::percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(core::percentile(xs, 10.0), 14.0);  // interpolated
+  EXPECT_DOUBLE_EQ(core::percentile({}, 50.0), 0.0);
+}
+
+TEST(ResponseStats, SummaryOrdering) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const core::ResponseSummary r = core::summarize_response(xs);
+  EXPECT_LE(r.p50, r.p95);
+  EXPECT_LE(r.p95, r.p99);
+  EXPECT_LE(r.p99, r.worst);
+  EXPECT_DOUBLE_EQ(r.worst, 100.0);
+  EXPECT_NEAR(r.p50, 50.5, 0.01);
+}
+
+}  // namespace
+}  // namespace wmm

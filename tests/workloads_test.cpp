@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "workloads/jvm_workloads.h"
+#include "workloads/kernel_workloads.h"
+
+namespace wmm::workloads {
+namespace {
+
+TEST(JvmWorkloads, AllEightBenchmarksExist) {
+  const auto names = jvm_benchmark_names();
+  EXPECT_EQ(names.size(), 8u);
+  for (const char* expected : {"h2", "lusearch", "spark", "sunflow", "tomcat",
+                               "tradebeans", "tradesoap", "xalan"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_THROW(jvm_profile("nope"), std::out_of_range);
+}
+
+TEST(JvmWorkloads, RunsAreDeterministicBySeed) {
+  jvm::JvmConfig config;
+  config.arch = sim::Arch::ARMV8;
+  const JvmWorkloadProfile& p = jvm_profile("spark");
+  const double t1 = run_jvm_workload(p, config, 42);
+  const double t2 = run_jvm_workload(p, config, 42);
+  const double t3 = run_jvm_workload(p, config, 43);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_NE(t1, t3);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(JvmWorkloads, BenchmarkAdapterAppliesWarmup) {
+  jvm::JvmConfig config;
+  config.arch = sim::Arch::ARMV8;
+  const core::BenchmarkPtr bench = make_jvm_benchmark("h2", config);
+  const double warm = bench->run_once(0);
+  const double steady = bench->run_once(5);
+  EXPECT_GT(warm, steady);  // JIT warm-up slows the discarded iterations
+}
+
+TEST(JvmWorkloads, NoiseIsPairedAcrossConfigs) {
+  // The same benchmark/sample index must draw the same noise under different
+  // fencing strategies, so tiny effects are detectable with few samples.
+  jvm::JvmConfig base;
+  base.arch = sim::Arch::ARMV8;
+  jvm::JvmConfig test = base;
+  test.storestore_override = sim::FenceKind::DmbIsh;
+  auto b1 = make_jvm_benchmark("spark", base);
+  auto b2 = make_jvm_benchmark("spark", test);
+  // Ratio between configs must be stable across samples (paired noise).
+  std::vector<double> ratios;
+  for (std::uint64_t s = 2; s < 8; ++s) {
+    ratios.push_back(b2->run_once(s) / b1->run_once(s));
+  }
+  const core::SampleSummary summary = core::summarize(ratios);
+  EXPECT_LT(summary.stddev / summary.mean, 0.002);
+}
+
+TEST(JvmWorkloads, InjectionSlowsEveryBenchmark) {
+  for (const auto& profile : jvm_profiles()) {
+    jvm::JvmConfig base;
+    base.arch = sim::Arch::ARMV8;
+    jvm::JvmConfig injected = base;
+    for (jvm::Elemental e : jvm::kAllElementals) {
+      injected.injection_for(e) = core::Injection::cost_function(256, false);
+    }
+    const double t_base = run_jvm_workload(profile, base, 1);
+    const double t_injected = run_jvm_workload(profile, injected, 1);
+    EXPECT_GT(t_injected, t_base) << profile.name;
+  }
+}
+
+TEST(JvmWorkloads, SparkIsMostSensitiveOnBothArchs) {
+  // The headline Figure 5 property, checked directly on simulated times
+  // (noise-free), with a mid-sized cost function.
+  for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
+    double spark_drop = 0.0, best_other = 0.0;
+    for (const auto& profile : jvm_profiles()) {
+      jvm::JvmConfig base;
+      base.arch = arch;
+      jvm::JvmConfig injected = base;
+      for (jvm::Elemental e : jvm::kAllElementals) {
+        injected.injection_for(e) = core::Injection::cost_function(128, arch != sim::Arch::ARMV8);
+      }
+      const double drop = run_jvm_workload(profile, injected, 7) /
+                          run_jvm_workload(profile, base, 7);
+      if (profile.name == "spark") {
+        spark_drop = drop;
+      } else {
+        best_other = std::max(best_other, drop);
+      }
+    }
+    EXPECT_GT(spark_drop, best_other)
+        << "spark must slow the most on " << sim::arch_name(arch);
+  }
+}
+
+TEST(KernelWorkloads, AllElevenBenchmarksRun) {
+  kernel::KernelConfig config;
+  config.arch = sim::Arch::ARMV8;
+  const auto names = kernel_benchmark_names();
+  EXPECT_EQ(names.size(), 11u);
+  for (const std::string& name : names) {
+    const double t = run_kernel_workload(name, config, 3);
+    EXPECT_GT(t, 0.0) << name;
+  }
+  EXPECT_THROW(run_kernel_workload("nope", config, 1), std::out_of_range);
+}
+
+TEST(KernelWorkloads, RbdSubsetIsSubsetOfAll) {
+  const auto all = kernel_benchmark_names();
+  for (const std::string& name : rbd_benchmark_names()) {
+    const bool found =
+        std::find(all.begin(), all.end(), name) != all.end() ||
+        name == "osm_stack_avg";
+    EXPECT_TRUE(found) << name;
+  }
+  EXPECT_EQ(rbd_benchmark_names().size(), 6u);
+}
+
+TEST(KernelWorkloads, Deterministic) {
+  kernel::KernelConfig config;
+  config.arch = sim::Arch::ARMV8;
+  EXPECT_DOUBLE_EQ(run_kernel_workload("netperf_udp", config, 5),
+                   run_kernel_workload("netperf_udp", config, 5));
+}
+
+TEST(KernelWorkloads, JvmBenchmarksNearlyInsensitiveToKernelMacros) {
+  // Figure 8 headline: h2/spark coordinate concurrency inside the JVM, so a
+  // large cost function in smp_mb barely moves them, while netperf suffers.
+  kernel::KernelConfig base;
+  base.arch = sim::Arch::ARMV8;
+  kernel::KernelConfig injected = base;
+  injected.injection_for(kernel::KMacro::SmpMb) =
+      core::Injection::cost_function(1024, true);
+
+  const auto rel = [&](const std::string& name) {
+    return run_kernel_workload(name, injected, 11) /
+           run_kernel_workload(name, base, 11);
+  };
+  EXPECT_LT(rel("h2"), 1.02);
+  EXPECT_LT(rel("spark"), 1.02);
+  EXPECT_GT(rel("netperf_udp"), 1.25);
+}
+
+TEST(KernelWorkloads, RbdStrategiesOrderedOnNetperf) {
+  // ctrl+isb must be the worst strategy; dmb ishld among the best when
+  // ordering is required (Figure 10 shape).
+  kernel::KernelConfig base;
+  base.arch = sim::Arch::ARMV8;
+  const auto time_with = [&](kernel::RbdStrategy s) {
+    kernel::KernelConfig c = base;
+    c.rbd = s;
+    return run_kernel_workload("netperf_udp", c, 17);
+  };
+  const double t_base = time_with(kernel::RbdStrategy::BaseNop);
+  const double t_ishld = time_with(kernel::RbdStrategy::DmbIshld);
+  const double t_isb = time_with(kernel::RbdStrategy::CtrlIsb);
+  EXPECT_GT(t_ishld, t_base);
+  EXPECT_GT(t_isb, t_ishld);
+}
+
+TEST(LmbenchSyscalls, PerSyscallBenchmarksRun) {
+  kernel::KernelConfig config;
+  config.arch = sim::Arch::ARMV8;
+  for (kernel::Syscall s : kernel::kLmbenchSyscalls) {
+    const auto bench = make_lmbench_syscall(s, config);
+    EXPECT_GT(bench->run_once(2), 0.0) << kernel::syscall_name(s);
+  }
+}
+
+TEST(NoiseModelTest, UnstableBenchmarksHaveWiderSpread) {
+  // xalan on POWER must show far more run-to-run spread than spark on ARM
+  // (the paper calls xalan/POWER "not a reasonable benchmark").
+  jvm::JvmConfig arm;
+  arm.arch = sim::Arch::ARMV8;
+  jvm::JvmConfig power;
+  power.arch = sim::Arch::POWER7;
+  auto spark_arm = make_jvm_benchmark("spark", arm);
+  auto xalan_power = make_jvm_benchmark("xalan", power);
+  std::vector<double> s1, s2;
+  for (std::uint64_t i = 2; i < 14; ++i) {
+    s1.push_back(spark_arm->run_once(i));
+    s2.push_back(xalan_power->run_once(i));
+  }
+  const auto sum1 = core::summarize(s1);
+  const auto sum2 = core::summarize(s2);
+  EXPECT_GT(sum2.stddev / sum2.mean, 3.0 * sum1.stddev / sum1.mean);
+}
+
+}  // namespace
+}  // namespace wmm::workloads
