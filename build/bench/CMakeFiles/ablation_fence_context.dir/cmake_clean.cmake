@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fence_context.dir/ablation_fence_context.cpp.o"
+  "CMakeFiles/ablation_fence_context.dir/ablation_fence_context.cpp.o.d"
+  "ablation_fence_context"
+  "ablation_fence_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fence_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fence_context.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_curve_fit.dir/fig01_curve_fit.cpp.o"
+  "CMakeFiles/fig01_curve_fit.dir/fig01_curve_fit.cpp.o.d"
+  "fig01_curve_fit"
+  "fig01_curve_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_curve_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

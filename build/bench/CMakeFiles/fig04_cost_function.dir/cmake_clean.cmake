@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cost_function.dir/fig04_cost_function.cpp.o"
+  "CMakeFiles/fig04_cost_function.dir/fig04_cost_function.cpp.o.d"
+  "fig04_cost_function"
+  "fig04_cost_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cost_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_openjdk_sweep.dir/fig05_openjdk_sweep.cpp.o"
+  "CMakeFiles/fig05_openjdk_sweep.dir/fig05_openjdk_sweep.cpp.o.d"
+  "fig05_openjdk_sweep"
+  "fig05_openjdk_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_openjdk_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_elemental_barriers.dir/fig06_elemental_barriers.cpp.o"
+  "CMakeFiles/fig06_elemental_barriers.dir/fig06_elemental_barriers.cpp.o.d"
+  "fig06_elemental_barriers"
+  "fig06_elemental_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_elemental_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_elemental_barriers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_macro_ranking.dir/fig07_macro_ranking.cpp.o"
+  "CMakeFiles/fig07_macro_ranking.dir/fig07_macro_ranking.cpp.o.d"
+  "fig07_macro_ranking"
+  "fig07_macro_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_macro_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_benchmark_ranking.dir/fig08_benchmark_ranking.cpp.o"
+  "CMakeFiles/fig08_benchmark_ranking.dir/fig08_benchmark_ranking.cpp.o.d"
+  "fig08_benchmark_ranking"
+  "fig08_benchmark_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_benchmark_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_rbd_sensitivity.dir/fig09_rbd_sensitivity.cpp.o"
+  "CMakeFiles/fig09_rbd_sensitivity.dir/fig09_rbd_sensitivity.cpp.o.d"
+  "fig09_rbd_sensitivity"
+  "fig09_rbd_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rbd_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rbd_strategies.dir/fig10_rbd_strategies.cpp.o"
+  "CMakeFiles/fig10_rbd_strategies.dir/fig10_rbd_strategies.cpp.o.d"
+  "fig10_rbd_strategies"
+  "fig10_rbd_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rbd_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

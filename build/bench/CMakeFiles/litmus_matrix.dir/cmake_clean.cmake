@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_matrix.dir/litmus_matrix.cpp.o"
+  "CMakeFiles/litmus_matrix.dir/litmus_matrix.cpp.o.d"
+  "litmus_matrix"
+  "litmus_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

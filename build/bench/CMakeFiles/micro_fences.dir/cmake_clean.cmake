@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fences.dir/micro_fences.cpp.o"
+  "CMakeFiles/micro_fences.dir/micro_fences.cpp.o.d"
+  "micro_fences"
+  "micro_fences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

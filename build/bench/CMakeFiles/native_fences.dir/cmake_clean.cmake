@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_fences.dir/native_fences.cpp.o"
+  "CMakeFiles/native_fences.dir/native_fences.cpp.o.d"
+  "native_fences"
+  "native_fences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_acqrel.dir/tab_acqrel.cpp.o"
+  "CMakeFiles/tab_acqrel.dir/tab_acqrel.cpp.o.d"
+  "tab_acqrel"
+  "tab_acqrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_acqrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_binary_rewrite.dir/tab_binary_rewrite.cpp.o"
+  "CMakeFiles/tab_binary_rewrite.dir/tab_binary_rewrite.cpp.o.d"
+  "tab_binary_rewrite"
+  "tab_binary_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_binary_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_causal_compare.dir/tab_causal_compare.cpp.o"
+  "CMakeFiles/tab_causal_compare.dir/tab_causal_compare.cpp.o.d"
+  "tab_causal_compare"
+  "tab_causal_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_causal_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

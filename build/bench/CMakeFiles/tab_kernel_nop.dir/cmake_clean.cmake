@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_kernel_nop.dir/tab_kernel_nop.cpp.o"
+  "CMakeFiles/tab_kernel_nop.dir/tab_kernel_nop.cpp.o.d"
+  "tab_kernel_nop"
+  "tab_kernel_nop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_kernel_nop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

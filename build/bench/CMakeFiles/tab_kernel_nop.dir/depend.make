@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_kernel_nop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_lmbench_subs.cpp" "bench/CMakeFiles/tab_lmbench_subs.dir/tab_lmbench_subs.cpp.o" "gcc" "bench/CMakeFiles/tab_lmbench_subs.dir/tab_lmbench_subs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wmm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/wmm_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/wmm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wmm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_lmbench_subs.dir/tab_lmbench_subs.cpp.o"
+  "CMakeFiles/tab_lmbench_subs.dir/tab_lmbench_subs.cpp.o.d"
+  "tab_lmbench_subs"
+  "tab_lmbench_subs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_lmbench_subs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_lock_patch.dir/tab_lock_patch.cpp.o"
+  "CMakeFiles/tab_lock_patch.dir/tab_lock_patch.cpp.o.d"
+  "tab_lock_patch"
+  "tab_lock_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_lock_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_nop_impact.dir/tab_nop_impact.cpp.o"
+  "CMakeFiles/tab_nop_impact.dir/tab_nop_impact.cpp.o.d"
+  "tab_nop_impact"
+  "tab_nop_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_nop_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_rbd_costs.dir/tab_rbd_costs.cpp.o"
+  "CMakeFiles/tab_rbd_costs.dir/tab_rbd_costs.cpp.o.d"
+  "tab_rbd_costs"
+  "tab_rbd_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_rbd_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sc_upper_bound.dir/tab_sc_upper_bound.cpp.o"
+  "CMakeFiles/tab_sc_upper_bound.dir/tab_sc_upper_bound.cpp.o.d"
+  "tab_sc_upper_bound"
+  "tab_sc_upper_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sc_upper_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_sc_upper_bound.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_storestore.dir/tab_storestore.cpp.o"
+  "CMakeFiles/tab_storestore.dir/tab_storestore.cpp.o.d"
+  "tab_storestore"
+  "tab_storestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_storestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

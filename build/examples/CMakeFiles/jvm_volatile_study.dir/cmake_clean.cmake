@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_volatile_study.dir/jvm_volatile_study.cpp.o"
+  "CMakeFiles/jvm_volatile_study.dir/jvm_volatile_study.cpp.o.d"
+  "jvm_volatile_study"
+  "jvm_volatile_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_volatile_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_rbd_study.dir/kernel_rbd_study.cpp.o"
+  "CMakeFiles/kernel_rbd_study.dir/kernel_rbd_study.cpp.o.d"
+  "kernel_rbd_study"
+  "kernel_rbd_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_rbd_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_fence_timing.dir/native_fence_timing.cpp.o"
+  "CMakeFiles/native_fence_timing.dir/native_fence_timing.cpp.o.d"
+  "native_fence_timing"
+  "native_fence_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_fence_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

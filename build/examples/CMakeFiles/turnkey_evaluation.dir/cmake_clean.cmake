@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnkey_evaluation.dir/turnkey_evaluation.cpp.o"
+  "CMakeFiles/turnkey_evaluation.dir/turnkey_evaluation.cpp.o.d"
+  "turnkey_evaluation"
+  "turnkey_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnkey_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

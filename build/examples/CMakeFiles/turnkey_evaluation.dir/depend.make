@@ -1,0 +1,2 @@
+# Empty dependencies file for turnkey_evaluation.
+# This may be replaced when dependencies are built.

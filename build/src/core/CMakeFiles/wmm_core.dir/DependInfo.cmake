@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_function.cpp" "src/core/CMakeFiles/wmm_core.dir/cost_function.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/cost_function.cpp.o.d"
+  "/root/repo/src/core/curve_fit.cpp" "src/core/CMakeFiles/wmm_core.dir/curve_fit.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/curve_fit.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/wmm_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/wmm_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/wmm_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/wmm_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/wmm_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/turnkey.cpp" "src/core/CMakeFiles/wmm_core.dir/turnkey.cpp.o" "gcc" "src/core/CMakeFiles/wmm_core.dir/turnkey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmm_core.dir/cost_function.cpp.o"
+  "CMakeFiles/wmm_core.dir/cost_function.cpp.o.d"
+  "CMakeFiles/wmm_core.dir/curve_fit.cpp.o"
+  "CMakeFiles/wmm_core.dir/curve_fit.cpp.o.d"
+  "CMakeFiles/wmm_core.dir/experiment.cpp.o"
+  "CMakeFiles/wmm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/wmm_core.dir/harness.cpp.o"
+  "CMakeFiles/wmm_core.dir/harness.cpp.o.d"
+  "CMakeFiles/wmm_core.dir/report.cpp.o"
+  "CMakeFiles/wmm_core.dir/report.cpp.o.d"
+  "CMakeFiles/wmm_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/wmm_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/wmm_core.dir/stats.cpp.o"
+  "CMakeFiles/wmm_core.dir/stats.cpp.o.d"
+  "CMakeFiles/wmm_core.dir/turnkey.cpp.o"
+  "CMakeFiles/wmm_core.dir/turnkey.cpp.o.d"
+  "libwmm_core.a"
+  "libwmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

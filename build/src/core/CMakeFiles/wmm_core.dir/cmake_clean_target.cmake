@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwmm_core.a"
+)

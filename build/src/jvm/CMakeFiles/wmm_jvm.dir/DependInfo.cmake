@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/barriers.cpp" "src/jvm/CMakeFiles/wmm_jvm.dir/barriers.cpp.o" "gcc" "src/jvm/CMakeFiles/wmm_jvm.dir/barriers.cpp.o.d"
+  "/root/repo/src/jvm/fencing.cpp" "src/jvm/CMakeFiles/wmm_jvm.dir/fencing.cpp.o" "gcc" "src/jvm/CMakeFiles/wmm_jvm.dir/fencing.cpp.o.d"
+  "/root/repo/src/jvm/runtime.cpp" "src/jvm/CMakeFiles/wmm_jvm.dir/runtime.cpp.o" "gcc" "src/jvm/CMakeFiles/wmm_jvm.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wmm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

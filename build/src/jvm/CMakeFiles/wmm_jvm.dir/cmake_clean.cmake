@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmm_jvm.dir/barriers.cpp.o"
+  "CMakeFiles/wmm_jvm.dir/barriers.cpp.o.d"
+  "CMakeFiles/wmm_jvm.dir/fencing.cpp.o"
+  "CMakeFiles/wmm_jvm.dir/fencing.cpp.o.d"
+  "CMakeFiles/wmm_jvm.dir/runtime.cpp.o"
+  "CMakeFiles/wmm_jvm.dir/runtime.cpp.o.d"
+  "libwmm_jvm.a"
+  "libwmm_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmm_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

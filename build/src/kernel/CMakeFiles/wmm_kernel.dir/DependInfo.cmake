@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/alloc.cpp" "src/kernel/CMakeFiles/wmm_kernel.dir/alloc.cpp.o" "gcc" "src/kernel/CMakeFiles/wmm_kernel.dir/alloc.cpp.o.d"
+  "/root/repo/src/kernel/barriers.cpp" "src/kernel/CMakeFiles/wmm_kernel.dir/barriers.cpp.o" "gcc" "src/kernel/CMakeFiles/wmm_kernel.dir/barriers.cpp.o.d"
+  "/root/repo/src/kernel/net.cpp" "src/kernel/CMakeFiles/wmm_kernel.dir/net.cpp.o" "gcc" "src/kernel/CMakeFiles/wmm_kernel.dir/net.cpp.o.d"
+  "/root/repo/src/kernel/sync.cpp" "src/kernel/CMakeFiles/wmm_kernel.dir/sync.cpp.o" "gcc" "src/kernel/CMakeFiles/wmm_kernel.dir/sync.cpp.o.d"
+  "/root/repo/src/kernel/syscall.cpp" "src/kernel/CMakeFiles/wmm_kernel.dir/syscall.cpp.o" "gcc" "src/kernel/CMakeFiles/wmm_kernel.dir/syscall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wmm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmm_kernel.dir/alloc.cpp.o"
+  "CMakeFiles/wmm_kernel.dir/alloc.cpp.o.d"
+  "CMakeFiles/wmm_kernel.dir/barriers.cpp.o"
+  "CMakeFiles/wmm_kernel.dir/barriers.cpp.o.d"
+  "CMakeFiles/wmm_kernel.dir/net.cpp.o"
+  "CMakeFiles/wmm_kernel.dir/net.cpp.o.d"
+  "CMakeFiles/wmm_kernel.dir/sync.cpp.o"
+  "CMakeFiles/wmm_kernel.dir/sync.cpp.o.d"
+  "CMakeFiles/wmm_kernel.dir/syscall.cpp.o"
+  "CMakeFiles/wmm_kernel.dir/syscall.cpp.o.d"
+  "libwmm_kernel.a"
+  "libwmm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmm_native.dir/fences.cpp.o"
+  "CMakeFiles/wmm_native.dir/fences.cpp.o.d"
+  "libwmm_native.a"
+  "libwmm_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmm_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

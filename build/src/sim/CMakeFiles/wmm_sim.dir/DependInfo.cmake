@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arch.cpp" "src/sim/CMakeFiles/wmm_sim.dir/arch.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/arch.cpp.o.d"
+  "/root/repo/src/sim/calibrate.cpp" "src/sim/CMakeFiles/wmm_sim.dir/calibrate.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/calibrate.cpp.o.d"
+  "/root/repo/src/sim/causal.cpp" "src/sim/CMakeFiles/wmm_sim.dir/causal.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/causal.cpp.o.d"
+  "/root/repo/src/sim/fence.cpp" "src/sim/CMakeFiles/wmm_sim.dir/fence.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/fence.cpp.o.d"
+  "/root/repo/src/sim/litmus.cpp" "src/sim/CMakeFiles/wmm_sim.dir/litmus.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/litmus.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/wmm_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/sim/CMakeFiles/wmm_sim.dir/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/sim/CMakeFiles/wmm_sim.dir/program.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/program.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/wmm_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/wmm_sim.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wmm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmm_sim.dir/arch.cpp.o"
+  "CMakeFiles/wmm_sim.dir/arch.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/calibrate.cpp.o"
+  "CMakeFiles/wmm_sim.dir/calibrate.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/causal.cpp.o"
+  "CMakeFiles/wmm_sim.dir/causal.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/fence.cpp.o"
+  "CMakeFiles/wmm_sim.dir/fence.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/litmus.cpp.o"
+  "CMakeFiles/wmm_sim.dir/litmus.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/machine.cpp.o"
+  "CMakeFiles/wmm_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/wmm_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/program.cpp.o"
+  "CMakeFiles/wmm_sim.dir/program.cpp.o.d"
+  "CMakeFiles/wmm_sim.dir/rng.cpp.o"
+  "CMakeFiles/wmm_sim.dir/rng.cpp.o.d"
+  "libwmm_sim.a"
+  "libwmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

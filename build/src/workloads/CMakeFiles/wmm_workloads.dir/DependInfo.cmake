@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/jvm_workloads.cpp" "src/workloads/CMakeFiles/wmm_workloads.dir/jvm_workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/wmm_workloads.dir/jvm_workloads.cpp.o.d"
+  "/root/repo/src/workloads/kernel_workloads.cpp" "src/workloads/CMakeFiles/wmm_workloads.dir/kernel_workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/wmm_workloads.dir/kernel_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jvm/CMakeFiles/wmm_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/wmm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wmm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

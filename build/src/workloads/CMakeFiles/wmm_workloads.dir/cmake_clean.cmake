@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmm_workloads.dir/jvm_workloads.cpp.o"
+  "CMakeFiles/wmm_workloads.dir/jvm_workloads.cpp.o.d"
+  "CMakeFiles/wmm_workloads.dir/kernel_workloads.cpp.o"
+  "CMakeFiles/wmm_workloads.dir/kernel_workloads.cpp.o.d"
+  "libwmm_workloads.a"
+  "libwmm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_harness_test.dir/core_harness_test.cpp.o"
+  "CMakeFiles/core_harness_test.dir/core_harness_test.cpp.o.d"
+  "core_harness_test"
+  "core_harness_test.pdb"
+  "core_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_litmus_test.dir/sim_litmus_test.cpp.o"
+  "CMakeFiles/sim_litmus_test.dir/sim_litmus_test.cpp.o.d"
+  "sim_litmus_test"
+  "sim_litmus_test.pdb"
+  "sim_litmus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_litmus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/core_harness_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/native_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
