@@ -1,0 +1,142 @@
+// Differential conformance fuzzer driver.
+//
+// Cross-checks the operational litmus executor against the axiomatic oracle
+// over randomly generated programs, printing a per-architecture summary and a
+// shrunk reproducer for any divergence.
+//
+// Usage:
+//   fuzz_conformance [--arch=sc|tso|arm|power|all] [--count=N] [--seed=S]
+//                    [--replay=SEED] [--weaken=tso-wr|deps|poloc|acqrel]
+//                    [--max-divergences=N]
+//
+//   --replay=SEED  regenerate exactly the program of one seed (as printed in
+//                  a divergence report), show both models' verdicts, and exit
+//                  non-zero if they still disagree.
+//   --weaken=...   deliberately weaken one axiomatic constraint (self-test:
+//                  the fuzzer must catch the planted bug).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/fuzz.h"
+
+namespace {
+
+using namespace wmm;
+
+std::vector<sim::Arch> parse_archs(const std::string& s) {
+  if (s == "sc") return {sim::Arch::SC};
+  if (s == "tso" || s == "x86") return {sim::Arch::X86_TSO};
+  if (s == "arm") return {sim::Arch::ARMV8};
+  if (s == "power") return {sim::Arch::POWER7};
+  if (s == "all") {
+    return {sim::Arch::SC, sim::Arch::X86_TSO, sim::Arch::ARMV8,
+            sim::Arch::POWER7};
+  }
+  std::fprintf(stderr, "unknown --arch=%s\n", s.c_str());
+  std::exit(2);
+}
+
+sim::AxiomaticOptions parse_weaken(const std::string& s) {
+  sim::AxiomaticOptions o;
+  if (s == "tso-wr") {
+    o.drop_tso_store_load_fence = true;
+  } else if (s == "deps") {
+    o.drop_dependency_order = true;
+  } else if (s == "poloc") {
+    o.drop_same_location_order = true;
+  } else if (s == "acqrel") {
+    o.drop_acquire_release = true;
+  } else {
+    std::fprintf(stderr, "unknown --weaken=%s\n", s.c_str());
+    std::exit(2);
+  }
+  return o;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 0);
+}
+
+int replay(std::uint64_t seed, const std::vector<sim::Arch>& archs,
+           const sim::AxiomaticOptions& options) {
+  int failures = 0;
+  for (sim::Arch arch : archs) {
+    const sim::LitmusTest test =
+        sim::generate_litmus(seed, sim::FuzzConfig::for_arch(arch));
+    std::printf("== replay seed 0x%llx on %s ==\n",
+                static_cast<unsigned long long>(seed), sim::arch_name(arch));
+    std::printf("%s", sim::format_litmus(test).c_str());
+    if (auto d = sim::check_conformance(test, arch, options)) {
+      d->seed = seed;
+      d->shrunk = sim::shrink_divergent(test, arch, options);
+      if (auto ds = sim::check_conformance(d->shrunk, arch, options)) {
+        d->outcome = ds->outcome;
+        d->operational_allowed = ds->operational_allowed;
+        d->axiomatic_allowed = ds->axiomatic_allowed;
+        d->axiom = ds->axiom;
+      }
+      std::printf("%s", d->report().c_str());
+      ++failures;
+    } else {
+      std::printf("  conformant: operational and axiomatic models agree\n");
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<sim::Arch> archs = parse_archs("all");
+  int count = 1000;
+  std::uint64_t base_seed = 0xc0ffee;
+  std::uint64_t replay_seed = 0;
+  bool do_replay = false;
+  int max_divergences = 1;
+  sim::AxiomaticOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--arch=", 0) == 0) {
+      archs = parse_archs(value("--arch="));
+    } else if (arg.rfind("--count=", 0) == 0) {
+      count = static_cast<int>(parse_u64(value("--count=")));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      base_seed = parse_u64(value("--seed="));
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_seed = parse_u64(value("--replay="));
+      do_replay = true;
+    } else if (arg.rfind("--weaken=", 0) == 0) {
+      options = parse_weaken(value("--weaken="));
+    } else if (arg.rfind("--max-divergences=", 0) == 0) {
+      max_divergences = static_cast<int>(parse_u64(value("--max-divergences=")));
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (do_replay) return replay(replay_seed, archs, options);
+
+  int failures = 0;
+  for (sim::Arch arch : archs) {
+    const sim::FuzzReport report = sim::run_conformance_corpus(
+        arch, base_seed, count, sim::FuzzConfig::for_arch(arch), options,
+        max_divergences);
+    std::printf("%-8s %6d programs  %9lld outcomes cross-checked  %s\n",
+                sim::arch_name(arch), report.programs, report.outcomes_checked,
+                report.ok() ? "OK" : "DIVERGED");
+    for (const sim::Divergence& d : report.divergences) {
+      std::printf("%s", d.report().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,414 @@
+#include "sim/axiomatic.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace wmm::sim {
+
+namespace {
+
+// --- Fence ordering classes, re-derived independently of fence.cpp ---------
+//
+// Which program-order access-class pairs each fence instruction preserves.
+// R = read before the fence, W = write before; second letter is the access
+// after the fence.  Sources: ARMv8 ARM B2.3 (DMB/DSB/ISB), Power ISA 2.07
+// Book II (sync/lwsync/isync), Intel SDM vol 3 8.2 (MFENCE).
+struct AxOrder {
+  bool rr = false, rw = false, wr = false, ww = false;
+};
+
+AxOrder ax_fence_class(FenceKind kind) {
+  switch (kind) {
+    // Full barriers: everything before ordered with everything after.
+    case FenceKind::DmbIsh:
+    case FenceKind::DsbSy:
+    case FenceKind::HwSync:
+    case FenceKind::Mfence:
+      return {true, true, true, true};
+    // lwsync: all pairs except store→load.
+    case FenceKind::LwSync:
+      return {true, true, false, true};
+    // dmb ishld: loads before ordered with loads and stores after.
+    case FenceKind::DmbIshLd:
+      return {true, true, false, false};
+    // Control dependency completed by isb/isync: prior reads ordered with
+    // every later access (the read-ordering recipe); plain isb or a bare
+    // control "fence" instruction orders nothing by itself.
+    case FenceKind::CtrlIsb:
+    case FenceKind::ISync:
+      return {true, true, false, false};
+    // dmb ishst: stores before ordered with stores after.
+    case FenceKind::DmbIshSt:
+      return {false, false, false, true};
+    case FenceKind::Isb:
+    case FenceKind::CtrlDep:
+    case FenceKind::None:
+    case FenceKind::Nop:
+    case FenceKind::CompilerOnly:
+      return {};
+  }
+  return {};
+}
+
+bool ax_is_access(const LitmusInstr& in) { return in.type != AccessType::Fence; }
+bool ax_is_read(const LitmusInstr& in) { return in.type == AccessType::Read; }
+bool ax_is_write(const LitmusInstr& in) { return in.type == AccessType::Write; }
+
+// --- Candidate-execution machinery -----------------------------------------
+
+constexpr std::size_t kMaxEvents = 30;  // adjacency rows fit in a uint32_t
+
+struct AxEvent {
+  int tid = -1;
+  int idx = -1;  // instruction index within the thread
+  bool write = false;
+  int var = -1;
+  int value = 0;
+  int reg = -1;
+};
+
+struct CandidateSpace {
+  const LitmusTest* test = nullptr;
+  std::vector<AxEvent> events;
+  // events index by (tid, instr idx); -1 for fences.
+  std::vector<std::vector<int>> event_of;
+  std::vector<int> reads;   // event ids
+  std::vector<int> writes;  // event ids
+  std::vector<std::vector<int>> writes_by_var;
+  // rf candidates per read (position in `reads`): write event ids, -1 = init.
+  std::vector<std::vector<int>> rf_candidates;
+
+  // Static edge sets (event-id pairs).
+  std::vector<std::pair<int, int>> ppo_edges;    // arch-preserved order
+  std::vector<std::pair<int, int>> poloc_edges;  // same-location program order
+};
+
+// Directed graph over candidate events with O(n^2) Kahn acyclicity check.
+class EdgeGraph {
+ public:
+  explicit EdgeGraph(std::size_t n) : n_(n), succ_(n, 0u) {}
+
+  void add(int from, int to) {
+    if (from == to) {
+      self_loop_ = true;
+      return;
+    }
+    succ_[static_cast<std::size_t>(from)] |= 1u << to;
+  }
+
+  void reset(const std::vector<std::pair<int, int>>& base) {
+    std::fill(succ_.begin(), succ_.end(), 0u);
+    self_loop_ = false;
+    for (const auto& [a, b] : base) add(a, b);
+  }
+
+  bool acyclic() const {
+    if (self_loop_) return false;
+    std::uint32_t removed = 0;
+    const std::uint32_t all = n_ == 32 ? 0xffffffffu : ((1u << n_) - 1u);
+    for (std::size_t round = 0; round < n_; ++round) {
+      bool progress = false;
+      for (std::size_t v = 0; v < n_; ++v) {
+        if (removed & (1u << v)) continue;
+        // v is a sink (no live successors) -> remove it.
+        if ((succ_[v] & ~removed) == 0) {
+          removed |= 1u << v;
+          progress = true;
+        }
+      }
+      if (removed == all) return true;
+      if (!progress) return false;
+    }
+    return removed == all;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> succ_;
+  bool self_loop_ = false;
+};
+
+// Preserved program order between instructions i < j of `thread` (both
+// accesses), re-derived from the architecture definitions.
+bool ppo_pair(const LitmusThread& thread, std::size_t i, std::size_t j,
+              Arch arch, const AxiomaticOptions& opt) {
+  const LitmusInstr& a = thread.instrs[i];
+  const LitmusInstr& b = thread.instrs[j];
+
+  // Sequential consistency preserves all of program order.
+  if (arch == Arch::SC) return true;
+
+  // Per-location coherence: accesses to the same location commit in program
+  // order on every simulated architecture (no store forwarding past a same-
+  // location access in this model).
+  if (!opt.drop_same_location_order && a.var >= 0 && a.var == b.var) {
+    return true;
+  }
+
+  // Dependencies carried through registers written by earlier reads.
+  if (ax_is_read(a) && a.reg >= 0) {
+    if (!opt.drop_dependency_order &&
+        (b.addr_dep == a.reg || b.data_dep == a.reg)) {
+      return true;
+    }
+    // A bare control dependency orders the read only with dependent writes;
+    // dependent reads may still be speculated past the branch.
+    if (b.ctrl_dep == a.reg && ax_is_write(b)) return true;
+  }
+
+  // Acquire/release annotations (RCsc ldar/stlr semantics).
+  if (!opt.drop_acquire_release) {
+    if (a.acquire && ax_is_read(a)) return true;
+    if (b.release && ax_is_write(b)) return true;
+    if (a.release && b.acquire) return true;
+  }
+
+  // TSO preserves everything except store -> later load.
+  if (arch == Arch::X86_TSO) {
+    if (!(ax_is_write(a) && ax_is_read(b))) return true;
+  }
+
+  // Fence instructions strictly between the two accesses.
+  for (std::size_t f = i + 1; f < j; ++f) {
+    const LitmusInstr& fence = thread.instrs[f];
+    if (ax_is_access(fence)) continue;
+    AxOrder cls = ax_fence_class(fence.fence);
+    if (opt.drop_tso_store_load_fence && arch == Arch::X86_TSO) {
+      cls.wr = false;
+    }
+    const bool covered = ax_is_read(a) ? (ax_is_read(b) ? cls.rr : cls.rw)
+                                       : (ax_is_read(b) ? cls.wr : cls.ww);
+    if (covered) return true;
+  }
+  return false;
+}
+
+CandidateSpace build_space(const LitmusTest& test, Arch arch,
+                           const AxiomaticOptions& opt) {
+  CandidateSpace s;
+  s.test = &test;
+  s.event_of.resize(test.threads.size());
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    s.event_of[t].assign(test.threads[t].instrs.size(), -1);
+    for (std::size_t i = 0; i < test.threads[t].instrs.size(); ++i) {
+      const LitmusInstr& in = test.threads[t].instrs[i];
+      if (!ax_is_access(in)) continue;
+      AxEvent e;
+      e.tid = static_cast<int>(t);
+      e.idx = static_cast<int>(i);
+      e.write = ax_is_write(in);
+      e.var = in.var;
+      e.value = in.value;
+      e.reg = in.reg;
+      s.event_of[t][i] = static_cast<int>(s.events.size());
+      s.events.push_back(e);
+    }
+  }
+  if (s.events.size() > kMaxEvents) {
+    throw std::invalid_argument("litmus test too large for axiomatic checker");
+  }
+
+  s.writes_by_var.assign(static_cast<std::size_t>(test.num_vars), {});
+  for (std::size_t e = 0; e < s.events.size(); ++e) {
+    if (s.events[e].write) {
+      s.writes.push_back(static_cast<int>(e));
+      s.writes_by_var[static_cast<std::size_t>(s.events[e].var)].push_back(
+          static_cast<int>(e));
+    } else {
+      s.reads.push_back(static_cast<int>(e));
+    }
+  }
+  for (int r : s.reads) {
+    std::vector<int> cand = {-1};  // the initial value (zero)
+    for (int w : s.writes_by_var[static_cast<std::size_t>(s.events[static_cast<std::size_t>(r)].var)]) {
+      cand.push_back(w);
+    }
+    s.rf_candidates.push_back(std::move(cand));
+  }
+
+  // Static program-order relations.
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    const LitmusThread& thread = test.threads[t];
+    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+      if (s.event_of[t][i] < 0) continue;
+      for (std::size_t j = i + 1; j < thread.instrs.size(); ++j) {
+        if (s.event_of[t][j] < 0) continue;
+        const int ei = s.event_of[t][i];
+        const int ej = s.event_of[t][j];
+        if (ppo_pair(thread, i, j, arch, opt)) s.ppo_edges.push_back({ei, ej});
+        const LitmusInstr& a = thread.instrs[i];
+        const LitmusInstr& b = thread.instrs[j];
+        if (!opt.drop_same_location_order && a.var >= 0 && a.var == b.var) {
+          s.poloc_edges.push_back({ei, ej});
+        }
+      }
+    }
+  }
+  return s;
+}
+
+// One fully chosen candidate execution.
+struct Candidate {
+  // rf[k]: source write event of read s.reads[k], -1 = initial value.
+  std::vector<int> rf;
+  // co[v]: the coherence order of var v's writes (event ids, first = oldest).
+  std::vector<std::vector<int>> co;
+};
+
+// Communication edges (rf, co chain, fr via immediate co successors) added to
+// `g`.  Using only immediate co successors is equivalent for acyclicity since
+// full co/fr are contained in the transitive closure of the chain form.
+void add_com_edges(EdgeGraph& g, const CandidateSpace& s, const Candidate& c,
+                   bool include_fr) {
+  for (const std::vector<int>& chain : c.co) {
+    for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+      g.add(chain[k], chain[k + 1]);
+    }
+  }
+  for (std::size_t k = 0; k < s.reads.size(); ++k) {
+    const int r = s.reads[k];
+    const int w = c.rf[k];
+    if (w >= 0) g.add(w, r);
+    if (!include_fr) continue;
+    const std::vector<int>& chain =
+        c.co[static_cast<std::size_t>(s.events[static_cast<std::size_t>(r)].var)];
+    if (w < 0) {
+      // Read of the initial value precedes every write to the location.
+      if (!chain.empty()) g.add(r, chain.front());
+    } else {
+      const auto it = std::find(chain.begin(), chain.end(), w);
+      if (it != chain.end() && it + 1 != chain.end()) g.add(r, *(it + 1));
+    }
+  }
+}
+
+Outcome outcome_of(const CandidateSpace& s, const Candidate& c) {
+  Outcome out(static_cast<std::size_t>(s.test->num_regs), 0);
+  for (std::size_t k = 0; k < s.reads.size(); ++k) {
+    const AxEvent& r = s.events[static_cast<std::size_t>(s.reads[k])];
+    if (r.reg < 0) continue;
+    out[static_cast<std::size_t>(r.reg)] =
+        c.rf[k] < 0 ? 0 : s.events[static_cast<std::size_t>(c.rf[k])].value;
+  }
+  for (int v = 0; v < s.test->num_vars; ++v) {
+    const std::vector<int>& chain = c.co[static_cast<std::size_t>(v)];
+    out.push_back(chain.empty()
+                      ? 0
+                      : s.events[static_cast<std::size_t>(chain.back())].value);
+  }
+  return out;
+}
+
+// Does this candidate satisfy the architecture's axioms?
+bool candidate_allowed(const CandidateSpace& s, const Candidate& c, Arch arch) {
+  EdgeGraph g(s.events.size());
+  if (allows_early_forwarding(arch)) {
+    // POWER envelope: COHERENCE + CAUSALITY (see axiomatic.h).
+    g.reset(s.poloc_edges);
+    add_com_edges(g, s, c, /*include_fr=*/true);
+    if (!g.acyclic()) return false;
+    g.reset(s.ppo_edges);
+    add_com_edges(g, s, c, /*include_fr=*/false);
+    return g.acyclic();
+  }
+  // Multi-copy-atomic architectures: acyclic(ppo ∪ rf ∪ co ∪ fr), exact.
+  g.reset(s.ppo_edges);
+  add_com_edges(g, s, c, /*include_fr=*/true);
+  return g.acyclic();
+}
+
+// Enumerate every (rf, co) candidate, calling `visit(c)`; `visit` returns
+// true to stop early.
+template <typename Visit>
+void for_each_candidate(const CandidateSpace& s, const Visit& visit) {
+  Candidate c;
+  c.rf.assign(s.reads.size(), -1);
+  c.co.resize(s.writes_by_var.size());
+
+  // Odometer over per-variable coherence permutations.
+  std::vector<std::vector<int>> perms = s.writes_by_var;
+  for (auto& p : perms) std::sort(p.begin(), p.end());
+
+  const std::size_t nvars = perms.size();
+  // Recursive enumeration: vars (permutations), then reads (rf choices).
+  struct Enumerator {
+    const CandidateSpace& s;
+    Candidate& c;
+    const Visit& visit;
+    bool stopped = false;
+
+    void rf_level(std::size_t k) {
+      if (stopped) return;
+      if (k == s.reads.size()) {
+        stopped = visit(c);
+        return;
+      }
+      for (int cand : s.rf_candidates[k]) {
+        c.rf[k] = cand;
+        rf_level(k + 1);
+        if (stopped) return;
+      }
+    }
+  };
+
+  Enumerator en{s, c, visit};
+  std::vector<std::vector<int>> perm = perms;
+  // Iterate the cartesian product of per-variable permutations.
+  std::size_t v = 0;
+  // Initialise all chains to the first permutation.
+  for (std::size_t i = 0; i < nvars; ++i) c.co[i] = perm[i];
+  while (true) {
+    en.rf_level(0);
+    if (en.stopped) return;
+    // Advance the permutation odometer.
+    for (v = 0; v < nvars; ++v) {
+      if (std::next_permutation(perm[v].begin(), perm[v].end())) {
+        c.co[v] = perm[v];
+        break;
+      }
+      // Wrapped: std::next_permutation left it sorted (first permutation).
+      c.co[v] = perm[v];
+    }
+    if (v == nvars) return;
+  }
+}
+
+}  // namespace
+
+bool axiomatic_ppo(const LitmusThread& thread, std::size_t i, std::size_t j,
+                   Arch arch, const AxiomaticOptions& options) {
+  if (i >= j || j >= thread.instrs.size()) return false;
+  if (!ax_is_access(thread.instrs[i]) || !ax_is_access(thread.instrs[j])) {
+    return false;
+  }
+  return ppo_pair(thread, i, j, arch, options);
+}
+
+std::set<Outcome> axiomatic_outcomes(const LitmusTest& test, Arch arch,
+                                     const AxiomaticOptions& options) {
+  const CandidateSpace s = build_space(test, arch, options);
+  std::set<Outcome> out;
+  for_each_candidate(s, [&](const Candidate& c) {
+    if (candidate_allowed(s, c, arch)) out.insert(outcome_of(s, c));
+    return false;
+  });
+  return out;
+}
+
+bool axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
+                       Arch arch, const AxiomaticOptions& options) {
+  const CandidateSpace s = build_space(test, arch, options);
+  bool found = false;
+  for_each_candidate(s, [&](const Candidate& c) {
+    if (candidate_allowed(s, c, arch) && outcome_of(s, c) == outcome) {
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  return found;
+}
+
+}  // namespace wmm::sim

@@ -1,0 +1,90 @@
+// Axiomatic (Herding-Cats-style) checker for the simulated memory models.
+//
+// This is an *independent oracle* for the operational litmus executor in
+// memory_model.{h,cpp}.  Instead of enumerating per-thread commit orders and
+// interleavings, it enumerates *candidate executions* in the style of Alglave
+// et al.'s "Herding Cats": a reads-from relation (rf) assigning every read a
+// source write (or the initial value), and a coherence order (co) totally
+// ordering the writes of each location.  A candidate is architecturally
+// allowed when the relations it induces satisfy the architecture's axioms:
+//
+//   SC / x86-TSO / ARMv8 (multi-copy-atomic):
+//       acyclic(ppo ∪ rf ∪ co ∪ fr)
+//   where ppo is the preserved program order of the architecture (derived
+//   here from first principles: dependencies, same-location coherence,
+//   acquire/release, fence ordering classes, TSO's everything-but-W→R rule)
+//   and fr = rf⁻¹;co is the from-reads relation.  For a machine that commits
+//   each thread in some linear extension of ppo, interleaves commits, and
+//   makes every read return the coherence-latest committed write, this single
+//   axiom is exact: a satisfying candidate execution exists iff a witnessing
+//   commit interleaving exists.
+//
+//   POWER7 (non-multi-copy-atomic by early forwarding / delayed visibility)
+//   is checked as an *envelope* (a pair of sound bounds, not an exact
+//   equivalence — see `axiomatic_outcomes_power_envelope`):
+//       COHERENCE:  acyclic(po-loc ∪ rf ∪ co ∪ fr)    (SC per location)
+//       CAUSALITY:  acyclic(ppo ∪ rf ∪ co)            (commit-order
+//                   consistency; fr is *excluded* because a read may commit
+//                   after a coherence-later write whose visibility is still
+//                   delayed for its thread)
+//   Everything the operational POWER machine can produce satisfies both
+//   axioms, so the envelope is an upper bound on its behaviour; the ARMv8
+//   axiomatic set is the matching lower bound (POWER admits every ARM
+//   execution by leaving all visibility delays off).
+//
+// The checker deliberately re-derives fence ordering classes and the
+// dependency rules in its own tables rather than calling into
+// memory_model.cpp, so that a regression in either implementation makes the
+// two disagree — which the differential fuzzer (fuzz.h) then reports.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sim/memory_model.h"
+
+namespace wmm::sim {
+
+// Deliberate single-constraint weakenings of the axiomatic model, used by the
+// fuzzer's self-test to prove the oracle has teeth: enabling any one of these
+// must make the differential corpus report a divergence.
+struct AxiomaticOptions {
+  // TSO: full fences (mfence) no longer restore store→load order, so the
+  // axiomatic model wrongly admits SB-like outcomes across an mfence.
+  bool drop_tso_store_load_fence = false;
+  // Address/data dependencies no longer preserve program order (control
+  // dependencies are unaffected), wrongly admitting e.g. LB+datas.
+  bool drop_dependency_order = false;
+  // Same-location program order is no longer preserved, wrongly admitting
+  // coherence violations such as CoRR.
+  bool drop_same_location_order = false;
+  // Acquire loads / release stores order nothing, wrongly admitting
+  // MP+rel+acq.
+  bool drop_acquire_release = false;
+
+  bool any() const {
+    return drop_tso_store_load_fence || drop_dependency_order ||
+           drop_same_location_order || drop_acquire_release;
+  }
+};
+
+// All outcomes (register values then final variable values, the same layout
+// as enumerate_outcomes) admitted by the architecture's axioms.  Exact for
+// SC, X86_TSO and ARMV8; for POWER7 this returns the *envelope upper bound*
+// (see header comment).
+std::set<Outcome> axiomatic_outcomes(const LitmusTest& test, Arch arch,
+                                     const AxiomaticOptions& options = {});
+
+// Membership query (avoids materialising the full set when short-circuiting
+// is possible).
+bool axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
+                       Arch arch, const AxiomaticOptions& options = {});
+
+// The preserved-program-order relation used by the axioms, exposed for tests:
+// true when accesses `i` and `j` (i < j, instruction indices including
+// fences) of `thread` may not be reordered on `arch`.  Both indices must
+// refer to read/write instructions.
+bool axiomatic_ppo(const LitmusThread& thread, std::size_t i, std::size_t j,
+                   Arch arch, const AxiomaticOptions& options = {});
+
+}  // namespace wmm::sim

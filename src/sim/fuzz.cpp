@@ -1,0 +1,454 @@
+#include "sim/fuzz.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace wmm::sim {
+
+namespace {
+
+bool fz_is_access(const LitmusInstr& in) { return in.type != AccessType::Fence; }
+bool fz_is_read(const LitmusInstr& in) { return in.type == AccessType::Read; }
+
+std::string var_name(int var) {
+  static const char* kNames[] = {"x", "y", "z", "u"};
+  if (var >= 0 && var < 4) return kNames[var];
+  return std::string("v") + std::to_string(var);
+}
+
+std::string instr_string(const LitmusInstr& in) {
+  std::ostringstream os;
+  if (in.type == AccessType::Fence) {
+    os << "F " << fence_name(in.fence);
+    return os.str();
+  }
+  if (fz_is_read(in)) {
+    os << "R r" << in.reg << "<-" << var_name(in.var);
+    if (in.acquire) os << " (acq)";
+  } else {
+    os << "W " << var_name(in.var) << "=" << in.value;
+    if (in.release) os << " (rel)";
+  }
+  if (in.addr_dep >= 0) os << " (addr<-r" << in.addr_dep << ")";
+  if (in.data_dep >= 0) os << " (data<-r" << in.data_dep << ")";
+  if (in.ctrl_dep >= 0) os << " (ctrl<-r" << in.ctrl_dep << ")";
+  return os.str();
+}
+
+}  // namespace
+
+FuzzConfig FuzzConfig::for_arch(Arch arch) {
+  FuzzConfig c;
+  if (allows_early_forwarding(arch)) {
+    // The operational POWER executor enumerates 2^(writes * other-threads)
+    // visibility-delay masks per interleaving; keep programs small.
+    c.max_threads = 3;
+    c.max_instrs_per_thread = 3;
+    c.max_total_instrs = 6;
+    c.max_total_writes = 3;
+  }
+  return c;
+}
+
+LitmusTest generate_litmus(std::uint64_t seed, const FuzzConfig& config) {
+  Rng rng(splitmix64(seed ^ 0xf022e85a11babe11ULL));
+  LitmusTest test;
+  {
+    std::ostringstream name;
+    name << "fuzz-0x" << std::hex << seed;
+    test.name = name.str();
+  }
+
+  const int num_threads =
+      config.min_threads +
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+          config.max_threads - config.min_threads + 1)));
+  test.num_vars = 1 + static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(config.max_vars)));
+
+  // Per-thread instruction budget, trimmed to the global cap.
+  std::vector<int> sizes(static_cast<std::size_t>(num_threads));
+  int total = 0;
+  for (int& s : sizes) {
+    s = config.min_instrs_per_thread +
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+            config.max_instrs_per_thread - config.min_instrs_per_thread + 1)));
+    total += s;
+  }
+  for (std::size_t t = sizes.size(); total > config.max_total_instrs && t > 0;) {
+    --t;
+    const int spare = std::min(total - config.max_total_instrs,
+                               sizes[t] - config.min_instrs_per_thread);
+    sizes[t] -= spare;
+    total -= spare;
+  }
+
+  int writes_left = config.max_total_writes;
+  int next_reg = 0;
+  std::vector<int> values(static_cast<std::size_t>(test.num_vars), 0);
+
+  for (int t = 0; t < num_threads; ++t) {
+    LitmusThread thread;
+    std::vector<int> earlier_read_regs;
+    bool has_access = false;
+    for (int i = 0; i < sizes[static_cast<std::size_t>(t)]; ++i) {
+      LitmusInstr in;
+      const bool last_slot_needs_access =
+          !has_access && i + 1 == sizes[static_cast<std::size_t>(t)];
+      if (!last_slot_needs_access && rng.next_bool(config.fence_probability) &&
+          !config.fence_alphabet.empty()) {
+        in = LitmusInstr::barrier(config.fence_alphabet[rng.next_below(
+            config.fence_alphabet.size())]);
+      } else {
+        const int var =
+            static_cast<int>(rng.next_below(static_cast<std::uint64_t>(test.num_vars)));
+        if (writes_left > 0 && rng.next_bool(0.5)) {
+          --writes_left;
+          // Distinct values per location keep reads-from choices identifiable
+          // in printed outcomes.
+          in = LitmusInstr::write(var, ++values[static_cast<std::size_t>(var)]);
+          if (rng.next_bool(config.acquire_release_probability)) {
+            in.release = true;
+          }
+        } else {
+          in = LitmusInstr::read(next_reg++, var);
+          if (rng.next_bool(config.acquire_release_probability)) {
+            in.acquire = true;
+          }
+        }
+        // Dependency on an earlier read of this thread.
+        if (!earlier_read_regs.empty() && rng.next_bool(config.dep_probability)) {
+          const int src = earlier_read_regs[rng.next_below(earlier_read_regs.size())];
+          const std::uint64_t kind = rng.next_below(3);
+          if (fz_is_read(in)) {
+            // Reads carry address or control dependencies.
+            if (kind < 2) {
+              in.addr_dep = src;
+            } else {
+              in.ctrl_dep = src;
+            }
+          } else {
+            if (kind == 0) {
+              in.addr_dep = src;
+            } else if (kind == 1) {
+              in.data_dep = src;
+            } else {
+              in.ctrl_dep = src;
+            }
+          }
+        }
+        if (fz_is_read(in)) earlier_read_regs.push_back(in.reg);
+        has_access = true;
+      }
+      thread.instrs.push_back(in);
+    }
+    test.threads.push_back(std::move(thread));
+  }
+  test.num_regs = next_reg;
+  return test;
+}
+
+std::string format_litmus(const LitmusTest& test) {
+  std::ostringstream os;
+  os << test.name << "  (vars=" << test.num_vars << " regs=" << test.num_regs
+     << ")\n";
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    os << "  T" << t << ":";
+    if (test.threads[t].instrs.empty()) os << "  (empty)";
+    for (const LitmusInstr& in : test.threads[t].instrs) {
+      os << "  " << instr_string(in) << ";";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string format_outcome(const LitmusTest& test, const Outcome& outcome) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int r = 0; r < test.num_regs &&
+                  static_cast<std::size_t>(r) < outcome.size();
+       ++r) {
+    if (!first) os << ", ";
+    first = false;
+    os << "r" << r << "=" << outcome[static_cast<std::size_t>(r)];
+  }
+  for (int v = 0; v < test.num_vars; ++v) {
+    const std::size_t i = static_cast<std::size_t>(test.num_regs + v);
+    if (i >= outcome.size()) break;
+    if (!first) os << ", ";
+    first = false;
+    os << var_name(v) << "=" << outcome[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string Divergence::report() const {
+  std::ostringstream os;
+  os << "CONFORMANCE DIVERGENCE on " << arch_name(arch) << " (" << axiom
+     << " check)\n";
+  os << "  witness outcome " << format_outcome(shrunk, outcome)
+     << ": operational=" << (operational_allowed ? "allowed" : "forbidden")
+     << " axiomatic=" << (axiomatic_allowed ? "allowed" : "forbidden") << "\n";
+  os << "  shrunk program:\n";
+  std::istringstream prog(format_litmus(shrunk));
+  for (std::string line; std::getline(prog, line);) {
+    os << "    " << line << "\n";
+  }
+  if (seed != 0) {
+    os << "  replay: fuzz_conformance --arch=" << arch_name(arch)
+       << " --replay=0x" << std::hex << seed << std::dec << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Divergence> check_conformance(const LitmusTest& test, Arch arch,
+                                            const AxiomaticOptions& options) {
+  Divergence d;
+  d.arch = arch;
+  d.original = test;
+  d.shrunk = test;
+
+  const std::set<Outcome> operational = enumerate_outcomes(test, arch);
+
+  if (!allows_early_forwarding(arch)) {
+    const std::set<Outcome> axiomatic = axiomatic_outcomes(test, arch, options);
+    if (operational == axiomatic) return std::nullopt;
+    d.axiom = "exact";
+    for (const Outcome& o : operational) {
+      if (!axiomatic.count(o)) {
+        d.outcome = o;
+        d.operational_allowed = true;
+        d.axiomatic_allowed = false;
+        return d;
+      }
+    }
+    for (const Outcome& o : axiomatic) {
+      if (!operational.count(o)) {
+        d.outcome = o;
+        d.operational_allowed = false;
+        d.axiomatic_allowed = true;
+        return d;
+      }
+    }
+    return std::nullopt;  // unreachable
+  }
+
+  // POWER sandwich: operational ⊆ envelope, ARM-axiomatic ⊆ operational.
+  const std::set<Outcome> envelope = axiomatic_outcomes(test, arch, options);
+  for (const Outcome& o : operational) {
+    if (!envelope.count(o)) {
+      d.axiom = "envelope-upper";
+      d.outcome = o;
+      d.operational_allowed = true;
+      d.axiomatic_allowed = false;
+      return d;
+    }
+  }
+  const std::set<Outcome> lower =
+      axiomatic_outcomes(test, Arch::ARMV8, options);
+  for (const Outcome& o : lower) {
+    if (!operational.count(o)) {
+      d.axiom = "envelope-lower";
+      d.outcome = o;
+      d.operational_allowed = false;
+      d.axiomatic_allowed = true;
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Remove references to registers that no longer have a defining read, then
+// compact register and variable numbering; drops empty threads.
+LitmusTest normalize(const LitmusTest& test) {
+  LitmusTest out = test;
+  out.threads.erase(
+      std::remove_if(out.threads.begin(), out.threads.end(),
+                     [](const LitmusThread& t) { return t.instrs.empty(); }),
+      out.threads.end());
+
+  std::vector<bool> reg_defined;
+  std::vector<bool> var_used;
+  auto note = [](std::vector<bool>& v, int i) {
+    if (i < 0) return;
+    if (static_cast<std::size_t>(i) >= v.size()) v.resize(static_cast<std::size_t>(i) + 1, false);
+    v[static_cast<std::size_t>(i)] = true;
+  };
+  for (const LitmusThread& t : out.threads) {
+    for (const LitmusInstr& in : t.instrs) {
+      if (fz_is_read(in)) note(reg_defined, in.reg);
+      if (fz_is_access(in)) note(var_used, in.var);
+    }
+  }
+  auto defined = [&](int reg) {
+    return reg >= 0 && static_cast<std::size_t>(reg) < reg_defined.size() &&
+           reg_defined[static_cast<std::size_t>(reg)];
+  };
+
+  // Dependencies may only reference reads of the *same* thread; clear any
+  // that went dangling (the executor would ignore them, but keeping them
+  // makes shrunk programs confusing to read).
+  for (LitmusThread& t : out.threads) {
+    std::vector<bool> local(reg_defined.size(), false);
+    for (LitmusInstr& in : t.instrs) {
+      auto fix = [&](int& dep) {
+        if (dep >= 0 && (!defined(dep) ||
+                         static_cast<std::size_t>(dep) >= local.size() ||
+                         !local[static_cast<std::size_t>(dep)])) {
+          dep = -1;
+        }
+      };
+      fix(in.addr_dep);
+      fix(in.data_dep);
+      fix(in.ctrl_dep);
+      if (fz_is_read(in) && in.reg >= 0) local[static_cast<std::size_t>(in.reg)] = true;
+    }
+  }
+
+  // Compact numbering.
+  std::vector<int> reg_map(reg_defined.size(), -1);
+  int next_reg = 0;
+  for (std::size_t r = 0; r < reg_defined.size(); ++r) {
+    if (reg_defined[r]) reg_map[r] = next_reg++;
+  }
+  std::vector<int> var_map(var_used.size(), -1);
+  int next_var = 0;
+  for (std::size_t v = 0; v < var_used.size(); ++v) {
+    if (var_used[v]) var_map[v] = next_var++;
+  }
+  for (LitmusThread& t : out.threads) {
+    for (LitmusInstr& in : t.instrs) {
+      auto remap = [](const std::vector<int>& map, int& i) {
+        if (i >= 0 && static_cast<std::size_t>(i) < map.size()) i = map[static_cast<std::size_t>(i)];
+      };
+      remap(reg_map, in.reg);
+      remap(var_map, in.var);
+      remap(reg_map, in.addr_dep);
+      remap(reg_map, in.data_dep);
+      remap(reg_map, in.ctrl_dep);
+    }
+  }
+  out.num_regs = next_reg;
+  out.num_vars = next_var;
+  return out;
+}
+
+}  // namespace
+
+LitmusTest shrink_divergent(const LitmusTest& test, Arch arch,
+                            const AxiomaticOptions& options) {
+  auto still_diverges = [&](const LitmusTest& t) {
+    if (t.threads.empty()) return false;
+    return check_conformance(t, arch, options).has_value();
+  };
+  LitmusTest current = normalize(test);
+  if (!still_diverges(current)) return current;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Drop whole threads.
+    for (std::size_t t = 0; t < current.threads.size() && current.threads.size() > 1; ++t) {
+      LitmusTest candidate = current;
+      candidate.threads.erase(candidate.threads.begin() + static_cast<std::ptrdiff_t>(t));
+      candidate = normalize(candidate);
+      if (still_diverges(candidate)) {
+        current = candidate;
+        progress = true;
+        --t;
+      }
+    }
+
+    // Drop single instructions.
+    for (std::size_t t = 0; t < current.threads.size(); ++t) {
+      for (std::size_t i = 0; i < current.threads[t].instrs.size(); ++i) {
+        LitmusTest candidate = current;
+        candidate.threads[t].instrs.erase(
+            candidate.threads[t].instrs.begin() + static_cast<std::ptrdiff_t>(i));
+        candidate = normalize(candidate);
+        if (still_diverges(candidate)) {
+          current = candidate;
+          progress = true;
+          if (i > 0) --i;
+        }
+      }
+    }
+
+    // Strip annotations (dependencies, acquire/release) one at a time.
+    for (std::size_t t = 0; t < current.threads.size(); ++t) {
+      for (std::size_t i = 0; i < current.threads[t].instrs.size(); ++i) {
+        const LitmusInstr& in = current.threads[t].instrs[i];
+        for (int field = 0; field < 5; ++field) {
+          LitmusTest candidate = current;
+          LitmusInstr& ci = candidate.threads[t].instrs[i];
+          bool changed = false;
+          switch (field) {
+            case 0: changed = ci.addr_dep >= 0; ci.addr_dep = -1; break;
+            case 1: changed = ci.data_dep >= 0; ci.data_dep = -1; break;
+            case 2: changed = ci.ctrl_dep >= 0; ci.ctrl_dep = -1; break;
+            case 3: changed = ci.acquire; ci.acquire = false; break;
+            case 4: changed = ci.release; ci.release = false; break;
+          }
+          if (!changed) continue;
+          candidate = normalize(candidate);
+          if (still_diverges(candidate)) {
+            current = candidate;
+            progress = true;
+          }
+        }
+        (void)in;
+      }
+    }
+  }
+  return current;
+}
+
+FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
+                                  const FuzzConfig& config,
+                                  const AxiomaticOptions& options,
+                                  int max_divergences) {
+  FuzzReport report;
+  report.arch = arch;
+  report.base_seed = base_seed;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed =
+        hash_combine(base_seed, static_cast<std::uint64_t>(i));
+    const LitmusTest test = generate_litmus(seed, config);
+    report.programs += 1;
+    report.outcomes_checked +=
+        static_cast<long long>(enumerate_outcomes(test, arch).size());
+    std::optional<Divergence> d = check_conformance(test, arch, options);
+    if (d.has_value()) {
+      d->seed = seed;
+      d->shrunk = shrink_divergent(test, arch, options);
+      // Re-derive the witness from the shrunk program so report() shows a
+      // matching outcome.
+      if (std::optional<Divergence> ds =
+              check_conformance(d->shrunk, arch, options)) {
+        d->outcome = ds->outcome;
+        d->operational_allowed = ds->operational_allowed;
+        d->axiomatic_allowed = ds->axiomatic_allowed;
+        d->axiom = ds->axiom;
+      }
+      report.divergences.push_back(std::move(*d));
+      if (static_cast<int>(report.divergences.size()) >= max_divergences) break;
+    }
+  }
+  return report;
+}
+
+FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed,
+                                  int count) {
+  return run_conformance_corpus(arch, base_seed, count,
+                                FuzzConfig::for_arch(arch));
+}
+
+}  // namespace wmm::sim

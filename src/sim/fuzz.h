@@ -1,0 +1,117 @@
+// Differential conformance fuzzing for the simulated memory models.
+//
+// A seeded generator produces small random litmus programs (2–4 threads over
+// a handful of shared locations, with plain/acquire/release accesses, every
+// FenceKind, and address/data/control dependencies).  Each program is run
+// through both the operational executor (memory_model.h) and the independent
+// axiomatic checker (axiomatic.h); any disagreement is a *divergence*, which
+// is automatically shrunk to a minimal program and reported together with the
+// generating seed so it replays deterministically:
+//
+//     build/bench/fuzz_conformance --arch=arm --replay=0x1234abcd
+//
+// Conformance per architecture:
+//   SC / X86_TSO / ARMV8 — exact equality of the outcome sets.
+//   POWER7              — sandwich bounds: every operational outcome must be
+//                         admitted by the axiomatic envelope (coherence +
+//                         causality), and every ARMv8-axiomatic outcome must
+//                         be operationally reachable on POWER (POWER with all
+//                         visibility delays off is the ARM machine).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/axiomatic.h"
+#include "sim/litmus.h"
+
+namespace wmm::sim {
+
+// Program-shape bounds for the generator.  The defaults keep both the
+// operational interleaving enumeration and the axiomatic candidate
+// enumeration tractable; POWER gets tighter bounds because its visibility-
+// delay enumeration is exponential in the number of (write, observer) pairs.
+struct FuzzConfig {
+  int min_threads = 2;
+  int max_threads = 4;
+  int min_instrs_per_thread = 1;
+  int max_instrs_per_thread = 4;
+  int max_total_instrs = 8;
+  int max_total_writes = 4;
+  int max_vars = 3;
+  double fence_probability = 0.22;
+  double dep_probability = 0.35;
+  double acquire_release_probability = 0.12;
+  // Fences drawn (uniformly) when a fence slot is generated.  Mixing ISAs is
+  // intentional: the executor and checker both give every FenceKind a single
+  // cross-architecture semantics.
+  std::vector<FenceKind> fence_alphabet = {
+      FenceKind::DmbIsh,   FenceKind::DmbIshLd, FenceKind::DmbIshSt,
+      FenceKind::DsbSy,    FenceKind::Isb,      FenceKind::CtrlIsb,
+      FenceKind::HwSync,   FenceKind::LwSync,   FenceKind::ISync,
+      FenceKind::Mfence,   FenceKind::Nop,
+  };
+
+  // Per-architecture default shapes (POWER: smaller programs).
+  static FuzzConfig for_arch(Arch arch);
+};
+
+// Deterministically generate the litmus program for `seed`.
+LitmusTest generate_litmus(std::uint64_t seed, const FuzzConfig& config = {});
+
+// Human-readable forms used in divergence reports and the explorer example.
+std::string format_litmus(const LitmusTest& test);
+std::string format_outcome(const LitmusTest& test, const Outcome& outcome);
+
+// One operational-vs-axiomatic disagreement.
+struct Divergence {
+  Arch arch = Arch::ARMV8;
+  std::uint64_t seed = 0;      // generator seed; 0 when hand-constructed
+  LitmusTest original;
+  LitmusTest shrunk;
+  Outcome outcome;             // witness outcome the two sides disagree on
+  bool operational_allowed = false;
+  bool axiomatic_allowed = false;
+  std::string axiom;           // "exact", "envelope-upper" or "envelope-lower"
+
+  // Multi-line report: verdicts, shrunk program, replay command line.
+  std::string report() const;
+};
+
+// Cross-check one program on one architecture.  Returns the (un-shrunk)
+// divergence, or nullopt when the two models agree.
+std::optional<Divergence> check_conformance(const LitmusTest& test, Arch arch,
+                                            const AxiomaticOptions& options = {});
+
+// Greedily minimise `test` while check_conformance keeps reporting a
+// divergence: drop threads, drop instructions, strip dependency/acquire/
+// release annotations, then compact variable and register numbering.
+// Deterministic: the same input always shrinks to the same program.
+LitmusTest shrink_divergent(const LitmusTest& test, Arch arch,
+                            const AxiomaticOptions& options = {});
+
+struct FuzzReport {
+  Arch arch = Arch::ARMV8;
+  std::uint64_t base_seed = 0;
+  int programs = 0;
+  long long outcomes_checked = 0;   // total operational outcomes compared
+  std::vector<Divergence> divergences;  // already shrunk
+
+  bool ok() const { return divergences.empty(); }
+};
+
+// Run `count` generated programs (seeds derived from `base_seed` via
+// hash_combine(base_seed, index)) through check_conformance on `arch`,
+// shrinking each divergence.  Stops after `max_divergences` failures.
+FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
+                                  const FuzzConfig& config,
+                                  const AxiomaticOptions& options = {},
+                                  int max_divergences = 1);
+
+// Convenience overload using FuzzConfig::for_arch(arch).
+FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed,
+                                  int count);
+
+}  // namespace wmm::sim

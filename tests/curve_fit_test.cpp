@@ -1,0 +1,159 @@
+// Regression tests pinning the sensitivity-model math the whole methodology
+// rests on: the Figure 1 example fit (k = 0.00277 +/- 2.5%), eq. 2 cost
+// recovery round-tripping eq. 1, and degenerate inputs (k ~ 0, single-point
+// sweeps, singular systems) that must fail soft rather than corrupt results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/curve_fit.h"
+#include "core/sensitivity.h"
+#include "sim/rng.h"
+
+namespace wmm::core {
+namespace {
+
+// --- Figure 1 pin -----------------------------------------------------------
+
+// The exact procedure of bench/fig01_curve_fit: a 2^0..2^14 sweep sampled
+// from the model at the paper's k with small lognormal noise (fixed seed)
+// must fit back to k = 0.00277 within the paper's reported 2.5% error.
+TEST(Fig1Fit, RecoversPaperSensitivityWithinReportedError) {
+  constexpr double kTrue = 0.00277;
+  sim::Rng rng(20160312);
+  std::vector<SweepPoint> points;
+  for (std::uint32_t size : standard_sweep_sizes(14)) {
+    const double a = static_cast<double>(size);
+    points.push_back({a, model_performance(a, kTrue) * rng.next_lognormal(0.012)});
+  }
+
+  const SensitivityFit fit = fit_sensitivity(points);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.k, kTrue, kTrue * 0.025);
+  EXPECT_GT(fit.stderr_k, 0.0);
+  EXPECT_LE(std::abs(fit.relative_error()), 0.025);
+  EXPECT_TRUE(usable_for_evaluation(fit));
+}
+
+// Noise-free samples recover k essentially exactly, across the magnitude
+// range the paper's benchmarks span (k = 0.0002 .. 0.0214).
+TEST(Fig1Fit, ExactRecoveryAcrossPaperKRange) {
+  for (double k_true : {0.0002, 0.00277, 0.0053, 0.0094, 0.0214}) {
+    std::vector<SweepPoint> points;
+    for (std::uint32_t size : standard_sweep_sizes(13)) {
+      const double a = static_cast<double>(size);
+      points.push_back({a, model_performance(a, k_true)});
+    }
+    const SensitivityFit fit = fit_sensitivity(points);
+    EXPECT_TRUE(fit.converged) << "k=" << k_true;
+    EXPECT_NEAR(fit.k, k_true, k_true * 1e-6) << "k=" << k_true;
+  }
+}
+
+// --- Equation 2 round trip --------------------------------------------------
+
+// cost_of_change inverts model_performance: a == eq2(eq1(a, k), k) over the
+// full (k, a) grid the experiments exercise.
+TEST(Eq2, RoundTripsEq1) {
+  for (double k : {1e-4, 1e-3, 0.00277, 0.01, 0.05, 0.3}) {
+    for (double a : {0.1, 1.0, 1.8, 11.7, 24.5, 100.0, 16384.0}) {
+      const double p = model_performance(a, k);
+      EXPECT_NEAR(cost_of_change(p, k), a, 1e-6 * std::max(1.0, a))
+          << "k=" << k << " a=" << a;
+    }
+  }
+}
+
+// The paper's anchor points: POWER StoreStore change at p = 0.875 with
+// k = 0.0112 implies a ~ 11.7 ns (section 4.2.1).
+TEST(Eq2, PaperStoreStoreAnchor) {
+  const double k = 0.0112;
+  const double a = 11.7;
+  const double p = model_performance(a, k);
+  EXPECT_NEAR(p, 1.0 / (1.0 + k * (a - 1.0)), 1e-12);
+  EXPECT_NEAR(cost_of_change(p, k), a, 1e-9);
+}
+
+// Unchanged performance (p = 1) means the change cost equals the baseline's
+// one-unit cost for any sensitivity.
+TEST(Eq2, UnitPerformanceImpliesUnitCost) {
+  for (double k : {1e-4, 0.01, 0.2}) {
+    EXPECT_NEAR(cost_of_change(1.0, k), 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+// --- Degenerate inputs ------------------------------------------------------
+
+// k -> 0: eq. 1 flattens to p = 1; the fit must converge to k ~ 0 with finite
+// outputs rather than blowing up.
+TEST(DegenerateFit, InsensitiveBenchmarkFitsToNearZeroK) {
+  std::vector<SweepPoint> points;
+  for (std::uint32_t size : standard_sweep_sizes(12)) {
+    points.push_back({static_cast<double>(size), 1.0});
+  }
+  const SensitivityFit fit = fit_sensitivity(points);
+  EXPECT_TRUE(std::isfinite(fit.k));
+  EXPECT_TRUE(std::isfinite(fit.stderr_k));
+  EXPECT_NEAR(fit.k, 0.0, 1e-6);
+  // Such a benchmark must be rejected for evaluation use.
+  EXPECT_FALSE(usable_for_evaluation(fit));
+}
+
+// A single-point sweep is under-determined: the solver must not crash or
+// return non-finite parameters, and the gate must reject the fit.
+TEST(DegenerateFit, SinglePointSweepFailsSoft) {
+  const std::vector<SweepPoint> points = {{1024.0, 0.74}};
+  const SensitivityFit fit = fit_sensitivity(points);
+  EXPECT_TRUE(std::isfinite(fit.k));
+  EXPECT_TRUE(std::isfinite(fit.chi2));
+  // One parameter, one residual: the fit interpolates exactly and stderr is
+  // undefined (zero degrees of freedom), reported as 0 rather than NaN.
+  EXPECT_GE(fit.chi2, 0.0);
+  EXPECT_EQ(fit.stderr_k, 0.0);
+}
+
+TEST(DegenerateFit, EmptySweepFailsSoft) {
+  const std::vector<SweepPoint> points;
+  const SensitivityFit fit = fit_sensitivity(points);
+  EXPECT_FALSE(usable_for_evaluation(fit));
+  EXPECT_TRUE(std::isfinite(fit.k));
+}
+
+// --- curve_fit / linear algebra ---------------------------------------------
+
+TEST(CurveFit, RecoversTwoParameterModel) {
+  // y = p0 * exp(-x / p1), a shape unlike eq. 1, to exercise the generic LM
+  // path with two parameters.
+  const Model model = [](double x, std::span<const double> p) {
+    return p[0] * std::exp(-x / p[1]);
+  };
+  const double true_params[] = {3.7, 42.0};
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 24; ++i) {
+    const double x = 2.0 * i;
+    xs.push_back(x);
+    ys.push_back(model(x, true_params));
+  }
+  const double initial[] = {1.0, 10.0};
+  const FitResult fit = curve_fit(model, xs, ys, initial);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.params[0], 3.7, 1e-6);
+  EXPECT_NEAR(fit.params[1], 42.0, 1e-4);
+  EXPECT_LT(fit.chi2, 1e-12);
+}
+
+TEST(LinearSolve, SolvesAndDetectsSingularity) {
+  // 2x2 well-conditioned system.
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system({2.0, 1.0, 1.0, 3.0}, {5.0, 10.0}, 2, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+
+  // Singular matrix must be reported, not silently "solved".
+  EXPECT_FALSE(solve_linear_system({1.0, 2.0, 2.0, 4.0}, {1.0, 2.0}, 2, x));
+}
+
+}  // namespace
+}  // namespace wmm::core

@@ -1,0 +1,135 @@
+// Reproducibility guarantees the benchmarking pipeline depends on: the same
+// RNG seed must yield bit-identical simulated times, and the full harness
+// (warm-ups, sampling, noise, summarisation, formatting) must emit
+// bit-identical report rows when re-run.  Any hidden global state or
+// platform-dependent ordering in the pipeline shows up here as a flaky diff.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/report.h"
+#include "core/stats.h"
+#include "jvm/fencing.h"
+#include "kernel/barriers.h"
+#include "workloads/jvm_workloads.h"
+#include "workloads/kernel_workloads.h"
+
+namespace wmm::workloads {
+namespace {
+
+// Doubles are compared by bit pattern, not tolerance: determinism means the
+// exact same value, down to the last ulp.
+void expect_bit_identical(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "sample " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+// One formatted report row in the style the bench binaries print, so the test
+// pins the end of the pipeline (formatting included), not just the doubles.
+std::string report_row(const core::RunResult& r) {
+  std::string row = r.name;
+  row += "  " + core::fmt_fixed(r.times.geomean, 6);
+  row += "  " + core::fmt_fixed(r.times.mean, 6);
+  row += "  " + core::fmt_fixed(r.times.stddev, 6);
+  row += "  " + core::fmt_fixed(r.times.ci95, 6);
+  for (double t : r.raw_times) row += "  " + core::fmt_fixed(t, 6);
+  return row;
+}
+
+jvm::JvmConfig jvm_config() {
+  jvm::JvmConfig c;
+  c.arch = sim::Arch::ARMV8;
+  c.mode = jvm::VolatileMode::Barriers;
+  return c;
+}
+
+TEST(Determinism, JvmWorkloadSameSeedSameSimulatedTime) {
+  const JvmWorkloadProfile& profile = jvm_profiles().front();
+  const jvm::JvmConfig config = jvm_config();
+  const double t1 = run_jvm_workload(profile, config, 0x5eedULL);
+  const double t2 = run_jvm_workload(profile, config, 0x5eedULL);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t1), std::bit_cast<std::uint64_t>(t2));
+  // And the seed matters: a different seed perturbs the simulated run.
+  const double t3 = run_jvm_workload(profile, config, 0x5eedULL + 1);
+  EXPECT_NE(std::bit_cast<std::uint64_t>(t1), std::bit_cast<std::uint64_t>(t3));
+}
+
+TEST(Determinism, KernelWorkloadSameSeedSameSimulatedTime) {
+  const std::string name = kernel_benchmark_names().front();
+  kernel::KernelConfig config;  // defaults: ARMv8, BaseNop
+  const double t1 = run_kernel_workload(name, config, 0xfeedULL);
+  const double t2 = run_kernel_workload(name, config, 0xfeedULL);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t1), std::bit_cast<std::uint64_t>(t2));
+}
+
+// The full harness on a JVM workload: two independent benchmark instances of
+// the same configuration must produce bit-identical sample vectors, summary
+// statistics, and formatted report rows.
+TEST(Determinism, JvmHarnessReportRowsBitIdentical) {
+  const std::string name = jvm_profiles().front().name;
+  const core::RunOptions opts{2, 6};
+
+  core::BenchmarkPtr b1 = make_jvm_benchmark(name, jvm_config());
+  core::BenchmarkPtr b2 = make_jvm_benchmark(name, jvm_config());
+  const core::RunResult r1 = core::run_benchmark(*b1, opts);
+  const core::RunResult r2 = core::run_benchmark(*b2, opts);
+
+  expect_bit_identical(r1.raw_times, r2.raw_times);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r1.times.geomean),
+            std::bit_cast<std::uint64_t>(r2.times.geomean));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r1.times.ci95),
+            std::bit_cast<std::uint64_t>(r2.times.ci95));
+  EXPECT_EQ(report_row(r1), report_row(r2));
+
+  // The noise model is live (samples differ from one another) — determinism
+  // must not degenerate into constancy.
+  ASSERT_GE(r1.raw_times.size(), 2u);
+  bool any_difference = false;
+  for (std::size_t i = 1; i < r1.raw_times.size(); ++i) {
+    any_difference |= r1.raw_times[i] != r1.raw_times[0];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Determinism, KernelHarnessReportRowsBitIdentical) {
+  const std::string name = kernel_benchmark_names().front();
+  const kernel::KernelConfig config;
+  const core::RunOptions opts{2, 6};
+
+  core::BenchmarkPtr b1 = make_kernel_benchmark(name, config);
+  core::BenchmarkPtr b2 = make_kernel_benchmark(name, config);
+  const core::RunResult r1 = core::run_benchmark(*b1, opts);
+  const core::RunResult r2 = core::run_benchmark(*b2, opts);
+
+  expect_bit_identical(r1.raw_times, r2.raw_times);
+  EXPECT_EQ(report_row(r1), report_row(r2));
+}
+
+// Base-vs-test comparison: re-running the whole comparison pipeline produces
+// the same relative-performance value bit for bit.
+TEST(Determinism, ComparisonIsReproducible) {
+  const std::string name = jvm_profiles().front().name;
+  const auto base = [&] { return make_jvm_benchmark(name, jvm_config()); };
+  const auto test = [&] {
+    jvm::JvmConfig c = jvm_config();
+    c.mode = jvm::VolatileMode::AcquireRelease;
+    return make_jvm_benchmark(name, c);
+  };
+  const core::RunOptions opts{1, 4};
+  const core::Comparison c1 = core::compare_configurations(base, test, opts);
+  const core::Comparison c2 = core::compare_configurations(base, test, opts);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(c1.value),
+            std::bit_cast<std::uint64_t>(c2.value));
+}
+
+}  // namespace
+}  // namespace wmm::workloads

@@ -1,0 +1,56 @@
+// The large fixed-seed differential corpus (CTest label: "fuzz").
+//
+// Every generated program is cross-checked between the operational executor
+// and the axiomatic oracle: exact outcome-set equality on SC/x86-TSO/ARMv8,
+// envelope sandwich on POWER7.  The per-architecture corpus size defaults to
+// 1250 programs and can be raised in CI via the WMM_FUZZ_COUNT environment
+// variable (ctest -L fuzz runs only these tests).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/fuzz.h"
+
+namespace wmm::sim {
+namespace {
+
+constexpr std::uint64_t kCorpusSeed = 0xc0ffee;
+
+int corpus_count() {
+  if (const char* env = std::getenv("WMM_FUZZ_COUNT")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1250;
+}
+
+class FuzzCorpus : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(FuzzCorpus, FixedSeedCorpusConforms) {
+  const Arch arch = GetParam();
+  const int count = corpus_count();
+  const FuzzReport report = run_conformance_corpus(arch, kCorpusSeed, count);
+  EXPECT_EQ(report.programs, count);
+  // Each program contributes at least one outcome; on average far more.
+  EXPECT_GT(report.outcomes_checked, report.programs);
+  EXPECT_TRUE(report.ok()) << report.divergences.front().report();
+}
+
+// A second, disjoint seed stream so corpus growth cannot overfit one stream.
+TEST_P(FuzzCorpus, SecondSeedStreamConforms) {
+  const Arch arch = GetParam();
+  const int count = corpus_count() / 4;
+  const FuzzReport report =
+      run_conformance_corpus(arch, 0xdeadbeefULL, count);
+  EXPECT_TRUE(report.ok()) << report.divergences.front().report();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, FuzzCorpus,
+                         ::testing::Values(Arch::SC, Arch::X86_TSO,
+                                           Arch::ARMV8, Arch::POWER7),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           return std::string(arch_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace wmm::sim
