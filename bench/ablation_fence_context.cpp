@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/report.h"
+#include "session.h"
 #include "sim/machine.h"
 
 using namespace wmm;
@@ -30,11 +31,13 @@ double fence_cost(sim::Arch arch, sim::FenceKind kind, unsigned stores,
 
 }  // namespace
 
-int main() {
-  std::cout << "Ablation: fence cost vs machine state (the mechanism behind\n"
-               "the paper's micro/macro divergence)\n\n";
+int main(int argc, char** argv) {
+  bench::Session session(
+      argc, argv,
+      "Ablation: fence cost vs machine state (micro/macro divergence)", "");
+  std::ostream& os = session.out();
 
-  std::cout << "--- store-buffer depth (ARM) ---\n";
+  os << "--- store-buffer depth (ARM) ---\n";
   core::Table sb({"stores buffered", "dmb ishst", "dmb ishld", "dmb ish", "isb"});
   for (unsigned stores : {0u, 4u, 8u, 16u, 24u}) {
     sb.add_row({std::to_string(stores),
@@ -43,10 +46,10 @@ int main() {
                 core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIsh, stores, 0, 0), 1),
                 core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::Isb, stores, 0, 0), 1)});
   }
-  sb.print(std::cout);
-  std::cout << "=> store fences expose the drain wait; ishld and isb do not.\n\n";
+  sb.print(os);
+  os << "=> store fences expose the drain wait; ishld and isb do not.\n\n";
 
-  std::cout << "--- pending invalidations (ARM) ---\n";
+  os << "--- pending invalidations (ARM) ---\n";
   core::Table inv({"invalidations", "dmb ishst", "dmb ishld", "dmb ish"});
   for (unsigned n : {0u, 4u, 8u, 16u, 32u}) {
     inv.add_row({std::to_string(n),
@@ -54,11 +57,11 @@ int main() {
                  core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIshLd, 0, n, 0), 1),
                  core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::DmbIsh, 0, n, 0), 1)});
   }
-  inv.print(std::cout);
-  std::cout << "=> load fences pay the invalidation backlog; store fences "
-               "do not.\n\n";
+  inv.print(os);
+  os << "=> load fences pay the invalidation backlog; store fences "
+        "do not.\n\n";
 
-  std::cout << "--- branch-predictor pressure (ARM ctrl dependency) ---\n";
+  os << "--- branch-predictor pressure (ARM ctrl dependency) ---\n";
   core::Table ctrl({"polluting branches", "ctrl (mean of 32)", "ctrl+isb"});
   for (unsigned n : {0u, 64u, 128u, 256u, 512u}) {
     // Average over repeated invocations: the site retrains between uses.
@@ -74,12 +77,12 @@ int main() {
     ctrl.add_row({std::to_string(n), core::fmt_fixed(sum / 32.0, 2),
                   core::fmt_fixed(fence_cost(sim::Arch::ARMV8, sim::FenceKind::CtrlIsb, 0, 0, n), 2)});
   }
-  ctrl.print(std::cout);
-  std::cout << "=> ctrl's cost scales with application branch pressure "
-               "(macro > micro);\n   ctrl+isb is flat: the flush dominates "
-               "(the paper's stability result).\n\n";
+  ctrl.print(os);
+  os << "=> ctrl's cost scales with application branch pressure "
+        "(macro > micro);\n   ctrl+isb is flat: the flush dominates "
+        "(the paper's stability result).\n\n";
 
-  std::cout << "--- POWER: sync vs lwsync across store depth ---\n";
+  os << "--- POWER: sync vs lwsync across store depth ---\n";
   core::Table pw({"stores buffered", "lwsync", "sync", "delta"});
   for (unsigned stores : {0u, 8u, 16u, 32u}) {
     const double lw = fence_cost(sim::Arch::POWER7, sim::FenceKind::LwSync, stores, 0, 0);
@@ -87,8 +90,8 @@ int main() {
     pw.add_row({std::to_string(stores), core::fmt_fixed(lw, 1),
                 core::fmt_fixed(hw, 1), core::fmt_fixed(hw - lw, 1)});
   }
-  pw.print(std::cout);
-  std::cout << "=> the sync-lwsync delta is state-independent: POWER fence\n"
-               "   behaviour is workload-agnostic (paper section 4.2.1).\n";
+  pw.print(os);
+  os << "=> the sync-lwsync delta is state-independent: POWER fence\n"
+        "   behaviour is workload-agnostic (paper section 4.2.1).\n";
   return 0;
 }

@@ -50,7 +50,8 @@ core::Comparison kernel_compare(const std::string& benchmark,
       [&] { return workloads::make_kernel_benchmark(benchmark, test); }, runs);
 }
 
-core::RankingMatrix build_kernel_ranking_matrix(sim::Arch arch) {
+core::RankingMatrix build_kernel_ranking_matrix(
+    sim::Arch arch, const ComparisonObserver& observer) {
   std::vector<std::string> macro_names;
   for (kernel::KMacro m : kernel::kAllMacros) {
     macro_names.push_back(kernel::macro_name(m));
@@ -68,6 +69,7 @@ core::RankingMatrix build_kernel_ranking_matrix(sim::Arch arch) {
           b, kernel_base(arch), kernel_injected(arch, m, kLargeCost),
           ranking_runs());
       matrix.set(kernel::macro_name(m), b, cmp.value);
+      if (observer) observer(kernel::macro_name(m), b, cmp);
     }
   }
   return matrix;
@@ -75,10 +77,12 @@ core::RankingMatrix build_kernel_ranking_matrix(sim::Arch arch) {
 
 void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "==============================================================\n"
-            << title << "\n"
-            << "(reproduces " << paper_ref
-            << " of Ritson & Owens, PPoPP 2016)\n"
-            << "==============================================================\n";
+            << title << "\n";
+  if (!paper_ref.empty()) {
+    std::cout << "(reproduces " << paper_ref
+              << " of Ritson & Owens, PPoPP 2016)\n";
+  }
+  std::cout << "==============================================================\n";
 }
 
 }  // namespace wmm::bench

@@ -107,10 +107,17 @@ core::Comparison kernel_compare(const std::string& benchmark,
                                 const core::RunOptions& runs = paper_runs());
 
 // The 14-macro x 11-benchmark relative-performance matrix behind Figures 7/8
-// (1024-iteration cost function injected into one macro at a time).
-core::RankingMatrix build_kernel_ranking_matrix(sim::Arch arch);
+// (1024-iteration cost function injected into one macro at a time).  The
+// observer (if any) sees every underlying comparison as it is measured, so
+// callers can stream them into structured records.
+using ComparisonObserver =
+    std::function<void(const std::string& code_path,
+                       const std::string& benchmark, const core::Comparison&)>;
+core::RankingMatrix build_kernel_ranking_matrix(
+    sim::Arch arch, const ComparisonObserver& observer = nullptr);
 
-// Pretty header for a bench binary.
+// Pretty header for a bench binary.  The paper-reference line is omitted
+// when `paper_ref` is empty (extra deliverables not tied to one figure).
 void print_header(const std::string& title, const std::string& paper_ref);
 
 }  // namespace wmm::bench

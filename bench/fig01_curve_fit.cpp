@@ -3,11 +3,14 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 #include "sim/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Figure 1: example sensitivity curve fit", "Figure 1");
+  bench::Session session(argc, argv,
+                         "Figure 1: example sensitivity curve fit", "Figure 1");
+  std::ostream& os = session.out();
 
   // Generate a synthetic sample set from the model with k = 0.00277 plus
   // small multiplicative noise, then recover k by curve fitting.
@@ -21,14 +24,21 @@ int main() {
   }
 
   const core::SensitivityFit fit = core::fit_sensitivity(points);
-  std::cout << "true k      = " << core::fmt_fixed(kTrue, 5) << "\n";
-  std::cout << "fitted      : " << core::fmt_fit(fit) << "\n\n";
+  os << "true k      = " << core::fmt_fixed(kTrue, 5) << "\n";
+  os << "fitted      : " << core::fmt_fit(fit) << "\n\n";
 
   core::Table table({"cost fn size", "sample p", "fit p"});
   for (const core::SweepPoint& pt : points) {
     table.add_row({core::fmt_fixed(pt.cost_ns, 0), core::fmt_fixed(pt.rel_perf, 4),
                    core::fmt_fixed(core::model_performance(pt.cost_ns, fit.k), 4)});
   }
-  table.print(std::cout);
+  table.print(os);
+
+  core::SweepResult sweep;
+  sweep.benchmark = "synthetic";
+  sweep.code_path = "model";
+  sweep.points = points;
+  sweep.fit = fit;
+  session.record_sweep("fig01", sweep);
   return 0;
 }

@@ -5,14 +5,17 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Figure 4: cost function execution time", "Figure 4");
+  bench::Session session(argc, argv, "Figure 4: cost function execution time",
+                         "Figure 4");
+  std::ostream& os = session.out();
 
-  std::cout << "ARM cost function (Figure 2): stp/mov/subs/bne/ldp — the\n"
-               "stack spill is elided when a scratch register is available\n"
-               "(OpenJDK on ARMv8).  POWER (Figure 3): std/li/addi/cmpwi/bne/ld.\n\n";
+  os << "ARM cost function (Figure 2): stp/mov/subs/bne/ldp — the\n"
+        "stack spill is elided when a scratch register is available\n"
+        "(OpenJDK on ARMv8).  POWER (Figure 3): std/li/addi/cmpwi/bne/ld.\n\n";
 
   const sim::ArchParams arm = sim::arm_v8_params();
   const sim::ArchParams power = sim::power7_params();
@@ -26,6 +29,6 @@ int main() {
         core::fmt_fixed(sim::cost_function_time_ns(power, size, true), 2),
     });
   }
-  table.print(std::cout);
+  table.print(os);
   return 0;
 }

@@ -8,15 +8,18 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header(
+  bench::Session session(
+      argc, argv,
       "Figure 5: OpenJDK sensitivity to all elemental memory barriers",
       "Figure 5");
+  std::ostream& os = session.out();
 
   for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
-    std::cout << "\n--- " << sim::arch_name(arch) << " ---\n";
+    os << "\n--- " << sim::arch_name(arch) << " ---\n";
     core::Table table({"benchmark", "k", "+/-", "p @ 2^8"});
     std::vector<core::SweepResult> sweeps;
     for (const std::string& name : workloads::jvm_benchmark_names()) {
@@ -24,12 +27,13 @@ int main() {
       table.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
                      core::fmt_percent(sweep.fit.relative_error(), 0),
                      core::fmt_fixed(sweep.points.back().rel_perf, 4)});
+      session.record_sweep(sim::arch_name(arch), sweep);
       sweeps.push_back(std::move(sweep));
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    table.print(os);
+    os << '\n';
     for (const core::SweepResult& sweep : sweeps) {
-      core::print_sweep(std::cout, sweep);
+      core::print_sweep(os, sweep);
     }
   }
   return 0;

@@ -9,26 +9,30 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header(
-      "Figure 6: spark sensitivity per elemental memory barrier", "Figure 6");
+  bench::Session session(
+      argc, argv, "Figure 6: spark sensitivity per elemental memory barrier",
+      "Figure 6");
+  std::ostream& os = session.out();
 
   for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
-    std::cout << "\n--- spark " << sim::arch_name(arch) << " ---\n";
+    os << "\n--- spark " << sim::arch_name(arch) << " ---\n";
     core::Table table({"barrier", "k", "+/-"});
     std::vector<core::SweepResult> sweeps;
     for (jvm::Elemental e : jvm::kAllElementals) {
       core::SweepResult sweep = bench::jvm_sweep("spark", arch, {e}, 8);
       table.add_row({jvm::elemental_name(e), core::fmt_fixed(sweep.fit.k, 5),
                      core::fmt_percent(sweep.fit.relative_error(), 0)});
+      session.record_sweep(sim::arch_name(arch), sweep);
       sweeps.push_back(std::move(sweep));
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    table.print(os);
+    os << '\n';
     for (const core::SweepResult& sweep : sweeps) {
-      core::print_sweep(std::cout, sweep);
+      core::print_sweep(os, sweep);
     }
   }
   return 0;

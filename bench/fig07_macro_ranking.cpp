@@ -8,15 +8,22 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Figure 7: kernel macro impact ranking", "Figure 7");
+  bench::Session session(argc, argv, "Figure 7: kernel macro impact ranking",
+                         "Figure 7", {}, bench::ranking_runs());
+  std::ostream& os = session.out();
 
-  const core::RankingMatrix matrix =
-      bench::build_kernel_ranking_matrix(sim::Arch::ARMV8);
-  std::cout << "data points: " << matrix.data_points() << "\n\n";
-  core::print_ranking(std::cout,
+  const core::RankingMatrix matrix = bench::build_kernel_ranking_matrix(
+      sim::Arch::ARMV8,
+      [&](const std::string& macro, const std::string& benchmark,
+          const core::Comparison& cmp) {
+        session.record_comparison("armv8", benchmark, "base", macro, cmp);
+      });
+  os << "data points: " << matrix.data_points() << "\n\n";
+  core::print_ranking(os,
                       "sum of relative performance per macro (lower = more impact)",
                       matrix.aggregate_by_code_path());
   return 0;

@@ -9,17 +9,24 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Figure 8: kernel benchmark sensitivity ranking",
-                      "Figure 8");
+  bench::Session session(argc, argv,
+                         "Figure 8: kernel benchmark sensitivity ranking",
+                         "Figure 8", {}, bench::ranking_runs());
+  std::ostream& os = session.out();
 
-  const core::RankingMatrix matrix =
-      bench::build_kernel_ranking_matrix(sim::Arch::ARMV8);
-  std::cout << "data points: " << matrix.data_points() << "\n\n";
+  const core::RankingMatrix matrix = bench::build_kernel_ranking_matrix(
+      sim::Arch::ARMV8,
+      [&](const std::string& macro, const std::string& benchmark,
+          const core::Comparison& cmp) {
+        session.record_comparison("armv8", benchmark, "base", macro, cmp);
+      });
+  os << "data points: " << matrix.data_points() << "\n\n";
   core::print_ranking(
-      std::cout,
+      os,
       "sum of relative performance per benchmark (lower = more sensitive)",
       matrix.aggregate_by_benchmark());
   return 0;

@@ -8,11 +8,14 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Figure 9: sensitivity to read_barrier_depends",
-                      "Figure 9");
+  bench::Session session(argc, argv,
+                         "Figure 9: sensitivity to read_barrier_depends",
+                         "Figure 9");
+  std::ostream& os = session.out();
 
   core::Table table({"benchmark", "k", "+/-"});
   std::vector<core::SweepResult> sweeps;
@@ -21,14 +24,15 @@ int main() {
         name, sim::Arch::ARMV8, kernel::KMacro::ReadBarrierDepends, 9);
     table.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
                    core::fmt_percent(sweep.fit.relative_error(), 0)});
+    session.record_sweep("armv8", sweep);
     sweeps.push_back(std::move(sweep));
   }
-  table.print(std::cout);
-  std::cout << '\n';
+  table.print(os);
+  os << '\n';
   for (const core::SweepResult& sweep : sweeps) {
-    core::print_sweep(std::cout, sweep);
+    core::print_sweep(os, sweep);
   }
-  std::cout << "paper: ebizzy 0.00106, xalan 0.00038, netperf_udp 0.00943,\n"
-               "       osm 0.00019, lmbench 0.00525, netperf_tcp 0.00355\n";
+  os << "paper: ebizzy 0.00106, xalan 0.00038, netperf_udp 0.00943,\n"
+        "       osm 0.00019, lmbench 0.00525, netperf_tcp 0.00355\n";
   return 0;
 }

@@ -10,13 +10,17 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Figure 10: read_barrier_depends strategies", "Figure 10");
+  bench::Session session(argc, argv,
+                         "Figure 10: read_barrier_depends strategies",
+                         "Figure 10");
+  std::ostream& os = session.out();
 
   for (const std::string& name : workloads::rbd_benchmark_names()) {
-    std::cout << "\n--- " << name << " ---\n";
+    os << "\n--- " << name << " ---\n";
     core::Table table({"strategy", "rel perf", "min", "max", "95% CI"});
     for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
       kernel::KernelConfig test = bench::kernel_base(sim::Arch::ARMV8);
@@ -27,11 +31,13 @@ int main() {
       }
       const core::Comparison cmp = bench::kernel_compare(
           name, bench::kernel_base(sim::Arch::ARMV8), test);
+      session.record_comparison("armv8", name, "base case",
+                                kernel::rbd_strategy_name(s), cmp);
       table.add_row({kernel::rbd_strategy_name(s), core::fmt_fixed(cmp.value, 4),
                      core::fmt_fixed(cmp.min, 4), core::fmt_fixed(cmp.max, 4),
                      "+/-" + core::fmt_percent(cmp.ci95)});
     }
-    table.print(std::cout);
+    table.print(os);
   }
   return 0;
 }

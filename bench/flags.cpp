@@ -1,0 +1,92 @@
+#include "flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+namespace wmm::bench {
+
+namespace {
+
+struct FlagHelp {
+  std::string left;
+  std::string help;
+};
+
+std::vector<FlagHelp> help_rows(const std::vector<FlagSpec>& extra) {
+  std::vector<FlagHelp> rows;
+  for (const FlagSpec& s : extra) {
+    const std::string left =
+        s.value_name.empty() ? s.name : s.name + "=" + s.value_name;
+    rows.push_back({left, s.help});
+  }
+  rows.push_back({"--json=FILE", "write JSONL run records (manifest, runs, counters)"});
+  rows.push_back({"--trace=FILE", "write a Chrome trace-event timeline (Perfetto-loadable)"});
+  rows.push_back({"--counters", "print the simulator event counters at exit"});
+  rows.push_back({"--quiet", "suppress the human-readable report"});
+  rows.push_back({"--help", "show this help"});
+  return rows;
+}
+
+}  // namespace
+
+void print_usage(std::ostream& os, const std::string& program,
+                 const std::string& title, const std::vector<FlagSpec>& extra) {
+  os << title << "\n\nusage: " << program << " [options]\n\noptions:\n";
+  const std::vector<FlagHelp> rows = help_rows(extra);
+  std::size_t width = 0;
+  for (const FlagHelp& r : rows) width = std::max(width, r.left.size());
+  for (const FlagHelp& r : rows) {
+    os << "  " << r.left << std::string(width - r.left.size() + 2, ' ')
+       << r.help << "\n";
+  }
+}
+
+CommonFlags parse_flags(int argc, char** argv, const std::string& title,
+                        const std::vector<FlagSpec>& extra) {
+  CommonFlags out;
+  const std::string program = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, program, title, extra);
+      std::exit(0);
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (name == "--json") {
+      out.json_path = value;
+    } else if (name == "--trace") {
+      out.trace_path = value;
+    } else if (name == "--counters") {
+      out.counters = true;
+    } else if (name == "--quiet") {
+      out.quiet = true;
+    } else {
+      bool matched = false;
+      for (const FlagSpec& s : extra) {
+        if (s.name != name) continue;
+        matched = true;
+        if (!s.apply || !s.apply(value)) {
+          std::cerr << program << ": bad value for " << name << ": '" << value
+                    << "'\n";
+          std::exit(2);
+        }
+        break;
+      }
+      if (!matched) {
+        if (arg.rfind("--", 0) == 0) {
+          std::cerr << program << ": unknown flag " << name
+                    << " (try --help)\n";
+          std::exit(2);
+        }
+        out.positional.push_back(arg);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wmm::bench

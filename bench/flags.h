@@ -1,0 +1,41 @@
+// Tiny command-line flag parser shared by the bench binaries.
+//
+// Every binary accepts the common observability flags (--json, --trace,
+// --counters, --quiet) plus --help; a binary with its own options passes
+// them as FlagSpecs so they appear in --help output and parse uniformly.
+// Flags are --name=VALUE (or bare --name for booleans); anything else is
+// collected as a positional argument.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wmm::bench {
+
+struct FlagSpec {
+  std::string name;        // including the leading dashes, e.g. "--arch"
+  std::string value_name;  // e.g. "N"; empty for boolean flags
+  std::string help;
+  // Called with the flag's value ("" for booleans); returns false to reject.
+  std::function<bool(const std::string& value)> apply;
+};
+
+struct CommonFlags {
+  std::string json_path;   // --json=FILE : JSONL run records
+  std::string trace_path;  // --trace=FILE: Chrome trace-event timeline
+  bool counters = false;   // --counters  : print simulator counters at exit
+  bool quiet = false;      // --quiet     : suppress the human-readable report
+  std::vector<std::string> positional;
+};
+
+// Prints the --help text for `title` with the common and extra flags.
+void print_usage(std::ostream& os, const std::string& program,
+                 const std::string& title, const std::vector<FlagSpec>& extra);
+
+// Parses argv.  --help prints usage and exits 0; an unknown --flag or a
+// rejected value prints a diagnostic and exits 2.
+CommonFlags parse_flags(int argc, char** argv, const std::string& title,
+                        const std::vector<FlagSpec>& extra = {});
+
+}  // namespace wmm::bench

@@ -21,12 +21,15 @@
 #include <string>
 #include <vector>
 
+#include "session.h"
 #include "sim/fuzz.h"
 
 namespace {
 
 using namespace wmm;
 
+// Returns an empty vector for an unknown spelling (rejected by the flag
+// parser).
 std::vector<sim::Arch> parse_archs(const std::string& s) {
   if (s == "sc") return {sim::Arch::SC};
   if (s == "tso" || s == "x86") return {sim::Arch::X86_TSO};
@@ -36,12 +39,10 @@ std::vector<sim::Arch> parse_archs(const std::string& s) {
     return {sim::Arch::SC, sim::Arch::X86_TSO, sim::Arch::ARMV8,
             sim::Arch::POWER7};
   }
-  std::fprintf(stderr, "unknown --arch=%s\n", s.c_str());
-  std::exit(2);
+  return {};
 }
 
-sim::AxiomaticOptions parse_weaken(const std::string& s) {
-  sim::AxiomaticOptions o;
+bool parse_weaken(const std::string& s, sim::AxiomaticOptions& o) {
   if (s == "tso-wr") {
     o.drop_tso_store_load_fence = true;
   } else if (s == "deps") {
@@ -51,10 +52,9 @@ sim::AxiomaticOptions parse_weaken(const std::string& s) {
   } else if (s == "acqrel") {
     o.drop_acquire_release = true;
   } else {
-    std::fprintf(stderr, "unknown --weaken=%s\n", s.c_str());
-    std::exit(2);
+    return false;
   }
-  return o;
+  return true;
 }
 
 std::uint64_t parse_u64(const std::string& s) {
@@ -99,29 +99,40 @@ int main(int argc, char** argv) {
   int max_divergences = 1;
   sim::AxiomaticOptions options;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&](const char* prefix) -> std::string {
-      return arg.substr(std::strlen(prefix));
-    };
-    if (arg.rfind("--arch=", 0) == 0) {
-      archs = parse_archs(value("--arch="));
-    } else if (arg.rfind("--count=", 0) == 0) {
-      count = static_cast<int>(parse_u64(value("--count=")));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      base_seed = parse_u64(value("--seed="));
-    } else if (arg.rfind("--replay=", 0) == 0) {
-      replay_seed = parse_u64(value("--replay="));
-      do_replay = true;
-    } else if (arg.rfind("--weaken=", 0) == 0) {
-      options = parse_weaken(value("--weaken="));
-    } else if (arg.rfind("--max-divergences=", 0) == 0) {
-      max_divergences = static_cast<int>(parse_u64(value("--max-divergences=")));
-    } else {
-      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
-      return 2;
-    }
-  }
+  const std::vector<bench::FlagSpec> specs = {
+      {"--arch", "A", "sc|tso|arm|power|all (default all)",
+       [&](const std::string& v) {
+         archs = parse_archs(v);
+         return !archs.empty();
+       }},
+      {"--count", "N", "programs per architecture (default 1000)",
+       [&](const std::string& v) {
+         count = static_cast<int>(parse_u64(v));
+         return count > 0;
+       }},
+      {"--seed", "S", "base seed for program generation",
+       [&](const std::string& v) {
+         base_seed = parse_u64(v);
+         return true;
+       }},
+      {"--replay", "SEED", "replay one seed's program and exit",
+       [&](const std::string& v) {
+         replay_seed = parse_u64(v);
+         do_replay = true;
+         return true;
+       }},
+      {"--weaken", "W", "plant a bug: tso-wr|deps|poloc|acqrel",
+       [&](const std::string& v) { return parse_weaken(v, options); }},
+      {"--max-divergences", "N", "stop an arch after N divergences (default 1)",
+       [&](const std::string& v) {
+         max_divergences = static_cast<int>(parse_u64(v));
+         return max_divergences > 0;
+       }},
+  };
+  bench::Session session(argc, argv,
+                         "Differential litmus conformance fuzzer", "", specs);
+  session.set_extra("seed", std::to_string(base_seed));
+  session.set_extra("count", std::to_string(count));
 
   if (do_replay) return replay(replay_seed, archs, options);
 

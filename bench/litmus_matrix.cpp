@@ -5,14 +5,19 @@
 #include <iostream>
 
 #include "core/report.h"
+#include "session.h"
 #include "sim/litmus.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  std::cout << "Litmus outcome matrix (relaxed outcome reachable?)\n"
-            << "architectures: sc, x86-tso, armv8 (multi-copy atomic),\n"
-            << "power7 (non-multi-copy atomic)\n\n";
+  bench::Session session(argc, argv,
+                         "Litmus outcome matrix (relaxed outcome reachable?)",
+                         "");
+  std::ostream& os = session.out();
+  os << "architectures: sc, x86-tso, armv8 (multi-copy atomic),\n"
+     << "power7 (non-multi-copy atomic)\n\n";
 
+  int divergences = 0;
   core::Table table({"test", "sc", "tso", "arm", "power"});
   for (const sim::LitmusCase& c : sim::litmus_suite()) {
     std::vector<std::string> row{c.test.name};
@@ -21,12 +26,16 @@ int main() {
       const bool allowed = sim::outcome_allowed(c.test, c.relaxed_outcome, arch);
       const auto expected = sim::expected_allowed(c, arch);
       std::string cell = allowed ? "allow" : "forbid";
-      if (expected.has_value() && *expected != allowed) cell += " (!)";
+      if (expected.has_value() && *expected != allowed) {
+        cell += " (!)";
+        ++divergences;
+      }
       row.push_back(cell);
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
-  std::cout << "\n(!) marks divergence from the expected architectural result\n";
+  table.print(os);
+  os << "\n(!) marks divergence from the expected architectural result\n";
+  session.set_extra("litmus_divergences", std::to_string(divergences));
   return 0;
 }

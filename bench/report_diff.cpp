@@ -1,0 +1,222 @@
+// Compares two JSONL benchmark reports (as written by the bench binaries'
+// --json flag) and exits non-zero on regression:
+//
+//   report_diff BASE.jsonl TEST.jsonl [--tol-k=F] [--tol-rel=F]
+//               [--tol-counter=F] [--quiet]
+//   report_diff --validate FILE.jsonl
+//
+// Records are matched by identity — sweeps by (context, benchmark,
+// code_path), comparisons by (context, benchmark, base, test), runs by
+// (context, name), counters by name — and their headline numbers compared
+// within relative tolerances: fitted sensitivity k within --tol-k (default
+// 10%), relative-performance values within --tol-rel (default 5%), counter
+// values within --tol-counter (default 25%; counters drift with sampling
+// noise only when run counts differ, so deterministic same-seed reports diff
+// to zero).  A record present in BASE but missing from TEST is a failure;
+// records only in TEST are reported but tolerated (new experiments).
+//
+// --validate instead schema-checks every line of one file (exit 1 on the
+// first invalid record).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flags.h"
+#include "obs/record.h"
+
+namespace {
+
+using namespace wmm;
+
+struct Report {
+  std::map<std::string, double> sweeps;       // key -> fit.k
+  std::map<std::string, double> comparisons;  // key -> value
+  std::map<std::string, double> runs;         // key -> geomean
+  std::map<std::string, double> counters;     // name -> value
+  int records = 0;
+};
+
+double num(const obs::JsonValue& v, const char* key) {
+  const obs::JsonValue* f = v.find(key);
+  return f && f->is_number() ? f->number : 0.0;
+}
+
+std::string str(const obs::JsonValue& v, const char* key) {
+  const obs::JsonValue* f = v.find(key);
+  return f && f->is_string() ? f->string : std::string();
+}
+
+// Reads and schema-validates one report.  Returns nullopt (with a diagnostic
+// on stderr) on parse or schema errors.
+std::optional<Report> load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "report_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  Report r;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string error;
+    const std::optional<obs::JsonValue> v = obs::parse_json(line, &error);
+    if (!v) {
+      std::fprintf(stderr, "%s:%d: JSON error: %s\n", path.c_str(), lineno,
+                   error.c_str());
+      return std::nullopt;
+    }
+    const std::string problem = obs::validate_record(*v);
+    if (!problem.empty()) {
+      std::fprintf(stderr, "%s:%d: invalid record: %s\n", path.c_str(), lineno,
+                   problem.c_str());
+      return std::nullopt;
+    }
+    ++r.records;
+    const std::string type = str(*v, "type");
+    if (type == "sweep") {
+      const std::string key = str(*v, "context") + "/" + str(*v, "benchmark") +
+                              "/" + str(*v, "code_path");
+      const obs::JsonValue* fit = v->find("fit");
+      r.sweeps[key] = fit ? num(*fit, "k") : 0.0;
+    } else if (type == "comparison") {
+      const std::string key = str(*v, "context") + "/" + str(*v, "benchmark") +
+                              "/" + str(*v, "base") + " -> " + str(*v, "test");
+      r.comparisons[key] = num(*v, "value");
+    } else if (type == "run") {
+      r.runs[str(*v, "context") + "/" + str(*v, "name")] = num(*v, "geomean");
+    } else if (type == "counters") {
+      const obs::JsonValue* values = v->find("values");
+      if (values) {
+        for (const auto& [name, value] : values->object) {
+          if (value.is_number()) r.counters[name] = value.number;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+// Relative deviation of b from a, symmetric in scale and safe at zero.
+double rel_delta(double a, double b) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  return denom > 0.0 ? std::abs(a - b) / denom : 0.0;
+}
+
+struct DiffStats {
+  int matched = 0;
+  int failures = 0;
+  int missing = 0;
+  int extra = 0;
+  double worst = 0.0;
+};
+
+void diff_section(const char* what, const std::map<std::string, double>& base,
+                  const std::map<std::string, double>& test, double tol,
+                  bool quiet, DiffStats& stats) {
+  for (const auto& [key, base_value] : base) {
+    const auto it = test.find(key);
+    if (it == test.end()) {
+      std::fprintf(stderr, "MISSING  %s %s (present only in base)\n", what,
+                   key.c_str());
+      ++stats.missing;
+      ++stats.failures;
+      continue;
+    }
+    const double d = rel_delta(base_value, it->second);
+    stats.worst = std::max(stats.worst, d);
+    ++stats.matched;
+    if (d > tol) {
+      std::fprintf(stderr, "DRIFT    %s %s: %g -> %g (%.1f%% > %.1f%%)\n",
+                   what, key.c_str(), base_value, it->second, d * 100.0,
+                   tol * 100.0);
+      ++stats.failures;
+    } else if (!quiet && d > 0.0) {
+      std::printf("ok       %s %s: %.2f%% within %.0f%%\n", what, key.c_str(),
+                  d * 100.0, tol * 100.0);
+    }
+  }
+  for (const auto& [key, value] : test) {
+    if (!base.count(key)) {
+      if (!quiet) std::printf("extra    %s %s (only in test)\n", what, key.c_str());
+      ++stats.extra;
+    }
+  }
+}
+
+int validate_file(const std::string& path) {
+  const std::optional<Report> r = load(path);
+  if (!r) return 1;
+  std::printf("%s: %d records, schema valid\n", path.c_str(), r->records);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tol_k = 0.10;
+  double tol_rel = 0.05;
+  double tol_counter = 0.25;
+  bool validate = false;
+  const auto tol_flag = [](double& target) {
+    return [&target](const std::string& v) {
+      char* end = nullptr;
+      target = std::strtod(v.c_str(), &end);
+      return end && *end == '\0' && target >= 0.0;
+    };
+  };
+  const std::vector<bench::FlagSpec> specs = {
+      {"--tol-k", "F", "relative tolerance on fitted k (default 0.10)",
+       tol_flag(tol_k)},
+      {"--tol-rel", "F",
+       "relative tolerance on comparison/run values (default 0.05)",
+       tol_flag(tol_rel)},
+      {"--tol-counter", "F",
+       "relative tolerance on event counters (default 0.25)",
+       tol_flag(tol_counter)},
+      {"--validate", "", "schema-check a single report and exit",
+       [&](const std::string&) { return validate = true; }},
+  };
+  const bench::CommonFlags flags = bench::parse_flags(
+      argc, argv, "report_diff: compare two JSONL benchmark reports", specs);
+
+  if (validate) {
+    if (flags.positional.size() != 1) {
+      std::fprintf(stderr, "usage: report_diff --validate FILE.jsonl\n");
+      return 2;
+    }
+    return validate_file(flags.positional[0]);
+  }
+  if (flags.positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: report_diff BASE.jsonl TEST.jsonl (see --help)\n");
+    return 2;
+  }
+
+  const std::optional<Report> base = load(flags.positional[0]);
+  const std::optional<Report> test = load(flags.positional[1]);
+  if (!base || !test) return 1;
+
+  DiffStats stats;
+  diff_section("sweep.k", base->sweeps, test->sweeps, tol_k, flags.quiet,
+               stats);
+  diff_section("comparison", base->comparisons, test->comparisons, tol_rel,
+               flags.quiet, stats);
+  diff_section("run", base->runs, test->runs, tol_rel, flags.quiet, stats);
+  diff_section("counter", base->counters, test->counters, tol_counter,
+               flags.quiet, stats);
+
+  std::printf(
+      "report_diff: %d matched, %d failures (%d missing), %d extra, worst "
+      "drift %.2f%%\n",
+      stats.matched, stats.failures, stats.missing, stats.extra,
+      stats.worst * 100.0);
+  return stats.failures == 0 ? 0 : 1;
+}

@@ -10,25 +10,28 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header(
-      "Section 4.2.1: JDK9 acq/rel vs JDK8 barriers on ARMv8",
+  bench::Session session(
+      argc, argv, "Section 4.2.1: JDK9 acq/rel vs JDK8 barriers on ARMv8",
       "section 4.2.1 in-text results");
+  std::ostream& os = session.out();
 
   core::Table table({"benchmark", "rel perf", "change", "95% CI", "significant"});
   for (const std::string& name : workloads::jvm_benchmark_names()) {
     const core::Comparison cmp = bench::jvm_compare(
         name, bench::jvm_base(sim::Arch::ARMV8, jvm::VolatileMode::Barriers),
         bench::jvm_base(sim::Arch::ARMV8, jvm::VolatileMode::AcquireRelease));
+    session.record_comparison("armv8", name, "barriers", "acq/rel", cmp);
     table.add_row({name, core::fmt_fixed(cmp.value, 4),
                    core::fmt_percent(cmp.value - 1.0),
                    "+/-" + core::fmt_percent(cmp.ci95),
                    cmp.significant() ? "yes" : "no"});
   }
-  table.print(std::cout);
-  std::cout << "\npaper: xalan +2.9%, sunflow +3.0%, h2 -0.3%, spark -0.5%, "
-               "tomcat -1.7%, rest not significant\n";
+  table.print(os);
+  os << "\npaper: xalan +2.9%, sunflow +3.0%, h2 -0.3%, spark -0.5%, "
+        "tomcat -1.7%, rest not significant\n";
   return 0;
 }

@@ -10,23 +10,27 @@
 
 #include "core/report.h"
 #include "core/stats.h"
+#include "session.h"
 #include "sim/program.h"
 
 using namespace wmm;
 
-int main() {
-  std::cout << "Extension: binary rewriting of a compiled C11 program\n"
-               "(paper section 6 future work)\n\n";
+int main(int argc, char** argv) {
+  bench::Session session(
+      argc, argv,
+      "Extension: binary rewriting of a compiled C11 program",
+      "section 6 future work");
+  std::ostream& os = session.out();
 
   const sim::Program original = sim::make_c11_seqcst_program(400, 0x900);
   const sim::ShapeReport shapes = sim::scan_for_shapes(original);
-  std::cout << "static scan (Alglave-style shape detection):\n"
-            << "  fences: " << shapes.fences
-            << ", MP-writer shapes: " << shapes.mp_writer_shapes
-            << ", MP-reader shapes: " << shapes.mp_reader_shapes
-            << ", SB shapes: " << shapes.sb_shapes << "\n"
-            << "  fencing-sensitive: "
-            << (shapes.fencing_sensitive() ? "yes" : "no") << "\n\n";
+  os << "static scan (Alglave-style shape detection):\n"
+     << "  fences: " << shapes.fences
+     << ", MP-writer shapes: " << shapes.mp_writer_shapes
+     << ", MP-reader shapes: " << shapes.mp_reader_shapes
+     << ", SB shapes: " << shapes.sb_shapes << "\n"
+     << "  fencing-sensitive: "
+     << (shapes.fencing_sensitive() ? "yes" : "no") << "\n\n";
 
   struct Strategy {
     const char* name;
@@ -52,22 +56,31 @@ int main() {
       samples.push_back(p.run(machine.cpu(0)));
     }
     samples.erase(samples.begin(), samples.begin() + 2);  // warm-ups
-    return core::summarize(samples);
+    return samples;
   };
   core::Table table({"strategy", "image slots", "time (us)", "rel perf"});
   for (const Strategy& s : strategies) {
     sim::Program base, test;
     sim::BinaryRewriter::replace_fences(original, sim::FenceKind::DmbIsh,
                                         s.replacement, base, test);
-    const core::SampleSummary base_summary = measure(base);
-    const core::SampleSummary summary = measure(test);
+    const std::vector<double> base_samples = measure(base);
+    const std::vector<double> samples = measure(test);
+    const core::SampleSummary base_summary = core::summarize(base_samples);
+    const core::SampleSummary summary = core::summarize(samples);
+
+    core::RunResult run;
+    run.name = s.name;
+    run.times = summary;
+    run.raw_times = samples;
+    session.record_run("c11-rewrite", run);
+
     table.add_row({s.name, std::to_string(test.total_slots()),
                    core::fmt_fixed(summary.geomean / 1000.0, 1),
                    core::fmt_fixed(base_summary.geomean / summary.geomean, 3)});
   }
-  table.print(std::cout);
-  std::cout << "\nimage size is held constant across strategies, so the\n"
-               "speedups are attributable to the fencing alone (no cache\n"
-               "alignment jitter) — the paper's rewriting discipline.\n";
+  table.print(os);
+  os << "\nimage size is held constant across strategies, so the\n"
+        "speedups are attributable to the fencing alone (no cache\n"
+        "alignment jitter) — the paper's rewriting discipline.\n";
   return 0;
 }

@@ -11,13 +11,17 @@
 #include <iostream>
 
 #include "core/report.h"
+#include "session.h"
 #include "sim/causal.h"
 
 using namespace wmm;
 
-int main() {
-  std::cout << "Extension: cost-function vs causal-profiling estimates\n"
-               "(paper section 5, related work comparison)\n\n";
+int main(int argc, char** argv) {
+  bench::Session session(
+      argc, argv,
+      "Extension: cost-function vs causal-profiling estimates",
+      "section 5 related-work comparison");
+  std::ostream& os = session.out();
 
   core::Table table({"threads", "delay/site", "causal impact",
                      "cost-fn impact", "agreement"});
@@ -39,10 +43,10 @@ int main() {
                    core::fmt_percent(causal.impact()),
                    core::fmt_percent(cost.impact()), core::fmt_fixed(ratio, 2)});
   }
-  table.print(std::cout);
+  table.print(os);
 
-  std::cout << "\nnow with all threads contending on ONE shared location\n"
-               "(serialised critical path):\n\n";
+  os << "\nnow with all threads contending on ONE shared location\n"
+        "(serialised critical path):\n\n";
   core::Table table2({"threads", "causal impact", "cost-fn impact", "ratio"});
   for (unsigned threads : {2u, 4u, 8u}) {
     std::vector<sim::Program> programs;
@@ -58,6 +62,6 @@ int main() {
     table2.add_row({std::to_string(threads), core::fmt_percent(causal.impact()),
                     core::fmt_percent(cost.impact()), core::fmt_fixed(ratio, 2)});
   }
-  table2.print(std::cout);
+  table2.print(os);
   return 0;
 }

@@ -7,11 +7,14 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Section 4.3: kernel nop-padding baseline cost",
-                      "section 4.3 in-text results");
+  bench::Session session(argc, argv,
+                         "Section 4.3: kernel nop-padding baseline cost",
+                         "section 4.3 in-text results");
+  std::ostream& os = session.out();
 
   core::Table table({"benchmark", "rel perf", "drop"});
   double sum = 0.0, worst = 0.0;
@@ -22,6 +25,7 @@ int main() {
     unmodified.pad_with_nops = false;
     const core::Comparison cmp = bench::kernel_compare(
         name, unmodified, bench::kernel_base(sim::Arch::ARMV8));
+    session.record_comparison("armv8", name, "unmodified", "nop-padded", cmp);
     const double drop = 1.0 - cmp.value;
     table.add_row({name, core::fmt_fixed(cmp.value, 4), core::fmt_percent(drop)});
     sum += drop;
@@ -31,10 +35,9 @@ int main() {
       worst_name = name;
     }
   }
-  table.print(std::cout);
-  std::cout << "mean drop: " << core::fmt_percent(sum / n)
-            << ", worst: " << core::fmt_percent(worst) << " (" << worst_name
-            << ")\n";
-  std::cout << "\npaper: mean 1.9%, worst 6.6% (netperf)\n";
+  table.print(os);
+  os << "mean drop: " << core::fmt_percent(sum / n)
+     << ", worst: " << core::fmt_percent(worst) << " (" << worst_name << ")\n";
+  os << "\npaper: mean 1.9%, worst 6.6% (netperf)\n";
   return 0;
 }

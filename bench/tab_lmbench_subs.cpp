@@ -6,11 +6,14 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Section 4.3: lmbench sub-benchmark breakdown",
-                      "lmbench aggregation (section 4.3/4.3.1)");
+  bench::Session session(argc, argv,
+                         "Section 4.3: lmbench sub-benchmark breakdown",
+                         "lmbench aggregation (section 4.3/4.3.1)");
+  std::ostream& os = session.out();
 
   kernel::KernelConfig base = bench::kernel_base(sim::Arch::ARMV8);
   kernel::KernelConfig ishld = base;
@@ -20,30 +23,34 @@ int main() {
   double ratio_sum = 0.0;
   std::size_t n = 0;
   for (kernel::Syscall s : kernel::kLmbenchSyscalls) {
-    const auto run = [&](const kernel::KernelConfig& c) {
+    const auto run = [&](const kernel::KernelConfig& c, const char* label) {
       auto bench_ptr = workloads::make_lmbench_syscall(s, c);
-      return core::run_benchmark(*bench_ptr, bench::paper_runs()).times.geomean;
+      core::RunResult result = core::run_benchmark(*bench_ptr, bench::paper_runs());
+      result.name = std::string(kernel::syscall_name(s)) + "/" + label;
+      session.record_run("armv8", result);
+      return result.times.geomean;
     };
-    const double t_base = run(base);
-    const double t_test = run(ishld);
+    const double t_base = run(base, "base");
+    const double t_test = run(ishld, "dmb ishld");
     const double rel = t_base / t_test;
     table.add_row({kernel::syscall_name(s), core::fmt_fixed(t_base, 1),
                    core::fmt_fixed(t_test, 1), core::fmt_fixed(rel, 4)});
     ratio_sum += rel;
     ++n;
   }
-  table.print(std::cout);
-  std::cout << "\narithmetic mean of per-sub relative performance (paper's "
-               "aggregation): "
-            << core::fmt_fixed(ratio_sum / static_cast<double>(n), 4) << "\n";
+  table.print(os);
+  os << "\narithmetic mean of per-sub relative performance (paper's "
+        "aggregation): "
+     << core::fmt_fixed(ratio_sum / static_cast<double>(n), 4) << "\n";
 
   const core::Comparison composite =
       bench::kernel_compare("lmbench", base, ishld);
-  std::cout << "composite (geomean) benchmark relative performance:        "
-            << core::fmt_fixed(composite.value, 4) << "\n";
-  std::cout << "\nnote the spread across syscalls: select_100 does two hundred\n"
-               "RCU fd lookups per call and dominates, which is why lmbench\n"
-               "trends more linear than the sensitivity model (the paper's\n"
-               "Figure 9 observation).\n";
+  session.record_comparison("armv8", "lmbench", "base", "dmb ishld", composite);
+  os << "composite (geomean) benchmark relative performance:        "
+     << core::fmt_fixed(composite.value, 4) << "\n";
+  os << "\nnote the spread across syscalls: select_100 does two hundred\n"
+        "RCU fd lookups per call and dominates, which is why lmbench\n"
+        "trends more linear than the sensitivity model (the paper's\n"
+        "Figure 9 observation).\n";
   return 0;
 }

@@ -8,11 +8,14 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Section 4.2.1: DMB elimination in AArch64 locking",
-                      "section 4.2.1 in-text results (patch [15])");
+  bench::Session session(argc, argv,
+                         "Section 4.2.1: DMB elimination in AArch64 locking",
+                         "section 4.2.1 in-text results (patch [15])");
+  std::ostream& os = session.out();
 
   core::Table table({"volatile mode", "rel perf (patched vs base)", "change"});
   for (jvm::VolatileMode mode :
@@ -21,10 +24,12 @@ int main() {
     jvm::JvmConfig patched = base;
     patched.elide_monitor_dmb = true;
     const core::Comparison cmp = bench::jvm_compare("spark", base, patched);
+    session.record_comparison("armv8", "spark", jvm::volatile_mode_name(mode),
+                              "dmb-elided", cmp);
     table.add_row({jvm::volatile_mode_name(mode), core::fmt_fixed(cmp.value, 4),
                    core::fmt_percent(cmp.value - 1.0)});
   }
-  table.print(std::cout);
-  std::cout << "\npaper: +2.9% with acq/rel, -1.0% with barriers\n";
+  table.print(os);
+  os << "\npaper: +2.9% with acq/rel, -1.0% with barriers\n";
   return 0;
 }

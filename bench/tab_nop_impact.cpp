@@ -8,14 +8,17 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Section 4.2: nop placeholder impact (OpenJDK)",
-                      "section 4.2 in-text results");
+  bench::Session session(argc, argv,
+                         "Section 4.2: nop placeholder impact (OpenJDK)",
+                         "section 4.2 in-text results");
+  std::ostream& os = session.out();
 
   for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
-    std::cout << "\n--- " << sim::arch_name(arch) << " ---\n";
+    os << "\n--- " << sim::arch_name(arch) << " ---\n";
     core::Table table({"benchmark", "rel perf", "drop"});
     double worst = 0.0;
     std::string worst_name;
@@ -26,6 +29,8 @@ int main() {
       unmodified.pad_with_nops = false;  // pristine JDK
       const jvm::JvmConfig padded = bench::jvm_base(arch);  // nops in barriers
       const core::Comparison cmp = bench::jvm_compare(name, unmodified, padded);
+      session.record_comparison(sim::arch_name(arch), name, "unmodified",
+                                "nop-padded", cmp);
       const double drop = 1.0 - cmp.value;
       table.add_row({name, core::fmt_fixed(cmp.value, 4), core::fmt_percent(drop)});
       if (drop > worst) {
@@ -35,10 +40,10 @@ int main() {
       sum += drop;
       ++n;
     }
-    table.print(std::cout);
-    std::cout << "peak drop: " << core::fmt_percent(worst) << " (" << worst_name
-              << "), mean drop: " << core::fmt_percent(sum / n) << "\n";
+    table.print(os);
+    os << "peak drop: " << core::fmt_percent(worst) << " (" << worst_name
+       << "), mean drop: " << core::fmt_percent(sum / n) << "\n";
   }
-  std::cout << "\npaper: peak 4.5% (h2/ARM), mean 1.9% ARM / 0.7% POWER\n";
+  os << "\npaper: peak 4.5% (h2/ARM), mean 1.9% ARM / 0.7% POWER\n";
   return 0;
 }

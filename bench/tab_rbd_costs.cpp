@@ -14,17 +14,21 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Section 4.3.1: implied read_barrier_depends costs",
-                      "section 4.3.1 cost table");
+  bench::Session session(argc, argv,
+                         "Section 4.3.1: implied read_barrier_depends costs",
+                         "section 4.3.1 cost table");
+  std::ostream& os = session.out();
 
   // Sensitivities from the Figure 9 sweep.
   std::vector<std::pair<std::string, double>> ks;
   for (const std::string& name : workloads::rbd_benchmark_names()) {
     const core::SweepResult sweep = bench::kernel_sweep(
         name, sim::Arch::ARMV8, kernel::KMacro::ReadBarrierDepends, 9);
+    session.record_sweep("armv8", sweep);
     ks.emplace_back(name, sweep.fit.k);
   }
 
@@ -38,6 +42,8 @@ int main() {
     for (const auto& [name, k] : ks) {
       const core::Comparison cmp = bench::kernel_compare(
           name, bench::kernel_base(sim::Arch::ARMV8), test);
+      session.record_comparison("armv8", name, "base case",
+                                kernel::rbd_strategy_name(s), cmp);
       estimates.push_back(core::CostEstimate{name, k, cmp.value, 0.0});
     }
     const core::CostComparison costs = core::compare_costs(estimates, "lmbench");
@@ -45,8 +51,8 @@ int main() {
                    core::fmt_fixed(costs.reference_cost_ns, 1),
                    core::fmt_fixed(costs.mean_other_cost_ns, 1)});
   }
-  table.print(std::cout);
-  std::cout << "\npaper: ctrl 4.6/10.1, ctrl+isb 24.5/24.5, ishld 10.7/1.8,\n"
-               "       ish 11.0/10.7, la/sr 21.7/15.9\n";
+  table.print(os);
+  os << "\npaper: ctrl 4.6/10.1, ctrl+isb 24.5/24.5, ishld 10.7/1.8,\n"
+        "       ish 11.0/10.7, la/sr 21.7/15.9\n";
   return 0;
 }

@@ -14,12 +14,15 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header(
+  bench::Session session(
+      argc, argv,
       "Extension: SC-style annotated-access strategy on ARMv8 vs Marino's bounds",
       "section 5 discussion");
+  std::ostream& os = session.out();
 
   core::Table table({"benchmark", "rel perf", "slowdown"});
   double worst = 0.0, sum = 0.0;
@@ -30,6 +33,7 @@ int main() {
     sc.rbd = kernel::RbdStrategy::LaSr;
     const core::Comparison cmp = bench::kernel_compare(
         name, bench::kernel_base(sim::Arch::ARMV8), sc);
+    session.record_comparison("armv8", name, "default", "sc-style la/sr", cmp);
     const double slowdown = 1.0 / std::max(cmp.value, 1e-9) - 1.0;
     table.add_row({name, core::fmt_fixed(cmp.value, 4),
                    core::fmt_percent(slowdown)});
@@ -40,14 +44,12 @@ int main() {
       worst_name = name;
     }
   }
-  table.print(std::cout);
-  std::cout << "max slowdown: " << core::fmt_percent(worst) << " ("
-            << worst_name << "), mean: " << core::fmt_percent(sum / n) << "\n";
-  std::cout << "\nMarino et al. (x86/TSO): max 34%, mean 3.8%.\n"
-            << "within Marino's upper bound: "
-            << (worst < 0.34 ? "YES" : "NO")
-            << "; mean 3.8% replicated on a weak machine: "
-            << (sum / n <= 0.038 ? "yes" : "no (as the paper predicts)")
-            << "\n";
+  table.print(os);
+  os << "max slowdown: " << core::fmt_percent(worst) << " (" << worst_name
+     << "), mean: " << core::fmt_percent(sum / n) << "\n";
+  os << "\nMarino et al. (x86/TSO): max 34%, mean 3.8%.\n"
+     << "within Marino's upper bound: " << (worst < 0.34 ? "YES" : "NO")
+     << "; mean 3.8% replicated on a weak machine: "
+     << (sum / n <= 0.038 ? "yes" : "no (as the paper predicts)") << "\n";
   return 0;
 }

@@ -12,15 +12,16 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "session.h"
 
 namespace {
 
 using namespace wmm;
 
-void storestore_study(sim::Arch arch, sim::FenceKind replacement,
-                      const char* change_label) {
-  std::cout << "\n--- " << sim::arch_name(arch) << ": " << change_label
-            << " ---\n";
+void storestore_study(bench::Session& session, sim::Arch arch,
+                      sim::FenceKind replacement, const char* change_label) {
+  std::ostream& os = session.out();
+  os << "\n--- " << sim::arch_name(arch) << ": " << change_label << " ---\n";
 
   // Establish spark's StoreStore sensitivity, then apply the change.
   const core::SweepResult spark_fit =
@@ -34,10 +35,13 @@ void storestore_study(sim::Arch arch, sim::FenceKind replacement,
         name == "spark" ? spark_fit
                         : bench::jvm_sweep(name, arch,
                                            {jvm::Elemental::StoreStore}, 8);
+    session.record_sweep(sim::arch_name(arch), fit);
     jvm::JvmConfig test = bench::jvm_base(arch);
     test.storestore_override = replacement;
     const core::Comparison cmp =
         bench::jvm_compare(name, bench::jvm_base(arch), test);
+    session.record_comparison(sim::arch_name(arch), name, "default",
+                              change_label, cmp);
     const double a = core::cost_of_change(cmp.value, fit.fit.k);
     table.add_row({name, core::fmt_fixed(fit.fit.k, 5),
                    core::fmt_fixed(cmp.value, 4),
@@ -47,38 +51,40 @@ void storestore_study(sim::Arch arch, sim::FenceKind replacement,
       ++other_n;
     }
   }
-  table.print(std::cout);
-  std::cout << "mean implied cost over other benchmarks (excl. xalan): "
-            << core::fmt_fixed(other_sum / other_n, 1) << " ns\n";
+  table.print(os);
+  os << "mean implied cost over other benchmarks (excl. xalan): "
+     << core::fmt_fixed(other_sum / other_n, 1) << " ns\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmm;
-  bench::print_header("Section 4.2.1: StoreStore lowering experiments",
-                      "section 4.2.1 in-text results");
+  bench::Session session(argc, argv,
+                         "Section 4.2.1: StoreStore lowering experiments",
+                         "section 4.2.1 in-text results");
+  std::ostream& os = session.out();
 
   // In-vitro reference timings.
   const sim::ArchParams arm = sim::arm_v8_params();
   const sim::ArchParams power = sim::power7_params();
-  std::cout << "microbenchmark (in vitro): arm dmb ishst = "
-            << core::fmt_fixed(sim::fence_time_ns(arm, sim::FenceKind::DmbIshSt), 1)
-            << " ns, dmb ish = "
-            << core::fmt_fixed(sim::fence_time_ns(arm, sim::FenceKind::DmbIsh), 1)
-            << " ns (indistinguishable)\n";
-  std::cout << "microbenchmark (in vitro): power lwsync = "
-            << core::fmt_fixed(sim::fence_time_ns(power, sim::FenceKind::LwSync), 1)
-            << " ns, sync = "
-            << core::fmt_fixed(sim::fence_time_ns(power, sim::FenceKind::HwSync), 1)
-            << " ns\n";
+  os << "microbenchmark (in vitro): arm dmb ishst = "
+     << core::fmt_fixed(sim::fence_time_ns(arm, sim::FenceKind::DmbIshSt), 1)
+     << " ns, dmb ish = "
+     << core::fmt_fixed(sim::fence_time_ns(arm, sim::FenceKind::DmbIsh), 1)
+     << " ns (indistinguishable)\n";
+  os << "microbenchmark (in vitro): power lwsync = "
+     << core::fmt_fixed(sim::fence_time_ns(power, sim::FenceKind::LwSync), 1)
+     << " ns, sync = "
+     << core::fmt_fixed(sim::fence_time_ns(power, sim::FenceKind::HwSync), 1)
+     << " ns\n";
 
-  storestore_study(sim::Arch::ARMV8, sim::FenceKind::DmbIsh,
+  storestore_study(session, sim::Arch::ARMV8, sim::FenceKind::DmbIsh,
                    "StoreStore: dmb ishst -> dmb ish");
-  storestore_study(sim::Arch::POWER7, sim::FenceKind::HwSync,
+  storestore_study(session, sim::Arch::POWER7, sim::FenceKind::HwSync,
                    "StoreStore: lwsync -> sync");
 
-  std::cout << "\npaper: ARM -0.7% / +1.8 ns; POWER -12.5% / +11.7 ns "
-               "(others' mean 11.8 ns)\n";
+  os << "\npaper: ARM -0.7% / +1.8 ns; POWER -12.5% / +11.7 ns "
+        "(others' mean 11.8 ns)\n";
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/harness.h"
 
+#include <cstdio>
+
 namespace wmm::core {
 
 RunResult run_benchmark(Benchmark& benchmark, const RunOptions& options) {
@@ -13,6 +15,14 @@ RunResult run_benchmark(Benchmark& benchmark, const RunOptions& options) {
     result.raw_times.push_back(benchmark.run_once(options.warmups + s));
   }
   result.times = summarize(result.raw_times);
+  if (options.cv_warn_threshold > 0.0 &&
+      result.times.cv() > options.cv_warn_threshold) {
+    std::fprintf(stderr,
+                 "warning: %s: high run-to-run variation (CV=%.1f%% over %zu "
+                 "samples exceeds %.0f%%); treat the mean with suspicion\n",
+                 result.name.c_str(), result.times.cv() * 100.0,
+                 result.times.n, options.cv_warn_threshold * 100.0);
+  }
   return result;
 }
 

@@ -16,6 +16,11 @@ namespace wmm::core {
 struct RunOptions {
   std::size_t warmups = 2;   // paper: first two iterations discarded
   std::size_t samples = 6;   // paper: six or more samples
+
+  // Noise diagnostic: a run whose sample coefficient of variation exceeds
+  // this threshold is flagged on stderr (and as `noisy` in JSONL records)
+  // instead of being silently averaged.  0 disables the check.
+  double cv_warn_threshold = 0.15;
 };
 
 struct RunResult {

@@ -29,6 +29,12 @@ struct SampleSummary {
 
   double ci_lo() const { return mean - ci95; }
   double ci_hi() const { return mean + ci95; }
+
+  // Coefficient of variation (stddev / mean): the run-to-run noise level on a
+  // scale independent of the benchmark's magnitude.  High CV means samples
+  // are too scattered for the mean to be trusted (see
+  // RunOptions::cv_warn_threshold).
+  double cv() const { return mean > 0.0 ? stddev / mean : 0.0; }
 };
 
 SampleSummary summarize(std::span<const double> samples);

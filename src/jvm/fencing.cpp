@@ -1,14 +1,57 @@
 #include "jvm/fencing.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/counters.h"
 
 namespace wmm::jvm {
+
+namespace {
+
+// Per-code-path execution counters: how often each elemental / IR barrier
+// site actually runs, the denominator for attributing macro slowdowns to
+// fence events (paper sections 4-6).
+obs::CounterId elemental_counter(Elemental e) {
+  static const std::array<obs::CounterId, 4> ids = [] {
+    std::array<obs::CounterId, 4> out{};
+    for (Elemental el : kAllElementals) {
+      out[static_cast<std::size_t>(el)] = obs::counters().register_counter(
+          std::string("jvm.elemental.") + elemental_name(el));
+    }
+    return out;
+  }();
+  return ids[static_cast<std::size_t>(e)];
+}
+
+obs::CounterId ir_counter(IrBarrier b) {
+  static const std::array<obs::CounterId, 5> ids = [] {
+    std::array<obs::CounterId, 5> out{};
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = obs::counters().register_counter(
+          std::string("jvm.ir.") +
+          ir_barrier_name(static_cast<IrBarrier>(i)));
+    }
+    return out;
+  }();
+  return ids[static_cast<std::size_t>(b)];
+}
+
+}  // namespace
 
 const char* volatile_mode_name(VolatileMode mode) {
   return mode == VolatileMode::Barriers ? "barriers" : "acq/rel";
 }
 
-FencingStrategy::FencingStrategy(const JvmConfig& config) : config_(config) {}
+FencingStrategy::FencingStrategy(const JvmConfig& config)
+    : config_(config), reg_(&obs::counters()) {
+  for (Elemental e : kAllElementals) {
+    elemental_ids_[static_cast<std::size_t>(e)] = elemental_counter(e);
+  }
+  for (std::size_t i = 0; i < ir_ids_.size(); ++i) {
+    ir_ids_[i] = ir_counter(static_cast<IrBarrier>(i));
+  }
+}
 
 sim::FenceKind FencingStrategy::lowering(Elemental e) const {
   using sim::FenceKind;
@@ -81,11 +124,13 @@ void FencingStrategy::run_injection(sim::Cpu& cpu, const core::Injection& inj) c
 
 void FencingStrategy::emit_elemental(sim::Cpu& cpu, Elemental e,
                                      std::uint64_t site) const {
+  reg_->add(elemental_ids_[static_cast<std::size_t>(e)]);
   cpu.fence(lowering(e), site);
   run_injection(cpu, config_.injection_for(e));
 }
 
 void FencingStrategy::emit_ir(sim::Cpu& cpu, IrBarrier b, std::uint64_t site) const {
+  reg_->add(ir_ids_[static_cast<std::size_t>(b)]);
   cpu.exec_seq(ir_sequence(b), site);
   // Every member elemental's code path runs at this site, so each member's
   // injection applies.

@@ -11,6 +11,7 @@
 
 #include "core/cost_function.h"
 #include "jvm/barriers.h"
+#include "obs/counters.h"
 #include "sim/fence.h"
 #include "sim/machine.h"
 
@@ -86,6 +87,11 @@ class FencingStrategy {
   void run_injection(sim::Cpu& cpu, const core::Injection& inj) const;
 
   JvmConfig config_;
+  // Per-code-path execution counters ("jvm.elemental.*" / "jvm.ir.*"),
+  // resolved once at construction so emit_* stays a direct increment.
+  obs::CounterRegistry* reg_;
+  std::array<obs::CounterId, 4> elemental_ids_{};
+  std::array<obs::CounterId, 5> ir_ids_{};
 };
 
 }  // namespace wmm::jvm

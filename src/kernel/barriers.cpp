@@ -1,6 +1,28 @@
 #include "kernel/barriers.h"
 
+#include <string>
+
+#include "obs/counters.h"
+
 namespace wmm::kernel {
+
+namespace {
+
+// Per-macro invocation counters ("kernel.macro.smp_mb", ...): every macro
+// code path increments its counter once per execution, whatever it lowers to.
+obs::CounterId macro_counter(KMacro m) {
+  static const std::array<obs::CounterId, kNumMacros> ids = [] {
+    std::array<obs::CounterId, kNumMacros> out{};
+    for (KMacro k : kAllMacros) {
+      out[static_cast<std::size_t>(k)] = obs::counters().register_counter(
+          std::string("kernel.macro.") + macro_name(k));
+    }
+    return out;
+  }();
+  return ids[static_cast<std::size_t>(m)];
+}
+
+}  // namespace
 
 const char* macro_name(KMacro m) {
   switch (m) {
@@ -34,7 +56,12 @@ const char* rbd_strategy_name(RbdStrategy s) {
   return "?";
 }
 
-KernelBarriers::KernelBarriers(const KernelConfig& config) : config_(config) {}
+KernelBarriers::KernelBarriers(const KernelConfig& config)
+    : config_(config), reg_(&obs::counters()) {
+  for (KMacro k : kAllMacros) {
+    macro_ids_[static_cast<std::size_t>(k)] = macro_counter(k);
+  }
+}
 
 sim::FenceKind KernelBarriers::lowering(KMacro m) const {
   using sim::FenceKind;
@@ -102,6 +129,9 @@ std::uint32_t KernelBarriers::injected_slots() const {
 }
 
 void KernelBarriers::run_injection(sim::Cpu& cpu, KMacro m) const {
+  // Every macro entry point funnels through its injection, so this is the
+  // single place each macro execution is counted.
+  reg_->add(macro_ids_[static_cast<std::size_t>(m)]);
   const core::Injection& inj = config_.injection_for(m);
   if (inj.is_cost_function()) {
     cpu.cost_loop(inj.loop_iterations, /*stack_spill=*/true);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/cost_function.h"
+#include "obs/counters.h"
 #include "sim/fence.h"
 #include "sim/machine.h"
 
@@ -113,6 +114,10 @@ class KernelBarriers {
   void run_injection(sim::Cpu& cpu, KMacro m) const;
 
   KernelConfig config_;
+  // Per-macro execution counters ("kernel.macro.*"), resolved once at
+  // construction so run_injection stays a direct increment.
+  obs::CounterRegistry* reg_;
+  std::array<obs::CounterId, kNumMacros> macro_ids_{};
 };
 
 }  // namespace wmm::kernel

@@ -1,0 +1,70 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wmm::obs {
+
+CounterId CounterRegistry::register_slot(const std::string& name,
+                                         bool is_gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<CounterId>(i);
+  }
+  if (names_.size() >= kCapacity) return kInvalidCounter;
+  names_.push_back(name);
+  gauge_.push_back(is_gauge);
+  return static_cast<CounterId>(names_.size() - 1);
+}
+
+std::vector<CounterRegistry::Entry> CounterRegistry::snapshot(
+    bool include_zero) const {
+  std::vector<Entry> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const std::uint64_t v = slots_[i].load(std::memory_order_relaxed);
+    if (v == 0 && !include_zero) continue;
+    out.push_back(Entry{names_[i], v, static_cast<bool>(gauge_[i])});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+void CounterRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t CounterRegistry::registered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+CounterRegistry& counters() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+std::vector<CounterRegistry::Entry> snapshot_delta(
+    const std::vector<CounterRegistry::Entry>& before,
+    const std::vector<CounterRegistry::Entry>& after) {
+  std::map<std::string, std::uint64_t> base;
+  for (const auto& e : before) base[e.name] = e.value;
+  std::vector<CounterRegistry::Entry> out;
+  for (const auto& e : after) {
+    CounterRegistry::Entry d = e;
+    if (!d.is_gauge) {
+      const auto it = base.find(d.name);
+      const std::uint64_t b = it == base.end() ? 0 : it->second;
+      d.value = d.value > b ? d.value - b : 0;
+    }
+    if (d.value != 0) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace wmm::obs

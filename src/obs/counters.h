@@ -1,0 +1,102 @@
+// Lock-free counter/metric registry.
+//
+// Subsystems register named counters once (string -> slot index, guarded by a
+// mutex) and then increment them from hot simulator paths with relaxed
+// atomics — no locks, no allocation.  Two kinds of metric share the slot
+// space: additive counters (`add`) and high-water-mark gauges (`record_max`,
+// e.g. peak store-buffer occupancy).
+//
+// The registry is process-global: simulated machines are created deep inside
+// workload bodies, so hooks reach the registry through `counters()` rather
+// than plumbing a pointer through every constructor.  Consumers that need
+// per-phase attribution (tests, the bench Session) snapshot before and after
+// and diff; the simulator is deterministic, so same-seed runs produce
+// bit-identical deltas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wmm::obs {
+
+using CounterId = std::uint32_t;
+inline constexpr CounterId kInvalidCounter = ~CounterId{0};
+
+class CounterRegistry {
+ public:
+  // Fixed slot capacity keeps the hot path a plain array index; registration
+  // beyond the capacity returns kInvalidCounter (and add/record_max on it are
+  // no-ops) rather than failing.
+  static constexpr std::size_t kCapacity = 512;
+
+  struct Entry {
+    std::string name;
+    std::uint64_t value = 0;
+    bool is_gauge = false;
+  };
+
+  // Registers (or looks up) a counter by name.  Idempotent; thread-safe.
+  CounterId register_counter(const std::string& name) {
+    return register_slot(name, /*is_gauge=*/false);
+  }
+  // Registers a high-water-mark gauge (updated via record_max).
+  CounterId register_gauge(const std::string& name) {
+    return register_slot(name, /*is_gauge=*/true);
+  }
+
+  void add(CounterId id, std::uint64_t n = 1) {
+    if (id >= kCapacity) return;
+    // Relaxed load+store rather than fetch_add: the simulator steps its
+    // machines single-threaded, so the uncontended RMW's lock prefix would
+    // be pure hot-path cost.  Under concurrent writers this can drop (never
+    // tear) increments — acceptable for statistics, and the deterministic
+    // single-threaded pipelines that feed reports are exact.
+    std::atomic<std::uint64_t>& slot = slots_[id];
+    slot.store(slot.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  }
+
+  void record_max(CounterId id, std::uint64_t v) {
+    if (id >= kCapacity) return;
+    std::uint64_t cur = slots_[id].load(std::memory_order_relaxed);
+    while (cur < v && !slots_[id].compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t value(CounterId id) const {
+    if (id >= kCapacity) return 0;
+    return slots_[id].load(std::memory_order_relaxed);
+  }
+
+  // All registered metrics sorted by name; zero-valued entries included only
+  // on request.
+  std::vector<Entry> snapshot(bool include_zero = false) const;
+
+  // Zeroes every value; registrations (names/ids) persist.
+  void reset_values();
+
+  std::size_t registered() const;
+
+ private:
+  CounterId register_slot(const std::string& name, bool is_gauge);
+
+  mutable std::mutex mutex_;  // guards names_ / gauge_ growth only
+  std::vector<std::string> names_;
+  std::vector<bool> gauge_;
+  std::atomic<std::uint64_t> slots_[kCapacity] = {};
+};
+
+// The process-global registry used by all instrumentation hooks.
+CounterRegistry& counters();
+
+// Difference of two snapshots by name (after - before, saturating at zero for
+// counters; gauges keep the `after` value, a high-water mark being absolute).
+std::vector<CounterRegistry::Entry> snapshot_delta(
+    const std::vector<CounterRegistry::Entry>& before,
+    const std::vector<CounterRegistry::Entry>& after);
+
+}  // namespace wmm::obs

@@ -1,0 +1,376 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wmm::obs {
+
+std::string json_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  std::string s(buf, res.ptr);
+  // to_chars may emit an integer form ("3") or exponent form without a dot
+  // ("1e+20"); both are valid JSON numbers, so no fix-up is needed.
+  return s;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_.back()) out_ += ',';
+  need_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    fail("invalid literal");
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    bool ok = parse_value_inner(out);
+    --depth_;
+    return ok;
+  }
+
+  bool parse_value_inner(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("invalid \\u escape");
+                return false;
+              }
+            }
+            // Encode as UTF-8 (surrogate pairs are not recombined; the
+            // records this parser reads never emit them).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      fail("invalid number");
+      return false;
+    }
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace wmm::obs

@@ -1,0 +1,94 @@
+// Dependency-free JSON support for the observability layer: a streaming
+// writer used to emit JSONL run records and Chrome trace files, and a small
+// recursive-descent parser used by report_diff and the schema tests.
+//
+// The writer formats doubles with std::to_chars (shortest round-trip form),
+// so re-serialising a parsed record reproduces the original text and two
+// runs of a deterministic pipeline emit byte-identical records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wmm::obs {
+
+// `value` escaped for inclusion inside a JSON string literal (quotes not
+// included).
+std::string json_escape(std::string_view value);
+
+// Shortest round-trip decimal form; non-finite values become "null".
+std::string format_double(double value);
+
+// Streaming writer with explicit structure calls.  Commas are inserted
+// automatically; the caller is responsible for balanced begin/end pairs.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object key; must be followed by a value or a begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // True when the next emission at the current nesting level needs a
+  // separating comma.
+  std::vector<bool> need_comma_{false};
+  bool after_key_ = false;
+};
+
+// Parsed JSON value.  Object member order is preserved.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+// Parses one JSON document.  On failure returns nullopt and, when `error` is
+// non-null, stores a brief description with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace wmm::obs

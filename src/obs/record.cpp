@@ -1,0 +1,263 @@
+#include "obs/record.h"
+
+#include <ctime>
+
+#ifndef WMM_GIT_SHA
+#define WMM_GIT_SHA "unknown"
+#endif
+
+namespace wmm::obs {
+
+std::string build_git_sha() { return WMM_GIT_SHA; }
+
+std::string build_compiler() {
+#if defined(__VERSION__) && defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__VERSION__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string current_timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string manifest_line(const Manifest& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "manifest");
+  w.kv("schema", kSchemaVersion);
+  w.kv("tool", "wmmbench");
+  w.kv("binary", m.binary);
+  w.kv("title", m.title);
+  w.kv("paper_ref", m.paper_ref);
+  w.kv("argv", m.argv);
+  w.kv("git_sha", build_git_sha());
+  w.kv("compiler", build_compiler());
+  w.kv("timestamp", current_timestamp_utc());
+  w.kv("wall_clock_s", m.wall_clock_s);
+  w.key("run_options").begin_object();
+  w.kv("warmups", static_cast<std::uint64_t>(m.run_options.warmups));
+  w.kv("samples", static_cast<std::uint64_t>(m.run_options.samples));
+  w.kv("cv_warn_threshold", m.run_options.cv_warn_threshold);
+  w.end_object();
+  for (const auto& [k, v] : m.extra) w.kv(k, v);
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+void write_summary(JsonWriter& w, const core::SampleSummary& s) {
+  w.kv("n", static_cast<std::uint64_t>(s.n));
+  w.kv("mean", s.mean);
+  w.kv("geomean", s.geomean);
+  w.kv("stddev", s.stddev);
+  w.kv("min", s.min);
+  w.kv("max", s.max);
+  w.kv("ci95", s.ci95);
+  w.kv("cv", s.cv());
+}
+
+}  // namespace
+
+std::string run_line(const std::string& context, const core::RunResult& result,
+                     double cv_warn_threshold) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "run");
+  w.kv("context", context);
+  w.kv("name", result.name);
+  write_summary(w, result.times);
+  w.kv("noisy", cv_warn_threshold > 0.0 &&
+                    result.times.cv() > cv_warn_threshold);
+  w.key("raw_times").begin_array();
+  for (double t : result.raw_times) w.value(t);
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string comparison_line(const std::string& context,
+                            const std::string& benchmark,
+                            const std::string& base, const std::string& test,
+                            const core::Comparison& cmp) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "comparison");
+  w.kv("context", context);
+  w.kv("benchmark", benchmark);
+  w.kv("base", base);
+  w.kv("test", test);
+  w.kv("value", cmp.value);
+  w.kv("min", cmp.min);
+  w.kv("max", cmp.max);
+  w.kv("ci95", cmp.ci95);
+  w.kv("significant", cmp.significant());
+  w.end_object();
+  return w.take();
+}
+
+std::string sweep_line(const std::string& context,
+                       const core::SweepResult& sweep) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "sweep");
+  w.kv("context", context);
+  w.kv("benchmark", sweep.benchmark);
+  w.kv("code_path", sweep.code_path);
+  w.key("points").begin_array();
+  for (const core::SweepPoint& p : sweep.points) {
+    w.begin_object();
+    w.kv("cost_ns", p.cost_ns);
+    w.kv("rel_perf", p.rel_perf);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("fit").begin_object();
+  w.kv("k", sweep.fit.k);
+  w.kv("stderr_k", sweep.fit.stderr_k);
+  w.kv("chi2", sweep.fit.chi2);
+  w.kv("converged", sweep.fit.converged);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string counters_line(
+    const std::vector<CounterRegistry::Entry>& entries) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "counters");
+  w.key("values").begin_object();
+  for (const auto& e : entries) w.kv(e.name, e.value);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+struct KeySpec {
+  const char* key;
+  JsonValue::Kind kind;
+};
+
+std::string check_keys(const JsonValue& record, const char* type,
+                       std::initializer_list<KeySpec> keys) {
+  for (const KeySpec& spec : keys) {
+    const JsonValue* v = record.find(spec.key);
+    if (!v) {
+      return std::string(type) + " record missing required key '" + spec.key +
+             "'";
+    }
+    // Booleans may legitimately be either literal; everything else must match
+    // the declared kind.
+    if (spec.kind == JsonValue::Kind::Bool && v->is_bool()) continue;
+    if (v->kind != spec.kind) {
+      return std::string(type) + " record key '" + spec.key +
+             "' has wrong type";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string validate_record(const JsonValue& record) {
+  using K = JsonValue::Kind;
+  if (!record.is_object()) return "record is not a JSON object";
+  const JsonValue* type = record.find("type");
+  if (!type || !type->is_string()) return "record missing string key 'type'";
+  const std::string& t = type->string;
+
+  if (t == "manifest") {
+    std::string err = check_keys(
+        record, "manifest",
+        {{"schema", K::Number},
+         {"binary", K::String},
+         {"title", K::String},
+         {"paper_ref", K::String},
+         {"argv", K::String},
+         {"git_sha", K::String},
+         {"compiler", K::String},
+         {"timestamp", K::String},
+         {"wall_clock_s", K::Number},
+         {"run_options", K::Object}});
+    if (!err.empty()) return err;
+    if (record.find("schema")->number != kSchemaVersion) {
+      return "manifest has unsupported schema version";
+    }
+    return {};
+  }
+  if (t == "run") {
+    return check_keys(record, "run",
+                      {{"context", K::String},
+                       {"name", K::String},
+                       {"n", K::Number},
+                       {"mean", K::Number},
+                       {"geomean", K::Number},
+                       {"stddev", K::Number},
+                       {"min", K::Number},
+                       {"max", K::Number},
+                       {"ci95", K::Number},
+                       {"cv", K::Number},
+                       {"noisy", K::Bool},
+                       {"raw_times", K::Array}});
+  }
+  if (t == "comparison") {
+    return check_keys(record, "comparison",
+                      {{"context", K::String},
+                       {"benchmark", K::String},
+                       {"base", K::String},
+                       {"test", K::String},
+                       {"value", K::Number},
+                       {"min", K::Number},
+                       {"max", K::Number},
+                       {"ci95", K::Number},
+                       {"significant", K::Bool}});
+  }
+  if (t == "sweep") {
+    std::string err = check_keys(record, "sweep",
+                                 {{"context", K::String},
+                                  {"benchmark", K::String},
+                                  {"code_path", K::String},
+                                  {"points", K::Array},
+                                  {"fit", K::Object}});
+    if (!err.empty()) return err;
+    const JsonValue& fit = *record.find("fit");
+    err = check_keys(fit, "sweep.fit",
+                     {{"k", K::Number},
+                      {"stderr_k", K::Number},
+                      {"chi2", K::Number},
+                      {"converged", K::Bool}});
+    if (!err.empty()) return err;
+    for (const JsonValue& p : record.find("points")->array) {
+      if (!p.is_object()) return "sweep point is not an object";
+      err = check_keys(p, "sweep.point",
+                       {{"cost_ns", K::Number}, {"rel_perf", K::Number}});
+      if (!err.empty()) return err;
+    }
+    return {};
+  }
+  if (t == "counters") {
+    std::string err = check_keys(record, "counters", {{"values", K::Object}});
+    if (!err.empty()) return err;
+    for (const auto& [name, v] : record.find("values")->object) {
+      if (!v.is_number()) {
+        return "counters value '" + name + "' is not a number";
+      }
+    }
+    return {};
+  }
+  return "unknown record type '" + t + "'";
+}
+
+}  // namespace wmm::obs

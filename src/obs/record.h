@@ -1,0 +1,71 @@
+// Structured run records: one JSON object per line (JSONL).
+//
+// A report file starts with a manifest record describing the producing
+// binary, build, and environment, followed by run/comparison/sweep records
+// in emission order and (optionally) a final counters record with the
+// simulator event counters accumulated over the whole run.  report_diff
+// consumes these files; validate_record checks the schema both there and in
+// the golden-schema tests.
+//
+// Schema v1 record types and required keys:
+//   manifest   : type, schema, binary, title, paper_ref, argv, git_sha,
+//                compiler, timestamp, wall_clock_s, run_options
+//   run        : type, context, name, n, mean, geomean, stddev, min, max,
+//                ci95, cv, noisy, raw_times
+//   comparison : type, context, benchmark, base, test, value, min, max,
+//                ci95, significant
+//   sweep      : type, context, benchmark, code_path, points, fit
+//   counters   : type, values
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/stats.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+
+namespace wmm::obs {
+
+inline constexpr int kSchemaVersion = 1;
+
+struct Manifest {
+  std::string binary;
+  std::string title;
+  std::string paper_ref;
+  std::string argv;  // space-joined command line
+  core::RunOptions run_options;
+  double wall_clock_s = 0.0;
+  // Free-form extra fields (e.g. "arch", "seed") appended as strings.
+  std::map<std::string, std::string> extra;
+};
+
+// Build metadata baked in at compile time / taken at run time.
+std::string build_git_sha();
+std::string build_compiler();
+std::string current_timestamp_utc();  // ISO 8601, second resolution
+
+std::string manifest_line(const Manifest& m);
+
+// `noisy` is cv > cv_warn_threshold (see RunOptions); the threshold used is
+// recorded in the manifest's run_options.
+std::string run_line(const std::string& context, const core::RunResult& result,
+                     double cv_warn_threshold);
+
+std::string comparison_line(const std::string& context,
+                            const std::string& benchmark,
+                            const std::string& base, const std::string& test,
+                            const core::Comparison& cmp);
+
+std::string sweep_line(const std::string& context,
+                       const core::SweepResult& sweep);
+
+std::string counters_line(const std::vector<CounterRegistry::Entry>& entries);
+
+// Validates one parsed record against the schema above.  Returns an empty
+// string when valid, otherwise a description of the first problem.
+std::string validate_record(const JsonValue& record);
+
+}  // namespace wmm::obs

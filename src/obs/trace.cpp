@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace wmm::obs {
+
+namespace {
+TraceSink* g_trace = nullptr;
+}  // namespace
+
+TraceSink* trace() { return g_trace; }
+void set_trace(TraceSink* sink) { g_trace = sink; }
+
+bool TraceSink::admit(std::uint32_t pid) {
+  if (events_.size() >= limits_.max_events) {
+    truncated_ = true;
+    return false;
+  }
+  std::size_t& n = per_process_[pid];
+  if (n >= limits_.max_events_per_process) {
+    truncated_ = true;
+    return false;
+  }
+  ++n;
+  return true;
+}
+
+void TraceSink::complete(const char* name, const char* cat, std::uint32_t pid,
+                         std::uint32_t tid, double ts_ns, double dur_ns) {
+  if (!admit(pid)) return;
+  events_.push_back(Event{name, cat, ts_ns, dur_ns, pid, tid});
+}
+
+void TraceSink::instant(const char* name, const char* cat, std::uint32_t pid,
+                        std::uint32_t tid, double ts_ns) {
+  if (!admit(pid)) return;
+  events_.push_back(Event{name, cat, ts_ns, -1.0, pid, tid});
+}
+
+void TraceSink::set_process_name(std::uint32_t pid, std::string name) {
+  process_names_.emplace_back(pid, std::move(name));
+}
+
+void TraceSink::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                std::string name) {
+  thread_names_.emplace_back((static_cast<std::uint64_t>(pid) << 32) | tid,
+                             std::move(name));
+}
+
+void TraceSink::write(std::ostream& os) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("otherData").begin_object();
+  w.kv("tool", "wmmbench");
+  w.kv("truncated", truncated_);
+  w.end_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& [pid, name] : process_names_) {
+    w.begin_object();
+    w.kv("name", "process_name").kv("ph", "M");
+    w.kv("pid", static_cast<std::uint64_t>(pid)).kv("tid", std::uint64_t{0});
+    w.key("args").begin_object().kv("name", name).end_object();
+    w.end_object();
+  }
+  for (const auto& [key, name] : thread_names_) {
+    w.begin_object();
+    w.kv("name", "thread_name").kv("ph", "M");
+    w.kv("pid", static_cast<std::uint64_t>(key >> 32));
+    w.kv("tid", static_cast<std::uint64_t>(key & 0xffffffffu));
+    w.key("args").begin_object().kv("name", name).end_object();
+    w.end_object();
+  }
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.kv("name", e.name).kv("cat", e.cat);
+    // Trace-event timestamps are in microseconds.
+    w.kv("ts", e.ts_ns / 1000.0);
+    if (e.dur_ns >= 0.0) {
+      w.kv("ph", "X").kv("dur", e.dur_ns / 1000.0);
+    } else {
+      w.kv("ph", "i").kv("s", "t");
+    }
+    w.kv("pid", static_cast<std::uint64_t>(e.pid));
+    w.kv("tid", static_cast<std::uint64_t>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << w.str();
+}
+
+}  // namespace wmm::obs

@@ -1,0 +1,81 @@
+// Chrome trace-event exporter for simulated machine timelines.
+//
+// Events accumulate in memory while a sink is installed (obs::set_trace) and
+// serialise to the Trace Event Format JSON that chrome://tracing and Perfetto
+// load: each simulated machine is a "process" (pid = machine id), each
+// simulated cpu a "thread" (tid = cpu index), and fences / coherence misses /
+// store-buffer stalls appear as complete ("X") slices on the simulated-time
+// axis (ts in microseconds of simulated time).
+//
+// Event names and categories are `const char*` and must point to storage that
+// outlives the sink (string literals / fence_name()-style tables) — events
+// are recorded without allocation.
+//
+// A bench run simulates thousands of machine instances, so the sink caps
+// both total events and events per machine; when a cap trips the sink keeps
+// the prefix and reports truncation instead of exhausting memory.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wmm::obs {
+
+class TraceSink {
+ public:
+  struct Limits {
+    std::size_t max_events = 250000;
+    std::size_t max_events_per_process = 8192;
+  };
+
+  TraceSink() = default;
+  explicit TraceSink(Limits limits) : limits_(limits) {}
+
+  // A slice of simulated time [ts_ns, ts_ns + dur_ns] on (pid, tid).
+  void complete(const char* name, const char* cat, std::uint32_t pid,
+                std::uint32_t tid, double ts_ns, double dur_ns);
+
+  // A zero-duration marker.
+  void instant(const char* name, const char* cat, std::uint32_t pid,
+               std::uint32_t tid, double ts_ns);
+
+  // Process/thread display names (metadata events on write).
+  void set_process_name(std::uint32_t pid, std::string name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  std::size_t event_count() const { return events_.size(); }
+  bool truncated() const { return truncated_; }
+
+  // Serialises the whole trace as one JSON document.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Event {
+    const char* name;
+    const char* cat;
+    double ts_ns;
+    double dur_ns;  // < 0 => instant event
+    std::uint32_t pid;
+    std::uint32_t tid;
+  };
+
+  bool admit(std::uint32_t pid);
+
+  Limits limits_;
+  std::vector<Event> events_;
+  std::unordered_map<std::uint32_t, std::size_t> per_process_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+  std::vector<std::pair<std::uint64_t, std::string>> thread_names_;  // pid<<32|tid
+  bool truncated_ = false;
+};
+
+// The currently installed sink (nullptr when tracing is off).  Hooks check
+// this on the hot path; installation is not thread-safe and is done once by
+// the driver before simulation starts.
+TraceSink* trace();
+void set_trace(TraceSink* sink);
+
+}  // namespace wmm::obs

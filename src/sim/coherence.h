@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/metrics.h"
+
 namespace wmm::sim {
 
 using LineId = std::uint64_t;
@@ -31,6 +33,7 @@ class Bus {
   // capped at a short horizon past the requester's clock — contention is
   // felt when the bus is genuinely saturated, not across clock skew.
   double reserve(double now, double transfer_ns) {
+    reg_->add(ids_->bus_transactions);
     double start = busy_until_ > now ? busy_until_ : now;
     if (start > now + kQueueHorizonNs) start = now + kQueueHorizonNs;
     busy_until_ = start + transfer_ns;
@@ -43,6 +46,8 @@ class Bus {
   void reset() { busy_until_ = 0.0; }
 
  private:
+  obs::CounterRegistry* reg_ = &obs::counters();
+  const SimCounterIds* ids_ = &sim_counters();
   double busy_until_ = 0.0;
 };
 
@@ -62,6 +67,7 @@ class CoherenceDirectory {
     LineState& l = lines_[id];
     const bool miss = l.owner >= 0 && l.owner != core;
     if (miss) {
+      reg_->add(ids_->coh_misses);
       // Owner's copy is downgraded to shared.
       l.sharers |= (1u << l.owner);
       l.owner = -1;
@@ -91,6 +97,10 @@ class CoherenceDirectory {
     }
     l.owner = core;
     l.sharers = (1u << core);
+    if (transfer) {
+      reg_->add(ids_->coh_transfers);
+      reg_->add(ids_->coh_invalidations, invalidated.size());
+    }
     return transfer;
   }
 
@@ -98,6 +108,8 @@ class CoherenceDirectory {
   std::size_t tracked_lines() const { return lines_.size(); }
 
  private:
+  obs::CounterRegistry* reg_ = &obs::counters();
+  const SimCounterIds* ids_ = &sim_counters();
   std::unordered_map<LineId, LineState> lines_;
 };
 

@@ -2,6 +2,7 @@
 // architectures, plus the ordering semantics used by the litmus executor.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,6 +29,10 @@ enum class FenceKind : std::uint8_t {
   Nop,
   CompilerOnly,  // compiler barrier: no instruction emitted
 };
+
+// Number of FenceKind enumerators (observability counters index by kind).
+inline constexpr std::size_t kNumFenceKinds =
+    static_cast<std::size_t>(FenceKind::CompilerOnly) + 1;
 
 const char* fence_name(FenceKind kind);
 

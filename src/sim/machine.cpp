@@ -1,14 +1,43 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
+#include "sim/metrics.h"
 
 namespace wmm::sim {
+
+namespace {
+// Machines number monotonically across the process so every simulated run
+// gets a distinct Chrome-trace process track.
+std::atomic<unsigned> g_next_machine_id{0};
+
+// Inline mirror of fence_order(kind).ww for the fence hot path (the full
+// table lookup is an out-of-line call); fence_test cross-checks the table.
+constexpr bool orders_stores(FenceKind kind) {
+  switch (kind) {
+    case FenceKind::DmbIsh:
+    case FenceKind::DsbSy:
+    case FenceKind::HwSync:
+    case FenceKind::Mfence:
+    case FenceKind::LwSync:
+    case FenceKind::DmbIshSt:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
 
 Cpu::Cpu(Machine* machine, int index, const ArchParams& params)
     : machine_(machine),
       index_(index),
       params_(&params),
+      reg_(&obs::counters()),
+      ids_(&sim_counters()),
       sb_(params.sb_capacity, params.sb_drain_ns),
       rng_(hash_combine(0xc0ffee, static_cast<std::uint64_t>(index))) {
   predictor_.reset();
@@ -31,12 +60,17 @@ double Cpu::outstanding_load_wait() const {
 }
 
 void Cpu::receive_invalidation(double at_time) {
+  reg_->add(ids_->invq_received);
   invq_pending_ = pending_invalidations() + 1.0;
   invq_updated_ = std::max(invq_updated_, at_time);
 }
 
 double Cpu::process_invalidations() {
   const double pending = pending_invalidations();
+  if (pending > 0.0) {
+    reg_->add(ids_->invq_drains);
+    reg_->add(ids_->invq_drained, static_cast<std::uint64_t>(pending + 0.5));
+  }
   invq_pending_ = 0.0;
   invq_updated_ = now_;
   return pending * params_->inv_process_ns;
@@ -45,8 +79,13 @@ double Cpu::process_invalidations() {
 void Cpu::load_shared(LineId line) {
   const bool transfer = machine_->directory_.read(line, index_);
   if (transfer) {
+    const double start = now_;
     const double done = machine_->bus_.reserve(now_, params_->bus_transfer_ns);
     now_ = std::max(now_ + params_->coherence_miss_ns, done);
+    if (obs::TraceSink* t = obs::trace()) {
+      t->complete("coherence-miss", "mem", machine_->id_,
+                  static_cast<std::uint32_t>(index_), start, now_ - start);
+    }
   } else {
     now_ += params_->load_l1_ns;
   }
@@ -55,6 +94,12 @@ void Cpu::load_shared(LineId line) {
 
 void Cpu::store_shared(LineId line) {
   const double stall = sb_.push(now_);
+  if (stall > 0.0) {
+    if (obs::TraceSink* t = obs::trace()) {
+      t->complete("sb-stall", "mem", machine_->id_,
+                  static_cast<std::uint32_t>(index_), now_, stall);
+    }
+  }
   now_ += stall + params_->store_issue_ns;
   std::vector<int>& targets = machine_->invalidation_scratch_;
   const bool transfer = machine_->directory_.write(line, index_, targets);
@@ -104,8 +149,14 @@ void Cpu::private_access(unsigned loads, unsigned stores, double miss_rate) {
 }
 
 void Cpu::branch(std::uint64_t site, bool taken) {
+  reg_->add(ids_->branches);
   now_ += params_->branch_ns;
   if (predictor_.mispredicted(site, taken)) {
+    reg_->add(ids_->branch_mispredicts);
+    if (obs::TraceSink* t = obs::trace()) {
+      t->instant("mispredict", "branch", machine_->id_,
+                 static_cast<std::uint32_t>(index_), now_);
+    }
     now_ += params_->mispredict_ns;
   }
 }
@@ -115,6 +166,24 @@ void Cpu::pollute_predictor(unsigned branches) {
 }
 
 void Cpu::fence(FenceKind kind, std::uint64_t site) {
+  reg_->add(ids_->fence[static_cast<std::size_t>(kind)]);
+  // A store-ordering fence arriving at a non-empty buffer exposes (part of)
+  // the remaining drain: the flush events the paper's in-vivo analysis
+  // attributes macro slowdowns to.
+  if (orders_stores(kind) && sb_.drain_wait(now_) > 0.0) {
+    reg_->add(ids_->sb_drain_flushes);
+  }
+  const double start = now_;
+  fence_impl(kind, site);
+  if (kind != FenceKind::None && kind != FenceKind::CompilerOnly) {
+    if (obs::TraceSink* t = obs::trace()) {
+      t->complete(fence_name(kind), "fence", machine_->id_,
+                  static_cast<std::uint32_t>(index_), start, now_ - start);
+    }
+  }
+}
+
+void Cpu::fence_impl(FenceKind kind, std::uint64_t site) {
   const ArchParams& p = *params_;
   switch (kind) {
     case FenceKind::None:
@@ -138,7 +207,7 @@ void Cpu::fence(FenceKind kind, std::uint64_t site) {
       return;
     }
     case FenceKind::DsbSy: {
-      fence(FenceKind::DmbIsh, site);
+      fence_impl(FenceKind::DmbIsh, site);
       now_ += p.dsb_extra_ns;
       return;
     }
@@ -207,10 +276,16 @@ void Cpu::reset() {
   last_load_complete_ = 0.0;
 }
 
-Machine::Machine(const ArchParams& params) : params_(params) {
+Machine::Machine(const ArchParams& params)
+    : params_(params),
+      id_(g_next_machine_id.fetch_add(1, std::memory_order_relaxed)) {
   cpus_.reserve(params_.num_cores);
   for (unsigned i = 0; i < params_.num_cores; ++i) {
     cpus_.push_back(std::make_unique<Cpu>(this, static_cast<int>(i), params_));
+  }
+  if (obs::TraceSink* t = obs::trace()) {
+    t->set_process_name(id_, std::string(arch_name(params_.arch)) +
+                                 " machine #" + std::to_string(id_));
   }
 }
 
@@ -223,8 +298,12 @@ void Machine::send_invalidations(const std::vector<int>& targets, double at) {
 }
 
 void Machine::stall_all(double ns) {
+  obs::counters().add(sim_counters().stw_pauses);  // cold path
   double max_now = 0.0;
   for (const auto& c : cpus_) max_now = std::max(max_now, c->now());
+  if (obs::TraceSink* t = obs::trace()) {
+    t->complete("stop-the-world", "machine", id_, 0, max_now, ns);
+  }
   for (const auto& c : cpus_) c->now_ = max_now + ns;
 }
 
@@ -233,6 +312,7 @@ double Machine::run(const std::vector<SimThread*>& threads,
   if (threads.size() != cpu_of.size()) {
     throw std::invalid_argument("Machine::run: threads/cpu_of size mismatch");
   }
+  obs::counters().add(sim_counters().machine_runs);
   std::vector<bool> active(threads.size(), true);
   std::size_t remaining = threads.size();
   while (remaining > 0) {

@@ -17,6 +17,7 @@
 #include "sim/branch_predictor.h"
 #include "sim/coherence.h"
 #include "sim/fence.h"
+#include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/store_buffer.h"
 
@@ -61,7 +62,9 @@ class Cpu {
   void pollute_predictor(unsigned branches);
 
   // A memory-ordering instruction; `site` identifies the code path (used for
-  // ctrl-dependency branch prediction).
+  // ctrl-dependency branch prediction).  Each call counts as one fence event
+  // and one trace slice, even when the lowering internally subsumes a weaker
+  // barrier.
   void fence(FenceKind kind, std::uint64_t site = 0);
 
   // Execute a lowered barrier sequence.
@@ -89,11 +92,17 @@ class Cpu {
  private:
   friend class Machine;
 
+  void fence_impl(FenceKind kind, std::uint64_t site);
+
   double process_invalidations();  // returns processing cost, clears queue
 
   Machine* machine_;
   int index_;
   const ArchParams* params_;
+  // Counter registry / slot ids resolved once at construction so the hooks
+  // on hot paths (fence, branch, invalidations) are direct inlined ops.
+  obs::CounterRegistry* reg_;
+  const SimCounterIds* ids_;
 
   double now_ = 0.0;
   StoreBuffer sb_;
@@ -126,6 +135,10 @@ class Machine {
   const ArchParams& params() const { return params_; }
   Arch arch() const { return params_.arch; }
 
+  // Process id in exported Chrome traces (machines number monotonically per
+  // process; each machine is one trace "process", each cpu one "thread").
+  unsigned id() const { return id_; }
+
   unsigned num_cpus() const { return static_cast<unsigned>(cpus_.size()); }
   Cpu& cpu(unsigned i) { return *cpus_[i]; }
 
@@ -151,6 +164,7 @@ class Machine {
 
  private:
   ArchParams params_;
+  unsigned id_ = 0;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   Bus bus_;
   CoherenceDirectory directory_;

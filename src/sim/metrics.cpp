@@ -1,0 +1,51 @@
+#include "sim/metrics.h"
+
+#include <string>
+
+namespace wmm::sim {
+
+namespace {
+
+// Counter names use '_' where the instruction mnemonic has spaces or '+'
+// ("dmb ish" -> "sim.fence.dmb_ish") so they stay single tokens in reports.
+std::string slug(const char* name) {
+  std::string s(name);
+  for (char& c : s) {
+    if (c == ' ' || c == '+') c = '_';
+  }
+  return s;
+}
+
+SimCounterIds register_all() {
+  obs::CounterRegistry& reg = obs::counters();
+  SimCounterIds ids;
+  for (std::size_t i = 0; i < kNumFenceKinds; ++i) {
+    ids.fence[i] = reg.register_counter(
+        "sim.fence." + slug(fence_name(static_cast<FenceKind>(i))));
+  }
+  ids.sb_stores = reg.register_counter("sim.sb.stores");
+  ids.sb_full_stalls = reg.register_counter("sim.sb.full_stalls");
+  ids.sb_occupancy_hwm = reg.register_gauge("sim.sb.occupancy_hwm");
+  ids.sb_drain_flushes = reg.register_counter("sim.sb.drain_flushes");
+  ids.invq_received = reg.register_counter("sim.invq.received");
+  ids.invq_drains = reg.register_counter("sim.invq.drains");
+  ids.invq_drained = reg.register_counter("sim.invq.drained_entries");
+  ids.bus_transactions = reg.register_counter("sim.bus.transactions");
+  ids.coh_misses = reg.register_counter("sim.coherence.misses");
+  ids.coh_transfers = reg.register_counter("sim.coherence.ownership_transfers");
+  ids.coh_invalidations = reg.register_counter("sim.coherence.invalidations_sent");
+  ids.branches = reg.register_counter("sim.branch.executed");
+  ids.branch_mispredicts = reg.register_counter("sim.branch.mispredicts");
+  ids.machine_runs = reg.register_counter("sim.machine.runs");
+  ids.stw_pauses = reg.register_counter("sim.machine.stw_pauses");
+  return ids;
+}
+
+}  // namespace
+
+const SimCounterIds& sim_counters() {
+  static const SimCounterIds ids = register_all();
+  return ids;
+}
+
+}  // namespace wmm::sim

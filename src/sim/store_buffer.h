@@ -13,32 +13,36 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+
+#include "sim/metrics.h"
 
 namespace wmm::sim {
 
 class StoreBuffer {
  public:
+  // Counter slots and the registry are resolved once at construction (cold)
+  // so the per-store hot path is a direct inlined increment.
   StoreBuffer(unsigned capacity, double drain_ns)
-      : capacity_(capacity), drain_ns_(drain_ns) {}
+      : capacity_(capacity),
+        drain_ns_(drain_ns),
+        reg_(&obs::counters()),
+        ids_(&sim_counters()) {}
 
   // Append one store at time `now`; returns the stall time (ns) suffered by
   // the core when the buffer is full.
   double push(double now) {
-    double stall = 0.0;
-    const double full_horizon = static_cast<double>(capacity_) * drain_ns_;
-    if (drain_complete_ - now > full_horizon) {
-      // Buffer full: the core stalls until one slot frees up.
-      stall = (drain_complete_ - now) - full_horizon;
-      now += stall;
-    }
-    drain_complete_ = std::max(drain_complete_, now) + drain_ns_;
-    return stall;
+    reg_->add(ids_->sb_stores);
+    return push_counted(now);
   }
 
-  // Append `n` stores in bulk (statistical private-memory traffic).
+  // Append `n` stores in bulk (statistical private-memory traffic).  The
+  // store count is recorded in one batched increment to keep this hot path
+  // at a single atomic op.
   double push_bulk(double now, unsigned n) {
+    reg_->add(ids_->sb_stores, n);
     double stall = 0.0;
-    for (unsigned i = 0; i < n; ++i) stall += push(now + stall);
+    for (unsigned i = 0; i < n; ++i) stall += push_counted(now + stall);
     return stall;
   }
 
@@ -58,12 +62,41 @@ class StoreBuffer {
   unsigned capacity() const { return capacity_; }
   double drain_ns_per_entry() const { return drain_ns_; }
 
-  void reset() { drain_complete_ = 0.0; }
+  void reset() {
+    drain_complete_ = 0.0;
+    local_hwm_ = 0.0;
+  }
 
  private:
+  // One store's worth of drain/stall accounting, with the store itself
+  // already counted by the caller.
+  double push_counted(double now) {
+    double stall = 0.0;
+    const double full_horizon = static_cast<double>(capacity_) * drain_ns_;
+    if (drain_complete_ - now > full_horizon) {
+      // Buffer full: the core stalls until one slot frees up.
+      stall = (drain_complete_ - now) - full_horizon;
+      now += stall;
+      reg_->add(ids_->sb_full_stalls);
+    }
+    drain_complete_ = std::max(drain_complete_, now) + drain_ns_;
+    // The global gauge only needs touching when this buffer's own high-water
+    // mark moves, which keeps the common path free of atomic ops.
+    const double occupancy_now = (drain_complete_ - now) / drain_ns_;
+    if (occupancy_now > local_hwm_) {
+      local_hwm_ = occupancy_now;
+      reg_->record_max(ids_->sb_occupancy_hwm,
+                       static_cast<std::uint64_t>(occupancy_now + 0.5));
+    }
+    return stall;
+  }
+
   unsigned capacity_;
   double drain_ns_;
+  obs::CounterRegistry* reg_;
+  const SimCounterIds* ids_;
   double drain_complete_ = 0.0;
+  double local_hwm_ = 0.0;  // this buffer's own occupancy high-water mark
 };
 
 }  // namespace wmm::sim

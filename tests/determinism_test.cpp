@@ -15,6 +15,7 @@
 #include "core/stats.h"
 #include "jvm/fencing.h"
 #include "kernel/barriers.h"
+#include "obs/counters.h"
 #include "workloads/jvm_workloads.h"
 #include "workloads/kernel_workloads.h"
 
@@ -112,6 +113,48 @@ TEST(Determinism, KernelHarnessReportRowsBitIdentical) {
 
   expect_bit_identical(r1.raw_times, r2.raw_times);
   EXPECT_EQ(report_row(r1), report_row(r2));
+}
+
+// The observability counters are part of the determinism contract: the same
+// seed must produce the exact same event counts (fences executed, store
+// buffer flushes, ...), not just the same simulated times.  Counter snapshots
+// are diffed around each run so unrelated registrations don't interfere.
+TEST(Determinism, SameSeedSameCounterDeltas) {
+  const JvmWorkloadProfile& profile = jvm_profiles().front();
+  const jvm::JvmConfig config = jvm_config();
+
+  const auto counted_run = [&] {
+    const auto before = obs::counters().snapshot(/*include_zero=*/true);
+    run_jvm_workload(profile, config, 0x5eedULL);
+    const auto after = obs::counters().snapshot(/*include_zero=*/true);
+    return obs::snapshot_delta(before, after);
+  };
+  const auto d1 = counted_run();
+  const auto d2 = counted_run();
+
+  ASSERT_EQ(d1.size(), d2.size());
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].name, d2[i].name);
+    // Gauges are process-lifetime high-water marks, monotone across runs by
+    // construction; counters must match exactly.
+    if (!d1[i].is_gauge) {
+      EXPECT_EQ(d1[i].value, d2[i].value) << d1[i].name;
+    }
+    any_nonzero |= d1[i].value != 0;
+  }
+  // The instrumentation is live: a JVM workload on ARMv8 with barriers must
+  // execute fences and flush store buffers.
+  EXPECT_TRUE(any_nonzero);
+
+  std::uint64_t fences = 0;
+  std::uint64_t sb_stores = 0;
+  for (const auto& e : d1) {
+    if (e.name.rfind("sim.fence.", 0) == 0) fences += e.value;
+    if (e.name == "sim.sb.stores") sb_stores = e.value;
+  }
+  EXPECT_GT(fences, 0u);
+  EXPECT_GT(sb_stores, 0u);
 }
 
 // Base-vs-test comparison: re-running the whole comparison pipeline produces
