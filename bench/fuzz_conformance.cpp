@@ -6,14 +6,22 @@
 //
 // Usage:
 //   fuzz_conformance [--arch=sc|tso|arm|power|all] [--count=N] [--seed=S]
-//                    [--replay=SEED] [--weaken=tso-wr|deps|poloc|acqrel]
-//                    [--max-divergences=N]
+//                    [--replay=SEED] [--max-divergences=N] [--sandwich]
+//                    [--weaken=tso-wr|deps|poloc|acqrel|
+//                             power-lwsync-sync|power-bcumul|power-obs]
 //
 //   --replay=SEED  regenerate exactly the program of one seed (as printed in
 //                  a divergence report), show both models' verdicts, and exit
 //                  non-zero if they still disagree.
 //   --weaken=...   deliberately weaken one axiomatic constraint (self-test:
-//                  the fuzzer must catch the planted bug).
+//                  the fuzzer must catch the planted bug).  The power-*
+//                  spellings weaken the exact Herding-Cats POWER model and
+//                  switch POWER to a biased generator shape (and, unless
+//                  --count is given, a 5000-program budget) so the rare
+//                  witnessing programs appear within the run.
+//   --sandwich     check POWER with the legacy envelope bounds instead of the
+//                  exact Herding-Cats model (differential debugging only).
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +50,18 @@ std::vector<sim::Arch> parse_archs(const std::string& s) {
   return {};
 }
 
+// Picks the biased generator shape for a planted POWER weakening: the
+// default POWER config almost never emits the witnessing litmus shapes (see
+// FuzzConfig::power_teeth_{sb,wrc}), so a --weaken=power-* self-test fuzzes
+// with the matching teeth config instead.
+sim::FuzzConfig config_for(sim::Arch arch, const sim::AxiomaticOptions& o) {
+  if (arch == sim::Arch::POWER7 && o.power.any()) {
+    return o.power.lwsync_is_sync ? sim::FuzzConfig::power_teeth_sb()
+                                  : sim::FuzzConfig::power_teeth_wrc();
+  }
+  return sim::FuzzConfig::for_arch(arch);
+}
+
 bool parse_weaken(const std::string& s, sim::AxiomaticOptions& o) {
   if (s == "tso-wr") {
     o.drop_tso_store_load_fence = true;
@@ -51,6 +71,12 @@ bool parse_weaken(const std::string& s, sim::AxiomaticOptions& o) {
     o.drop_same_location_order = true;
   } else if (s == "acqrel") {
     o.drop_acquire_release = true;
+  } else if (s == "power-lwsync-sync") {
+    o.power.lwsync_is_sync = true;
+  } else if (s == "power-bcumul") {
+    o.power.drop_b_cumulativity = true;
+  } else if (s == "power-obs") {
+    o.power.drop_observation = true;
   } else {
     return false;
   }
@@ -93,6 +119,7 @@ int replay(std::uint64_t seed, const std::vector<sim::Arch>& archs,
 int main(int argc, char** argv) {
   std::vector<sim::Arch> archs = parse_archs("all");
   int count = 1000;
+  bool count_set = false;
   std::uint64_t base_seed = 0xc0ffee;
   std::uint64_t replay_seed = 0;
   bool do_replay = false;
@@ -108,6 +135,7 @@ int main(int argc, char** argv) {
       {"--count", "N", "programs per architecture (default 1000)",
        [&](const std::string& v) {
          count = static_cast<int>(parse_u64(v));
+         count_set = true;
          return count > 0;
        }},
       {"--seed", "S", "base seed for program generation",
@@ -121,8 +149,16 @@ int main(int argc, char** argv) {
          do_replay = true;
          return true;
        }},
-      {"--weaken", "W", "plant a bug: tso-wr|deps|poloc|acqrel",
+      {"--weaken", "W",
+       "plant a bug: tso-wr|deps|poloc|acqrel|power-lwsync-sync|"
+       "power-bcumul|power-obs",
        [&](const std::string& v) { return parse_weaken(v, options); }},
+      {"--sandwich", "",
+       "check POWER with the legacy envelope bounds (debugging)",
+       [&](const std::string&) {
+         options.power_sandwich = true;
+         return true;
+       }},
       {"--max-divergences", "N", "stop an arch after N divergences (default 1)",
        [&](const std::string& v) {
          max_divergences = static_cast<int>(parse_u64(v));
@@ -133,14 +169,32 @@ int main(int argc, char** argv) {
                          "Differential litmus conformance fuzzer", "", specs);
   session.set_extra("seed", std::to_string(base_seed));
   session.set_extra("count", std::to_string(count));
+  session.set_extra("power_check",
+                    options.power_sandwich ? "sandwich" : "hc-exact");
+
+  const bool has_power =
+      std::find(archs.begin(), archs.end(), sim::Arch::POWER7) != archs.end();
+  if (has_power) {
+    std::printf("POWER check mode: %s\n",
+                options.power_sandwich
+                    ? "sandwich envelope (legacy, --sandwich)"
+                    : "exact Herding-Cats equality");
+  }
 
   if (do_replay) return replay(replay_seed, archs, options);
 
+  // A planted POWER bug is only witnessed by rare program shapes; give the
+  // biased generator enough room to reach the first catch (see the teeth
+  // corpus counts in tests/fuzz_conformance_test.cpp).
+  int power_count = count;
+  if (!count_set && options.power.any()) power_count = 5000;
+
   int failures = 0;
   for (sim::Arch arch : archs) {
+    const bool power = arch == sim::Arch::POWER7;
     const sim::FuzzReport report = sim::run_conformance_corpus(
-        arch, base_seed, count, sim::FuzzConfig::for_arch(arch), options,
-        max_divergences);
+        arch, base_seed, power ? power_count : count, config_for(arch, options),
+        options, max_divergences);
     std::printf("%-8s %6d programs  %9lld outcomes cross-checked  %s\n",
                 sim::arch_name(arch), report.programs, report.outcomes_checked,
                 report.ok() ? "OK" : "DIVERGED");

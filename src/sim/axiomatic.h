@@ -20,8 +20,10 @@
 //   commit interleaving exists.
 //
 //   POWER7 (non-multi-copy-atomic by early forwarding / delayed visibility)
-//   is checked as an *envelope* (a pair of sound bounds, not an exact
-//   equivalence — see `axiomatic_outcomes_power_envelope`):
+//   has an *exact* four-axiom Herding-Cats model in axiomatic_power.h; this
+//   checker only provides the legacy *envelope* for it (a pair of sound
+//   bounds, kept for differential debugging via
+//   AxiomaticOptions::power_sandwich):
 //       COHERENCE:  acyclic(po-loc ∪ rf ∪ co ∪ fr)    (SC per location)
 //       CAUSALITY:  acyclic(ppo ∪ rf ∪ co)            (commit-order
 //                   consistency; fr is *excluded* because a read may commit
@@ -41,6 +43,7 @@
 #include <set>
 #include <string>
 
+#include "sim/axiomatic_power.h"
 #include "sim/memory_model.h"
 
 namespace wmm::sim {
@@ -62,9 +65,17 @@ struct AxiomaticOptions {
   // MP+rel+acq.
   bool drop_acquire_release = false;
 
+  // Weakenings of the exact POWER model (axiomatic_power.h); only consulted
+  // on POWER7.
+  PowerAxiomaticOptions power;
+  // Check POWER with the legacy sandwich bounds instead of the exact
+  // Herding-Cats model (fuzz_conformance --sandwich, for differential
+  // debugging of the exact oracle itself).
+  bool power_sandwich = false;
+
   bool any() const {
     return drop_tso_store_load_fence || drop_dependency_order ||
-           drop_same_location_order || drop_acquire_release;
+           drop_same_location_order || drop_acquire_release || power.any();
   }
 };
 

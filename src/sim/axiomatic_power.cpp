@@ -1,0 +1,654 @@
+#include "sim/axiomatic_power.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wmm::sim {
+
+namespace {
+
+bool pw_is_access(const LitmusInstr& in) { return in.type != AccessType::Fence; }
+bool pw_is_read(const LitmusInstr& in) { return in.type == AccessType::Read; }
+bool pw_is_write(const LitmusInstr& in) { return in.type == AccessType::Write; }
+
+// --- Fence ordering classes (re-derived, see axiomatic.cpp for sources) ----
+
+struct PwOrder {
+  bool rr = false, rw = false, wr = false, ww = false;
+  bool full() const { return rr && rw && wr && ww; }
+};
+
+PwOrder pw_fence_class(FenceKind kind, const PowerAxiomaticOptions& opt) {
+  switch (kind) {
+    case FenceKind::DmbIsh:
+    case FenceKind::DsbSy:
+    case FenceKind::HwSync:
+    case FenceKind::Mfence:
+      return {true, true, true, true};
+    case FenceKind::LwSync:
+      if (opt.lwsync_is_sync) return {true, true, true, true};
+      return {true, true, false, true};
+    case FenceKind::DmbIshLd:
+    case FenceKind::CtrlIsb:
+    case FenceKind::ISync:
+      return {true, true, false, false};
+    case FenceKind::DmbIshSt:
+      return {false, false, false, true};
+    case FenceKind::Isb:
+    case FenceKind::CtrlDep:
+    case FenceKind::None:
+    case FenceKind::Nop:
+    case FenceKind::CompilerOnly:
+      return {};
+  }
+  return {};
+}
+
+// Full barriers (sync and its cross-ISA equivalents) are cumulative in both
+// directions: group-A push plus reader catch-up.
+bool pw_full_barrier(FenceKind kind, const PowerAxiomaticOptions& opt) {
+  return pw_fence_class(kind, opt).full();
+}
+
+// POWER preserved program order between accesses i < j (no fence effects).
+bool pw_ppo_pair(const LitmusThread& thread, std::size_t i, std::size_t j) {
+  const LitmusInstr& a = thread.instrs[i];
+  const LitmusInstr& b = thread.instrs[j];
+  if (a.var >= 0 && a.var == b.var) return true;  // po-loc ⊆ ppo
+  if (pw_is_read(a) && a.reg >= 0) {
+    if (b.addr_dep == a.reg || b.data_dep == a.reg) return true;
+    // A bare control dependency orders the read only with dependent writes.
+    if (b.ctrl_dep == a.reg && pw_is_write(b)) return true;
+  }
+  if (a.acquire && pw_is_read(a)) return true;
+  if (b.release && pw_is_write(b)) return true;
+  if (a.release && b.acquire) return true;
+  return false;
+}
+
+bool pw_fence_pair(const LitmusThread& thread, std::size_t i, std::size_t j,
+                   const PowerAxiomaticOptions& opt) {
+  const bool a_read = pw_is_read(thread.instrs[i]);
+  const bool b_read = pw_is_read(thread.instrs[j]);
+  for (std::size_t f = i + 1; f < j; ++f) {
+    const LitmusInstr& fence = thread.instrs[f];
+    if (pw_is_access(fence)) continue;
+    const PwOrder cls = pw_fence_class(fence.fence, opt);
+    const bool covered =
+        a_read ? (b_read ? cls.rr : cls.rw) : (b_read ? cls.wr : cls.ww);
+    if (covered) return true;
+  }
+  return false;
+}
+
+// --- Candidate-execution machinery -----------------------------------------
+
+// Graph nodes are access events plus one node per full barrier; adjacency
+// rows are 32-bit sets.
+constexpr std::size_t kMaxNodes = 32;
+
+struct PwEvent {
+  int tid = -1;
+  int idx = -1;   // instruction index within the thread
+  bool write = false;
+  int var = -1;
+  int value = 0;
+  int reg = -1;
+  bool pusher = false;  // write that propagates the observed set on commit
+};
+
+struct PwBarrier {
+  int tid = -1;
+  int idx = -1;
+  int node = -1;  // graph node id
+};
+
+struct PwSpace {
+  const LitmusTest* test = nullptr;
+  std::vector<PwEvent> events;
+  std::vector<std::vector<int>> event_of;  // -1 for fences
+  std::vector<int> reads;
+  std::vector<int> writes;
+  std::vector<std::vector<int>> writes_by_var;
+  std::vector<std::vector<int>> rf_candidates;  // -1 = initial value
+  std::vector<PwBarrier> barriers;              // full barriers only
+  std::size_t nodes = 0;                        // events + barriers
+
+  // Static access-pair relations (row bitsets over event ids).
+  std::vector<std::uint32_t> ppo;
+  std::vector<std::uint32_t> fences;
+  std::vector<std::uint32_t> poloc;
+};
+
+class PwGraph {
+ public:
+  explicit PwGraph(std::size_t n) : n_(n), succ_(n, 0u) {}
+
+  // Returns true when the edge was newly inserted (callers undo with
+  // remove()); self-edges poison the graph into permanent cyclicity.
+  bool add(int from, int to) {
+    if (from == to) {
+      self_loop_ = true;
+      return false;
+    }
+    const std::uint32_t bit = 1u << to;
+    if (succ_[static_cast<std::size_t>(from)] & bit) return false;
+    succ_[static_cast<std::size_t>(from)] |= bit;
+    return true;
+  }
+
+  bool has(int from, int to) const {
+    return from == to ||
+           (succ_[static_cast<std::size_t>(from)] & (1u << to)) != 0;
+  }
+
+  void remove(int from, int to) {
+    succ_[static_cast<std::size_t>(from)] &= ~(1u << to);
+  }
+
+  bool acyclic() const {
+    if (self_loop_) return false;
+    std::uint32_t removed = 0;
+    const std::uint32_t all =
+        n_ == 32 ? 0xffffffffu : ((1u << n_) - 1u);
+    for (std::size_t round = 0; round < n_; ++round) {
+      bool progress = false;
+      for (std::size_t v = 0; v < n_; ++v) {
+        if (removed & (1u << v)) continue;
+        if ((succ_[v] & ~removed) == 0) {  // sink: remove
+          removed |= 1u << v;
+          progress = true;
+        }
+      }
+      if (removed == all) return true;
+      if (!progress) return false;
+    }
+    return removed == all;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> succ_;
+  bool self_loop_ = false;
+};
+
+PwSpace build_space(const LitmusTest& test,
+                    const PowerAxiomaticOptions& opt) {
+  PwSpace s;
+  s.test = &test;
+  s.event_of.resize(test.threads.size());
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    const LitmusThread& thread = test.threads[t];
+    s.event_of[t].assign(thread.instrs.size(), -1);
+    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+      const LitmusInstr& in = thread.instrs[i];
+      if (!pw_is_access(in)) continue;
+      PwEvent e;
+      e.tid = static_cast<int>(t);
+      e.idx = static_cast<int>(i);
+      e.write = pw_is_write(in);
+      e.var = in.var;
+      e.value = in.value;
+      e.reg = in.reg;
+      if (e.write) {
+        // Cumulativity trigger, mirroring the operational executor: the
+        // write propagates the thread's observed set when it commits if it
+        // is a release store or any store-store ordering fence precedes it
+        // in program order (anywhere before, not only adjacent).
+        e.pusher = in.release;
+        for (std::size_t f = 0; f < i && !e.pusher; ++f) {
+          const LitmusInstr& fi = thread.instrs[f];
+          if (!pw_is_access(fi) && pw_fence_class(fi.fence, opt).ww) {
+            e.pusher = true;
+          }
+        }
+      }
+      s.event_of[t][i] = static_cast<int>(s.events.size());
+      s.events.push_back(e);
+    }
+  }
+
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    const LitmusThread& thread = test.threads[t];
+    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+      const LitmusInstr& in = thread.instrs[i];
+      if (pw_is_access(in) || !pw_full_barrier(in.fence, opt)) continue;
+      PwBarrier b;
+      b.tid = static_cast<int>(t);
+      b.idx = static_cast<int>(i);
+      b.node = static_cast<int>(s.events.size() + s.barriers.size());
+      s.barriers.push_back(b);
+    }
+  }
+  s.nodes = s.events.size() + s.barriers.size();
+  if (s.nodes > kMaxNodes) {
+    throw std::invalid_argument("litmus test too large for axiomatic checker");
+  }
+
+  s.writes_by_var.assign(static_cast<std::size_t>(test.num_vars), {});
+  for (std::size_t e = 0; e < s.events.size(); ++e) {
+    if (s.events[e].write) {
+      s.writes.push_back(static_cast<int>(e));
+      s.writes_by_var[static_cast<std::size_t>(s.events[e].var)].push_back(
+          static_cast<int>(e));
+    } else {
+      s.reads.push_back(static_cast<int>(e));
+    }
+  }
+  for (int r : s.reads) {
+    std::vector<int> cand = {-1};
+    for (int w :
+         s.writes_by_var[static_cast<std::size_t>(s.events[static_cast<std::size_t>(r)].var)]) {
+      cand.push_back(w);
+    }
+    s.rf_candidates.push_back(std::move(cand));
+  }
+
+  s.ppo.assign(s.events.size(), 0u);
+  s.fences.assign(s.events.size(), 0u);
+  s.poloc.assign(s.events.size(), 0u);
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    const LitmusThread& thread = test.threads[t];
+    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+      if (s.event_of[t][i] < 0) continue;
+      for (std::size_t j = i + 1; j < thread.instrs.size(); ++j) {
+        if (s.event_of[t][j] < 0) continue;
+        const std::size_t ei = static_cast<std::size_t>(s.event_of[t][i]);
+        const int ej = s.event_of[t][j];
+        if (pw_ppo_pair(thread, i, j)) s.ppo[ei] |= 1u << ej;
+        if (pw_fence_pair(thread, i, j, opt)) s.fences[ei] |= 1u << ej;
+        const LitmusInstr& a = thread.instrs[i];
+        const LitmusInstr& b = thread.instrs[j];
+        if (a.var >= 0 && a.var == b.var) s.poloc[ei] |= 1u << ej;
+      }
+    }
+  }
+  return s;
+}
+
+struct PwCandidate {
+  // rf[k]: source write event of read s.reads[k]; -1 = initial value.
+  std::vector<int> rf;
+  // co[v]: coherence order of var v's writes, oldest first.
+  std::vector<std::vector<int>> co;
+};
+
+// Position of write `w` in its variable's coherence chain; -1 for the
+// initial value (w < 0).
+int co_position(const PwSpace& s, const PwCandidate& c, int w) {
+  if (w < 0) return -1;
+  const std::vector<int>& chain =
+      c.co[static_cast<std::size_t>(s.events[static_cast<std::size_t>(w)].var)];
+  const auto it = std::find(chain.begin(), chain.end(), w);
+  return static_cast<int>(it - chain.begin());
+}
+
+void add_bitset_edges(PwGraph& g, const std::vector<std::uint32_t>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::uint32_t bits = rows[i]; bits != 0; bits &= bits - 1) {
+      g.add(static_cast<int>(i),
+            __builtin_ctz(bits));
+    }
+  }
+}
+
+void add_co_edges(PwGraph& g, const PwCandidate& c) {
+  for (const std::vector<int>& chain : c.co) {
+    for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+      g.add(chain[k], chain[k + 1]);
+    }
+  }
+}
+
+void add_rf_edges(PwGraph& g, const PwSpace& s, const PwCandidate& c,
+                  bool external_only) {
+  for (std::size_t k = 0; k < s.reads.size(); ++k) {
+    const int w = c.rf[k];
+    if (w < 0) continue;
+    if (external_only &&
+        s.events[static_cast<std::size_t>(w)].tid ==
+            s.events[static_cast<std::size_t>(s.reads[k])].tid) {
+      continue;
+    }
+    g.add(w, s.reads[k]);
+  }
+}
+
+void add_fr_edges(PwGraph& g, const PwSpace& s, const PwCandidate& c) {
+  for (std::size_t k = 0; k < s.reads.size(); ++k) {
+    const int r = s.reads[k];
+    const std::vector<int>& chain =
+        c.co[static_cast<std::size_t>(s.events[static_cast<std::size_t>(r)].var)];
+    const int pos = co_position(s, c, c.rf[k]);
+    if (pos + 1 < static_cast<int>(chain.size())) {
+      g.add(r, chain[static_cast<std::size_t>(pos) + 1]);
+    }
+  }
+}
+
+// Program-order edges for full-barrier nodes: a sync orders with every
+// instruction of its thread, so its node sits between its po-predecessors
+// and po-successors in any commit interleaving.
+void add_barrier_po_edges(PwGraph& g, const PwSpace& s) {
+  for (const PwBarrier& b : s.barriers) {
+    for (std::size_t e = 0; e < s.events.size(); ++e) {
+      const PwEvent& ev = s.events[e];
+      if (ev.tid != b.tid) continue;
+      if (ev.idx < b.idx) {
+        g.add(static_cast<int>(e), b.node);
+      } else {
+        g.add(b.node, static_cast<int>(e));
+      }
+    }
+    for (const PwBarrier& other : s.barriers) {
+      if (other.tid == b.tid && other.idx < b.idx) g.add(other.node, b.node);
+    }
+  }
+}
+
+// A disjunctive obligation on the witnessing commit interleaving: edge
+// (a1 -> b1) or edge (a2 -> b2) must hold.  Derived from cumulativity
+// pushes whose triggering observation is not forced by program order.
+struct Obligation {
+  int a1, b1, a2, b2;
+};
+
+// Try every orientation of the obligations; true iff some orientation keeps
+// the graph acyclic (i.e. a witnessing total order exists).
+bool orient_obligations(PwGraph& g, const std::vector<Obligation>& obs,
+                        std::size_t i) {
+  if (i == obs.size()) return g.acyclic();
+  const Obligation& o = obs[i];
+  // Already satisfied by an edge present in the graph: no choice to make.
+  if (g.has(o.a1, o.b1) || g.has(o.a2, o.b2)) {
+    return orient_obligations(g, obs, i + 1);
+  }
+  for (const auto& [from, to] : {std::pair{o.a1, o.b1}, std::pair{o.a2, o.b2}}) {
+    const bool added = g.add(from, to);
+    if (g.acyclic() && orient_obligations(g, obs, i + 1)) return true;
+    if (added) g.remove(from, to);
+  }
+  return false;
+}
+
+// The OBSERVATION stage: add the forced-visibility edges implied by the
+// operational push/catch-up rules, collect the disjunctive obligations, and
+// decide whether a witnessing orientation exists.
+bool observation_holds(const PwSpace& s, const PwCandidate& c,
+                       PwGraph& g, const PowerAxiomaticOptions& opt) {
+  std::vector<Obligation> obligations;
+
+  // Reads of thread U whose rf source is write `w`, committed before
+  // instruction index `before_idx` by program order — the forced part of
+  // U's observed set (B-cumulativity channel).
+  auto observed_by_po = [&](int w, int tid, int before_idx) {
+    if (opt.drop_b_cumulativity) return false;
+    for (std::size_t k = 0; k < s.reads.size(); ++k) {
+      const PwEvent& r2 = s.events[static_cast<std::size_t>(s.reads[k])];
+      if (r2.tid == tid && r2.idx < before_idx && c.rf[k] == w) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t k = 0; k < s.reads.size(); ++k) {
+    const int r = s.reads[k];
+    const PwEvent& re = s.events[static_cast<std::size_t>(r)];
+    const int w = c.rf[k];
+    const int wpos = co_position(s, c, w);
+    const std::vector<int>& chain =
+        c.co[static_cast<std::size_t>(re.var)];
+
+    // Source visibility: an external source must be undelayed for the
+    // reading thread, so it becomes visible the moment it commits; every
+    // same-thread read of an older coherence generation must therefore
+    // commit first.  (fre ; rf⁻¹ same-thread ordering.)
+    if (w >= 0 && s.events[static_cast<std::size_t>(w)].tid != re.tid) {
+      for (std::size_t k2 = 0; k2 < s.reads.size(); ++k2) {
+        const int r2 = s.reads[k2];
+        const PwEvent& r2e = s.events[static_cast<std::size_t>(r2)];
+        if (r2 == r || r2e.tid != re.tid || r2e.var != re.var) continue;
+        if (co_position(s, c, c.rf[k2]) < wpos) g.add(r2, w);
+      }
+    }
+
+    // Obscurers: external writes coherence-after the source.  If one is
+    // forced to be visible to this thread before the read commits, the
+    // read cannot return its older source.
+    for (int p = wpos + 1; p < static_cast<int>(chain.size()); ++p) {
+      const int w2 = chain[static_cast<std::size_t>(p)];
+      const PwEvent& w2e = s.events[static_cast<std::size_t>(w2)];
+      if (w2e.tid == re.tid) continue;  // own writes: SC-per-location
+
+      // (1) A pushing write propagates itself on commit (it is never
+      //     delayable), so the stale read must commit first.
+      if (w2e.pusher) g.add(r, w2);
+
+      // (2) Reader catch-up: a sync in the reading thread po-before the
+      //     read makes everything already committed visible, so the
+      //     obscurer must commit after that sync.
+      for (const PwBarrier& f : s.barriers) {
+        if (f.tid == re.tid && f.idx < re.idx) g.add(f.node, w2);
+      }
+
+      // (3) Barrier push: a sync whose thread has observed the obscurer
+      //     (its own earlier write, or an earlier read of it) propagates
+      //     it to everyone, so the stale read must commit before the sync.
+      for (const PwBarrier& f : s.barriers) {
+        const bool own = w2e.tid == f.tid && w2e.idx < f.idx;
+        if (own || observed_by_po(w2, f.tid, f.idx)) g.add(r, f.node);
+      }
+
+      // (4) Write push: a pushing write x propagates the obscurer if its
+      //     thread observed the obscurer before x commits.  When the
+      //     observation is an unordered same-thread event, the trigger is
+      //     not forced: either x commits before the observation (no push)
+      //     or the stale read commits before x.
+      for (int x : s.writes) {
+        const PwEvent& xe = s.events[static_cast<std::size_t>(x)];
+        if (!xe.pusher || x == w2) continue;
+        if (w2e.tid == xe.tid) {
+          obligations.push_back({x, w2, r, x});
+        }
+        if (opt.drop_b_cumulativity) continue;
+        for (std::size_t k2 = 0; k2 < s.reads.size(); ++k2) {
+          const int r2 = s.reads[k2];
+          const PwEvent& r2e = s.events[static_cast<std::size_t>(r2)];
+          if (r2e.tid != xe.tid || c.rf[k2] != w2) continue;
+          obligations.push_back({x, r2, r, x});
+        }
+      }
+    }
+  }
+
+  if (!g.acyclic()) return false;
+  return orient_obligations(g, obligations, 0);
+}
+
+Outcome pw_outcome_of(const PwSpace& s, const PwCandidate& c) {
+  Outcome out(static_cast<std::size_t>(s.test->num_regs), 0);
+  for (std::size_t k = 0; k < s.reads.size(); ++k) {
+    const PwEvent& r = s.events[static_cast<std::size_t>(s.reads[k])];
+    if (r.reg < 0) continue;
+    out[static_cast<std::size_t>(r.reg)] =
+        c.rf[k] < 0 ? 0 : s.events[static_cast<std::size_t>(c.rf[k])].value;
+  }
+  for (int v = 0; v < s.test->num_vars; ++v) {
+    const std::vector<int>& chain = c.co[static_cast<std::size_t>(v)];
+    out.push_back(chain.empty()
+                      ? 0
+                      : s.events[static_cast<std::size_t>(chain.back())].value);
+  }
+  return out;
+}
+
+// Run the four checks in order; PowerAxiom::None means allowed.
+PowerAxiom check_candidate(const PwSpace& s, const PwCandidate& c,
+                           const PowerAxiomaticOptions& opt) {
+  // SC-PER-LOCATION: acyclic(poloc ∪ rf ∪ co ∪ fr).
+  {
+    PwGraph g(s.nodes);
+    add_bitset_edges(g, s.poloc);
+    add_rf_edges(g, s, c, /*external_only=*/false);
+    add_co_edges(g, c);
+    add_fr_edges(g, s, c);
+    if (!g.acyclic()) return PowerAxiom::ScPerLocation;
+  }
+  // NO-THIN-AIR: acyclic(hb), hb = ppo ∪ fences ∪ rfe.
+  {
+    PwGraph g(s.nodes);
+    add_bitset_edges(g, s.ppo);
+    add_bitset_edges(g, s.fences);
+    add_rf_edges(g, s, c, /*external_only=*/true);
+    if (!g.acyclic()) return PowerAxiom::NoThinAir;
+  }
+  // PROPAGATION: coherence embeds into the single commit interleaving that
+  // also linearises hb and the sync nodes — acyclic(co ∪ prop) with
+  // prop ⊇ hb⁺ ∩ (W × W), folded as acyclic(hb ∪ co ∪ sync-po).
+  PwGraph g(s.nodes);
+  add_bitset_edges(g, s.ppo);
+  add_bitset_edges(g, s.fences);
+  add_rf_edges(g, s, c, /*external_only=*/false);
+  add_co_edges(g, c);
+  add_barrier_po_edges(g, s);
+  if (!g.acyclic()) return PowerAxiom::Propagation;
+  // OBSERVATION: forced visibility from cumulativity pushes and catch-up.
+  if (!opt.drop_observation && !observation_holds(s, c, g, opt)) {
+    return PowerAxiom::Observation;
+  }
+  return PowerAxiom::None;
+}
+
+// Enumerate every (rf, co) candidate; `visit` returns true to stop early.
+template <typename Visit>
+void pw_for_each_candidate(const PwSpace& s, const Visit& visit) {
+  PwCandidate c;
+  c.rf.assign(s.reads.size(), -1);
+  c.co.resize(s.writes_by_var.size());
+
+  std::vector<std::vector<int>> perm = s.writes_by_var;
+  for (auto& p : perm) std::sort(p.begin(), p.end());
+  const std::size_t nvars = perm.size();
+
+  struct Enumerator {
+    const PwSpace& s;
+    PwCandidate& c;
+    const Visit& visit;
+    bool stopped = false;
+
+    void rf_level(std::size_t k) {
+      if (stopped) return;
+      if (k == s.reads.size()) {
+        stopped = visit(c);
+        return;
+      }
+      for (int cand : s.rf_candidates[k]) {
+        c.rf[k] = cand;
+        rf_level(k + 1);
+        if (stopped) return;
+      }
+    }
+  };
+
+  Enumerator en{s, c, visit};
+  for (std::size_t i = 0; i < nvars; ++i) c.co[i] = perm[i];
+  while (true) {
+    en.rf_level(0);
+    if (en.stopped) return;
+    std::size_t v = 0;
+    for (; v < nvars; ++v) {
+      if (std::next_permutation(perm[v].begin(), perm[v].end())) {
+        c.co[v] = perm[v];
+        break;
+      }
+      c.co[v] = perm[v];  // wrapped back to the first permutation
+    }
+    if (v == nvars) return;
+  }
+}
+
+}  // namespace
+
+const char* power_axiom_name(PowerAxiom axiom) {
+  switch (axiom) {
+    case PowerAxiom::None: return "none";
+    case PowerAxiom::ScPerLocation: return "SC-PER-LOCATION";
+    case PowerAxiom::NoThinAir: return "NO-THIN-AIR";
+    case PowerAxiom::Propagation: return "PROPAGATION";
+    case PowerAxiom::Observation: return "OBSERVATION";
+  }
+  return "?";
+}
+
+bool power_ppo(const LitmusThread& thread, std::size_t i, std::size_t j) {
+  if (i >= j || j >= thread.instrs.size()) return false;
+  if (!pw_is_access(thread.instrs[i]) || !pw_is_access(thread.instrs[j])) {
+    return false;
+  }
+  return pw_ppo_pair(thread, i, j);
+}
+
+bool power_fence_ordered(const LitmusThread& thread, std::size_t i,
+                         std::size_t j,
+                         const PowerAxiomaticOptions& options) {
+  if (i >= j || j >= thread.instrs.size()) return false;
+  if (!pw_is_access(thread.instrs[i]) || !pw_is_access(thread.instrs[j])) {
+    return false;
+  }
+  return pw_fence_pair(thread, i, j, options);
+}
+
+std::set<Outcome> power_axiomatic_outcomes(
+    const LitmusTest& test, const PowerAxiomaticOptions& options) {
+  const PwSpace s = build_space(test, options);
+  std::set<Outcome> out;
+  pw_for_each_candidate(s, [&](const PwCandidate& c) {
+    if (check_candidate(s, c, options) == PowerAxiom::None) {
+      out.insert(pw_outcome_of(s, c));
+    }
+    return false;
+  });
+  return out;
+}
+
+bool power_axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
+                             const PowerAxiomaticOptions& options) {
+  const PwSpace s = build_space(test, options);
+  bool found = false;
+  pw_for_each_candidate(s, [&](const PwCandidate& c) {
+    if (check_candidate(s, c, options) == PowerAxiom::None &&
+        pw_outcome_of(s, c) == outcome) {
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  return found;
+}
+
+PowerAxiom power_forbidding_axiom(const LitmusTest& test,
+                                  const Outcome& outcome,
+                                  const PowerAxiomaticOptions& options) {
+  const PwSpace s = build_space(test, options);
+  // Deepest check reached by any candidate producing the outcome: earlier
+  // axioms passed for that candidate, so this one did the real forbidding.
+  PowerAxiom deepest = PowerAxiom::ScPerLocation;
+  bool allowed = false;
+  pw_for_each_candidate(s, [&](const PwCandidate& c) {
+    if (pw_outcome_of(s, c) != outcome) return false;
+    const PowerAxiom verdict = check_candidate(s, c, options);
+    if (verdict == PowerAxiom::None) {
+      allowed = true;
+      return true;
+    }
+    if (static_cast<int>(verdict) > static_cast<int>(deepest)) {
+      deepest = verdict;
+    }
+    return false;
+  });
+  return allowed ? PowerAxiom::None : deepest;
+}
+
+}  // namespace wmm::sim

@@ -52,6 +52,28 @@ FuzzConfig FuzzConfig::for_arch(Arch arch) {
   return c;
 }
 
+FuzzConfig FuzzConfig::power_teeth_sb() {
+  FuzzConfig c = for_arch(Arch::POWER7);
+  c.min_instrs_per_thread = 2;
+  c.fence_probability = 0.5;
+  c.dep_probability = 0.6;
+  c.acquire_release_probability = 0.35;
+  c.fence_alphabet = {FenceKind::LwSync, FenceKind::HwSync};
+  c.max_vars = 2;
+  return c;
+}
+
+FuzzConfig FuzzConfig::power_teeth_wrc() {
+  FuzzConfig c = for_arch(Arch::POWER7);
+  c.min_threads = 3;
+  c.fence_probability = 0.4;
+  c.dep_probability = 0.7;
+  c.acquire_release_probability = 0.4;
+  c.fence_alphabet = {FenceKind::LwSync, FenceKind::HwSync};
+  c.max_vars = 2;
+  return c;
+}
+
 LitmusTest generate_litmus(std::uint64_t seed, const FuzzConfig& config) {
   Rng rng(splitmix64(seed ^ 0xf022e85a11babe11ULL));
   LitmusTest test;
@@ -238,29 +260,58 @@ std::optional<Divergence> check_conformance(const LitmusTest& test, Arch arch,
     return std::nullopt;  // unreachable
   }
 
-  // POWER sandwich: operational ⊆ envelope, ARM-axiomatic ⊆ operational.
-  const std::set<Outcome> envelope = axiomatic_outcomes(test, arch, options);
+  if (options.power_sandwich) {
+    // Legacy POWER sandwich: operational ⊆ envelope, ARM-axiomatic ⊆
+    // operational.  Kept for differential debugging of the exact oracle.
+    const std::set<Outcome> envelope = axiomatic_outcomes(test, arch, options);
+    for (const Outcome& o : operational) {
+      if (!envelope.count(o)) {
+        d.axiom = "envelope-upper";
+        d.outcome = o;
+        d.operational_allowed = true;
+        d.axiomatic_allowed = false;
+        return d;
+      }
+    }
+    const std::set<Outcome> lower =
+        axiomatic_outcomes(test, Arch::ARMV8, options);
+    for (const Outcome& o : lower) {
+      if (!operational.count(o)) {
+        d.axiom = "envelope-lower";
+        d.outcome = o;
+        d.operational_allowed = false;
+        d.axiomatic_allowed = true;
+        return d;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // POWER: exact equality against the Herding-Cats model, same criterion the
+  // multi-copy-atomic architectures get.
+  const std::set<Outcome> axiomatic =
+      power_axiomatic_outcomes(test, options.power);
+  if (operational == axiomatic) return std::nullopt;
   for (const Outcome& o : operational) {
-    if (!envelope.count(o)) {
-      d.axiom = "envelope-upper";
+    if (!axiomatic.count(o)) {
+      d.axiom = std::string("power-hc-exact/") +
+                power_axiom_name(power_forbidding_axiom(test, o, options.power));
       d.outcome = o;
       d.operational_allowed = true;
       d.axiomatic_allowed = false;
       return d;
     }
   }
-  const std::set<Outcome> lower =
-      axiomatic_outcomes(test, Arch::ARMV8, options);
-  for (const Outcome& o : lower) {
+  for (const Outcome& o : axiomatic) {
     if (!operational.count(o)) {
-      d.axiom = "envelope-lower";
+      d.axiom = "power-hc-exact";
       d.outcome = o;
       d.operational_allowed = false;
       d.axiomatic_allowed = true;
       return d;
     }
   }
-  return std::nullopt;
+  return std::nullopt;  // unreachable
 }
 
 namespace {

@@ -11,12 +11,15 @@
 //     build/bench/fuzz_conformance --arch=arm --replay=0x1234abcd
 //
 // Conformance per architecture:
-//   SC / X86_TSO / ARMV8 — exact equality of the outcome sets.
-//   POWER7              — sandwich bounds: every operational outcome must be
-//                         admitted by the axiomatic envelope (coherence +
-//                         causality), and every ARMv8-axiomatic outcome must
-//                         be operationally reachable on POWER (POWER with all
-//                         visibility delays off is the ARM machine).
+//   SC / X86_TSO / ARMV8 — exact equality of the outcome sets against the
+//                          single-axiom checker (axiomatic.h).
+//   POWER7              — exact equality against the Herding-Cats POWER model
+//                          (axiomatic_power.h).  The pre-PR-3 sandwich bounds
+//                          (operational ⊆ coherence+causality envelope,
+//                          ARMv8-axiomatic ⊆ operational) remain available
+//                          behind AxiomaticOptions::power_sandwich /
+//                          fuzz_conformance --sandwich for differential
+//                          debugging of the exact oracle.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +59,17 @@ struct FuzzConfig {
 
   // Per-architecture default shapes (POWER: smaller programs).
   static FuzzConfig for_arch(Arch arch);
+
+  // Biased POWER shapes for exercising the exact model's teeth: the default
+  // generator at POWER's size budget almost never emits the store-buffering
+  // or write-read-causality shapes that witness a weakened POWER axiom, so
+  // the teeth tests (and fuzz_conformance --weaken=power-*) fuzz with these
+  // instead.  `power_teeth_sb` biases towards two-thread store-buffering
+  // with lwsync/sync fences (catches lwsync_is_sync);  `power_teeth_wrc`
+  // towards three-thread causality chains (catches drop_b_cumulativity and
+  // drop_observation).
+  static FuzzConfig power_teeth_sb();
+  static FuzzConfig power_teeth_wrc();
 };
 
 // Deterministically generate the litmus program for `seed`.
@@ -74,7 +88,8 @@ struct Divergence {
   Outcome outcome;             // witness outcome the two sides disagree on
   bool operational_allowed = false;
   bool axiomatic_allowed = false;
-  std::string axiom;           // "exact", "envelope-upper" or "envelope-lower"
+  std::string axiom;  // "exact", "power-hc-exact[/AXIOM]" or (sandwich mode)
+                      // "envelope-upper"/"envelope-lower"
 
   // Multi-line report: verdicts, shrunk program, replay command line.
   std::string report() const;

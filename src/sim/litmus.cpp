@@ -6,6 +6,7 @@ namespace {
 
 constexpr int kX = 0;
 constexpr int kY = 1;
+constexpr int kZ = 2;
 
 LitmusInstr read_dep(int reg, int var, int addr_dep) {
   LitmusInstr i = LitmusInstr::read(reg, var);
@@ -297,6 +298,36 @@ LitmusCase make_wrc_sync() {
   return c;
 }
 
+LitmusCase make_isa2() {
+  LitmusCase c;
+  c.test.name = "ISA2";
+  c.test.num_vars = 3;
+  c.test.num_regs = 3;
+  c.test.threads = {
+      {{LitmusInstr::write(kX, 1), LitmusInstr::write(kY, 1)}},
+      {{LitmusInstr::read(0, kY), write_data_dep(kZ, 1, 0)}},
+      {{LitmusInstr::read(1, kZ), read_dep(2, kX, 1)}},
+  };
+  c.relaxed_outcome = {1, 1, 0, 1, 1, 1};
+  c.allowed_sc = false;
+  c.allowed_tso = false;  // W->W, R->W and R->R are all preserved on TSO
+  c.allowed_arm = true;   // T0's unfenced writes may reorder
+  c.allowed_power = true;
+  return c;
+}
+
+LitmusCase make_isa2_lwsync_deps() {
+  LitmusCase c = make_isa2();
+  c.test.name = "ISA2+lwsync+data+addr";
+  c.test.threads[0].instrs = {LitmusInstr::write(kX, 1),
+                              LitmusInstr::barrier(FenceKind::LwSync),
+                              LitmusInstr::write(kY, 1)};
+  c.allowed_arm = false;
+  // lwsync's A-cumulativity carries x=1 down the whole dependency chain.
+  c.allowed_power = false;
+  return c;
+}
+
 LitmusCase make_iriw() {
   LitmusCase c;
   c.test.name = "IRIW";
@@ -361,6 +392,8 @@ std::vector<LitmusCase> litmus_suite() {
       make_r_fenced(FenceKind::HwSync),
       make_wrc_dep(),
       make_wrc_sync(),
+      make_isa2(),
+      make_isa2_lwsync_deps(),
       make_iriw(),
       make_iriw_fenced(FenceKind::DmbIsh),
       make_iriw_fenced(FenceKind::LwSync),

@@ -51,6 +51,8 @@ LitmusCase make_r();                       // R: coherence vs store-load order
 LitmusCase make_r_fenced(FenceKind kind);  // R + fences on both threads
 LitmusCase make_wrc_dep();                 // WRC + data dep + addr dep
 LitmusCase make_wrc_sync();                // WRC with sync on middle thread
+LitmusCase make_isa2();                    // ISA2: 3-thread W->W/R->W/R->R chain
+LitmusCase make_isa2_lwsync_deps();        // ISA2 + writer lwsync + deps
 LitmusCase make_iriw();                    // plain IRIW
 LitmusCase make_iriw_fenced(FenceKind kind);  // IRIW + reader fences
 

@@ -179,8 +179,8 @@ TEST(AxiomaticOracle, RejectsOversizedTests) {
 
 // --- Differential conformance ----------------------------------------------
 
-// Every curated litmus test is conformant on every architecture (exact
-// equality on SC/TSO/ARM, envelope sandwich on POWER).
+// Every curated litmus test is conformant on every architecture — exact
+// outcome-set equality everywhere (POWER against the Herding-Cats model).
 TEST(Conformance, CuratedSuiteConformsOnAllArchs) {
   for (const LitmusCase& c : litmus_suite()) {
     for (Arch arch : kAllArchs) {
@@ -203,6 +203,18 @@ TEST(Conformance, QuickFixedSeedCorpus) {
   }
 }
 
+// The legacy POWER sandwich bounds (fuzz_conformance --sandwich) stay sound:
+// they are weaker than the exact check, so a corpus that passes exact
+// equality must also pass the envelope.
+TEST(Conformance, PowerSandwichCompatModeStillSound) {
+  AxiomaticOptions o;
+  o.power_sandwich = true;
+  const FuzzReport report = run_conformance_corpus(
+      Arch::POWER7, kCorpusSeed, 150, FuzzConfig::for_arch(Arch::POWER7), o, 1);
+  EXPECT_TRUE(report.ok())
+      << report.divergences.front().report();
+}
+
 // --- Teeth: planted axiomatic bugs must be detected ------------------------
 
 struct Weakening {
@@ -210,29 +222,60 @@ struct Weakening {
   AxiomaticOptions options;
   const char* guaranteed_case;  // litmus-suite test certain to catch it
   Arch arch;
+  FuzzConfig corpus_config;  // generator shape for the corpus teeth test
+  int corpus_count;          // empirically above first-catch for kCorpusSeed
 };
+
+// The default POWER generator rarely emits the specific barrier/dependency
+// shapes the POWER weakenings need (SB/R with lwsync on both threads, WRC
+// with a pushing middle write), so the corpus teeth bias the generator with
+// the shared FuzzConfig::power_teeth_{sb,wrc} shapes (also used by
+// fuzz_conformance --weaken=power-*): lwsync/sync-only alphabet, denser
+// fences and dependencies.
 
 std::vector<Weakening> weakenings() {
   std::vector<Weakening> out;
   {
     AxiomaticOptions o;
     o.drop_tso_store_load_fence = true;
-    out.push_back({"tso-wr", o, "SB+mfence", Arch::X86_TSO});
+    out.push_back({"tso-wr", o, "SB+mfence", Arch::X86_TSO,
+                   FuzzConfig::for_arch(Arch::X86_TSO), 800});
   }
   {
     AxiomaticOptions o;
     o.drop_dependency_order = true;
-    out.push_back({"deps", o, "LB+datas", Arch::ARMV8});
+    out.push_back({"deps", o, "LB+datas", Arch::ARMV8,
+                   FuzzConfig::for_arch(Arch::ARMV8), 800});
   }
   {
     AxiomaticOptions o;
     o.drop_same_location_order = true;
-    out.push_back({"poloc", o, "CoRR", Arch::ARMV8});
+    out.push_back({"poloc", o, "CoRR", Arch::ARMV8,
+                   FuzzConfig::for_arch(Arch::ARMV8), 800});
   }
   {
     AxiomaticOptions o;
     o.drop_acquire_release = true;
-    out.push_back({"acqrel", o, "MP+rel+acq", Arch::ARMV8});
+    out.push_back({"acqrel", o, "MP+rel+acq", Arch::ARMV8,
+                   FuzzConfig::for_arch(Arch::ARMV8), 800});
+  }
+  {
+    AxiomaticOptions o;
+    o.power.lwsync_is_sync = true;
+    out.push_back({"power-lwsync-sync", o, "SB+lwsync", Arch::POWER7,
+                   FuzzConfig::power_teeth_sb(), 4000});
+  }
+  {
+    AxiomaticOptions o;
+    o.power.drop_b_cumulativity = true;
+    out.push_back({"power-bcumul", o, "WRC+sync+addr", Arch::POWER7,
+                   FuzzConfig::power_teeth_wrc(), 3000});
+  }
+  {
+    AxiomaticOptions o;
+    o.power.drop_observation = true;
+    out.push_back({"power-obs", o, "MP+lwsync+addr", Arch::POWER7,
+                   FuzzConfig::power_teeth_wrc(), 300});
   }
   return out;
 }
@@ -271,13 +314,15 @@ TEST(ConformanceTeeth, KnownCaseCatchesEachWeakenedAxiom) {
 }
 
 // The random corpus finds each planted bug too (with a per-weakening count
-// empirically well above the first-catch index for this fixed seed).
+// empirically above the first-catch index for this fixed seed, and a shape
+// config the weakening's witnesses actually occur under).
 TEST(ConformanceTeeth, CorpusCatchesEachWeakenedAxiom) {
   for (const Weakening& w : weakenings()) {
     const FuzzReport report = run_conformance_corpus(
-        w.arch, kCorpusSeed, 800, FuzzConfig::for_arch(w.arch), w.options, 1);
-    EXPECT_FALSE(report.ok()) << "weakening " << w.name
-                              << " not caught within 800 programs";
+        w.arch, kCorpusSeed, w.corpus_count, w.corpus_config, w.options, 1);
+    EXPECT_FALSE(report.ok())
+        << "weakening " << w.name << " not caught within " << w.corpus_count
+        << " programs";
   }
 }
 

@@ -1,8 +1,9 @@
 // The large fixed-seed differential corpus (CTest label: "fuzz").
 //
 // Every generated program is cross-checked between the operational executor
-// and the axiomatic oracle: exact outcome-set equality on SC/x86-TSO/ARMv8,
-// envelope sandwich on POWER7.  The per-architecture corpus size defaults to
+// and the axiomatic oracle: exact outcome-set equality on every architecture
+// (POWER7 against the Herding-Cats model of axiomatic_power.h, the others
+// against the single-axiom checker).  The per-architecture corpus size defaults to
 // 1250 programs and can be raised in CI via the WMM_FUZZ_COUNT environment
 // variable (ctest -L fuzz runs only these tests).
 #include <gtest/gtest.h>
