@@ -100,27 +100,27 @@ struct ThreadOrders {
   std::vector<std::vector<int>> orders;
 };
 
+// Linear extensions of the per-thread commit DAG.  `pred[k]` holds the
+// predecessor set of node k as a bitmask, so the per-step readiness test is a
+// single mask intersection against the `done` set instead of rescanning every
+// still-unplaced node.  Bits are visited in ascending node order, preserving
+// the enumeration order of the previous O(n²)-per-step implementation.
 void enumerate_linear_extensions(const std::vector<int>& nodes,
-                                 const std::vector<std::vector<bool>>& edge,
-                                 std::vector<int>& current,
-                                 std::vector<bool>& used,
+                                 const std::vector<std::uint64_t>& pred,
+                                 std::uint64_t done, std::vector<int>& current,
                                  std::vector<std::vector<int>>& out) {
-  if (current.size() == nodes.size()) {
+  const std::size_t n = nodes.size();
+  if (current.size() == n) {
     out.push_back(current);
     return;
   }
-  for (std::size_t n = 0; n < nodes.size(); ++n) {
-    if (used[n]) continue;
-    bool ready = true;
-    for (std::size_t m = 0; m < nodes.size() && ready; ++m) {
-      if (!used[m] && m != n && edge[m][n]) ready = false;
-    }
-    if (!ready) continue;
-    used[n] = true;
-    current.push_back(nodes[n]);
-    enumerate_linear_extensions(nodes, edge, current, used, out);
+  const std::uint64_t all = n >= 64 ? ~0ULL : ((1ULL << n) - 1ULL);
+  for (std::uint64_t avail = all & ~done; avail != 0; avail &= avail - 1) {
+    const int k = __builtin_ctzll(avail);
+    if ((pred[static_cast<std::size_t>(k)] & ~done) != 0) continue;
+    current.push_back(nodes[static_cast<std::size_t>(k)]);
+    enumerate_linear_extensions(nodes, pred, done | (1ULL << k), current, out);
     current.pop_back();
-    used[n] = false;
   }
 }
 
@@ -141,7 +141,14 @@ ThreadOrders thread_orders(const LitmusThread& thread, Arch arch) {
     }
   }
   const std::size_t n = result.nodes.size();
-  std::vector<std::vector<bool>> edge(n, std::vector<bool>(n, false));
+  if (n > 64) {
+    throw std::invalid_argument("litmus thread too large for commit-order masks");
+  }
+  // pred[b] bit a set <=> node a must commit before node b.
+  std::vector<std::uint64_t> pred(n, 0);
+  const auto add_edge = [&pred](std::size_t a, std::size_t b) {
+    pred[b] |= 1ULL << a;
+  };
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
       const std::size_t i = static_cast<std::size_t>(result.nodes[a]);
@@ -159,21 +166,20 @@ ThreadOrders thread_orders(const LitmusThread& thread, Arch arch) {
         // which matches its cumulativity trigger without constraining the
         // store->load pairs it permits to reorder.
         if (i_lw && !j_lw) {
-          if (is_write(jj)) edge[a][b] = true;  // lwsync before later writes
+          if (is_write(jj)) add_edge(a, b);  // lwsync before later writes
         } else if (j_lw && !i_lw) {
-          if (is_read(ii)) edge[a][b] = true;   // prior reads before lwsync
-          if (is_write(ii)) edge[a][b] = true;  // prior writes before lwsync
+          if (is_read(ii)) add_edge(a, b);   // prior reads before lwsync
+          if (is_write(ii)) add_edge(a, b);  // prior writes before lwsync
         } else {
-          edge[a][b] = true;  // fence-fence in order
+          add_edge(a, b);  // fence-fence in order
         }
         continue;
       }
-      if (must_commit_in_order(thread, i, j, arch)) edge[a][b] = true;
+      if (must_commit_in_order(thread, i, j, arch)) add_edge(a, b);
     }
   }
   std::vector<int> current;
-  std::vector<bool> used(n, false);
-  enumerate_linear_extensions(result.nodes, edge, current, used, result.orders);
+  enumerate_linear_extensions(result.nodes, pred, 0, current, result.orders);
   return result;
 }
 
