@@ -80,9 +80,11 @@ struct CandidateSpace {
   // rf candidates per read (position in `reads`): write event ids, -1 = init.
   std::vector<std::vector<int>> rf_candidates;
 
-  // Static edge sets (event-id pairs).
-  std::vector<std::pair<int, int>> ppo_edges;    // arch-preserved order
-  std::vector<std::pair<int, int>> poloc_edges;  // same-location program order
+  // Static relations as adjacency-row bitsets (bit j of row i set <=> edge
+  // i -> j), precomputed once per program so per-candidate graph resets are a
+  // row copy instead of replaying an edge list.
+  std::vector<std::uint32_t> ppo_rows;    // arch-preserved order
+  std::vector<std::uint32_t> poloc_rows;  // same-location program order
 };
 
 // Directed graph over candidate events with O(n^2) Kahn acyclicity check.
@@ -98,10 +100,11 @@ class EdgeGraph {
     succ_[static_cast<std::size_t>(from)] |= 1u << to;
   }
 
-  void reset(const std::vector<std::pair<int, int>>& base) {
-    std::fill(succ_.begin(), succ_.end(), 0u);
+  // Reinitialises the graph from a precomputed adjacency-row set (static
+  // relations carry no self-edges, so the poison flag clears too).
+  void reset(const std::vector<std::uint32_t>& rows) {
+    std::copy(rows.begin(), rows.end(), succ_.begin());
     self_loop_ = false;
-    for (const auto& [a, b] : base) add(a, b);
   }
 
   bool acyclic() const {
@@ -228,20 +231,22 @@ CandidateSpace build_space(const LitmusTest& test, Arch arch,
     s.rf_candidates.push_back(std::move(cand));
   }
 
-  // Static program-order relations.
+  // Static program-order relations, as row bitsets.
+  s.ppo_rows.assign(s.events.size(), 0u);
+  s.poloc_rows.assign(s.events.size(), 0u);
   for (std::size_t t = 0; t < test.threads.size(); ++t) {
     const LitmusThread& thread = test.threads[t];
     for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
       if (s.event_of[t][i] < 0) continue;
       for (std::size_t j = i + 1; j < thread.instrs.size(); ++j) {
         if (s.event_of[t][j] < 0) continue;
-        const int ei = s.event_of[t][i];
+        const std::size_t ei = static_cast<std::size_t>(s.event_of[t][i]);
         const int ej = s.event_of[t][j];
-        if (ppo_pair(thread, i, j, arch, opt)) s.ppo_edges.push_back({ei, ej});
+        if (ppo_pair(thread, i, j, arch, opt)) s.ppo_rows[ei] |= 1u << ej;
         const LitmusInstr& a = thread.instrs[i];
         const LitmusInstr& b = thread.instrs[j];
         if (!opt.drop_same_location_order && a.var >= 0 && a.var == b.var) {
-          s.poloc_edges.push_back({ei, ej});
+          s.poloc_rows[ei] |= 1u << ej;
         }
       }
     }
@@ -306,15 +311,15 @@ bool candidate_allowed(const CandidateSpace& s, const Candidate& c, Arch arch) {
   EdgeGraph g(s.events.size());
   if (allows_early_forwarding(arch)) {
     // POWER envelope: COHERENCE + CAUSALITY (see axiomatic.h).
-    g.reset(s.poloc_edges);
+    g.reset(s.poloc_rows);
     add_com_edges(g, s, c, /*include_fr=*/true);
     if (!g.acyclic()) return false;
-    g.reset(s.ppo_edges);
+    g.reset(s.ppo_rows);
     add_com_edges(g, s, c, /*include_fr=*/false);
     return g.acyclic();
   }
   // Multi-copy-atomic architectures: acyclic(ppo ∪ rf ∪ co ∪ fr), exact.
-  g.reset(s.ppo_edges);
+  g.reset(s.ppo_rows);
   add_com_edges(g, s, c, /*include_fr=*/true);
   return g.acyclic();
 }

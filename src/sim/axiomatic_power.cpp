@@ -121,11 +121,23 @@ struct PwSpace {
   std::vector<std::uint32_t> ppo;
   std::vector<std::uint32_t> fences;
   std::vector<std::uint32_t> poloc;
+
+  // Per-axiom static adjacency rows padded to `nodes`, precomputed once per
+  // program so every candidate check starts from a plain row copy instead of
+  // replaying bit scans over the relations above.
+  std::vector<std::uint32_t> stage_scloc;  // poloc
+  std::vector<std::uint32_t> stage_hb;     // ppo ∪ fences
+  std::vector<std::uint32_t> stage_prop;   // ppo ∪ fences ∪ barrier-po
 };
 
 class PwGraph {
  public:
   explicit PwGraph(std::size_t n) : n_(n), succ_(n, 0u) {}
+
+  // Seed the graph from precomputed static adjacency rows (one row per node);
+  // candidates then only add their dynamic rf/co/fr edges on top.
+  explicit PwGraph(const std::vector<std::uint32_t>& rows)
+      : n_(rows.size()), succ_(rows) {}
 
   // Returns true when the edge was newly inserted (callers undo with
   // remove()); self-edges poison the graph into permanent cyclicity.
@@ -266,6 +278,34 @@ PwSpace build_space(const LitmusTest& test,
       }
     }
   }
+
+  // Fold the static relations into one row set per axiom stage (padded to
+  // `nodes` so barrier rows exist).  Barrier-po: a sync node sits between its
+  // po-predecessors and po-successors in any commit interleaving.
+  s.stage_scloc.assign(s.nodes, 0u);
+  s.stage_hb.assign(s.nodes, 0u);
+  s.stage_prop.assign(s.nodes, 0u);
+  for (std::size_t e = 0; e < s.events.size(); ++e) {
+    s.stage_scloc[e] = s.poloc[e];
+    s.stage_hb[e] = s.ppo[e] | s.fences[e];
+    s.stage_prop[e] = s.stage_hb[e];
+  }
+  for (const PwBarrier& b : s.barriers) {
+    for (std::size_t e = 0; e < s.events.size(); ++e) {
+      const PwEvent& ev = s.events[e];
+      if (ev.tid != b.tid) continue;
+      if (ev.idx < b.idx) {
+        s.stage_prop[e] |= 1u << b.node;
+      } else {
+        s.stage_prop[static_cast<std::size_t>(b.node)] |= 1u << e;
+      }
+    }
+    for (const PwBarrier& other : s.barriers) {
+      if (other.tid == b.tid && other.idx < b.idx) {
+        s.stage_prop[static_cast<std::size_t>(other.node)] |= 1u << b.node;
+      }
+    }
+  }
   return s;
 }
 
@@ -284,15 +324,6 @@ int co_position(const PwSpace& s, const PwCandidate& c, int w) {
       c.co[static_cast<std::size_t>(s.events[static_cast<std::size_t>(w)].var)];
   const auto it = std::find(chain.begin(), chain.end(), w);
   return static_cast<int>(it - chain.begin());
-}
-
-void add_bitset_edges(PwGraph& g, const std::vector<std::uint32_t>& rows) {
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    for (std::uint32_t bits = rows[i]; bits != 0; bits &= bits - 1) {
-      g.add(static_cast<int>(i),
-            __builtin_ctz(bits));
-    }
-  }
 }
 
 void add_co_edges(PwGraph& g, const PwCandidate& c) {
@@ -325,26 +356,6 @@ void add_fr_edges(PwGraph& g, const PwSpace& s, const PwCandidate& c) {
     const int pos = co_position(s, c, c.rf[k]);
     if (pos + 1 < static_cast<int>(chain.size())) {
       g.add(r, chain[static_cast<std::size_t>(pos) + 1]);
-    }
-  }
-}
-
-// Program-order edges for full-barrier nodes: a sync orders with every
-// instruction of its thread, so its node sits between its po-predecessors
-// and po-successors in any commit interleaving.
-void add_barrier_po_edges(PwGraph& g, const PwSpace& s) {
-  for (const PwBarrier& b : s.barriers) {
-    for (std::size_t e = 0; e < s.events.size(); ++e) {
-      const PwEvent& ev = s.events[e];
-      if (ev.tid != b.tid) continue;
-      if (ev.idx < b.idx) {
-        g.add(static_cast<int>(e), b.node);
-      } else {
-        g.add(b.node, static_cast<int>(e));
-      }
-    }
-    for (const PwBarrier& other : s.barriers) {
-      if (other.tid == b.tid && other.idx < b.idx) g.add(other.node, b.node);
     }
   }
 }
@@ -489,8 +500,7 @@ PowerAxiom check_candidate(const PwSpace& s, const PwCandidate& c,
                            const PowerAxiomaticOptions& opt) {
   // SC-PER-LOCATION: acyclic(poloc ∪ rf ∪ co ∪ fr).
   {
-    PwGraph g(s.nodes);
-    add_bitset_edges(g, s.poloc);
+    PwGraph g(s.stage_scloc);
     add_rf_edges(g, s, c, /*external_only=*/false);
     add_co_edges(g, c);
     add_fr_edges(g, s, c);
@@ -498,21 +508,16 @@ PowerAxiom check_candidate(const PwSpace& s, const PwCandidate& c,
   }
   // NO-THIN-AIR: acyclic(hb), hb = ppo ∪ fences ∪ rfe.
   {
-    PwGraph g(s.nodes);
-    add_bitset_edges(g, s.ppo);
-    add_bitset_edges(g, s.fences);
+    PwGraph g(s.stage_hb);
     add_rf_edges(g, s, c, /*external_only=*/true);
     if (!g.acyclic()) return PowerAxiom::NoThinAir;
   }
   // PROPAGATION: coherence embeds into the single commit interleaving that
   // also linearises hb and the sync nodes — acyclic(co ∪ prop) with
   // prop ⊇ hb⁺ ∩ (W × W), folded as acyclic(hb ∪ co ∪ sync-po).
-  PwGraph g(s.nodes);
-  add_bitset_edges(g, s.ppo);
-  add_bitset_edges(g, s.fences);
+  PwGraph g(s.stage_prop);
   add_rf_edges(g, s, c, /*external_only=*/false);
   add_co_edges(g, c);
-  add_barrier_po_edges(g, s);
   if (!g.acyclic()) return PowerAxiom::Propagation;
   // OBSERVATION: forced visibility from cumulativity pushes and catch-up.
   if (!opt.drop_observation && !observation_holds(s, c, g, opt)) {

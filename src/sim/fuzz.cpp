@@ -228,14 +228,18 @@ std::string Divergence::report() const {
   return os.str();
 }
 
-std::optional<Divergence> check_conformance(const LitmusTest& test, Arch arch,
-                                            const AxiomaticOptions& options) {
+namespace {
+
+// check_conformance with the operational outcome set already in hand; the
+// corpus driver enumerates it once per program (for outcome accounting) and
+// reuses it here instead of paying for a second interleaving enumeration.
+std::optional<Divergence> check_against_operational(
+    const LitmusTest& test, Arch arch, const AxiomaticOptions& options,
+    const std::set<Outcome>& operational) {
   Divergence d;
   d.arch = arch;
   d.original = test;
   d.shrunk = test;
-
-  const std::set<Outcome> operational = enumerate_outcomes(test, arch);
 
   if (!allows_early_forwarding(arch)) {
     const std::set<Outcome> axiomatic = axiomatic_outcomes(test, arch, options);
@@ -312,6 +316,14 @@ std::optional<Divergence> check_conformance(const LitmusTest& test, Arch arch,
     }
   }
   return std::nullopt;  // unreachable
+}
+
+}  // namespace
+
+std::optional<Divergence> check_conformance(const LitmusTest& test, Arch arch,
+                                            const AxiomaticOptions& options) {
+  return check_against_operational(test, arch, options,
+                                   enumerate_outcomes(test, arch));
 }
 
 namespace {
@@ -474,9 +486,10 @@ FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
         hash_combine(base_seed, static_cast<std::uint64_t>(i));
     const LitmusTest test = generate_litmus(seed, config);
     report.programs += 1;
-    report.outcomes_checked +=
-        static_cast<long long>(enumerate_outcomes(test, arch).size());
-    std::optional<Divergence> d = check_conformance(test, arch, options);
+    const std::set<Outcome> operational = enumerate_outcomes(test, arch);
+    report.outcomes_checked += static_cast<long long>(operational.size());
+    std::optional<Divergence> d =
+        check_against_operational(test, arch, options, operational);
     if (d.has_value()) {
       d->seed = seed;
       d->shrunk = shrink_divergent(test, arch, options);
