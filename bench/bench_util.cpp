@@ -51,7 +51,7 @@ core::Comparison kernel_compare(const std::string& benchmark,
 }
 
 core::RankingMatrix build_kernel_ranking_matrix(
-    sim::Arch arch, const ComparisonObserver& observer) {
+    sim::Arch arch, const ComparisonObserver& observer, int threads) {
   std::vector<std::string> macro_names;
   for (kernel::KMacro m : kernel::kAllMacros) {
     macro_names.push_back(kernel::macro_name(m));
@@ -62,14 +62,25 @@ core::RankingMatrix build_kernel_ranking_matrix(
   // Paper 4.3.1: "Expecting generally lower sensitivity to kernel behaviour,
   // we inject a large cost function (1024 loop iterations) into each macro in
   // turn, and measure the relative performance impact on all benchmarks."
+  // Each (macro, benchmark) cell is an independent simulation over virtual
+  // time, so cells fan out across threads; the observer still sees them in
+  // macro-major order afterwards.
   constexpr std::uint32_t kLargeCost = 1024;
-  for (kernel::KMacro m : kernel::kAllMacros) {
-    for (const std::string& b : benchmarks) {
-      const core::Comparison cmp = kernel_compare(
-          b, kernel_base(arch), kernel_injected(arch, m, kLargeCost),
-          ranking_runs());
-      matrix.set(kernel::macro_name(m), b, cmp.value);
-      if (observer) observer(kernel::macro_name(m), b, cmp);
+  const std::size_t nb = benchmarks.size();
+  const std::vector<core::Comparison> cells = par_index_map(
+      macro_names.size() * nb, threads, [&](int cell) {
+        const kernel::KMacro m =
+            kernel::kAllMacros[static_cast<std::size_t>(cell) / nb];
+        const std::string& b = benchmarks[static_cast<std::size_t>(cell) % nb];
+        return kernel_compare(b, kernel_base(arch),
+                              kernel_injected(arch, m, kLargeCost),
+                              ranking_runs());
+      });
+  for (std::size_t mi = 0; mi < macro_names.size(); ++mi) {
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const core::Comparison& cmp = cells[mi * nb + bi];
+      matrix.set(macro_names[mi], benchmarks[bi], cmp.value);
+      if (observer) observer(macro_names[mi], benchmarks[bi], cmp);
     }
   }
   return matrix;

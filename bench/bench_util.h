@@ -17,6 +17,7 @@
 #include "core/report.h"
 #include "jvm/fencing.h"
 #include "kernel/barriers.h"
+#include "par/deterministic_map.h"
 #include "sim/calibrate.h"
 #include "workloads/jvm_workloads.h"
 #include "workloads/kernel_workloads.h"
@@ -113,8 +114,21 @@ core::Comparison kernel_compare(const std::string& benchmark,
 using ComparisonObserver =
     std::function<void(const std::string& code_path,
                        const std::string& benchmark, const core::Comparison&)>;
+// Cells are measured on `threads` workers (simulated time is virtual, so the
+// measurements are bit-identical for any thread count) and the observer is
+// invoked afterwards in canonical macro-major order.
 core::RankingMatrix build_kernel_ranking_matrix(
-    sim::Arch arch, const ComparisonObserver& observer = nullptr);
+    sim::Arch arch, const ComparisonObserver& observer = nullptr,
+    int threads = 1);
+
+// Evaluate `fn(0..n-1)` on `threads` workers, returning results in index
+// order — the sweep-point analogue of par_map for loops indexed by position.
+template <typename Fn>
+auto par_index_map(std::size_t n, int threads, Fn&& fn) {
+  std::vector<int> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = static_cast<int>(i);
+  return par::par_map(indices, [&fn](const int& i) { return fn(i); }, threads);
+}
 
 // Pretty header for a bench binary.  The paper-reference line is omitted
 // when `paper_ref` is empty (extra deliverables not tied to one figure).

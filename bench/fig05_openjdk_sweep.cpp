@@ -21,14 +21,25 @@ int main(int argc, char** argv) {
   for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
     os << "\n--- " << sim::arch_name(arch) << " ---\n";
     core::Table table({"benchmark", "k", "+/-", "p @ 2^8"});
-    std::vector<core::SweepResult> sweeps;
-    for (const std::string& name : workloads::jvm_benchmark_names()) {
-      core::SweepResult sweep = bench::jvm_sweep(name, arch, {}, 8);
-      table.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
+    const std::vector<std::string> names = workloads::jvm_benchmark_names();
+    // One sweep per benchmark, fanned out across workers; simulated time is
+    // virtual, so the series are identical for any thread count.
+    const double arch_start = session.elapsed_seconds();
+    std::vector<core::SweepResult> sweeps = bench::par_index_map(
+        names.size(), session.threads(),
+        [&](int i) { return bench::jvm_sweep(names[static_cast<std::size_t>(i)], arch, {}, 8); });
+    obs::Throughput tp;
+    tp.context = std::string("sweep/") + sim::arch_name(arch);
+    tp.threads = session.threads();
+    tp.programs = static_cast<long long>(sweeps.size());
+    tp.wall_s = session.elapsed_seconds() - arch_start;
+    session.record_throughput(tp);
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      const core::SweepResult& sweep = sweeps[i];
+      table.add_row({names[i], core::fmt_fixed(sweep.fit.k, 5),
                      core::fmt_percent(sweep.fit.relative_error(), 0),
                      core::fmt_fixed(sweep.points.back().rel_perf, 4)});
       session.record_sweep(sim::arch_name(arch), sweep);
-      sweeps.push_back(std::move(sweep));
     }
     table.print(os);
     os << '\n';

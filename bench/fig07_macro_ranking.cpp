@@ -16,12 +16,20 @@ int main(int argc, char** argv) {
                          "Figure 7", {}, bench::ranking_runs());
   std::ostream& os = session.out();
 
+  const double start = session.elapsed_seconds();
   const core::RankingMatrix matrix = bench::build_kernel_ranking_matrix(
       sim::Arch::ARMV8,
       [&](const std::string& macro, const std::string& benchmark,
           const core::Comparison& cmp) {
         session.record_comparison("armv8", benchmark, "base", macro, cmp);
-      });
+      },
+      session.threads());
+  obs::Throughput tp;
+  tp.context = "ranking/armv8";
+  tp.threads = session.threads();
+  tp.programs = static_cast<long long>(matrix.data_points());
+  tp.wall_s = session.elapsed_seconds() - start;
+  session.record_throughput(tp);
   os << "data points: " << matrix.data_points() << "\n\n";
   core::print_ranking(os,
                       "sum of relative performance per macro (lower = more impact)",

@@ -23,6 +23,10 @@ std::vector<FlagHelp> help_rows(const std::vector<FlagSpec>& extra) {
   rows.push_back({"--json=FILE", "write JSONL run records (manifest, runs, counters)"});
   rows.push_back({"--trace=FILE", "write a Chrome trace-event timeline (Perfetto-loadable)"});
   rows.push_back({"--counters", "print the simulator event counters at exit"});
+  rows.push_back({"--threads=N",
+                  "worker threads for parallel drivers (default: hardware "
+                  "concurrency; 1 = sequential; output is identical either "
+                  "way)"});
   rows.push_back({"--quiet", "suppress the human-readable report"});
   rows.push_back({"--help", "show this help"});
   return rows;
@@ -62,6 +66,15 @@ CommonFlags parse_flags(int argc, char** argv, const std::string& title,
       out.trace_path = value;
     } else if (name == "--counters") {
       out.counters = true;
+    } else if (name == "--threads") {
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || n < 1 || n > 4096) {
+        std::cerr << program << ": bad value for --threads: '" << value
+                  << "'\n";
+        std::exit(2);
+      }
+      out.threads = static_cast<int>(n);
     } else if (name == "--quiet") {
       out.quiet = true;
     } else {

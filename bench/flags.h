@@ -26,6 +26,8 @@ struct CommonFlags {
   std::string trace_path;  // --trace=FILE: Chrome trace-event timeline
   bool counters = false;   // --counters  : print simulator counters at exit
   bool quiet = false;      // --quiet     : suppress the human-readable report
+  int threads = 0;         // --threads=N : worker threads (0 = hardware
+                           //               concurrency; 1 = sequential)
   std::vector<std::string> positional;
 };
 

@@ -189,15 +189,39 @@ int main(int argc, char** argv) {
   int power_count = count;
   if (!count_set && options.power.any()) power_count = 5000;
 
+  sim::FuzzRunOptions run;
+  run.threads = session.threads();
+  run.max_divergences = max_divergences;
+
   int failures = 0;
   for (sim::Arch arch : archs) {
     const bool power = arch == sim::Arch::POWER7;
+    const double arch_start = session.elapsed_seconds();
     const sim::FuzzReport report = sim::run_conformance_corpus(
         arch, base_seed, power ? power_count : count, config_for(arch, options),
-        options, max_divergences);
+        options, run);
+    const double arch_wall = session.elapsed_seconds() - arch_start;
     std::printf("%-8s %6d programs  %9lld outcomes cross-checked  %s\n",
                 sim::arch_name(arch), report.programs, report.outcomes_checked,
                 report.ok() ? "OK" : "DIVERGED");
+    // Rates go to stderr and the JSONL throughput record only: stdout stays
+    // byte-identical across thread counts and machines.
+    std::fprintf(stderr,
+                 "%-8s %.2fs  %.0f programs/s  %.0f outcomes/s  "
+                 "memo %lld/%lld hit\n",
+                 sim::arch_name(arch), arch_wall,
+                 arch_wall > 0 ? report.programs / arch_wall : 0.0,
+                 arch_wall > 0 ? report.outcomes_checked / arch_wall : 0.0,
+                 report.memo_hits, report.memo_hits + report.memo_misses);
+    obs::Throughput t;
+    t.context = std::string("fuzz/") + sim::arch_name(arch);
+    t.threads = run.threads;
+    t.programs = report.programs;
+    t.outcomes = report.outcomes_checked;
+    t.wall_s = arch_wall;
+    t.cache_hits = report.memo_hits;
+    t.cache_misses = report.memo_misses;
+    session.record_throughput(t);
     for (const sim::Divergence& d : report.divergences) {
       std::printf("%s", d.report().c_str());
       ++failures;

@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "core/report.h"
 #include "obs/record.h"
+#include "par/pool.h"
 
 namespace wmm::bench {
 
@@ -82,6 +83,18 @@ void Session::record_comparison(const std::string& context,
 void Session::record_sweep(const std::string& context,
                            const core::SweepResult& sweep) {
   record_lines_.push_back(obs::sweep_line(context, sweep));
+}
+
+void Session::record_throughput(const obs::Throughput& t) {
+  record_lines_.push_back(obs::throughput_line(t));
+}
+
+int Session::threads() const {
+  return flags_.threads > 0 ? flags_.threads : par::default_threads();
+}
+
+double Session::elapsed_seconds() const {
+  return monotonic_seconds() - start_seconds_;
 }
 
 Session::~Session() {

@@ -19,6 +19,7 @@
 #include "core/harness.h"
 #include "flags.h"
 #include "obs/counters.h"
+#include "obs/record.h"
 #include "obs/trace.h"
 
 namespace wmm::bench {
@@ -49,6 +50,13 @@ class Session {
                          const std::string& benchmark, const std::string& base,
                          const std::string& test, const core::Comparison& cmp);
   void record_sweep(const std::string& context, const core::SweepResult& sweep);
+  void record_throughput(const obs::Throughput& t);
+
+  // Worker threads resolved from --threads (0 = hardware concurrency).
+  int threads() const;
+
+  // Seconds since the session started (monotonic).
+  double elapsed_seconds() const;
 
  private:
   std::string binary_;

@@ -49,14 +49,12 @@ class CounterRegistry {
 
   void add(CounterId id, std::uint64_t n = 1) {
     if (id >= kCapacity) return;
-    // Relaxed load+store rather than fetch_add: the simulator steps its
-    // machines single-threaded, so the uncontended RMW's lock prefix would
-    // be pure hot-path cost.  Under concurrent writers this can drop (never
-    // tear) increments — acceptable for statistics, and the deterministic
-    // single-threaded pipelines that feed reports are exact.
-    std::atomic<std::uint64_t>& slot = slots_[id];
-    slot.store(slot.load(std::memory_order_relaxed) + n,
-               std::memory_order_relaxed);
+    // Relaxed fetch_add: simulator hooks now fire from pool workers (the
+    // parallel fuzzer and sweeps), and counter records are compared
+    // byte-for-byte across thread counts, so dropped increments are not
+    // acceptable.  The uncontended RMW costs a lock prefix on the hot path;
+    // measured noise next to the enumeration work around every increment.
+    slots_[id].fetch_add(n, std::memory_order_relaxed);
   }
 
   void record_max(CounterId id, std::uint64_t v) {

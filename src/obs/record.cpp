@@ -131,6 +131,31 @@ std::string sweep_line(const std::string& context,
   return w.take();
 }
 
+std::string throughput_line(const Throughput& t) {
+  const double wall = t.wall_s > 0.0 ? t.wall_s : 0.0;
+  const long long probes = t.cache_hits + t.cache_misses;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "throughput");
+  w.kv("context", t.context);
+  w.kv("threads", static_cast<std::uint64_t>(t.threads < 0 ? 0 : t.threads));
+  w.kv("programs", static_cast<double>(t.programs));
+  w.kv("outcomes", static_cast<double>(t.outcomes));
+  w.kv("wall_s", t.wall_s);
+  w.kv("programs_per_s",
+       wall > 0.0 ? static_cast<double>(t.programs) / wall : 0.0);
+  w.kv("outcomes_per_s",
+       wall > 0.0 ? static_cast<double>(t.outcomes) / wall : 0.0);
+  w.kv("cache_hits", static_cast<double>(t.cache_hits));
+  w.kv("cache_misses", static_cast<double>(t.cache_misses));
+  w.kv("cache_hit_rate",
+       probes > 0 ? static_cast<double>(t.cache_hits) /
+                        static_cast<double>(probes)
+                  : 0.0);
+  w.end_object();
+  return w.take();
+}
+
 std::string counters_line(
     const std::vector<CounterRegistry::Entry>& entries) {
   JsonWriter w;
@@ -246,6 +271,19 @@ std::string validate_record(const JsonValue& record) {
       if (!err.empty()) return err;
     }
     return {};
+  }
+  if (t == "throughput") {
+    return check_keys(record, "throughput",
+                      {{"context", K::String},
+                       {"threads", K::Number},
+                       {"programs", K::Number},
+                       {"outcomes", K::Number},
+                       {"wall_s", K::Number},
+                       {"programs_per_s", K::Number},
+                       {"outcomes_per_s", K::Number},
+                       {"cache_hits", K::Number},
+                       {"cache_misses", K::Number},
+                       {"cache_hit_rate", K::Number}});
   }
   if (t == "counters") {
     std::string err = check_keys(record, "counters", {{"values", K::Object}});

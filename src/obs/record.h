@@ -16,6 +16,14 @@
 //                ci95, significant
 //   sweep      : type, context, benchmark, code_path, points, fit
 //   counters   : type, values
+//   throughput : type, context, threads, programs, outcomes, wall_s,
+//                programs_per_s, outcomes_per_s, cache_hits, cache_misses,
+//                cache_hit_rate
+//
+// throughput records carry wall-clock rates, so (like the manifest) they are
+// excluded from byte-identity comparisons between runs; every other record
+// type is deterministic for a fixed seed and configuration, independent of
+// --threads.
 #pragma once
 
 #include <map>
@@ -63,6 +71,21 @@ std::string sweep_line(const std::string& context,
                        const core::SweepResult& sweep);
 
 std::string counters_line(const std::vector<CounterRegistry::Entry>& entries);
+
+// Work-rate summary for a parallel driver.  `programs` counts the units
+// processed (fuzzed programs, or measured sweep cells for the fig/tab
+// binaries); cache fields are zero when the driver has no memo cache.
+struct Throughput {
+  std::string context;
+  int threads = 0;
+  long long programs = 0;
+  long long outcomes = 0;
+  double wall_s = 0.0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+};
+
+std::string throughput_line(const Throughput& t);
 
 // Validates one parsed record against the schema above.  Returns an empty
 // string when valid, otherwise a description of the first problem.

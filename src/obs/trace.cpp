@@ -29,27 +29,32 @@ bool TraceSink::admit(std::uint32_t pid) {
 
 void TraceSink::complete(const char* name, const char* cat, std::uint32_t pid,
                          std::uint32_t tid, double ts_ns, double dur_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!admit(pid)) return;
   events_.push_back(Event{name, cat, ts_ns, dur_ns, pid, tid});
 }
 
 void TraceSink::instant(const char* name, const char* cat, std::uint32_t pid,
                         std::uint32_t tid, double ts_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!admit(pid)) return;
   events_.push_back(Event{name, cat, ts_ns, -1.0, pid, tid});
 }
 
 void TraceSink::set_process_name(std::uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   process_names_.emplace_back(pid, std::move(name));
 }
 
 void TraceSink::set_thread_name(std::uint32_t pid, std::uint32_t tid,
                                 std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   thread_names_.emplace_back((static_cast<std::uint64_t>(pid) << 32) | tid,
                              std::move(name));
 }
 
 void TraceSink::write(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   JsonWriter w;
   w.begin_object();
   w.kv("displayTimeUnit", "ns");

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,8 +47,14 @@ class TraceSink {
   void set_process_name(std::uint32_t pid, std::string name);
   void set_thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
 
-  std::size_t event_count() const { return events_.size(); }
-  bool truncated() const { return truncated_; }
+  std::size_t event_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+  bool truncated() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return truncated_;
+  }
 
   // Serialises the whole trace as one JSON document.
   void write(std::ostream& os) const;
@@ -62,8 +69,13 @@ class TraceSink {
     std::uint32_t tid;
   };
 
-  bool admit(std::uint32_t pid);
+  bool admit(std::uint32_t pid);  // caller holds mutex_
 
+  // Simulations now run on pool workers (parallel fuzzer / sweeps), so
+  // recording must be serialised.  Event order under concurrency is
+  // scheduling-dependent; drivers that need a reproducible trace record
+  // with one thread.
+  mutable std::mutex mutex_;
   Limits limits_;
   std::vector<Event> events_;
   std::unordered_map<std::uint32_t, std::size_t> per_process_;

@@ -1,0 +1,83 @@
+// Deterministic parallel map over a vector.
+//
+// par_map(items, fn, threads) applies `fn` to every element and returns the
+// results in input-index order, so output is bit-identical for any thread
+// count: scheduling only changes *when* a slot is written, never which slot
+// or with what value.  `fn` must be safe to call concurrently on distinct
+// items (the fuzzer qualifies: each seed owns an independent RNG stream) and
+// the result type must be default-constructible and not `bool`
+// (vector<bool> packs bits, so concurrent slot writes would race).
+//
+// Exceptions: every item still runs; afterwards the exception for the
+// *lowest* input index is rethrown, which keeps failure reporting
+// independent of scheduling too.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "par/pool.h"
+
+namespace wmm::par {
+
+// Fan out over an existing pool.  The calling thread helps execute tasks
+// while it waits, so calling par_map from inside a pool task (nested fan-out
+// on the same pool) cannot deadlock.
+template <typename T, typename Fn>
+auto par_map(Pool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>> {
+  using R = std::invoke_result_t<Fn&, const T&>;
+  static_assert(!std::is_same_v<R, bool>,
+                "par_map result must not be bool (vector<bool> bit-packing "
+                "makes concurrent slot writes race)");
+  std::vector<R> results(items.size());
+  if (items.empty()) return results;
+  note_fanout(items.size());
+  std::vector<std::exception_ptr> errors(items.size());
+  if (pool.threads() <= 1 || items.size() == 1) {
+    // Sequential path, in input order.  Exception semantics deliberately
+    // match the parallel path (every item runs, lowest index rethrown) so
+    // behaviour does not depend on the thread count.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      try {
+        results[i] = fn(items[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> done{0};
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      pool.submit([&results, &errors, &done, &items, &fn, i] {
+        try {
+          results[i] = fn(items[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    while (done.load(std::memory_order_acquire) < items.size()) {
+      if (!pool.help()) std::this_thread::yield();
+    }
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return results;
+}
+
+// Convenience form owning a pool for the duration of one call.
+template <typename T, typename Fn>
+auto par_map(const std::vector<T>& items, Fn&& fn,
+             int threads = 0) {
+  Pool pool(threads > 0 ? threads : default_threads());
+  return par_map(pool, items, std::forward<Fn>(fn));
+}
+
+}  // namespace wmm::par

@@ -1,0 +1,117 @@
+#include "par/pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/counters.h"
+
+namespace wmm::par {
+
+int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+struct ParCounters {
+  obs::CounterId pools;
+  obs::CounterId jobs;
+  obs::CounterId tasks;
+};
+
+const ParCounters& par_counters() {
+  static const ParCounters ids = {
+      obs::counters().register_counter("par.pools"),
+      obs::counters().register_counter("par.jobs"),
+      obs::counters().register_counter("par.tasks"),
+  };
+  return ids;
+}
+
+}  // namespace
+
+void note_fanout(std::size_t tasks) {
+  const ParCounters& ids = par_counters();
+  obs::counters().add(ids.jobs);
+  obs::counters().add(ids.tasks, tasks);
+}
+
+Pool::Pool(int threads) : threads_(std::max(1, threads)) {
+  obs::counters().add(par_counters().pools);
+  queues_.resize(static_cast<std::size_t>(threads_));
+  for (auto& q : queues_) q = std::make_unique<Queue>();
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int t = 1; t < threads_; ++t) {
+    workers_.emplace_back([this, t] { worker(static_cast<std::size_t>(t)); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Pool::submit(std::function<void()> fn) {
+  const std::size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+bool Pool::try_pop(std::size_t first, std::function<void()>& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Queue& queue = *queues_[(first + i) % n];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    if (i == 0) {
+      out = std::move(queue.tasks.back());  // own deque: LIFO for locality
+      queue.tasks.pop_back();
+    } else {
+      out = std::move(queue.tasks.front());  // steal the oldest task
+      queue.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Pool::help() {
+  // Helping callers scan from a rotating start so concurrent helpers do not
+  // all contend on queue 0.
+  const std::size_t first =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  std::function<void()> task;
+  if (!try_pop(first, task)) return false;
+  task();
+  return true;
+}
+
+void Pool::worker(std::size_t self) {
+  while (true) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    // Bounded wait instead of a precise empty->non-empty handshake: a submit
+    // racing the empty scan above can lose its notify, so cap the sleep and
+    // rescan.  Tasks are coarse (a whole litmus program or sweep cell), so a
+    // worst-case 1ms wake-up is noise.
+    wake_.wait_for(lock, std::chrono::milliseconds(1));
+    if (stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+}  // namespace wmm::par

@@ -1,0 +1,92 @@
+// Dependency-free work-stealing thread pool.
+//
+// Built for the deterministic fan-outs in deterministic_map.h: callers submit
+// independent tasks and then *help* (run queued tasks on their own thread)
+// until their batch completes, so nested submission from inside a pool worker
+// can never deadlock.  Each worker owns a deque; `submit` distributes tasks
+// round-robin, a worker pops its own deque LIFO and steals from other deques
+// FIFO when it runs dry.
+//
+// Determinism contract: the pool schedules tasks in an arbitrary order, so
+// anything observable must be made deterministic by the *caller* — write
+// results into per-task slots and merge in task-index order (par_map does
+// this).  Scheduling-dependent statistics (steal counts) are deliberately
+// kept out of the obs counter registry so counter records stay bit-identical
+// across thread counts; only scheduling-independent totals (pools created,
+// jobs fanned out, tasks mapped) are registered.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wmm::par {
+
+// Worker count used when the caller does not specify one: the hardware
+// concurrency, with a floor of 1 (hardware_concurrency may report 0).
+int default_threads();
+
+class Pool {
+ public:
+  // A pool of `threads` workers spawns `threads - 1` OS threads; the caller
+  // looping on help() is the remaining worker.  `threads <= 1` spawns
+  // nothing and every task runs on the helping thread, which restores
+  // single-threaded execution exactly.
+  explicit Pool(int threads = default_threads());
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Enqueue one task.  Safe from any thread, including pool workers (nested
+  // submission); the task may run on any worker or on a helping caller.
+  void submit(std::function<void()> fn);
+
+  // Run one queued task on the calling thread; returns false when every
+  // queue is empty.  Waiters must spin on help() rather than block so the
+  // pool keeps making progress when a worker waits on nested work.
+  bool help();
+
+  // Successful steals (tasks taken from another worker's deque).
+  // Scheduling-dependent — reported by tests/diagnostics only, never via the
+  // obs registry.
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker(std::size_t self);
+  // Pop a task, preferring queue `first` (own deque, LIFO), then stealing
+  // from the others (FIFO).
+  bool try_pop(std::size_t first, std::function<void()>& out);
+
+  int threads_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stop_{false};
+};
+
+// Bumps the deterministic fan-out counters (par.jobs by one, par.tasks by
+// `tasks`).  Called by par_map on every fan-out, including the sequential
+// threads==1 path, so counter records match across thread counts.
+void note_fanout(std::size_t tasks);
+
+}  // namespace wmm::par

@@ -1,8 +1,13 @@
 #include "sim/fuzz.h"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
+#include <unordered_map>
 
+#include "obs/counters.h"
+#include "par/deterministic_map.h"
+#include "par/pool.h"
 #include "sim/rng.h"
 
 namespace wmm::sim {
@@ -474,6 +479,232 @@ LitmusTest shrink_divergent(const LitmusTest& test, Arch arch,
   return current;
 }
 
+std::string canonical_program_key(const LitmusTest& test) {
+  const std::size_t nt = test.threads.size();
+  std::vector<int> perm(nt);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  // Encode one thread ordering with encounter-order renumbering.  Fields are
+  // raw bytes (all values are tiny); -1 maps to 0xff.
+  const auto encode = [&](const std::vector<int>& order) {
+    std::string enc;
+    std::vector<int> var_map(static_cast<std::size_t>(test.num_vars), -1);
+    std::vector<int> reg_map(static_cast<std::size_t>(test.num_regs), -1);
+    // Per original variable: written values in encounter order.
+    std::vector<std::vector<int>> val_seen(
+        static_cast<std::size_t>(test.num_vars));
+    int next_var = 0;
+    int next_reg = 0;
+    const auto byte = [&enc](int v) {
+      enc.push_back(v < 0 ? static_cast<char>(0xff) : static_cast<char>(v));
+    };
+    const auto map_reg = [&](int reg) {
+      if (reg < 0) return -1;
+      int& m = reg_map[static_cast<std::size_t>(reg)];
+      if (m < 0) m = next_reg++;
+      return m;
+    };
+    for (int t : order) {
+      for (const LitmusInstr& in :
+           test.threads[static_cast<std::size_t>(t)].instrs) {
+        if (in.type == AccessType::Fence) {
+          byte(0x40 + static_cast<int>(in.fence));
+          continue;
+        }
+        int& vm = var_map[static_cast<std::size_t>(in.var)];
+        if (vm < 0) vm = next_var++;
+        if (in.type == AccessType::Write) {
+          std::vector<int>& seen = val_seen[static_cast<std::size_t>(in.var)];
+          auto it = std::find(seen.begin(), seen.end(), in.value);
+          if (it == seen.end()) {
+            seen.push_back(in.value);
+            it = seen.end() - 1;
+          }
+          byte(0x01);
+          byte(vm);
+          byte(1 + static_cast<int>(it - seen.begin()));
+          byte(in.release ? 1 : 0);
+        } else {
+          byte(0x02);
+          byte(vm);
+          byte(map_reg(in.reg));
+          byte(in.acquire ? 1 : 0);
+        }
+        byte(map_reg(in.addr_dep));
+        byte(map_reg(in.data_dep));
+        byte(map_reg(in.ctrl_dep));
+      }
+      byte(0x3f);  // thread separator
+    }
+    return enc;
+  };
+
+  std::string best = encode(perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    std::string enc = encode(perm);
+    if (enc < best) best = std::move(enc);
+  }
+  return best;
+}
+
+namespace {
+
+struct MemoCounters {
+  obs::CounterId hits;
+  obs::CounterId misses;
+};
+
+const MemoCounters& memo_counters() {
+  static const MemoCounters ids = {
+      obs::counters().register_counter("fuzz.memo.hits"),
+      obs::counters().register_counter("fuzz.memo.misses"),
+  };
+  return ids;
+}
+
+// Fully shrink and re-derive the witness for a divergence found at `seed`,
+// mirroring the sequential driver's reporting.
+Divergence finish_divergence(Divergence d, std::uint64_t seed,
+                             const LitmusTest& test, Arch arch,
+                             const AxiomaticOptions& options) {
+  d.seed = seed;
+  d.shrunk = shrink_divergent(test, arch, options);
+  if (std::optional<Divergence> ds = check_conformance(d.shrunk, arch, options)) {
+    d.outcome = ds->outcome;
+    d.operational_allowed = ds->operational_allowed;
+    d.axiomatic_allowed = ds->axiomatic_allowed;
+    d.axiom = ds->axiom;
+  }
+  return d;
+}
+
+}  // namespace
+
+FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
+                                  const FuzzConfig& config,
+                                  const AxiomaticOptions& options,
+                                  const FuzzRunOptions& run) {
+  FuzzReport report;
+  report.arch = arch;
+  report.base_seed = base_seed;
+
+  par::Pool pool(std::max(1, run.threads));
+  // Canonical key -> operational outcome count of a *conformant* program.
+  // Divergent programs are never inserted, so a hit always means conformant.
+  std::unordered_map<std::string, long long> memo;
+  const int chunk_size = std::max(1, run.chunk_size);
+
+  // One generated seed within the current wave.
+  struct Item {
+    std::uint64_t seed = 0;
+    LitmusTest test;
+    std::string key;
+    int work = -1;            // index into the wave's work list; -1 = memo hit
+    long long outcomes = 0;   // filled from the memo for hits
+  };
+  // Cross-check result for one unique program of the wave.
+  struct WorkResult {
+    long long outcomes = 0;
+    std::optional<Divergence> divergence;
+  };
+
+  for (int start = 0; start < count;) {
+    const int end = std::min(count, start + chunk_size);
+
+    // Scan the wave in seed order on this thread: generate, canonicalise,
+    // consult the memo, and dedupe unseen keys.  Only unique cache misses
+    // become parallel work, so the fan-out pattern is a pure function of the
+    // seed sequence (never of the thread count).
+    std::vector<Item> items;
+    std::vector<int> work;  // item index of each unique miss
+    std::unordered_map<std::string, int> wave_work;
+    for (int i = start; i < end; ++i) {
+      Item item;
+      item.seed = hash_combine(base_seed, static_cast<std::uint64_t>(i));
+      item.test = generate_litmus(item.seed, config);
+      if (run.memoize) {
+        item.key = canonical_program_key(item.test);
+        const auto hit = memo.find(item.key);
+        if (hit != memo.end()) {
+          item.outcomes = hit->second;
+          report.memo_hits += 1;
+          items.push_back(std::move(item));
+          continue;
+        }
+        const auto dup = wave_work.find(item.key);
+        if (dup != wave_work.end()) {
+          item.work = dup->second;
+          report.memo_hits += 1;
+          items.push_back(std::move(item));
+          continue;
+        }
+        wave_work.emplace(item.key, static_cast<int>(work.size()));
+      }
+      report.memo_misses += 1;
+      item.work = static_cast<int>(work.size());
+      work.push_back(static_cast<int>(items.size()));
+      items.push_back(std::move(item));
+    }
+
+    const std::vector<WorkResult> results =
+        par::par_map(pool, work, [&](const int& item_index) {
+          const Item& item = items[static_cast<std::size_t>(item_index)];
+          WorkResult r;
+          const std::set<Outcome> operational =
+              enumerate_outcomes(item.test, arch);
+          r.outcomes = static_cast<long long>(operational.size());
+          r.divergence =
+              check_against_operational(item.test, arch, options, operational);
+          return r;
+        });
+
+    // Merge in seed order.  Shrinking (rare) runs here on the driver thread,
+    // so divergence reports are produced in seed order too.
+    bool stopped = false;
+    for (const Item& item : items) {
+      report.programs += 1;
+      if (item.work < 0) {
+        report.outcomes_checked += item.outcomes;  // memo hit: conformant
+        continue;
+      }
+      const WorkResult& r = results[static_cast<std::size_t>(item.work)];
+      // The outcome-set size is isomorphism-invariant, so a wave duplicate
+      // can take the representative's count.
+      report.outcomes_checked += r.outcomes;
+      const bool own_result =
+          work[static_cast<std::size_t>(item.work)] ==
+          static_cast<int>(&item - items.data());
+      if (!r.divergence.has_value()) {
+        if (run.memoize && own_result) memo.emplace(item.key, r.outcomes);
+        continue;
+      }
+      std::optional<Divergence> d;
+      if (own_result) {
+        d = r.divergence;
+      } else {
+        // Wave duplicate of a divergent program: recompute on *this* seed's
+        // program so the report shows its exact shape.
+        d = check_conformance(item.test, arch, options);
+        if (!d.has_value()) continue;  // unreachable for true isomorphs
+      }
+      report.divergences.push_back(
+          finish_divergence(std::move(*d), item.seed, item.test, arch, options));
+      if (static_cast<int>(report.divergences.size()) >= run.max_divergences) {
+        stopped = true;
+        break;
+      }
+    }
+    if (stopped) break;
+    start = end;
+  }
+
+  const MemoCounters& ids = memo_counters();
+  obs::counters().add(ids.hits, static_cast<std::uint64_t>(report.memo_hits));
+  obs::counters().add(ids.misses,
+                      static_cast<std::uint64_t>(report.memo_misses));
+  return report;
+}
+
 FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
                                   const FuzzConfig& config,
                                   const AxiomaticOptions& options,
@@ -491,18 +722,8 @@ FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
     std::optional<Divergence> d =
         check_against_operational(test, arch, options, operational);
     if (d.has_value()) {
-      d->seed = seed;
-      d->shrunk = shrink_divergent(test, arch, options);
-      // Re-derive the witness from the shrunk program so report() shows a
-      // matching outcome.
-      if (std::optional<Divergence> ds =
-              check_conformance(d->shrunk, arch, options)) {
-        d->outcome = ds->outcome;
-        d->operational_allowed = ds->operational_allowed;
-        d->axiomatic_allowed = ds->axiomatic_allowed;
-        d->axiom = ds->axiom;
-      }
-      report.divergences.push_back(std::move(*d));
+      report.divergences.push_back(
+          finish_divergence(std::move(*d), seed, test, arch, options));
       if (static_cast<int>(report.divergences.size()) >= max_divergences) break;
     }
   }

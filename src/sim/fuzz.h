@@ -112,14 +112,52 @@ struct FuzzReport {
   std::uint64_t base_seed = 0;
   int programs = 0;
   long long outcomes_checked = 0;   // total operational outcomes compared
+  long long memo_hits = 0;          // programs answered by the canonical cache
+  long long memo_misses = 0;        // programs fully cross-checked
   std::vector<Divergence> divergences;  // already shrunk
 
   bool ok() const { return divergences.empty(); }
 };
 
+// Execution policy for run_conformance_corpus.  Every field is independent
+// of the report contents: the report (and stdout built from it) is
+// bit-identical for any `threads` value, because seeds are generated,
+// deduplicated, and merged in seed order on the driver thread and only the
+// per-program cross-checks fan out.
+struct FuzzRunOptions {
+  // Worker threads for the per-program cross-checks; <=1 keeps everything on
+  // the calling thread.
+  int threads = 1;
+  // Stop an architecture's corpus after this many divergences.
+  int max_divergences = 1;
+  // Canonical-program memo: programs isomorphic to an already-conformant
+  // program (same shape modulo thread order and var/reg/value numbering) are
+  // answered from the cache.  Divergent programs are never cached, so every
+  // divergence is still recomputed and reported exactly.
+  bool memoize = true;
+  // Seeds scanned per dispatch wave.  Fixed — never derived from `threads` —
+  // so the dedup pattern, counter totals, and early-stop point match across
+  // thread counts.
+  int chunk_size = 256;
+};
+
+// Canonical structural key for a generated program: the lexicographically
+// smallest encoding over all thread orderings, with variables, registers,
+// and written values renumbered by encounter order.  Two programs with equal
+// keys are isomorphic, so they have the same conformance verdict and the
+// same operational outcome-set size.
+std::string canonical_program_key(const LitmusTest& test);
+
 // Run `count` generated programs (seeds derived from `base_seed` via
 // hash_combine(base_seed, index)) through check_conformance on `arch`,
-// shrinking each divergence.  Stops after `max_divergences` failures.
+// shrinking each divergence.
+FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
+                                  const FuzzConfig& config,
+                                  const AxiomaticOptions& options,
+                                  const FuzzRunOptions& run);
+
+// Compatibility overload: sequential, no memo cache, stop after
+// `max_divergences` failures — the pre-parallel-engine behaviour.
 FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
                                   const FuzzConfig& config,
                                   const AxiomaticOptions& options = {},

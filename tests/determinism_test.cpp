@@ -16,6 +16,7 @@
 #include "jvm/fencing.h"
 #include "kernel/barriers.h"
 #include "obs/counters.h"
+#include "sim/fuzz.h"
 #include "workloads/jvm_workloads.h"
 #include "workloads/kernel_workloads.h"
 
@@ -172,6 +173,74 @@ TEST(Determinism, ComparisonIsReproducible) {
   const core::Comparison c2 = core::compare_configurations(base, test, opts);
   EXPECT_EQ(std::bit_cast<std::uint64_t>(c1.value),
             std::bit_cast<std::uint64_t>(c2.value));
+}
+
+// --- Parallel fuzz engine ---------------------------------------------------
+//
+// --threads is an execution policy, not a semantic knob: the corpus report
+// (every field, including the divergence report text and the early-stop
+// point) and the obs counter deltas must be identical whether the per-program
+// cross-checks run on one worker or eight.
+
+sim::FuzzReport corpus_at(int threads, sim::Arch arch, int count,
+                          const sim::AxiomaticOptions& options = {}) {
+  sim::FuzzRunOptions run;
+  run.threads = threads;
+  run.max_divergences = 4;
+  return sim::run_conformance_corpus(arch, 0xc0ffeeULL, count,
+                                     sim::FuzzConfig::for_arch(arch), options,
+                                     run);
+}
+
+TEST(Determinism, FuzzReportThreadCountInvariant) {
+  const sim::FuzzReport r1 = corpus_at(1, sim::Arch::ARMV8, 200);
+  const sim::FuzzReport r8 = corpus_at(8, sim::Arch::ARMV8, 200);
+  EXPECT_TRUE(r1.ok());
+  EXPECT_EQ(r1.programs, r8.programs);
+  EXPECT_EQ(r1.outcomes_checked, r8.outcomes_checked);
+  EXPECT_EQ(r1.memo_hits, r8.memo_hits);
+  EXPECT_EQ(r1.memo_misses, r8.memo_misses);
+  EXPECT_EQ(r1.divergences.size(), r8.divergences.size());
+}
+
+// With a planted oracle bug the corpus stops early after max_divergences; the
+// stop point, the divergent seeds, and the shrunk reports must not depend on
+// which worker happened to check each program first.
+TEST(Determinism, FuzzDivergenceReportsThreadCountInvariant) {
+  sim::AxiomaticOptions weak;
+  weak.drop_tso_store_load_fence = true;
+  const sim::FuzzReport r1 = corpus_at(1, sim::Arch::X86_TSO, 600, weak);
+  const sim::FuzzReport r8 = corpus_at(8, sim::Arch::X86_TSO, 600, weak);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.programs, r8.programs);
+  ASSERT_EQ(r1.divergences.size(), r8.divergences.size());
+  for (std::size_t i = 0; i < r1.divergences.size(); ++i) {
+    EXPECT_EQ(r1.divergences[i].seed, r8.divergences[i].seed);
+    EXPECT_EQ(r1.divergences[i].report(), r8.divergences[i].report());
+  }
+}
+
+// Counters are part of the byte-identical-JSONL contract: the counters record
+// fuzz_conformance emits must match across thread counts, so every registered
+// counter's delta (memo hits/misses, pool fan-outs, ...) must be exact and
+// schedule-independent.
+TEST(Determinism, FuzzCounterDeltasThreadCountInvariant) {
+  const auto counted_run = [&](int threads) {
+    const auto before = obs::counters().snapshot(/*include_zero=*/true);
+    corpus_at(threads, sim::Arch::X86_TSO, 150);
+    const auto after = obs::counters().snapshot(/*include_zero=*/true);
+    return obs::snapshot_delta(before, after);
+  };
+  const auto d1 = counted_run(1);
+  const auto d8 = counted_run(8);
+
+  ASSERT_EQ(d1.size(), d8.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].name, d8[i].name);
+    if (!d1[i].is_gauge) {
+      EXPECT_EQ(d1[i].value, d8[i].value) << d1[i].name;
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // shrinker behaviour.  The large CI corpus lives in fuzz_corpus_test.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "sim/fuzz.h"
@@ -365,6 +366,69 @@ TEST(Shrinker, ProducesMinimalDeterministicReproducers) {
           << "shrunk program is not 1-minimal";
     }
   }
+}
+
+// --- Canonical program key -------------------------------------------------
+//
+// The memo cache keys programs by a canonical encoding that is invariant
+// under thread reordering and var/register renumbering (isomorphisms that
+// permute the outcome sets of both models identically).  The key must
+// collide exactly on isomorphic programs: too coarse and the cache returns
+// wrong verdicts, too fine and it stops deduplicating.
+
+TEST(CanonicalKey, InvariantUnderThreadPermutation) {
+  const FuzzConfig config;
+  int checked = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const LitmusTest test = generate_litmus(seed, config);
+    if (test.threads.size() < 2) continue;
+    LitmusTest rotated = test;
+    std::rotate(rotated.threads.begin(), rotated.threads.begin() + 1,
+                rotated.threads.end());
+    EXPECT_EQ(canonical_program_key(test), canonical_program_key(rotated))
+        << format_litmus(test);
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(CanonicalKey, InvariantUnderVariableAndRegisterRenaming) {
+  const FuzzConfig config;
+  int checked = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const LitmusTest test = generate_litmus(seed, config);
+    if (test.num_vars < 2 || test.num_regs < 2) continue;
+    // Reverse both numberings; dependencies refer to registers, so they are
+    // remapped with the same bijection.
+    LitmusTest renamed = test;
+    const auto var_of = [&](int v) { return v < 0 ? v : test.num_vars - 1 - v; };
+    const auto reg_of = [&](int r) { return r < 0 ? r : test.num_regs - 1 - r; };
+    for (LitmusThread& thread : renamed.threads) {
+      for (LitmusInstr& instr : thread.instrs) {
+        instr.var = var_of(instr.var);
+        instr.reg = reg_of(instr.reg);
+        instr.addr_dep = reg_of(instr.addr_dep);
+        instr.data_dep = reg_of(instr.data_dep);
+        instr.ctrl_dep = reg_of(instr.ctrl_dep);
+      }
+    }
+    EXPECT_EQ(canonical_program_key(test), canonical_program_key(renamed))
+        << format_litmus(test);
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(CanonicalKey, DistinguishesMostGeneratedPrograms) {
+  const FuzzConfig config;
+  std::set<std::string> keys;
+  constexpr int kSeeds = 200;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    keys.insert(canonical_program_key(generate_litmus(seed, config)));
+  }
+  // Random programs are rarely isomorphic; if most keys collide the key is
+  // discarding structure it must preserve.
+  EXPECT_GT(keys.size(), kSeeds * 3 / 4);
 }
 
 TEST(Shrinker, ReportContainsSeedAndReplayLine) {

@@ -5,7 +5,10 @@
 // (POWER7 against the Herding-Cats model of axiomatic_power.h, the others
 // against the single-axiom checker).  The per-architecture corpus size defaults to
 // 1250 programs and can be raised in CI via the WMM_FUZZ_COUNT environment
-// variable (ctest -L fuzz runs only these tests).
+// variable (ctest -L fuzz runs only these tests).  WMM_FUZZ_THREADS sets the
+// worker count for the per-program cross-checks (default 1, so a parallel
+// `ctest -j` run does not oversubscribe the machine); the report is
+// bit-identical for any value.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -25,12 +28,29 @@ int corpus_count() {
   return 1250;
 }
 
+// Mirrors WMM_FUZZ_COUNT: worker threads for the cross-checks.  Defaults to
+// sequential because ctest already parallelises across tests.
+int corpus_threads() {
+  if (const char* env = std::getenv("WMM_FUZZ_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
+FuzzReport run_corpus(Arch arch, std::uint64_t base_seed, int count) {
+  FuzzRunOptions run;
+  run.threads = corpus_threads();
+  return run_conformance_corpus(arch, base_seed, count,
+                                FuzzConfig::for_arch(arch), {}, run);
+}
+
 class FuzzCorpus : public ::testing::TestWithParam<Arch> {};
 
 TEST_P(FuzzCorpus, FixedSeedCorpusConforms) {
   const Arch arch = GetParam();
   const int count = corpus_count();
-  const FuzzReport report = run_conformance_corpus(arch, kCorpusSeed, count);
+  const FuzzReport report = run_corpus(arch, kCorpusSeed, count);
   EXPECT_EQ(report.programs, count);
   // Each program contributes at least one outcome; on average far more.
   EXPECT_GT(report.outcomes_checked, report.programs);
@@ -41,8 +61,7 @@ TEST_P(FuzzCorpus, FixedSeedCorpusConforms) {
 TEST_P(FuzzCorpus, SecondSeedStreamConforms) {
   const Arch arch = GetParam();
   const int count = corpus_count() / 4;
-  const FuzzReport report =
-      run_conformance_corpus(arch, 0xdeadbeefULL, count);
+  const FuzzReport report = run_corpus(arch, 0xdeadbeefULL, count);
   EXPECT_TRUE(report.ok()) << report.divergences.front().report();
 }
 

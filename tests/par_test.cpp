@@ -1,0 +1,146 @@
+// Unit tests for the deterministic parallel engine (src/par/): result
+// ordering, exception propagation, nested fan-out, and the obs counter
+// contract across 1..16 threads.
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/counters.h"
+#include "par/deterministic_map.h"
+#include "par/pool.h"
+
+namespace {
+
+using wmm::par::Pool;
+using wmm::par::par_map;
+
+std::vector<int> iota_items(int n) {
+  std::vector<int> items(static_cast<std::size_t>(n));
+  std::iota(items.begin(), items.end(), 0);
+  return items;
+}
+
+TEST(ParMap, ResultsInInputIndexOrderAtEveryThreadCount) {
+  const std::vector<int> items = iota_items(257);
+  for (int threads = 1; threads <= 16; ++threads) {
+    const std::vector<std::int64_t> got = par_map(
+        items,
+        [](const int& v) { return static_cast<std::int64_t>(v) * v + 7; },
+        threads);
+    ASSERT_EQ(got.size(), items.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(got[i], static_cast<std::int64_t>(items[i]) * items[i] + 7)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParMap, EmptyAndSingleItem) {
+  const std::vector<int> none;
+  EXPECT_TRUE(par_map(none, [](const int& v) { return v; }, 8).empty());
+  const std::vector<int> one = {41};
+  const std::vector<int> got = par_map(one, [](const int& v) { return v + 1; }, 8);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 42);
+}
+
+TEST(ParMap, LowestIndexExceptionWinsRegardlessOfSchedule) {
+  const std::vector<int> items = iota_items(64);
+  for (int threads : {1, 2, 8}) {
+    std::atomic<int> ran{0};
+    try {
+      par_map(
+          items,
+          [&ran](const int& v) {
+            ran.fetch_add(1);
+            // Several items throw; the report must always be item 9's.
+            if (v == 9 || v == 23 || v == 55) {
+              throw std::runtime_error("boom " + std::to_string(v));
+            }
+            return v;
+          },
+          threads);
+      FAIL() << "expected exception, threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 9") << "threads=" << threads;
+    }
+    // Every item still ran: one thrown task must not cancel the batch.
+    EXPECT_EQ(ran.load(), 64) << "threads=" << threads;
+  }
+}
+
+TEST(ParMap, NestedFanOutOnSharedPoolDoesNotDeadlock) {
+  Pool pool(4);
+  const std::vector<int> outer = iota_items(8);
+  const std::vector<int> got = par_map(pool, outer, [&pool](const int& v) {
+    const std::vector<int> inner = iota_items(16);
+    const std::vector<int> sq =
+        par_map(pool, inner, [](const int& w) { return w * w; });
+    int sum = 0;
+    for (int s : sq) sum += s;
+    return v * 1000 + sum;  // sum 0..15 squared = 1240
+  });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], static_cast<int>(i) * 1000 + 1240);
+  }
+}
+
+TEST(ParMap, FanOutCountersAreThreadCountInvariant) {
+  auto& reg = wmm::obs::counters();
+  const std::vector<int> items = iota_items(100);
+  std::vector<std::uint64_t> jobs_deltas;
+  std::vector<std::uint64_t> tasks_deltas;
+  for (int threads : {1, 8}) {
+    const auto before = reg.snapshot(/*include_zero=*/true);
+    (void)par_map(items, [](const int& v) { return v; }, threads);
+    const auto after = reg.snapshot(/*include_zero=*/true);
+    const auto delta = wmm::obs::snapshot_delta(before, after);
+    std::uint64_t jobs = 0, tasks = 0;
+    for (const auto& e : delta) {
+      if (e.name == "par.jobs") jobs = e.value;
+      if (e.name == "par.tasks") tasks = e.value;
+    }
+    jobs_deltas.push_back(jobs);
+    tasks_deltas.push_back(tasks);
+  }
+  EXPECT_EQ(jobs_deltas[0], 1u);
+  EXPECT_EQ(tasks_deltas[0], 100u);
+  EXPECT_EQ(jobs_deltas[0], jobs_deltas[1]);
+  EXPECT_EQ(tasks_deltas[0], tasks_deltas[1]);
+}
+
+TEST(Pool, HelpRunsSubmittedTasksOnCallerThread) {
+  Pool pool(1);  // no spawned workers: only help() can run tasks
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  while (pool.help()) {
+  }
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_FALSE(pool.help());
+}
+
+TEST(Pool, ParallelAddsAreExact) {
+  // The obs registry must count exactly under concurrent increments, or
+  // counter records would differ between --threads=1 and --threads=8.
+  auto& reg = wmm::obs::counters();
+  const wmm::obs::CounterId id = reg.register_counter("par_test.contended");
+  const std::uint64_t before = reg.value(id);
+  const std::vector<int> items = iota_items(8);
+  (void)par_map(
+      items,
+      [&reg, id](const int&) {
+        for (int i = 0; i < 10000; ++i) reg.add(id);
+        return 0;
+      },
+      8);
+  EXPECT_EQ(reg.value(id) - before, 80000u);
+}
+
+}  // namespace
