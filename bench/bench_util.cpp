@@ -1,35 +1,37 @@
 #include "bench_util.h"
 
+#include "platform/jvm_platform.h"
+#include "platform/kernel_platform.h"
+
 namespace wmm::bench {
 
 core::SweepResult jvm_sweep(const std::string& benchmark, sim::Arch arch,
                             std::vector<jvm::Elemental> elementals,
                             unsigned max_exp, const core::RunOptions& runs) {
-  const core::CostFunctionCalibration cal = jvm_calibration(arch, max_exp);
   std::string path = "all-barriers";
+  std::vector<std::string> sites;
   if (elementals.size() == 1) path = jvm::elemental_name(elementals[0]);
-  return core::sweep_sensitivity(
-      benchmark, path,
-      [&](std::uint32_t iters) {
-        return workloads::make_jvm_benchmark(benchmark,
-                                             jvm_injected(arch, iters, elementals));
-      },
-      core::standard_sweep_sizes(max_exp),
-      [&](std::uint32_t iters) { return cal.ns_for(iters); }, runs);
+  for (jvm::Elemental e : elementals) sites.emplace_back(jvm::elemental_name(e));
+
+  const platform::JvmPlatform platform(arch);
+  core::SweepStudyConfig config;
+  config.benchmarks = {benchmark};
+  config.code_paths = {{path, sites}};
+  config.max_exponent = max_exp;
+  config.runs = runs;
+  return core::SensitivityStudy(platform).sweeps(config).front();
 }
 
 core::SweepResult kernel_sweep(const std::string& benchmark, sim::Arch arch,
                                kernel::KMacro m, unsigned max_exp,
                                const core::RunOptions& runs) {
-  const core::CostFunctionCalibration cal = kernel_calibration(arch, max_exp);
-  return core::sweep_sensitivity(
-      benchmark, kernel::macro_name(m),
-      [&](std::uint32_t iters) {
-        return workloads::make_kernel_benchmark(benchmark,
-                                                kernel_injected(arch, m, iters));
-      },
-      core::standard_sweep_sizes(max_exp),
-      [&](std::uint32_t iters) { return cal.ns_for(iters); }, runs);
+  const platform::KernelPlatform platform(arch);
+  core::SweepStudyConfig config;
+  config.benchmarks = {benchmark};
+  config.code_paths = {{kernel::macro_name(m), {kernel::macro_name(m)}}};
+  config.max_exponent = max_exp;
+  config.runs = runs;
+  return core::SensitivityStudy(platform).sweeps(config).front();
 }
 
 core::Comparison jvm_compare(const std::string& benchmark,
@@ -52,38 +54,14 @@ core::Comparison kernel_compare(const std::string& benchmark,
 
 core::RankingMatrix build_kernel_ranking_matrix(
     sim::Arch arch, const ComparisonObserver& observer, int threads) {
-  std::vector<std::string> macro_names;
-  for (kernel::KMacro m : kernel::kAllMacros) {
-    macro_names.push_back(kernel::macro_name(m));
-  }
-  const std::vector<std::string> benchmarks = workloads::kernel_benchmark_names();
-  core::RankingMatrix matrix(macro_names, benchmarks);
-
   // Paper 4.3.1: "Expecting generally lower sensitivity to kernel behaviour,
   // we inject a large cost function (1024 loop iterations) into each macro in
   // turn, and measure the relative performance impact on all benchmarks."
-  // Each (macro, benchmark) cell is an independent simulation over virtual
-  // time, so cells fan out across threads; the observer still sees them in
-  // macro-major order afterwards.
-  constexpr std::uint32_t kLargeCost = 1024;
-  const std::size_t nb = benchmarks.size();
-  const std::vector<core::Comparison> cells = par_index_map(
-      macro_names.size() * nb, threads, [&](int cell) {
-        const kernel::KMacro m =
-            kernel::kAllMacros[static_cast<std::size_t>(cell) / nb];
-        const std::string& b = benchmarks[static_cast<std::size_t>(cell) % nb];
-        return kernel_compare(b, kernel_base(arch),
-                              kernel_injected(arch, m, kLargeCost),
-                              ranking_runs());
-      });
-  for (std::size_t mi = 0; mi < macro_names.size(); ++mi) {
-    for (std::size_t bi = 0; bi < nb; ++bi) {
-      const core::Comparison& cmp = cells[mi * nb + bi];
-      matrix.set(macro_names[mi], benchmarks[bi], cmp.value);
-      if (observer) observer(macro_names[mi], benchmarks[bi], cmp);
-    }
-  }
-  return matrix;
+  const platform::KernelPlatform platform(arch);
+  core::RankingStudyConfig config;
+  config.cost_iterations = 1024;
+  config.runs = ranking_runs();
+  return core::SensitivityStudy(platform, threads).ranking(config, observer);
 }
 
 void print_header(const std::string& title, const std::string& paper_ref) {

@@ -18,6 +18,7 @@
 #include "jvm/fencing.h"
 #include "kernel/barriers.h"
 #include "par/deterministic_map.h"
+#include "platform/study.h"
 #include "sim/calibrate.h"
 #include "workloads/jvm_workloads.h"
 #include "workloads/kernel_workloads.h"
@@ -111,9 +112,7 @@ core::Comparison kernel_compare(const std::string& benchmark,
 // (1024-iteration cost function injected into one macro at a time).  The
 // observer (if any) sees every underlying comparison as it is measured, so
 // callers can stream them into structured records.
-using ComparisonObserver =
-    std::function<void(const std::string& code_path,
-                       const std::string& benchmark, const core::Comparison&)>;
+using ComparisonObserver = core::ComparisonObserver;
 // Cells are measured on `threads` workers (simulated time is virtual, so the
 // measurements are bit-identical for any thread count) and the observer is
 // invoked afterwards in canonical macro-major order.

@@ -2,6 +2,9 @@
 // elemental memory barriers of the JVM, for eight benchmarks on ARM and
 // POWER.  Prints each benchmark's sweep series and fitted sensitivity k.
 //
+// A thin declarative config over the generic SensitivityStudy driver: the
+// whole experiment is one SweepStudyConfig against the "jvm" platform.
+//
 // Expected shape (paper): spark is the most sensitive and stable benchmark
 // on both architectures (k = 0.0087 ARM / 0.0123 POWER), followed by xalan
 // on ARM; xalan is unstable to the point of uselessness on POWER.
@@ -12,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace wmm;
+  platform::register_builtin_platforms();
   bench::Session session(
       argc, argv,
       "Figure 5: OpenJDK sensitivity to all elemental memory barriers",
@@ -21,22 +25,26 @@ int main(int argc, char** argv) {
   for (sim::Arch arch : {sim::Arch::ARMV8, sim::Arch::POWER7}) {
     os << "\n--- " << sim::arch_name(arch) << " ---\n";
     core::Table table({"benchmark", "k", "+/-", "p @ 2^8"});
-    const std::vector<std::string> names = workloads::jvm_benchmark_names();
+
+    const auto platform = platform::make_platform("jvm", arch);
+    core::SweepStudyConfig config;
+    config.code_paths = {{"all-barriers", {}}};
+    config.max_exponent = 8;
+    config.runs = bench::paper_runs();
+
     // One sweep per benchmark, fanned out across workers; simulated time is
     // virtual, so the series are identical for any thread count.
     const double arch_start = session.elapsed_seconds();
-    std::vector<core::SweepResult> sweeps = bench::par_index_map(
-        names.size(), session.threads(),
-        [&](int i) { return bench::jvm_sweep(names[static_cast<std::size_t>(i)], arch, {}, 8); });
+    const std::vector<core::SweepResult> sweeps =
+        core::SensitivityStudy(*platform, session.threads()).sweeps(config);
     obs::Throughput tp;
     tp.context = std::string("sweep/") + sim::arch_name(arch);
     tp.threads = session.threads();
     tp.programs = static_cast<long long>(sweeps.size());
     tp.wall_s = session.elapsed_seconds() - arch_start;
     session.record_throughput(tp);
-    for (std::size_t i = 0; i < sweeps.size(); ++i) {
-      const core::SweepResult& sweep = sweeps[i];
-      table.add_row({names[i], core::fmt_fixed(sweep.fit.k, 5),
+    for (const core::SweepResult& sweep : sweeps) {
+      table.add_row({sweep.benchmark, core::fmt_fixed(sweep.fit.k, 5),
                      core::fmt_percent(sweep.fit.relative_error(), 0),
                      core::fmt_fixed(sweep.points.back().rel_perf, 4)});
       session.record_sweep(sim::arch_name(arch), sweep);

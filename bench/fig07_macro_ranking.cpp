@@ -2,6 +2,9 @@
 // memory-model macro, after injecting a large (1024-iteration) cost function
 // into each macro in turn.  Lower sum = bigger impact.
 //
+// A thin declarative config over the generic SensitivityStudy driver: one
+// RankingStudyConfig against the "kernel" platform.
+//
 // Expected shape (paper): smp_mb, read_once and read_barrier_depends have
 // the most impact; of those only smp_mb produces an instruction sequence by
 // default (dmb ish), the others being compiler barriers.
@@ -12,18 +15,24 @@
 
 int main(int argc, char** argv) {
   using namespace wmm;
+  platform::register_builtin_platforms();
   bench::Session session(argc, argv, "Figure 7: kernel macro impact ranking",
                          "Figure 7", {}, bench::ranking_runs());
   std::ostream& os = session.out();
 
+  const auto platform = platform::make_platform("kernel", sim::Arch::ARMV8);
+  core::RankingStudyConfig config;
+  config.cost_iterations = 1024;
+  config.runs = bench::ranking_runs();
+
   const double start = session.elapsed_seconds();
-  const core::RankingMatrix matrix = bench::build_kernel_ranking_matrix(
-      sim::Arch::ARMV8,
-      [&](const std::string& macro, const std::string& benchmark,
-          const core::Comparison& cmp) {
-        session.record_comparison("armv8", benchmark, "base", macro, cmp);
-      },
-      session.threads());
+  const core::RankingMatrix matrix =
+      core::SensitivityStudy(*platform, session.threads())
+          .ranking(config, [&](const std::string& macro,
+                               const std::string& benchmark,
+                               const core::Comparison& cmp) {
+            session.record_comparison("armv8", benchmark, "base", macro, cmp);
+          });
   obs::Throughput tp;
   tp.context = "ranking/armv8";
   tp.threads = session.threads();

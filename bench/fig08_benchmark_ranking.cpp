@@ -2,6 +2,8 @@
 // aggregated per benchmark.  Lower sum = the benchmark is more sensitive to
 // the kernel's fencing strategy overall.
 //
+// The same RankingStudyConfig as Figure 7, aggregated over the other axis.
+//
 // Expected shape (paper): the microbenchmarks netperf, ebizzy and lmbench
 // are most sensitive, with osm_stack (avg) and xalan the most sensitive
 // real-world candidates; h2 and spark are almost completely insensitive
@@ -13,19 +15,25 @@
 
 int main(int argc, char** argv) {
   using namespace wmm;
+  platform::register_builtin_platforms();
   bench::Session session(argc, argv,
                          "Figure 8: kernel benchmark sensitivity ranking",
                          "Figure 8", {}, bench::ranking_runs());
   std::ostream& os = session.out();
 
+  const auto platform = platform::make_platform("kernel", sim::Arch::ARMV8);
+  core::RankingStudyConfig config;
+  config.cost_iterations = 1024;
+  config.runs = bench::ranking_runs();
+
   const double start = session.elapsed_seconds();
-  const core::RankingMatrix matrix = bench::build_kernel_ranking_matrix(
-      sim::Arch::ARMV8,
-      [&](const std::string& macro, const std::string& benchmark,
-          const core::Comparison& cmp) {
-        session.record_comparison("armv8", benchmark, "base", macro, cmp);
-      },
-      session.threads());
+  const core::RankingMatrix matrix =
+      core::SensitivityStudy(*platform, session.threads())
+          .ranking(config, [&](const std::string& macro,
+                               const std::string& benchmark,
+                               const core::Comparison& cmp) {
+            session.record_comparison("armv8", benchmark, "base", macro, cmp);
+          });
   obs::Throughput tp;
   tp.context = "ranking/armv8";
   tp.threads = session.threads();

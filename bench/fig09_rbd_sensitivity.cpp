@@ -1,6 +1,10 @@
 // Figure 9: sensitivity analysis of the six most interesting benchmarks with
 // respect to the read_barrier_depends macro (variable-size cost function).
 //
+// A thin declarative config over the generic SensitivityStudy driver: one
+// SweepStudyConfig with a single swept code path (the read_barrier_depends
+// site) against the "kernel" platform.
+//
 // Expected shape (paper): real-world applications osm_stack and xalan show
 // very low sensitivity; ebizzy some; the networking benchmarks are the most
 // sensitive (netperf_udp k=0.0094) with netperf_tcp notably unstable;
@@ -12,20 +16,27 @@
 
 int main(int argc, char** argv) {
   using namespace wmm;
+  platform::register_builtin_platforms();
   bench::Session session(argc, argv,
                          "Figure 9: sensitivity to read_barrier_depends",
                          "Figure 9");
   std::ostream& os = session.out();
 
+  const auto platform = platform::make_platform("kernel", sim::Arch::ARMV8);
+  core::SweepStudyConfig config;
+  config.benchmarks = workloads::rbd_benchmark_names();
+  config.code_paths = {{"read_barrier_depends", {"read_barrier_depends"}}};
+  config.max_exponent = 9;
+  config.runs = bench::paper_runs();
+
+  const std::vector<core::SweepResult> sweeps =
+      core::SensitivityStudy(*platform, session.threads()).sweeps(config);
+
   core::Table table({"benchmark", "k", "+/-"});
-  std::vector<core::SweepResult> sweeps;
-  for (const std::string& name : workloads::rbd_benchmark_names()) {
-    core::SweepResult sweep = bench::kernel_sweep(
-        name, sim::Arch::ARMV8, kernel::KMacro::ReadBarrierDepends, 9);
-    table.add_row({name, core::fmt_fixed(sweep.fit.k, 5),
+  for (const core::SweepResult& sweep : sweeps) {
+    table.add_row({sweep.benchmark, core::fmt_fixed(sweep.fit.k, 5),
                    core::fmt_percent(sweep.fit.relative_error(), 0)});
     session.record_sweep("armv8", sweep);
-    sweeps.push_back(std::move(sweep));
   }
   table.print(os);
   os << '\n';

@@ -3,6 +3,9 @@
 // ctrl+isb, dmb ishld, dmb ish, and la/sr (dmb ishld here plus ldar/stlr for
 // READ_ONCE/WRITE_ONCE) — on the six benchmarks of Figure 9.
 //
+// A thin declarative config over the generic SensitivityStudy driver: one
+// StrategyStudyConfig against the "kernel" platform's named strategies.
+//
 // Expected shape (paper): ctrl+isb is clearly the worst (isb's pipeline
 // flush); if ordering is required, dmb ishld or dmb ish are the best cases;
 // osm_stack shows a small but significant drop of up to 1%; xalan improves
@@ -14,30 +17,40 @@
 
 int main(int argc, char** argv) {
   using namespace wmm;
+  platform::register_builtin_platforms();
   bench::Session session(argc, argv,
                          "Figure 10: read_barrier_depends strategies",
                          "Figure 10");
   std::ostream& os = session.out();
 
-  for (const std::string& name : workloads::rbd_benchmark_names()) {
-    os << "\n--- " << name << " ---\n";
-    core::Table table({"strategy", "rel perf", "min", "max", "95% CI"});
-    for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
-      kernel::KernelConfig test = bench::kernel_base(sim::Arch::ARMV8);
-      test.rbd = s;
-      if (s == kernel::RbdStrategy::BaseNop) {
-        table.add_row({kernel::rbd_strategy_name(s), "1.0000", "-", "-", "-"});
-        continue;
-      }
-      const core::Comparison cmp = bench::kernel_compare(
-          name, bench::kernel_base(sim::Arch::ARMV8), test);
-      session.record_comparison("armv8", name, "base case",
-                                kernel::rbd_strategy_name(s), cmp);
-      table.add_row({kernel::rbd_strategy_name(s), core::fmt_fixed(cmp.value, 4),
-                     core::fmt_fixed(cmp.min, 4), core::fmt_fixed(cmp.max, 4),
-                     "+/-" + core::fmt_percent(cmp.ci95)});
+  const auto platform = platform::make_platform("kernel", sim::Arch::ARMV8);
+  core::StrategyStudyConfig config;
+  config.benchmarks = workloads::rbd_benchmark_names();
+  // strategies empty = every non-default candidate (ctrl .. la/sr); the
+  // default "base case" is the comparison baseline.
+  config.runs = bench::paper_runs();
+
+  const std::vector<core::StrategyComparison> results =
+      core::SensitivityStudy(*platform, session.threads())
+          .strategies(config);
+
+  std::string current;
+  core::Table table({"strategy", "rel perf", "min", "max", "95% CI"});
+  for (const core::StrategyComparison& r : results) {
+    if (r.benchmark != current) {
+      if (!current.empty()) table.print(os);
+      current = r.benchmark;
+      os << "\n--- " << current << " ---\n";
+      table = core::Table({"strategy", "rel perf", "min", "max", "95% CI"});
+      table.add_row({"base case", "1.0000", "-", "-", "-"});
     }
-    table.print(os);
+    session.record_comparison("armv8", r.benchmark, "base case", r.strategy,
+                              r.comparison);
+    table.add_row({r.strategy, core::fmt_fixed(r.comparison.value, 4),
+                   core::fmt_fixed(r.comparison.min, 4),
+                   core::fmt_fixed(r.comparison.max, 4),
+                   "+/-" + core::fmt_percent(r.comparison.ci95)});
   }
+  if (!current.empty()) table.print(os);
   return 0;
 }

@@ -4,7 +4,27 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "platform/platform.h"
+#include "sim/arch.h"
+
 namespace wmm::bench {
+
+namespace {
+
+// --list-sites: enumerate every registered platform's instrumentation sites
+// (id, lowering per arch, current injection) as JSONL `sites` records (see
+// docs/schema.md) and exit.  Shared by every bench binary through this
+// parser, so any binary can answer "what code paths can I instrument?".
+[[noreturn]] void list_sites() {
+  platform::register_builtin_platforms();
+  for (const std::string& name : platform::platform_names()) {
+    const auto p = platform::make_platform(name, sim::Arch::ARMV8);
+    std::cout << platform::sites_record_line(*p) << "\n";
+  }
+  std::exit(0);
+}
+
+}  // namespace
 
 namespace {
 
@@ -28,6 +48,9 @@ std::vector<FlagHelp> help_rows(const std::vector<FlagSpec>& extra) {
                   "concurrency; 1 = sequential; output is identical either "
                   "way)"});
   rows.push_back({"--quiet", "suppress the human-readable report"});
+  rows.push_back({"--list-sites",
+                  "print each platform's instrumentation sites as JSONL "
+                  "`sites` records and exit"});
   rows.push_back({"--help", "show this help"});
   return rows;
 }
@@ -77,6 +100,8 @@ CommonFlags parse_flags(int argc, char** argv, const std::string& title,
       out.threads = static_cast<int>(n);
     } else if (name == "--quiet") {
       out.quiet = true;
+    } else if (name == "--list-sites") {
+      list_sites();
     } else {
       bool matched = false;
       for (const FlagSpec& s : extra) {

@@ -1,0 +1,111 @@
+// Cross-platform site impact ranking: the Figure 7/8 methodology applied to
+// any registered platform (or all of them) through the generic
+// SensitivityStudy driver.  For each platform a large (1024-iteration) cost
+// function is injected into each instrumentation site in turn and the
+// relative performance of every benchmark is recorded; the per-platform
+// matrices are then assembled block-diagonally into one combined matrix with
+// platform-qualified rows and columns.
+//
+// Adding a platform here requires no edits to this driver or to
+// SensitivityStudy: registering it via register_platform() is enough, which
+// is how the cxx11 column family (seqlock, spsc_queue, treiber_stack)
+// appears alongside the jvm and kernel ones.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "session.h"
+
+int main(int argc, char** argv) {
+  using namespace wmm;
+  platform::register_builtin_platforms();
+
+  std::string chosen = "all";
+  const bench::FlagSpec platform_flag{
+      "--platform", "NAME",
+      "platform to rank (jvm, kernel, cxx11, or all; default: all)",
+      [&chosen](const std::string& v) {
+        chosen = v;
+        return !v.empty();
+      }};
+  bench::Session session(argc, argv, "Cross-platform site impact ranking",
+                         "Figures 7+8", {platform_flag},
+                         bench::ranking_runs());
+  std::ostream& os = session.out();
+
+  const std::vector<std::string> registered = platform::platform_names();
+  std::vector<std::string> names;
+  if (chosen == "all") {
+    names = registered;
+  } else if (std::find(registered.begin(), registered.end(), chosen) !=
+             registered.end()) {
+    names = {chosen};
+  } else {
+    std::cerr << "platform_ranking: unknown platform '" << chosen
+              << "' (registered:";
+    for (const std::string& n : registered) std::cerr << " " << n;
+    std::cerr << ")\n";
+    return 2;
+  }
+
+  core::RankingStudyConfig config;
+  config.cost_iterations = 1024;
+  config.runs = bench::ranking_runs();
+
+  // Per-platform matrices, then a block-diagonal combined matrix over
+  // platform-qualified names (cells across platforms stay unfilled and the
+  // aggregates only count filled cells).
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  std::vector<core::RankingMatrix> matrices;
+  const double start = session.elapsed_seconds();
+  for (const std::string& name : names) {
+    const auto platform = platform::make_platform(name, sim::Arch::ARMV8);
+    matrices.push_back(
+        core::SensitivityStudy(*platform, session.threads())
+            .ranking(config, [&](const std::string& site,
+                                 const std::string& benchmark,
+                                 const core::Comparison& cmp) {
+              session.record_comparison(name + "/armv8", benchmark, "base",
+                                        site, cmp);
+            }));
+    const core::RankingMatrix& m = matrices.back();
+    for (const std::string& s : m.code_paths()) rows.push_back(name + ":" + s);
+    for (const std::string& b : m.benchmarks()) cols.push_back(name + ":" + b);
+  }
+
+  core::RankingMatrix combined(rows, cols);
+  for (std::size_t pi = 0; pi < names.size(); ++pi) {
+    const core::RankingMatrix& m = matrices[pi];
+    for (const std::string& s : m.code_paths()) {
+      for (const std::string& b : m.benchmarks()) {
+        if (const std::optional<double> v = m.get(s, b)) {
+          combined.set(names[pi] + ":" + s, names[pi] + ":" + b, *v);
+        }
+      }
+    }
+  }
+
+  obs::Throughput tp;
+  tp.context = "platform-ranking/" + chosen;
+  tp.threads = session.threads();
+  tp.programs = static_cast<long long>(combined.data_points());
+  tp.wall_s = session.elapsed_seconds() - start;
+  session.record_throughput(tp);
+  session.set_extra("platform", chosen);
+
+  os << "platforms:";
+  for (const std::string& n : names) os << " " << n;
+  os << "\ndata points: " << combined.data_points() << "\n\n";
+  core::print_ranking(
+      os, "sum of relative performance per site (lower = more impact)",
+      combined.aggregate_by_code_path());
+  os << "\n";
+  core::print_ranking(
+      os,
+      "sum of relative performance per benchmark (lower = more sensitive)",
+      combined.aggregate_by_benchmark());
+  return 0;
+}

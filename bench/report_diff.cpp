@@ -12,8 +12,16 @@
 // 10%), relative-performance values within --tol-rel (default 5%), counter
 // values within --tol-counter (default 25%; counters drift with sampling
 // noise only when run counts differ, so deterministic same-seed reports diff
-// to zero).  A record present in BASE but missing from TEST is a failure;
-// records only in TEST are reported but tolerated (new experiments).
+// to zero).
+//
+// Exit codes:
+//   0  reports match within tolerances
+//   1  value drift beyond tolerance, or a counter missing from TEST
+//   2  usage error
+//   3  mismatched record sets: the sweep/comparison/run identities (the
+//      sites and benchmarks covered) differ between the two reports, so a
+//      value diff would compare different experiments.  Counters are exempt:
+//      counters only in TEST are reported but tolerated (new experiments).
 //
 // --validate instead schema-checks every line of one file (exit 1 on the
 // first invalid record).
@@ -115,19 +123,31 @@ struct DiffStats {
   int failures = 0;
   int missing = 0;
   int extra = 0;
+  int base_only = 0;  // identity mismatches: sweep/comparison/run records
+  int test_only = 0;  // present in one report but not the other
   double worst = 0.0;
 };
 
+// `identity` marks the sections whose keys name the experiment itself
+// (sweeps, comparisons, runs): a key present in only one report there means
+// the reports cover different sites/benchmarks and the diff is meaningless,
+// which is reported as a set mismatch (exit 3) rather than value drift.
 void diff_section(const char* what, const std::map<std::string, double>& base,
                   const std::map<std::string, double>& test, double tol,
-                  bool quiet, DiffStats& stats) {
+                  bool quiet, bool identity, DiffStats& stats) {
   for (const auto& [key, base_value] : base) {
     const auto it = test.find(key);
     if (it == test.end()) {
-      std::fprintf(stderr, "MISSING  %s %s (present only in base)\n", what,
-                   key.c_str());
-      ++stats.missing;
-      ++stats.failures;
+      if (identity) {
+        std::fprintf(stderr, "MISMATCH %s %s (only in base)\n", what,
+                     key.c_str());
+        ++stats.base_only;
+      } else {
+        std::fprintf(stderr, "MISSING  %s %s (present only in base)\n", what,
+                     key.c_str());
+        ++stats.missing;
+        ++stats.failures;
+      }
       continue;
     }
     const double d = rel_delta(base_value, it->second);
@@ -145,8 +165,16 @@ void diff_section(const char* what, const std::map<std::string, double>& base,
   }
   for (const auto& [key, value] : test) {
     if (!base.count(key)) {
-      if (!quiet) std::printf("extra    %s %s (only in test)\n", what, key.c_str());
-      ++stats.extra;
+      if (identity) {
+        std::fprintf(stderr, "MISMATCH %s %s (only in test)\n", what,
+                     key.c_str());
+        ++stats.test_only;
+      } else {
+        if (!quiet) {
+          std::printf("extra    %s %s (only in test)\n", what, key.c_str());
+        }
+        ++stats.extra;
+      }
     }
   }
 }
@@ -206,17 +234,26 @@ int main(int argc, char** argv) {
 
   DiffStats stats;
   diff_section("sweep.k", base->sweeps, test->sweeps, tol_k, flags.quiet,
-               stats);
+               /*identity=*/true, stats);
   diff_section("comparison", base->comparisons, test->comparisons, tol_rel,
-               flags.quiet, stats);
-  diff_section("run", base->runs, test->runs, tol_rel, flags.quiet, stats);
+               flags.quiet, /*identity=*/true, stats);
+  diff_section("run", base->runs, test->runs, tol_rel, flags.quiet,
+               /*identity=*/true, stats);
   diff_section("counter", base->counters, test->counters, tol_counter,
-               flags.quiet, stats);
+               flags.quiet, /*identity=*/false, stats);
 
   std::printf(
       "report_diff: %d matched, %d failures (%d missing), %d extra, worst "
       "drift %.2f%%\n",
       stats.matched, stats.failures, stats.missing, stats.extra,
       stats.worst * 100.0);
+  if (stats.base_only + stats.test_only > 0) {
+    std::fprintf(stderr,
+                 "report_diff: mismatched record sets: %d record(s) only in "
+                 "base, %d only in test -- the reports cover different "
+                 "sites/benchmarks, values were not compared\n",
+                 stats.base_only, stats.test_only);
+    return 3;
+  }
   return stats.failures == 0 ? 0 : 1;
 }

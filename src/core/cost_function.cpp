@@ -29,7 +29,9 @@ double CostFunctionCalibration::ns_for(std::uint32_t iterations) const {
     const Point& a = points_[points_.size() - 2];
     const Point& b = points_.back();
     const double slope = (b.ns - a.ns) / static_cast<double>(b.iterations - a.iterations);
-    return b.ns + slope * static_cast<double>(iterations - b.iterations);
+    // A negative slope (measurement noise on the last two points) must not
+    // produce a negative execution time for far-out sizes.
+    return std::max(0.0, b.ns + slope * static_cast<double>(iterations - b.iterations));
   }
   const auto hi = std::lower_bound(
       points_.begin(), points_.end(), iterations,

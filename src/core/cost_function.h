@@ -47,6 +47,19 @@ class CostFunctionCalibration {
   void add(std::uint32_t iterations, double ns);
 
   // Measured/interpolated execution time for `iterations` loop iterations.
+  //
+  // Behaviour outside the calibrated range is deliberate and pinned by unit
+  // tests (tests/core_stats_test.cpp):
+  //   - no calibration points: throws std::logic_error;
+  //   - below the smallest calibrated size: clamps to the first point's time
+  //     (pipelining makes the small-size regime non-linear, so extrapolating
+  //     downward would invent precision the calibration does not have);
+  //   - above the largest calibrated size: extrapolates linearly from the
+  //     last two points (the regime is linear for large sizes); a single
+  //     calibrated point clamps instead, and a noise-induced negative slope
+  //     is floored at zero rather than returning a negative time;
+  //   - interior sizes interpolate linearly between the two neighbouring
+  //     points; exact calibrated sizes return the measured time unchanged.
   double ns_for(std::uint32_t iterations) const;
 
   bool empty() const { return points_.empty(); }

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <string>
-
-#include "obs/counters.h"
+#include <vector>
 
 namespace wmm::jvm {
 
@@ -12,29 +11,18 @@ namespace {
 // Per-code-path execution counters: how often each elemental / IR barrier
 // site actually runs, the denominator for attributing macro slowdowns to
 // fence events (paper sections 4-6).
-obs::CounterId elemental_counter(Elemental e) {
-  static const std::array<obs::CounterId, 4> ids = [] {
-    std::array<obs::CounterId, 4> out{};
-    for (Elemental el : kAllElementals) {
-      out[static_cast<std::size_t>(el)] = obs::counters().register_counter(
-          std::string("jvm.elemental.") + elemental_name(el));
-    }
-    return out;
-  }();
-  return ids[static_cast<std::size_t>(e)];
+std::vector<std::string> elemental_site_names() {
+  std::vector<std::string> out;
+  for (Elemental e : kAllElementals) out.emplace_back(elemental_name(e));
+  return out;
 }
 
-obs::CounterId ir_counter(IrBarrier b) {
-  static const std::array<obs::CounterId, 5> ids = [] {
-    std::array<obs::CounterId, 5> out{};
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = obs::counters().register_counter(
-          std::string("jvm.ir.") +
-          ir_barrier_name(static_cast<IrBarrier>(i)));
-    }
-    return out;
-  }();
-  return ids[static_cast<std::size_t>(b)];
+std::vector<std::string> ir_site_names() {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < 5; ++i) {
+    out.emplace_back(ir_barrier_name(static_cast<IrBarrier>(i)));
+  }
+  return out;
 }
 
 }  // namespace
@@ -44,14 +32,9 @@ const char* volatile_mode_name(VolatileMode mode) {
 }
 
 FencingStrategy::FencingStrategy(const JvmConfig& config)
-    : config_(config), reg_(&obs::counters()) {
-  for (Elemental e : kAllElementals) {
-    elemental_ids_[static_cast<std::size_t>(e)] = elemental_counter(e);
-  }
-  for (std::size_t i = 0; i < ir_ids_.size(); ++i) {
-    ir_ids_[i] = ir_counter(static_cast<IrBarrier>(i));
-  }
-}
+    : config_(config),
+      elemental_counters_("jvm.elemental.", elemental_site_names()),
+      ir_counters_("jvm.ir.", ir_site_names()) {}
 
 sim::FenceKind FencingStrategy::lowering(Elemental e) const {
   using sim::FenceKind;
@@ -108,34 +91,32 @@ std::uint32_t FencingStrategy::injected_slots() const {
   // Cost-function instruction count (Figures 2/3): mov+subs+bne = 3 with a
   // scratch register; two more for the stack spill/reload on ARM, three more
   // on POWER (std/li/addi/cmpwi/bne/ld = 6).
-  if (config_.scratch_register()) return 3;
-  return config_.arch == sim::Arch::POWER7 ? 6 : 5;
+  return platform::injected_slot_count(config_.arch, !config_.scratch_register());
 }
 
-void FencingStrategy::run_injection(sim::Cpu& cpu, const core::Injection& inj) const {
-  if (inj.is_cost_function()) {
-    cpu.cost_loop(inj.loop_iterations, !config_.scratch_register());
-  } else if (inj.is_nop_padding()) {
-    cpu.nops(inj.nops);
-  } else if (config_.pad_with_nops) {
-    cpu.nops(injected_slots());
-  }
+platform::SitePolicy FencingStrategy::site_policy() const {
+  return platform::SitePolicy{
+      .padded_slots = injected_slots(),
+      .pad_with_nops = config_.pad_with_nops,
+      .stack_spill = !config_.scratch_register(),
+  };
 }
 
 void FencingStrategy::emit_elemental(sim::Cpu& cpu, Elemental e,
                                      std::uint64_t site) const {
-  reg_->add(elemental_ids_[static_cast<std::size_t>(e)]);
+  elemental_counters_.hit(static_cast<std::size_t>(e));
   cpu.fence(lowering(e), site);
-  run_injection(cpu, config_.injection_for(e));
+  platform::run_injection(cpu, config_.injection_for(e), site_policy());
 }
 
 void FencingStrategy::emit_ir(sim::Cpu& cpu, IrBarrier b, std::uint64_t site) const {
-  reg_->add(ir_ids_[static_cast<std::size_t>(b)]);
+  ir_counters_.hit(static_cast<std::size_t>(b));
   cpu.exec_seq(ir_sequence(b), site);
   // Every member elemental's code path runs at this site, so each member's
   // injection applies.
+  const platform::SitePolicy policy = site_policy();
   for (Elemental e : ir_components(b)) {
-    run_injection(cpu, config_.injection_for(e));
+    platform::run_injection(cpu, config_.injection_for(e), policy);
   }
 }
 

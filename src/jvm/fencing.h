@@ -11,7 +11,7 @@
 
 #include "core/cost_function.h"
 #include "jvm/barriers.h"
-#include "obs/counters.h"
+#include "platform/site.h"
 #include "sim/fence.h"
 #include "sim/machine.h"
 
@@ -83,15 +83,16 @@ class FencingStrategy {
   // on POWER.
   std::uint32_t injected_slots() const;
 
- private:
-  void run_injection(sim::Cpu& cpu, const core::Injection& inj) const;
+  // The site-wide injection policy (slot count / padding / spill) this
+  // strategy hands to the shared platform::run_injection emit path.
+  platform::SitePolicy site_policy() const;
 
+ private:
   JvmConfig config_;
   // Per-code-path execution counters ("jvm.elemental.*" / "jvm.ir.*"),
   // resolved once at construction so emit_* stays a direct increment.
-  obs::CounterRegistry* reg_;
-  std::array<obs::CounterId, 4> elemental_ids_{};
-  std::array<obs::CounterId, 5> ir_ids_{};
+  platform::SiteCounters elemental_counters_;
+  platform::SiteCounters ir_counters_;
 };
 
 }  // namespace wmm::jvm

@@ -1,8 +1,7 @@
 #include "kernel/barriers.h"
 
 #include <string>
-
-#include "obs/counters.h"
+#include <vector>
 
 namespace wmm::kernel {
 
@@ -10,16 +9,10 @@ namespace {
 
 // Per-macro invocation counters ("kernel.macro.smp_mb", ...): every macro
 // code path increments its counter once per execution, whatever it lowers to.
-obs::CounterId macro_counter(KMacro m) {
-  static const std::array<obs::CounterId, kNumMacros> ids = [] {
-    std::array<obs::CounterId, kNumMacros> out{};
-    for (KMacro k : kAllMacros) {
-      out[static_cast<std::size_t>(k)] = obs::counters().register_counter(
-          std::string("kernel.macro.") + macro_name(k));
-    }
-    return out;
-  }();
-  return ids[static_cast<std::size_t>(m)];
+std::vector<std::string> macro_site_names() {
+  std::vector<std::string> out;
+  for (KMacro k : kAllMacros) out.emplace_back(macro_name(k));
+  return out;
 }
 
 }  // namespace
@@ -57,11 +50,7 @@ const char* rbd_strategy_name(RbdStrategy s) {
 }
 
 KernelBarriers::KernelBarriers(const KernelConfig& config)
-    : config_(config), reg_(&obs::counters()) {
-  for (KMacro k : kAllMacros) {
-    macro_ids_[static_cast<std::size_t>(k)] = macro_counter(k);
-  }
-}
+    : config_(config), macro_counters_("kernel.macro.", macro_site_names()) {}
 
 sim::FenceKind KernelBarriers::lowering(KMacro m) const {
   using sim::FenceKind;
@@ -125,21 +114,23 @@ sim::FenceKind KernelBarriers::lowering(KMacro m) const {
 }
 
 std::uint32_t KernelBarriers::injected_slots() const {
-  return config_.arch == sim::Arch::POWER7 ? 6 : 5;
+  return platform::injected_slot_count(config_.arch, /*stack_spill=*/true);
+}
+
+platform::SitePolicy KernelBarriers::site_policy() const {
+  // The kernel has no scratch register, so the cost function always spills.
+  return platform::SitePolicy{
+      .padded_slots = injected_slots(),
+      .pad_with_nops = config_.pad_with_nops,
+      .stack_spill = true,
+  };
 }
 
 void KernelBarriers::run_injection(sim::Cpu& cpu, KMacro m) const {
   // Every macro entry point funnels through its injection, so this is the
   // single place each macro execution is counted.
-  reg_->add(macro_ids_[static_cast<std::size_t>(m)]);
-  const core::Injection& inj = config_.injection_for(m);
-  if (inj.is_cost_function()) {
-    cpu.cost_loop(inj.loop_iterations, /*stack_spill=*/true);
-  } else if (inj.is_nop_padding()) {
-    cpu.nops(inj.nops);
-  } else if (config_.pad_with_nops) {
-    cpu.nops(injected_slots());
-  }
+  macro_counters_.hit(static_cast<std::size_t>(m));
+  platform::run_injection(cpu, config_.injection_for(m), site_policy());
 }
 
 void KernelBarriers::fence(sim::Cpu& cpu, KMacro m, std::uint64_t site) const {

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "core/cost_function.h"
-#include "obs/counters.h"
+#include "platform/site.h"
 #include "sim/fence.h"
 #include "sim/machine.h"
 
@@ -110,14 +110,17 @@ class KernelBarriers {
   // POWER).
   std::uint32_t injected_slots() const;
 
+  // The site-wide injection policy (slot count / padding / spill) handed to
+  // the shared platform::run_injection emit path.
+  platform::SitePolicy site_policy() const;
+
  private:
   void run_injection(sim::Cpu& cpu, KMacro m) const;
 
   KernelConfig config_;
   // Per-macro execution counters ("kernel.macro.*"), resolved once at
   // construction so run_injection stays a direct increment.
-  obs::CounterRegistry* reg_;
-  std::array<obs::CounterId, kNumMacros> macro_ids_{};
+  platform::SiteCounters macro_counters_;
 };
 
 }  // namespace wmm::kernel

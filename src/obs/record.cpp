@@ -285,6 +285,36 @@ std::string validate_record(const JsonValue& record) {
                        {"cache_misses", K::Number},
                        {"cache_hit_rate", K::Number}});
   }
+  if (t == "sites") {
+    std::string err = check_keys(record, "sites",
+                                 {{"platform", K::String},
+                                  {"arch", K::String},
+                                  {"injected_slots", K::Number},
+                                  {"sites", K::Array}});
+    if (!err.empty()) return err;
+    for (const JsonValue& s : record.find("sites")->array) {
+      if (!s.is_object()) return "sites entry is not an object";
+      err = check_keys(s, "sites.site",
+                       {{"id", K::String},
+                        {"slot", K::Number},
+                        {"counter", K::String},
+                        {"lowering", K::Object},
+                        {"injection", K::Object}});
+      if (!err.empty()) return err;
+      err = check_keys(*s.find("lowering"), "sites.site.lowering",
+                       {{"arm", K::String},
+                        {"power", K::String},
+                        {"x86", K::String},
+                        {"sc", K::String}});
+      if (!err.empty()) return err;
+      err = check_keys(*s.find("injection"), "sites.site.injection",
+                       {{"nops", K::Number},
+                        {"loop_iterations", K::Number},
+                        {"stack_spill", K::Bool}});
+      if (!err.empty()) return err;
+    }
+    return {};
+  }
   if (t == "counters") {
     std::string err = check_keys(record, "counters", {{"values", K::Object}});
     if (!err.empty()) return err;

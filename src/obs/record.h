@@ -15,6 +15,9 @@
 //   comparison : type, context, benchmark, base, test, value, min, max,
 //                ci95, significant
 //   sweep      : type, context, benchmark, code_path, points, fit
+//   sites      : type, platform, arch, injected_slots, sites (each entry:
+//                id, slot, counter, lowering{arm,power,x86,sc},
+//                injection{nops,loop_iterations,stack_spill})
 //   counters   : type, values
 //   throughput : type, context, threads, programs, outcomes, wall_s,
 //                programs_per_s, outcomes_per_s, cache_hits, cache_misses,

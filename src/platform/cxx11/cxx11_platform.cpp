@@ -1,0 +1,81 @@
+#include "platform/cxx11/cxx11_platform.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/calibrate.h"
+
+namespace wmm::platform::cxx11 {
+
+Cxx11Platform::Cxx11Platform(sim::Arch arch) {
+  config_.arch = arch;
+  sites_.reserve(kNumAccessPoints);
+  for (AccessPoint p : kAllAccessPoints) {
+    InstrumentationSite site;
+    site.id = access_point_name(p);
+    site.slot = static_cast<std::size_t>(p);
+    site.counter = std::string("cxx11.atomic.") + access_point_name(p);
+    sites_.push_back(std::move(site));
+  }
+}
+
+const std::vector<InstrumentationSite>& Cxx11Platform::sites() const {
+  return sites_;
+}
+
+AccessPoint Cxx11Platform::access_point(const std::string& site_id) const {
+  for (AccessPoint p : kAllAccessPoints) {
+    if (site_id == access_point_name(p)) return p;
+  }
+  throw std::out_of_range("unknown cxx11 site '" + site_id + "'");
+}
+
+sim::FenceKind Cxx11Platform::lowering(const std::string& site_id,
+                                       sim::Arch target) const {
+  return access_lowering(access_point(site_id), target).dominant();
+}
+
+core::Injection Cxx11Platform::injection(const std::string& site_id) const {
+  return config_.injection_for(access_point(site_id));
+}
+
+void Cxx11Platform::set_injection(const std::string& site_id,
+                                  const core::Injection& injection) {
+  config_.injection_for(access_point(site_id)) = injection;
+}
+
+SitePolicy Cxx11Platform::policy() const {
+  return AtomicsRuntime(config_).site_policy();
+}
+
+std::vector<std::string> Cxx11Platform::benchmarks() const {
+  return cxx11_benchmark_names();
+}
+
+core::BenchmarkPtr Cxx11Platform::make_benchmark(
+    const BenchmarkRequest& request) const {
+  require_benchmark(request.benchmark);
+  if (!request.strategy.empty()) {
+    throw std::invalid_argument("cxx11 platform has no strategy '" +
+                                request.strategy + "'");
+  }
+  Cxx11Config config = config_;
+  if (request.sites.empty()) {
+    for (AccessPoint p : kAllAccessPoints) {
+      config.injection_for(p) = request.injection;
+    }
+  } else {
+    for (const std::string& id : request.sites) {
+      config.injection_for(access_point(id)) = request.injection;
+    }
+  }
+  return make_cxx11_benchmark(request.benchmark, config);
+}
+
+core::CostFunctionCalibration Cxx11Platform::calibration(
+    unsigned max_exponent) const {
+  return sim::calibrate_cost_function(sim::params_for(config_.arch),
+                                      max_exponent, /*stack_spill=*/true);
+}
+
+}  // namespace wmm::platform::cxx11

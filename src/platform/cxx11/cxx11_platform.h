@@ -1,0 +1,39 @@
+// Platform adapter for the simulated C++11 atomics runtime.  Registered as
+// "cxx11"; its three lock-free workloads give the ranking matrices a third
+// column family alongside the JVM and kernel benchmarks.
+#pragma once
+
+#include "platform/cxx11/runtime.h"
+#include "platform/cxx11/workloads.h"
+#include "platform/platform.h"
+
+namespace wmm::platform::cxx11 {
+
+class Cxx11Platform final : public Platform {
+ public:
+  explicit Cxx11Platform(sim::Arch arch);
+
+  std::string name() const override { return "cxx11"; }
+  sim::Arch arch() const override { return config_.arch; }
+
+  const std::vector<InstrumentationSite>& sites() const override;
+  sim::FenceKind lowering(const std::string& site_id,
+                          sim::Arch target) const override;
+  core::Injection injection(const std::string& site_id) const override;
+  void set_injection(const std::string& site_id,
+                     const core::Injection& injection) override;
+  SitePolicy policy() const override;
+
+  std::vector<std::string> benchmarks() const override;
+  core::BenchmarkPtr make_benchmark(const BenchmarkRequest& request) const override;
+
+  core::CostFunctionCalibration calibration(unsigned max_exponent) const override;
+
+ private:
+  AccessPoint access_point(const std::string& site_id) const;
+
+  Cxx11Config config_;
+  std::vector<InstrumentationSite> sites_;
+};
+
+}  // namespace wmm::platform::cxx11

@@ -1,0 +1,165 @@
+#include "platform/cxx11/runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace wmm::platform::cxx11 {
+
+namespace {
+
+std::vector<std::string> access_point_names() {
+  std::vector<std::string> out;
+  for (AccessPoint p : kAllAccessPoints) out.emplace_back(access_point_name(p));
+  return out;
+}
+
+bool emits_instruction(sim::FenceKind k) {
+  return k != sim::FenceKind::None && k != sim::FenceKind::CompilerOnly;
+}
+
+}  // namespace
+
+const char* access_point_name(AccessPoint p) {
+  switch (p) {
+    case AccessPoint::LoadRelaxed: return "load_relaxed";
+    case AccessPoint::StoreRelaxed: return "store_relaxed";
+    case AccessPoint::LoadAcquire: return "load_acquire";
+    case AccessPoint::StoreRelease: return "store_release";
+    case AccessPoint::LoadSeqCst: return "load_seq_cst";
+    case AccessPoint::StoreSeqCst: return "store_seq_cst";
+    case AccessPoint::RmwAcqRel: return "rmw_acq_rel";
+    case AccessPoint::FenceSeqCst: return "fence_seq_cst";
+  }
+  return "?";
+}
+
+sim::FenceKind Lowering::dominant() const {
+  if (emits_instruction(before)) return before;
+  if (emits_instruction(after)) return after;
+  return sim::FenceKind::CompilerOnly;
+}
+
+Lowering access_lowering(AccessPoint p, sim::Arch arch) {
+  using sim::FenceKind;
+  switch (arch) {
+    case sim::Arch::ARMV8:
+      // Barrier substitution (DESIGN §2): trailing dmb after acquiring /
+      // seq_cst loads, leading dmb before releasing / seq_cst stores, and a
+      // trailing full barrier after a seq_cst store to order it with later
+      // seq_cst loads.
+      switch (p) {
+        case AccessPoint::LoadAcquire: return {FenceKind::None, FenceKind::DmbIshLd};
+        case AccessPoint::StoreRelease: return {FenceKind::DmbIsh, FenceKind::None};
+        case AccessPoint::LoadSeqCst: return {FenceKind::None, FenceKind::DmbIsh};
+        case AccessPoint::StoreSeqCst: return {FenceKind::DmbIsh, FenceKind::DmbIsh};
+        case AccessPoint::RmwAcqRel: return {FenceKind::DmbIsh, FenceKind::DmbIsh};
+        case AccessPoint::FenceSeqCst: return {FenceKind::DmbIsh, FenceKind::None};
+        default: break;
+      }
+      break;
+    case sim::Arch::POWER7:
+      // The standard POWER mapping: lwsync before releasing stores, hwsync
+      // before seq_cst accesses, ctrl+isync after acquiring loads.
+      switch (p) {
+        case AccessPoint::LoadAcquire: return {FenceKind::None, FenceKind::ISync};
+        case AccessPoint::StoreRelease: return {FenceKind::LwSync, FenceKind::None};
+        case AccessPoint::LoadSeqCst: return {FenceKind::HwSync, FenceKind::ISync};
+        case AccessPoint::StoreSeqCst: return {FenceKind::HwSync, FenceKind::None};
+        case AccessPoint::RmwAcqRel: return {FenceKind::LwSync, FenceKind::ISync};
+        case AccessPoint::FenceSeqCst: return {FenceKind::HwSync, FenceKind::None};
+        default: break;
+      }
+      break;
+    case sim::Arch::X86_TSO:
+      // TSO: only the seq_cst store (and the standalone fence) need an
+      // mfence; everything else is a compiler barrier.
+      switch (p) {
+        case AccessPoint::StoreSeqCst: return {FenceKind::None, FenceKind::Mfence};
+        case AccessPoint::FenceSeqCst: return {FenceKind::Mfence, FenceKind::None};
+        default: break;
+      }
+      break;
+    case sim::Arch::SC:
+      break;
+  }
+  return {sim::FenceKind::None, sim::FenceKind::None};
+}
+
+AtomicsRuntime::AtomicsRuntime(const Cxx11Config& config)
+    : config_(config), counters_("cxx11.atomic.", access_point_names()) {}
+
+std::uint32_t AtomicsRuntime::injected_slots() const {
+  return platform::injected_slot_count(config_.arch, /*stack_spill=*/true);
+}
+
+platform::SitePolicy AtomicsRuntime::site_policy() const {
+  return platform::SitePolicy{
+      .padded_slots = injected_slots(),
+      .pad_with_nops = config_.pad_with_nops,
+      .stack_spill = true,
+  };
+}
+
+void AtomicsRuntime::access(sim::Cpu& cpu, AccessPoint p,
+                            const sim::LineId* line, bool store,
+                            std::uint64_t site) const {
+  // Every access point funnels through its injection, so this is the single
+  // place each execution is counted.
+  counters_.hit(static_cast<std::size_t>(p));
+  const Lowering low = access_lowering(p, config_.arch);
+  if (emits_instruction(low.before)) cpu.fence(low.before, site);
+  if (line) {
+    if (p == AccessPoint::RmwAcqRel) {
+      // Load-linked/store-conditional pair (or lock-prefixed RMW on x86).
+      cpu.load_shared(*line);
+      cpu.store_shared(*line);
+    } else if (store) {
+      cpu.store_shared(*line);
+    } else {
+      cpu.load_shared(*line);
+    }
+  }
+  if (emits_instruction(low.after)) cpu.fence(low.after, site);
+  platform::run_injection(cpu, config_.injection_for(p), site_policy());
+}
+
+void AtomicsRuntime::load_relaxed(sim::Cpu& cpu, sim::LineId line,
+                                  std::uint64_t site) const {
+  access(cpu, AccessPoint::LoadRelaxed, &line, false, site);
+}
+
+void AtomicsRuntime::store_relaxed(sim::Cpu& cpu, sim::LineId line,
+                                   std::uint64_t site) const {
+  access(cpu, AccessPoint::StoreRelaxed, &line, true, site);
+}
+
+void AtomicsRuntime::load_acquire(sim::Cpu& cpu, sim::LineId line,
+                                  std::uint64_t site) const {
+  access(cpu, AccessPoint::LoadAcquire, &line, false, site);
+}
+
+void AtomicsRuntime::store_release(sim::Cpu& cpu, sim::LineId line,
+                                   std::uint64_t site) const {
+  access(cpu, AccessPoint::StoreRelease, &line, true, site);
+}
+
+void AtomicsRuntime::load_seq_cst(sim::Cpu& cpu, sim::LineId line,
+                                  std::uint64_t site) const {
+  access(cpu, AccessPoint::LoadSeqCst, &line, false, site);
+}
+
+void AtomicsRuntime::store_seq_cst(sim::Cpu& cpu, sim::LineId line,
+                                   std::uint64_t site) const {
+  access(cpu, AccessPoint::StoreSeqCst, &line, true, site);
+}
+
+void AtomicsRuntime::rmw_acq_rel(sim::Cpu& cpu, sim::LineId line,
+                                 std::uint64_t site) const {
+  access(cpu, AccessPoint::RmwAcqRel, &line, true, site);
+}
+
+void AtomicsRuntime::fence_seq_cst(sim::Cpu& cpu, std::uint64_t site) const {
+  access(cpu, AccessPoint::FenceSeqCst, nullptr, false, site);
+}
+
+}  // namespace wmm::platform::cxx11

@@ -1,0 +1,203 @@
+#include "platform/cxx11/workloads.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace wmm::platform::cxx11 {
+
+namespace {
+
+using workloads::LambdaThread;
+using workloads::NoiseModel;
+using workloads::SimBenchmark;
+
+// --- seqlock ----------------------------------------------------------------
+// One writer updating a two-word value guarded by a sequence counter, three
+// readers spinning on optimistic read sections.  The writer's publication is
+// a release store; readers pair acquire loads around relaxed data reads and
+// retry when they observe a concurrent update.
+double run_seqlock(const Cxx11Config& config, std::uint64_t seed) {
+  sim::Machine machine(sim::params_for(config.arch));
+  AtomicsRuntime atomics(config);
+  constexpr sim::LineId kSeq = 0x7800, kData0 = 0x7801, kData1 = 0x7802,
+                        kCheckpoint = 0x7803;
+  constexpr unsigned kUpdates = 220;
+  constexpr unsigned kReads = 300;
+  constexpr unsigned kReaders = 3;
+
+  for (unsigned t = 0; t < kReaders + 1; ++t) {
+    machine.cpu(t).seed_rng(sim::hash_combine(seed, t));
+  }
+
+  unsigned updates = 0;
+  LambdaThread writer([&](sim::Cpu& cpu) {
+    if (updates++ >= kUpdates) return false;
+    // Enter the write section: bump the sequence to odd (an RMW so
+    // concurrent writers would serialise), write, publish even.
+    atomics.rmw_acq_rel(cpu, kSeq, 0x81);
+    atomics.store_relaxed(cpu, kData0, 0x82);
+    atomics.store_relaxed(cpu, kData1, 0x82);
+    atomics.store_release(cpu, kSeq, 0x83);
+    if (updates % 16 == 0) {
+      // Periodic globally-ordered checkpoint of the update count.
+      atomics.store_seq_cst(cpu, kCheckpoint, 0x84);
+    }
+    cpu.compute(130.0);
+    cpu.private_access(12, 6, 0.04);
+    return true;
+  });
+
+  std::vector<std::unique_ptr<LambdaThread>> readers;
+  std::vector<unsigned> reads(kReaders, 0);
+  for (unsigned r = 0; r < kReaders; ++r) {
+    readers.push_back(std::make_unique<LambdaThread>([&, r](sim::Cpu& cpu) {
+      if (reads[r]++ >= kReads) return false;
+      atomics.load_acquire(cpu, kSeq, 0x85);
+      atomics.load_relaxed(cpu, kData0, 0x86);
+      atomics.load_relaxed(cpu, kData1, 0x86);
+      atomics.load_acquire(cpu, kSeq, 0x87);
+      if (reads[r] % 7 == 0) {
+        // A concurrent update was observed: retry the read section once.
+        atomics.load_acquire(cpu, kSeq, 0x85);
+        atomics.load_relaxed(cpu, kData0, 0x86);
+        atomics.load_relaxed(cpu, kData1, 0x86);
+        atomics.load_acquire(cpu, kSeq, 0x87);
+      }
+      if (reads[r] % 32 == 0) atomics.load_seq_cst(cpu, kCheckpoint, 0x88);
+      cpu.compute(90.0);
+      return true;
+    }));
+  }
+
+  std::vector<sim::SimThread*> threads = {&writer};
+  for (auto& r : readers) threads.push_back(r.get());
+  return machine.run(threads);
+}
+
+// --- SPSC queue -------------------------------------------------------------
+// Single-producer/single-consumer ring: the producer writes the payload slot
+// relaxed then publishes the head with a release store; the consumer
+// acquires the head, reads the slot relaxed, and releases the tail.
+double run_spsc_queue(const Cxx11Config& config, std::uint64_t seed) {
+  sim::Machine machine(sim::params_for(config.arch));
+  AtomicsRuntime atomics(config);
+  constexpr sim::LineId kSlotBase = 0x7810;  // 8 payload slots
+  constexpr sim::LineId kHead = 0x7818, kTail = 0x7819;
+  constexpr unsigned kItems = 380;
+
+  machine.cpu(0).seed_rng(sim::hash_combine(seed, 0));
+  machine.cpu(1).seed_rng(sim::hash_combine(seed, 1));
+
+  unsigned produced = 0, consumed = 0;
+  LambdaThread producer([&](sim::Cpu& cpu) {
+    if (produced >= kItems) return false;
+    atomics.load_acquire(cpu, kTail, 0x91);  // space check against the tail
+    atomics.store_relaxed(cpu, kSlotBase + (produced & 7), 0x92);
+    atomics.store_release(cpu, kHead, 0x93);
+    ++produced;
+    if (produced % 64 == 0) atomics.fence_seq_cst(cpu, 0x94);
+    cpu.compute(70.0);
+    cpu.private_access(8, 4, 0.03);
+    return true;
+  });
+  LambdaThread consumer([&](sim::Cpu& cpu) {
+    if (consumed >= kItems) return false;
+    atomics.load_acquire(cpu, kHead, 0x95);
+    atomics.load_relaxed(cpu, kSlotBase + (consumed & 7), 0x96);
+    atomics.store_release(cpu, kTail, 0x97);
+    ++consumed;
+    if (consumed % 64 == 0) atomics.fence_seq_cst(cpu, 0x98);
+    cpu.compute(85.0);
+    return true;
+  });
+
+  std::vector<sim::SimThread*> threads = {&producer, &consumer};
+  return machine.run(threads);
+}
+
+// --- Treiber stack ----------------------------------------------------------
+// Four threads alternating lock-free push/pop on a shared top pointer via
+// CAS (an acq_rel RMW); contention shows up as CAS retries.
+double run_treiber_stack(const Cxx11Config& config, std::uint64_t seed) {
+  sim::Machine machine(sim::params_for(config.arch));
+  AtomicsRuntime atomics(config);
+  constexpr sim::LineId kTop = 0x7820, kSize = 0x7821;
+  constexpr sim::LineId kNodeBase = 0x7828;  // 8 node lines
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kOps = 180;
+
+  std::vector<std::unique_ptr<LambdaThread>> threads;
+  std::vector<sim::SimThread*> raw;
+  std::vector<unsigned> ops(kThreads, 0);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    machine.cpu(t).seed_rng(sim::hash_combine(seed, t));
+    threads.push_back(std::make_unique<LambdaThread>([&, t](sim::Cpu& cpu) {
+      const unsigned op = ops[t]++;
+      if (op >= kOps) return false;
+      cpu.pollute_predictor(120);  // application branch working set
+      const sim::LineId node = kNodeBase + ((op + t) & 7);
+      if ((op + t) & 1) {
+        // push: prepare the node, then swing top with a CAS.
+        atomics.store_relaxed(cpu, node, 0xa1);
+        atomics.load_relaxed(cpu, kTop, 0xa2);
+        atomics.rmw_acq_rel(cpu, kTop, 0xa3);
+        if (op % 5 == 0) {
+          // CAS failure under contention: reload and retry once.
+          atomics.load_relaxed(cpu, kTop, 0xa2);
+          atomics.rmw_acq_rel(cpu, kTop, 0xa3);
+        }
+      } else {
+        // pop: acquire top (the node read depends on it), then CAS it out.
+        atomics.load_acquire(cpu, kTop, 0xa4);
+        atomics.load_relaxed(cpu, node, 0xa5);
+        atomics.rmw_acq_rel(cpu, kTop, 0xa6);
+      }
+      if (op % 16 == 0) atomics.load_seq_cst(cpu, kSize, 0xa7);
+      cpu.compute(110.0);
+      cpu.private_access(10, 5, 0.05);
+      return true;
+    }));
+    raw.push_back(threads.back().get());
+  }
+  return machine.run(raw);
+}
+
+NoiseModel cxx11_noise(const std::string& name) {
+  NoiseModel n;
+  n.sigma = 0.004;
+  if (name == "treiber_stack") {
+    // CAS contention makes the stack the least stable of the three.
+    n.sigma = 0.006;
+    n.phase_probability = 0.02;
+    n.phase_slowdown = 1.04;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::string> cxx11_benchmark_names() {
+  return {"seqlock", "spsc_queue", "treiber_stack"};
+}
+
+double run_cxx11_workload(const std::string& name, const Cxx11Config& config,
+                          std::uint64_t seed) {
+  if (name == "seqlock") return run_seqlock(config, seed);
+  if (name == "spsc_queue") return run_spsc_queue(config, seed);
+  if (name == "treiber_stack") return run_treiber_stack(config, seed);
+  throw std::invalid_argument("unknown cxx11 benchmark '" + name + "'");
+}
+
+core::BenchmarkPtr make_cxx11_benchmark(const std::string& name,
+                                        const Cxx11Config& config) {
+  return std::make_unique<SimBenchmark>(
+      name, sim::params_for(config.arch), cxx11_noise(name),
+      /*warmup_factor=*/0.02, [name, config](std::uint64_t seed) {
+        return run_cxx11_workload(name, config, seed);
+      });
+}
+
+}  // namespace wmm::platform::cxx11

@@ -1,0 +1,27 @@
+// Workloads for the simulated C++11 atomics runtime: three canonical
+// lock-free idioms (a sequence lock, a single-producer/single-consumer ring,
+// and a Treiber stack) whose hot paths are built entirely from
+// memory_order-qualified access points, so their sensitivity to each access
+// point emerges from how often and in what memory context they reach it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "platform/cxx11/runtime.h"
+
+namespace wmm::platform::cxx11 {
+
+// The benchmark names in ranking-column order.
+std::vector<std::string> cxx11_benchmark_names();
+
+// Simulated time of one run (no noise), exposed for tests.
+double run_cxx11_workload(const std::string& name, const Cxx11Config& config,
+                          std::uint64_t seed);
+
+core::BenchmarkPtr make_cxx11_benchmark(const std::string& name,
+                                        const Cxx11Config& config);
+
+}  // namespace wmm::platform::cxx11

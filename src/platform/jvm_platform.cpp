@@ -1,0 +1,87 @@
+#include "platform/jvm_platform.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/calibrate.h"
+#include "workloads/jvm_workloads.h"
+
+namespace wmm::platform {
+
+JvmPlatform::JvmPlatform(sim::Arch arch) {
+  config_.arch = arch;
+  sites_.reserve(jvm::kAllElementals.size());
+  for (jvm::Elemental e : jvm::kAllElementals) {
+    InstrumentationSite site;
+    site.id = jvm::elemental_name(e);
+    site.slot = static_cast<std::size_t>(e);
+    site.counter = std::string("jvm.elemental.") + jvm::elemental_name(e);
+    sites_.push_back(std::move(site));
+  }
+}
+
+const std::vector<InstrumentationSite>& JvmPlatform::sites() const {
+  return sites_;
+}
+
+jvm::Elemental JvmPlatform::elemental(const std::string& site_id) const {
+  for (jvm::Elemental e : jvm::kAllElementals) {
+    if (site_id == jvm::elemental_name(e)) return e;
+  }
+  throw std::out_of_range("unknown jvm site '" + site_id + "'");
+}
+
+sim::FenceKind JvmPlatform::lowering(const std::string& site_id,
+                                     sim::Arch target) const {
+  jvm::JvmConfig config = config_;
+  config.arch = target;
+  return jvm::FencingStrategy(config).lowering(elemental(site_id));
+}
+
+core::Injection JvmPlatform::injection(const std::string& site_id) const {
+  return config_.injection_for(elemental(site_id));
+}
+
+void JvmPlatform::set_injection(const std::string& site_id,
+                                const core::Injection& injection) {
+  config_.injection_for(elemental(site_id)) = injection;
+}
+
+SitePolicy JvmPlatform::policy() const {
+  return jvm::FencingStrategy(config_).site_policy();
+}
+
+std::vector<std::string> JvmPlatform::benchmarks() const {
+  return workloads::jvm_benchmark_names();
+}
+
+core::BenchmarkPtr JvmPlatform::make_benchmark(
+    const BenchmarkRequest& request) const {
+  require_benchmark(request.benchmark);
+  if (!request.strategy.empty()) {
+    throw std::invalid_argument("jvm platform has no strategy '" +
+                                request.strategy + "'");
+  }
+  jvm::JvmConfig config = config_;
+  if (request.sites.empty()) {
+    for (jvm::Elemental e : jvm::kAllElementals) {
+      config.injection_for(e) = request.injection;
+    }
+  } else {
+    for (const std::string& id : request.sites) {
+      config.injection_for(elemental(id)) = request.injection;
+    }
+  }
+  return workloads::make_jvm_benchmark(request.benchmark, config);
+}
+
+core::CostFunctionCalibration JvmPlatform::calibration(
+    unsigned max_exponent) const {
+  // ARM has a scratch register available, so the calibrated loop elides the
+  // stack spill (matching the injected sequence the JIT emits there).
+  return sim::calibrate_cost_function(
+      sim::params_for(config_.arch), max_exponent,
+      /*stack_spill=*/!config_.scratch_register());
+}
+
+}  // namespace wmm::platform

@@ -1,0 +1,38 @@
+// Platform adapter for the simulated Hotspot runtime (registered as "jvm"):
+// the four elemental memory barriers are the instrumentation sites, and the
+// benchmarks are the Figure 5 DaCapo/Spark set.
+#pragma once
+
+#include "jvm/fencing.h"
+#include "platform/platform.h"
+
+namespace wmm::platform {
+
+class JvmPlatform final : public Platform {
+ public:
+  explicit JvmPlatform(sim::Arch arch);
+
+  std::string name() const override { return "jvm"; }
+  sim::Arch arch() const override { return config_.arch; }
+
+  const std::vector<InstrumentationSite>& sites() const override;
+  sim::FenceKind lowering(const std::string& site_id,
+                          sim::Arch target) const override;
+  core::Injection injection(const std::string& site_id) const override;
+  void set_injection(const std::string& site_id,
+                     const core::Injection& injection) override;
+  SitePolicy policy() const override;
+
+  std::vector<std::string> benchmarks() const override;
+  core::BenchmarkPtr make_benchmark(const BenchmarkRequest& request) const override;
+
+  core::CostFunctionCalibration calibration(unsigned max_exponent) const override;
+
+ private:
+  jvm::Elemental elemental(const std::string& site_id) const;
+
+  jvm::JvmConfig config_;
+  std::vector<InstrumentationSite> sites_;
+};
+
+}  // namespace wmm::platform

@@ -1,0 +1,103 @@
+#include "platform/kernel_platform.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/calibrate.h"
+#include "workloads/kernel_workloads.h"
+
+namespace wmm::platform {
+
+namespace {
+
+kernel::RbdStrategy rbd_by_name(const std::string& name) {
+  for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
+    if (name == kernel::rbd_strategy_name(s)) return s;
+  }
+  throw std::invalid_argument("kernel platform has no strategy '" + name + "'");
+}
+
+}  // namespace
+
+KernelPlatform::KernelPlatform(sim::Arch arch) {
+  config_.arch = arch;
+  sites_.reserve(kernel::kNumMacros);
+  for (kernel::KMacro m : kernel::kAllMacros) {
+    InstrumentationSite site;
+    site.id = kernel::macro_name(m);
+    site.slot = static_cast<std::size_t>(m);
+    site.counter = std::string("kernel.macro.") + kernel::macro_name(m);
+    sites_.push_back(std::move(site));
+  }
+}
+
+const std::vector<InstrumentationSite>& KernelPlatform::sites() const {
+  return sites_;
+}
+
+kernel::KMacro KernelPlatform::macro(const std::string& site_id) const {
+  for (kernel::KMacro m : kernel::kAllMacros) {
+    if (site_id == kernel::macro_name(m)) return m;
+  }
+  throw std::out_of_range("unknown kernel site '" + site_id + "'");
+}
+
+sim::FenceKind KernelPlatform::lowering(const std::string& site_id,
+                                        sim::Arch target) const {
+  kernel::KernelConfig config = config_;
+  config.arch = target;
+  return kernel::KernelBarriers(config).lowering(macro(site_id));
+}
+
+core::Injection KernelPlatform::injection(const std::string& site_id) const {
+  return config_.injection_for(macro(site_id));
+}
+
+void KernelPlatform::set_injection(const std::string& site_id,
+                                   const core::Injection& injection) {
+  config_.injection_for(macro(site_id)) = injection;
+}
+
+SitePolicy KernelPlatform::policy() const {
+  return kernel::KernelBarriers(config_).site_policy();
+}
+
+std::vector<std::string> KernelPlatform::benchmarks() const {
+  return workloads::kernel_benchmark_names();
+}
+
+core::BenchmarkPtr KernelPlatform::make_benchmark(
+    const BenchmarkRequest& request) const {
+  require_benchmark(request.benchmark);
+  kernel::KernelConfig config = config_;
+  if (!request.strategy.empty()) {
+    config.rbd = rbd_by_name(request.strategy);
+  }
+  if (request.sites.empty()) {
+    for (kernel::KMacro m : kernel::kAllMacros) {
+      config.injection_for(m) = request.injection;
+    }
+  } else {
+    for (const std::string& id : request.sites) {
+      config.injection_for(macro(id)) = request.injection;
+    }
+  }
+  return workloads::make_kernel_benchmark(request.benchmark, config);
+}
+
+std::vector<std::string> KernelPlatform::strategies() const {
+  std::vector<std::string> out;
+  for (kernel::RbdStrategy s : kernel::kAllRbdStrategies) {
+    out.emplace_back(kernel::rbd_strategy_name(s));
+  }
+  return out;
+}
+
+core::CostFunctionCalibration KernelPlatform::calibration(
+    unsigned max_exponent) const {
+  // The kernel has no scratch register: the cost function always spills.
+  return sim::calibrate_cost_function(sim::params_for(config_.arch),
+                                      max_exponent, /*stack_spill=*/true);
+}
+
+}  // namespace wmm::platform

@@ -1,0 +1,43 @@
+// Platform adapter for the simulated Linux kernel (registered as "kernel"):
+// the fourteen barrier macros are the instrumentation sites, the Figure 8
+// benchmark set is the column family, and the read_barrier_depends candidate
+// implementations are the named strategies (Figure 10).
+#pragma once
+
+#include "kernel/barriers.h"
+#include "platform/platform.h"
+
+namespace wmm::platform {
+
+class KernelPlatform final : public Platform {
+ public:
+  explicit KernelPlatform(sim::Arch arch);
+
+  std::string name() const override { return "kernel"; }
+  sim::Arch arch() const override { return config_.arch; }
+
+  const std::vector<InstrumentationSite>& sites() const override;
+  sim::FenceKind lowering(const std::string& site_id,
+                          sim::Arch target) const override;
+  core::Injection injection(const std::string& site_id) const override;
+  void set_injection(const std::string& site_id,
+                     const core::Injection& injection) override;
+  SitePolicy policy() const override;
+
+  std::vector<std::string> benchmarks() const override;
+  core::BenchmarkPtr make_benchmark(const BenchmarkRequest& request) const override;
+
+  // The read_barrier_depends candidates; "base case" (compiler barrier only)
+  // is the default.
+  std::vector<std::string> strategies() const override;
+
+  core::CostFunctionCalibration calibration(unsigned max_exponent) const override;
+
+ private:
+  kernel::KMacro macro(const std::string& site_id) const;
+
+  kernel::KernelConfig config_;
+  std::vector<InstrumentationSite> sites_;
+};
+
+}  // namespace wmm::platform

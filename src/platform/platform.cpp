@@ -1,0 +1,106 @@
+#include "platform/platform.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/record.h"
+
+namespace wmm::platform {
+
+const InstrumentationSite* Platform::find_site(const std::string& id) const {
+  for (const InstrumentationSite& s : sites()) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Platform::site_ids() const {
+  std::vector<std::string> out;
+  out.reserve(sites().size());
+  for (const InstrumentationSite& s : sites()) out.push_back(s.id);
+  return out;
+}
+
+void Platform::require_benchmark(const std::string& benchmark) const {
+  for (const std::string& known : benchmarks()) {
+    if (known == benchmark) return;
+  }
+  throw std::invalid_argument(name() + " platform has no benchmark '" +
+                              benchmark + "'");
+}
+
+namespace {
+
+struct RegistryEntry {
+  std::string name;
+  PlatformFactory factory;
+};
+
+std::vector<RegistryEntry>& registry() {
+  static std::vector<RegistryEntry> entries;
+  return entries;
+}
+
+}  // namespace
+
+void register_platform(const std::string& name, PlatformFactory factory) {
+  for (RegistryEntry& e : registry()) {
+    if (e.name == name) {
+      e.factory = std::move(factory);  // re-registration replaces
+      return;
+    }
+  }
+  registry().push_back({name, std::move(factory)});
+}
+
+std::vector<std::string> platform_names() {
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const RegistryEntry& e : registry()) out.push_back(e.name);
+  return out;
+}
+
+std::unique_ptr<Platform> make_platform(const std::string& name,
+                                        sim::Arch arch) {
+  for (const RegistryEntry& e : registry()) {
+    if (e.name == name) return e.factory(arch);
+  }
+  throw std::out_of_range("unknown platform '" + name + "'");
+}
+
+std::string sites_record_line(const Platform& platform) {
+  static constexpr sim::Arch kArches[] = {sim::Arch::ARMV8, sim::Arch::POWER7,
+                                          sim::Arch::X86_TSO, sim::Arch::SC};
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("type", "sites");
+  w.kv("platform", platform.name());
+  w.kv("arch", sim::arch_name(platform.arch()));
+  w.kv("injected_slots",
+       static_cast<std::uint64_t>(platform.injected_slots()));
+  w.key("sites").begin_array();
+  for (const InstrumentationSite& s : platform.sites()) {
+    w.begin_object();
+    w.kv("id", s.id);
+    w.kv("slot", static_cast<std::uint64_t>(s.slot));
+    w.kv("counter", s.counter);
+    w.key("lowering").begin_object();
+    for (sim::Arch a : kArches) {
+      w.kv(sim::arch_name(a), sim::fence_name(platform.lowering(s.id, a)));
+    }
+    w.end_object();
+    const core::Injection inj = platform.injection(s.id);
+    w.key("injection").begin_object();
+    w.kv("nops", static_cast<std::uint64_t>(inj.nops));
+    w.kv("loop_iterations", static_cast<std::uint64_t>(inj.loop_iterations));
+    w.kv("stack_spill", inj.stack_spill);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace wmm::platform

@@ -1,0 +1,124 @@
+// The platform abstraction: anything with instrumentable barrier code paths.
+//
+// The paper's methodology is platform-generic — inject a cost function into
+// any barrier code path, fit the sensitivity k (eq. 1), recover per-invocation
+// cost (eq. 2).  A Platform exposes exactly what that pipeline needs:
+//
+//   - a registry of InstrumentationSites (stable string id, per-arch
+//     lowering, injection slot, code-path counter),
+//   - a way to build a benchmark under a chosen injection/strategy,
+//   - the calibrated cost-function table for its injection context.
+//
+// wmm::jvm (Hotspot elemental barriers), wmm::kernel (Linux barrier macros)
+// and wmm::platform::cxx11 (C++11 atomic access points) all implement this
+// interface; the generic core::SensitivityStudy driver and the bench
+// binaries' --list-sites/--platform flags consume it.  Adding a platform
+// means implementing Platform and registering a factory — no driver edits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "core/cost_function.h"
+#include "platform/site.h"
+#include "sim/arch.h"
+#include "sim/fence.h"
+
+namespace wmm::platform {
+
+// One instrumentable barrier code path of a platform.
+struct InstrumentationSite {
+  std::string id;       // stable id, e.g. "StoreLoad" / "smp_mb" / "load_acquire"
+  std::size_t slot = 0; // index of the site's core::Injection slot
+  std::string counter;  // obs counter counting the code path's executions
+};
+
+// A benchmark build request: which workload, which sites receive the
+// injection (empty = every site), and which named strategy variant of the
+// platform's fencing is in force ("" = the default strategy).
+struct BenchmarkRequest {
+  std::string benchmark;
+  std::vector<std::string> sites;
+  core::Injection injection;
+  std::string strategy;
+};
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  virtual std::string name() const = 0;  // "jvm" / "kernel" / "cxx11"
+  virtual sim::Arch arch() const = 0;
+
+  // --- Instrumentation-site registry ---------------------------------------
+  virtual const std::vector<InstrumentationSite>& sites() const = 0;
+
+  // Hardware lowering of `site_id` on `target` under the platform's current
+  // configuration (the default strategy unless the platform says otherwise).
+  virtual sim::FenceKind lowering(const std::string& site_id,
+                                  sim::Arch target) const = 0;
+
+  // Current injection at a site, and its mutation (used by --list-sites and
+  // the conformance tests; the study driver passes injections per benchmark
+  // request instead, so platforms stay shareable across sweep points).
+  virtual core::Injection injection(const std::string& site_id) const = 0;
+  virtual void set_injection(const std::string& site_id,
+                             const core::Injection& injection) = 0;
+
+  // Site-wide padding/spill policy on the platform's configured arch.
+  virtual SitePolicy policy() const = 0;
+
+  // --- Benchmarks ------------------------------------------------------------
+  virtual std::vector<std::string> benchmarks() const = 0;
+  virtual core::BenchmarkPtr make_benchmark(const BenchmarkRequest& request) const = 0;
+
+  // Named platform-wide fencing variants (e.g. the kernel's
+  // read_barrier_depends candidates).  The first entry is the default.
+  virtual std::vector<std::string> strategies() const { return {}; }
+
+  // --- Calibration -----------------------------------------------------------
+  // Cost-function calibration table (paper Figure 4) for this platform's
+  // injection context, covering sizes 2^0 .. 2^max_exponent.
+  virtual core::CostFunctionCalibration calibration(unsigned max_exponent) const = 0;
+
+  // --- Non-virtual helpers ---------------------------------------------------
+  const InstrumentationSite* find_site(const std::string& id) const;
+  std::vector<std::string> site_ids() const;
+  // Throws std::invalid_argument unless `benchmark` is one of benchmarks().
+  // Implementations call this first in make_benchmark so every platform
+  // fails eagerly and uniformly on an unknown name (pinned by the
+  // conformance tests).
+  void require_benchmark(const std::string& benchmark) const;
+  std::uint32_t injected_slots() const { return policy().padded_slots; }
+  std::uint32_t injection_footprint(const core::Injection& injection) const {
+    return platform::injection_footprint(injection, policy());
+  }
+};
+
+// --- Registry ----------------------------------------------------------------
+// Platforms register a factory under a stable name; drivers instantiate by
+// name.  register_builtin_platforms() (platform/registry.cpp) installs the
+// three in-tree platforms and is idempotent; call it before lookups in any
+// binary that wants them.
+using PlatformFactory =
+    std::function<std::unique_ptr<Platform>(sim::Arch arch)>;
+
+void register_platform(const std::string& name, PlatformFactory factory);
+void register_builtin_platforms();
+
+// Registered names in registration order (builtins first: jvm, kernel, cxx11).
+std::vector<std::string> platform_names();
+
+// Instantiate a registered platform on `arch`; throws std::out_of_range for
+// an unknown name.
+std::unique_ptr<Platform> make_platform(const std::string& name, sim::Arch arch);
+
+// One JSONL `sites` record (docs/schema.md) describing every site of
+// `platform`: id, lowering per architecture, current injection.
+std::string sites_record_line(const Platform& platform);
+
+}  // namespace wmm::platform

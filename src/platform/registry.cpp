@@ -1,0 +1,25 @@
+#include <memory>
+
+#include "platform/cxx11/cxx11_platform.h"
+#include "platform/jvm_platform.h"
+#include "platform/kernel_platform.h"
+#include "platform/platform.h"
+
+namespace wmm::platform {
+
+void register_builtin_platforms() {
+  // Idempotent (register_platform replaces an existing entry) and explicit:
+  // a static self-registering object in a static library would be silently
+  // dead-stripped by the linker.
+  register_platform("jvm", [](sim::Arch arch) -> std::unique_ptr<Platform> {
+    return std::make_unique<JvmPlatform>(arch);
+  });
+  register_platform("kernel", [](sim::Arch arch) -> std::unique_ptr<Platform> {
+    return std::make_unique<KernelPlatform>(arch);
+  });
+  register_platform("cxx11", [](sim::Arch arch) -> std::unique_ptr<Platform> {
+    return std::make_unique<cxx11::Cxx11Platform>(arch);
+  });
+}
+
+}  // namespace wmm::platform

@@ -1,0 +1,39 @@
+#include "platform/site.h"
+
+namespace wmm::platform {
+
+std::uint32_t injected_slot_count(sim::Arch arch, bool stack_spill) {
+  if (!stack_spill) return 3;
+  return arch == sim::Arch::POWER7 ? 6 : 5;
+}
+
+void run_injection(sim::Cpu& cpu, const core::Injection& injection,
+                   const SitePolicy& policy) {
+  if (injection.is_cost_function()) {
+    cpu.cost_loop(injection.loop_iterations, policy.stack_spill);
+  } else if (injection.is_nop_padding()) {
+    cpu.nops(injection.nops);
+  } else if (policy.pad_with_nops) {
+    cpu.nops(policy.padded_slots);
+  }
+}
+
+std::uint32_t injection_footprint(const core::Injection& injection,
+                                  const SitePolicy& policy) {
+  if (injection.is_cost_function()) return policy.padded_slots;
+  if (injection.is_nop_padding()) return injection.nops;
+  return policy.pad_with_nops ? policy.padded_slots : 0;
+}
+
+SiteCounters::SiteCounters(const std::string& prefix,
+                           const std::vector<std::string>& sites)
+    : reg_(&obs::counters()) {
+  names_.reserve(sites.size());
+  ids_.reserve(sites.size());
+  for (const std::string& site : sites) {
+    names_.push_back(prefix + site);
+    ids_.push_back(reg_->register_counter(names_.back()));
+  }
+}
+
+}  // namespace wmm::platform

@@ -1,0 +1,70 @@
+// Shared instrumentation-site machinery: the emit-side injection/padding
+// logic and counter plumbing that every instrumented platform (JVM elemental
+// barriers, kernel macros, C++11 atomic access points) funnels through.
+//
+// Before this layer existed the injection-run and padding rules were
+// copy-pasted between jvm::FencingStrategy and kernel::KernelBarriers; a new
+// platform had to fork them a third time.  Here they exist once: a platform
+// describes its policy (slot count, padding, spill) and delegates the
+// per-site work to run_injection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "obs/counters.h"
+#include "sim/arch.h"
+#include "sim/machine.h"
+
+namespace wmm::platform {
+
+// Cost-function instruction slots at an instrumented site (paper Figures
+// 2/3): mov+subs+bne = 3 with a scratch register; the stack spill/reload
+// adds two more instructions on ARM-like ISAs and three on POWER
+// (std/li/addi/cmpwi/bne/ld = 6).
+std::uint32_t injected_slot_count(sim::Arch arch, bool stack_spill);
+
+// A platform's site-wide injection policy: how many instruction slots an
+// injected sequence occupies, whether un-injected sites carry base-case nop
+// padding of the same size, and whether the cost function spills a register
+// (no scratch register available).
+struct SitePolicy {
+  std::uint32_t padded_slots = 0;
+  bool pad_with_nops = true;
+  bool stack_spill = true;
+};
+
+// Execute the injected sequence at one site: the cost function, explicit
+// nop padding, or (when the site carries no injection) the policy's
+// base-case padding.  This is the single implementation of the emit path
+// that used to be duplicated per platform.
+void run_injection(sim::Cpu& cpu, const core::Injection& injection,
+                   const SitePolicy& policy);
+
+// Instruction slots `injection` occupies at a site under `policy`.  The
+// methodology requires this to be invariant across configurations (constant
+// binary layout); the platform conformance tests assert it.
+std::uint32_t injection_footprint(const core::Injection& injection,
+                                  const SitePolicy& policy);
+
+// Per-site code-path execution counters ("<prefix><site>"), registered once
+// at construction so the hot-path hook stays a direct array-indexed add.
+class SiteCounters {
+ public:
+  SiteCounters() : reg_(&obs::counters()) {}
+  SiteCounters(const std::string& prefix, const std::vector<std::string>& sites);
+
+  void hit(std::size_t slot) const { reg_->add(ids_[slot]); }
+
+  const std::vector<std::string>& names() const { return names_; }
+  obs::CounterId id(std::size_t slot) const { return ids_[slot]; }
+
+ private:
+  obs::CounterRegistry* reg_;
+  std::vector<std::string> names_;
+  std::vector<obs::CounterId> ids_;
+};
+
+}  // namespace wmm::platform

@@ -1,0 +1,146 @@
+#include "platform/study.h"
+
+#include "core/cost_function.h"
+#include "par/deterministic_map.h"
+
+namespace wmm::core {
+
+namespace {
+
+// par_map over indices 0..n-1, results in index order (bit-identical for any
+// thread count since each cell is an independent virtual-time simulation).
+template <typename Fn>
+auto map_cells(std::size_t n, int threads, Fn&& fn) {
+  std::vector<int> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = static_cast<int>(i);
+  return par::par_map(indices, [&fn](const int& i) { return fn(i); }, threads);
+}
+
+std::vector<std::string> or_default(std::vector<std::string> chosen,
+                                    std::vector<std::string> fallback) {
+  return chosen.empty() ? std::move(fallback) : std::move(chosen);
+}
+
+}  // namespace
+
+std::vector<SweepResult> SensitivityStudy::sweeps(
+    const SweepStudyConfig& config) const {
+  const std::vector<std::string> benchmarks =
+      or_default(config.benchmarks, platform_->benchmarks());
+  const std::vector<std::uint32_t> sizes =
+      standard_sweep_sizes(config.max_exponent);
+  const bool spill = platform_->policy().stack_spill;
+
+  const std::size_t ncp = config.code_paths.size();
+  return map_cells(benchmarks.size() * ncp, threads_, [&](int cell) {
+    const std::string& benchmark = benchmarks[static_cast<std::size_t>(cell) / ncp];
+    const CodePathSpec& path = config.code_paths[static_cast<std::size_t>(cell) % ncp];
+    // Calibrated per cell (not hoisted): the in-vitro calibration runs are
+    // part of each sweep's measurement procedure, and keeping them inside the
+    // cell preserves the simulator event counters of the previous bespoke
+    // drivers exactly.
+    const CostFunctionCalibration cal =
+        platform_->calibration(config.max_exponent);
+    return sweep_sensitivity(
+        benchmark, path.label,
+        [&](std::uint32_t iters) {
+          platform::BenchmarkRequest request;
+          request.benchmark = benchmark;
+          request.sites = path.sites;
+          request.injection = iters > 0
+                                  ? Injection::cost_function(iters, spill)
+                                  : Injection::none();
+          request.strategy = config.strategy;
+          return platform_->make_benchmark(request);
+        },
+        sizes, [&](std::uint32_t iters) { return cal.ns_for(iters); },
+        config.runs);
+  });
+}
+
+RankingMatrix SensitivityStudy::ranking(
+    const RankingStudyConfig& config,
+    const ComparisonObserver& observer) const {
+  const std::vector<std::string> sites =
+      or_default(config.sites, platform_->site_ids());
+  const std::vector<std::string> benchmarks =
+      or_default(config.benchmarks, platform_->benchmarks());
+  const bool spill = platform_->policy().stack_spill;
+
+  auto base_request = [&](const std::string& benchmark) {
+    platform::BenchmarkRequest request;
+    request.benchmark = benchmark;
+    request.strategy = config.strategy;
+    return request;
+  };
+
+  // Each (site, benchmark) cell is an independent simulation over virtual
+  // time, so cells fan out across threads; the observer still sees them in
+  // site-major order afterwards.
+  const std::size_t nb = benchmarks.size();
+  const std::vector<Comparison> cells =
+      map_cells(sites.size() * nb, threads_, [&](int cell) {
+        const std::string& site = sites[static_cast<std::size_t>(cell) / nb];
+        const std::string& benchmark =
+            benchmarks[static_cast<std::size_t>(cell) % nb];
+        platform::BenchmarkRequest test = base_request(benchmark);
+        test.sites = {site};
+        test.injection =
+            Injection::cost_function(config.cost_iterations, spill);
+        return compare_configurations(
+            [&] { return platform_->make_benchmark(base_request(benchmark)); },
+            [&] { return platform_->make_benchmark(test); }, config.runs);
+      });
+
+  RankingMatrix matrix(sites, benchmarks);
+  for (std::size_t si = 0; si < sites.size(); ++si) {
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const Comparison& cmp = cells[si * nb + bi];
+      matrix.set(sites[si], benchmarks[bi], cmp.value);
+      if (observer) observer(sites[si], benchmarks[bi], cmp);
+    }
+  }
+  return matrix;
+}
+
+std::vector<StrategyComparison> SensitivityStudy::strategies(
+    const StrategyStudyConfig& config,
+    const ComparisonObserver& observer) const {
+  std::vector<std::string> test_strategies = config.strategies;
+  if (test_strategies.empty()) {
+    // Every non-default platform strategy (the first entry is the default).
+    const std::vector<std::string> all = platform_->strategies();
+    test_strategies.assign(all.begin() + (all.empty() ? 0 : 1), all.end());
+  }
+  const std::vector<std::string> benchmarks =
+      or_default(config.benchmarks, platform_->benchmarks());
+
+  const std::size_t ns = test_strategies.size();
+  const std::vector<Comparison> cells =
+      map_cells(benchmarks.size() * ns, threads_, [&](int cell) {
+        const std::string& benchmark =
+            benchmarks[static_cast<std::size_t>(cell) / ns];
+        const std::string& strategy =
+            test_strategies[static_cast<std::size_t>(cell) % ns];
+        platform::BenchmarkRequest base;
+        base.benchmark = benchmark;
+        platform::BenchmarkRequest test = base;
+        test.strategy = strategy;
+        return compare_configurations(
+            [&] { return platform_->make_benchmark(base); },
+            [&] { return platform_->make_benchmark(test); }, config.runs);
+      });
+
+  std::vector<StrategyComparison> out;
+  out.reserve(cells.size());
+  for (std::size_t bi = 0; bi < benchmarks.size(); ++bi) {
+    for (std::size_t si = 0; si < ns; ++si) {
+      const Comparison& cmp = cells[bi * ns + si];
+      if (observer) observer(test_strategies[si], benchmarks[bi], cmp);
+      out.push_back({benchmarks[bi], test_strategies[si], cmp});
+    }
+  }
+  return out;
+}
+
+}  // namespace wmm::core

@@ -1,0 +1,104 @@
+// The generic sweep→curve-fit→cost-recovery driver of the methodology
+// (paper section 3), expressed over the Platform interface: one
+// SensitivityStudy replaces the bespoke per-platform loops the fig05/07/08/
+// 09/10 binaries used to carry.
+//
+// A study is configured declaratively — benchmarks × code paths (site sets)
+// × cost sizes, or benchmarks × sites at one large cost, or benchmarks ×
+// named strategies — and fans independent cells out across threads via
+// par_map.  Simulated time is virtual, so results are bit-identical for any
+// thread count; cell order (benchmark-major for sweeps and strategies,
+// site-major for rankings) is canonical and thread-count independent.
+//
+// These files live in src/platform/ (library wmm_platform) rather than
+// src/core/ because the driver fans out via wmm_par, which sits above
+// wmm_core in the link order; the namespace stays wmm::core because this is
+// the core methodology pipeline, not a platform adapter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/harness.h"
+#include "platform/platform.h"
+
+namespace wmm::core {
+
+// Streams every underlying comparison of a ranking/strategy study as it is
+// recorded (canonical order), so callers can emit structured records.
+using ComparisonObserver =
+    std::function<void(const std::string& code_path,
+                       const std::string& benchmark, const Comparison&)>;
+
+// One swept code path: the label recorded in sweep records plus the site ids
+// that receive the injected cost function (empty = every site).
+struct CodePathSpec {
+  std::string label;
+  std::vector<std::string> sites;
+};
+
+// Sweep benchmarks × code paths across the standard cost-size ladder
+// (2^0 .. 2^max_exponent); Figures 5, 6 and 9.
+struct SweepStudyConfig {
+  std::vector<std::string> benchmarks;  // empty = platform's full set
+  std::vector<CodePathSpec> code_paths;
+  unsigned max_exponent = 8;
+  RunOptions runs{};
+  std::string strategy;  // platform strategy in force ("" = default)
+};
+
+// Inject one large fixed-size cost function into each site in turn and
+// record relative performance for every benchmark; Figures 7 and 8.
+struct RankingStudyConfig {
+  std::vector<std::string> benchmarks;  // empty = platform's full set
+  std::vector<std::string> sites;       // empty = every site
+  std::uint32_t cost_iterations = 1024;
+  RunOptions runs{1, 4};
+  std::string strategy;
+};
+
+// Compare each named strategy against the platform's default strategy on
+// every benchmark (no injection); Figure 10.
+struct StrategyStudyConfig {
+  std::vector<std::string> benchmarks;  // empty = platform's full set
+  std::vector<std::string> strategies;  // empty = platform's non-default set
+  RunOptions runs{};
+};
+
+struct StrategyComparison {
+  std::string benchmark;
+  std::string strategy;
+  Comparison comparison;
+};
+
+class SensitivityStudy {
+ public:
+  explicit SensitivityStudy(const platform::Platform& platform,
+                            int threads = 1)
+      : platform_(&platform), threads_(threads) {}
+
+  // Sweep results in benchmark-major × code-path order.
+  std::vector<SweepResult> sweeps(const SweepStudyConfig& config) const;
+
+  // Ranking matrix with one row per site and one column per benchmark; the
+  // observer (if any) sees every cell afterwards in site-major order.
+  RankingMatrix ranking(const RankingStudyConfig& config,
+                        const ComparisonObserver& observer = nullptr) const;
+
+  // Strategy comparisons in benchmark-major × strategy order.
+  std::vector<StrategyComparison> strategies(
+      const StrategyStudyConfig& config,
+      const ComparisonObserver& observer = nullptr) const;
+
+  const platform::Platform& platform() const { return *platform_; }
+  int threads() const { return threads_; }
+
+ private:
+  const platform::Platform* platform_;
+  int threads_;
+};
+
+}  // namespace wmm::core

@@ -222,6 +222,36 @@ TEST(CostFunctionTest, CalibrationInterpolatesAndExtrapolates) {
   EXPECT_DOUBLE_EQ(cal.ns_for(0), 2.0);     // clamp below
 }
 
+TEST(CostFunctionTest, CalibrationSinglePointClampsBothSides) {
+  CostFunctionCalibration cal;
+  cal.add(8, 10.0);
+  EXPECT_DOUBLE_EQ(cal.ns_for(1), 10.0);    // below: clamp to the only point
+  EXPECT_DOUBLE_EQ(cal.ns_for(8), 10.0);    // exact
+  EXPECT_DOUBLE_EQ(cal.ns_for(1024), 10.0); // above: no slope available, clamp
+}
+
+TEST(CostFunctionTest, CalibrationExtrapolationFlooredAtZero) {
+  // A noise-induced negative slope on the last two points must not yield a
+  // negative execution time for far-out sizes.
+  CostFunctionCalibration cal;
+  cal.add(1, 5.0);
+  cal.add(2, 100.0);
+  cal.add(4, 1.0);
+  EXPECT_DOUBLE_EQ(cal.ns_for(1u << 20), 0.0);
+  // Nearby extrapolation still follows the fitted line while non-negative.
+  EXPECT_NEAR(cal.ns_for(4), 1.0, 1e-12);
+}
+
+TEST(CostFunctionTest, CalibrationClampsBelowSmallestSize) {
+  // The sub-range regime is non-linear (pipelining), so sizes below the
+  // smallest calibrated point deliberately clamp instead of extrapolating.
+  CostFunctionCalibration cal;
+  cal.add(4, 8.0);
+  cal.add(8, 16.0);
+  EXPECT_DOUBLE_EQ(cal.ns_for(0), 8.0);
+  EXPECT_DOUBLE_EQ(cal.ns_for(3), 8.0);
+}
+
 TEST(CostFunctionTest, CalibrationReplacesDuplicates) {
   CostFunctionCalibration cal;
   cal.add(8, 10.0);

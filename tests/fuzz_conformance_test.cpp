@@ -78,7 +78,9 @@ TEST(FuzzGenerator, RespectsShapeBounds) {
           }
           // Dependencies must name a register read earlier on this thread.
           for (int dep : {in.addr_dep, in.data_dep, in.ctrl_dep}) {
-            if (dep >= 0) EXPECT_TRUE(earlier_reads.count(dep));
+            if (dep >= 0) {
+              EXPECT_TRUE(earlier_reads.count(dep));
+            }
           }
           if (in.type == AccessType::Read) earlier_reads.insert(in.reg);
         }

@@ -1,0 +1,169 @@
+// Platform-parity conformance suite: one template of invariants run against
+// every registered Platform implementation (jvm, kernel, cxx11).  These pin
+// the contract the generic SensitivityStudy driver and the --list-sites /
+// --platform machinery rely on, so a new platform that registers itself gets
+// checked for free by adding its name to the instantiation list below.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_function.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/record.h"
+#include "platform/platform.h"
+#include "platform/site.h"
+#include "sim/fence.h"
+
+namespace wmm {
+namespace {
+
+constexpr sim::Arch kArches[] = {sim::Arch::ARMV8, sim::Arch::POWER7,
+                                 sim::Arch::X86_TSO, sim::Arch::SC};
+
+class PlatformConformanceTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() { platform::register_builtin_platforms(); }
+
+  std::unique_ptr<platform::Platform> make(sim::Arch arch = sim::Arch::ARMV8) {
+    return platform::make_platform(GetParam(), arch);
+  }
+};
+
+TEST_P(PlatformConformanceTest, SiteIdsSlotsAndCountersAreUnique) {
+  const auto p = make();
+  ASSERT_FALSE(p->sites().empty());
+  std::set<std::string> ids, counters;
+  std::set<std::size_t> slots;
+  for (const platform::InstrumentationSite& s : p->sites()) {
+    EXPECT_FALSE(s.id.empty());
+    EXPECT_FALSE(s.counter.empty());
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate site id " << s.id;
+    EXPECT_TRUE(counters.insert(s.counter).second)
+        << "duplicate counter " << s.counter;
+    EXPECT_TRUE(slots.insert(s.slot).second)
+        << "duplicate injection slot " << s.slot;
+  }
+}
+
+TEST_P(PlatformConformanceTest, SiteCountersAreRegistered) {
+  const auto p = make();
+  // Constructing the platform's emit path (policy() builds it) registers the
+  // per-site counters with the process-global registry.
+  (void)p->policy();
+  const std::vector<obs::CounterRegistry::Entry> entries =
+      obs::counters().snapshot(/*include_zero=*/true);
+  for (const platform::InstrumentationSite& s : p->sites()) {
+    const bool registered =
+        std::any_of(entries.begin(), entries.end(),
+                    [&](const auto& e) { return e.name == s.counter; });
+    EXPECT_TRUE(registered) << "counter not registered: " << s.counter;
+  }
+}
+
+TEST_P(PlatformConformanceTest, InjectionRoundTripsThroughEverySite) {
+  const auto p = make();
+  for (const std::string& id : p->site_ids()) {
+    const core::Injection before = p->injection(id);
+    EXPECT_TRUE(before.empty()) << "site " << id << " not pristine";
+
+    const core::Injection inj = core::Injection::cost_function(
+        64, p->policy().stack_spill);
+    p->set_injection(id, inj);
+    const core::Injection after = p->injection(id);
+    EXPECT_EQ(after.nops, inj.nops) << id;
+    EXPECT_EQ(after.loop_iterations, inj.loop_iterations) << id;
+    EXPECT_EQ(after.stack_spill, inj.stack_spill) << id;
+
+    p->set_injection(id, core::Injection::none());
+    EXPECT_TRUE(p->injection(id).empty()) << id;
+  }
+  EXPECT_EQ(p->find_site("no-such-site"), nullptr);
+  for (const std::string& id : p->site_ids()) {
+    ASSERT_NE(p->find_site(id), nullptr);
+    EXPECT_EQ(p->find_site(id)->id, id);
+  }
+}
+
+TEST_P(PlatformConformanceTest, SiteFootprintInvariantAcrossInjections) {
+  // The methodology's constant-binary-layout requirement: the base case
+  // (padding), explicit nop padding, and the cost function must all occupy
+  // the same number of instruction slots at a site.
+  const auto p = make();
+  const platform::SitePolicy policy = p->policy();
+  const std::uint32_t base = p->injection_footprint(core::Injection::none());
+  EXPECT_EQ(base, p->injected_slots());
+  EXPECT_EQ(p->injection_footprint(
+                core::Injection::nop_padding(policy.padded_slots)),
+            base);
+  for (std::uint32_t iters : {1u, 64u, 4096u}) {
+    EXPECT_EQ(p->injection_footprint(
+                  core::Injection::cost_function(iters, policy.stack_spill)),
+              base)
+        << "cost function of " << iters << " iterations changes the footprint";
+  }
+}
+
+TEST_P(PlatformConformanceTest, InjectedSlotsFollowArchAndSpillPolicy) {
+  for (sim::Arch arch : kArches) {
+    const auto p = make(arch);
+    EXPECT_EQ(p->arch(), arch);
+    EXPECT_EQ(p->injected_slots(),
+              platform::injected_slot_count(arch, p->policy().stack_spill))
+        << sim::arch_name(arch);
+  }
+}
+
+TEST_P(PlatformConformanceTest, LoweringDefinedForEverySiteAndArch) {
+  const auto p = make();
+  for (const std::string& id : p->site_ids()) {
+    for (sim::Arch arch : kArches) {
+      EXPECT_STRNE(sim::fence_name(p->lowering(id, arch)), "")
+          << id << " on " << sim::arch_name(arch);
+    }
+  }
+}
+
+TEST_P(PlatformConformanceTest, SitesRecordValidatesAgainstSchema) {
+  const auto p = make();
+  const std::string line = platform::sites_record_line(*p);
+  std::string error;
+  const std::optional<obs::JsonValue> parsed = obs::parse_json(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(obs::validate_record(*parsed), "");
+}
+
+TEST_P(PlatformConformanceTest, EveryListedBenchmarkIsConstructible) {
+  const auto p = make();
+  ASSERT_FALSE(p->benchmarks().empty());
+  for (const std::string& name : p->benchmarks()) {
+    platform::BenchmarkRequest request;
+    request.benchmark = name;
+    const core::BenchmarkPtr b = p->make_benchmark(request);
+    ASSERT_NE(b, nullptr) << name;
+  }
+  platform::BenchmarkRequest bogus;
+  bogus.benchmark = "no-such-benchmark";
+  EXPECT_THROW((void)p->make_benchmark(bogus), std::invalid_argument);
+}
+
+TEST_P(PlatformConformanceTest, CalibrationCoversTheSweepSizes) {
+  const auto p = make();
+  const core::CostFunctionCalibration cal = p->calibration(4);
+  ASSERT_FALSE(cal.empty());
+  for (std::uint32_t size : core::standard_sweep_sizes(4)) {
+    EXPECT_GT(cal.ns_for(size), 0.0) << "size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformConformanceTest,
+                         ::testing::Values("jvm", "kernel", "cxx11"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace wmm
