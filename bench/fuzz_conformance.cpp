@@ -21,16 +21,29 @@
 //                  witnessing programs appear within the run.
 //   --sandwich     check POWER with the legacy envelope bounds instead of the
 //                  exact Herding-Cats model (differential debugging only).
+//   --export-litmus=DIR
+//                  write each architecture's generated corpus to
+//                  DIR/<arch>/NNNN-fuzz-0xSEED.litmus in herd7 syntax, with
+//                  the operational per-arch verdicts embedded as a
+//                  wmm-expect directive.  litmus_run --litmus-dir re-checks
+//                  an exported corpus (the CI round-trip gate), and the
+//                  files cross-validate divergences against external herd7.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "session.h"
 #include "sim/fuzz.h"
+#include "sim/litmus_format.h"
+#include "sim/rng.h"
 
 namespace {
 
@@ -87,6 +100,99 @@ std::uint64_t parse_u64(const std::string& s) {
   return std::strtoull(s.c_str(), nullptr, 0);
 }
 
+// Whether the four-architecture verdict set of `test` is cheap enough to
+// compute eagerly.  The operational POWER executor enumerates
+// 2^(writes * other-threads) visibility-delay masks per interleaving (see
+// FuzzConfig::for_arch), so an exported corpus — which litmus_run re-checks
+// on every architecture, POWER included — sticks to shapes inside that
+// budget.  The bound mirrors POWER's own generator limits (3 writes visible
+// to 2 other threads).
+bool cheap_to_cross_check(const sim::LitmusTest& test) {
+  int writes = 0;
+  for (const sim::LitmusThread& t : test.threads) {
+    for (const sim::LitmusInstr& in : t.instrs) {
+      writes += in.type == sim::AccessType::Write;
+    }
+  }
+  const int other_threads = static_cast<int>(test.threads.size()) - 1;
+  return writes * other_threads <= 6;
+}
+
+// Writes the corpus one architecture would fuzz (same seeds, same generator
+// config) to `dir/<arch>/NNNN-fuzz-0xSEED.litmus`.  The exists-condition
+// witnesses the smallest non-SC outcome when the program has one (the
+// interesting question), and the wmm-expect directive embeds the operational
+// verdict per architecture, so re-importing with litmus_run --litmus-dir
+// re-asks every question and fails on drift.  Returns the number of files
+// written: programs outside the printable subset or the cross-check budget
+// (see cheap_to_cross_check) are skipped, deterministically for any
+// --threads since skipping depends only on the seeded program shape.
+int export_corpus(const std::string& dir, sim::Arch arch,
+                  std::uint64_t base_seed, int count,
+                  const sim::FuzzConfig& config, int threads) {
+  const std::filesystem::path arch_dir =
+      std::filesystem::path(dir) / sim::arch_name(arch);
+  std::filesystem::create_directories(arch_dir);
+  // Verdict enumeration dominates; fan it out and write in driver order so
+  // the on-disk corpus is bit-identical for any thread count.
+  const std::vector<std::string> files = bench::par_index_map(
+      static_cast<std::size_t>(count), threads, [&](int i) -> std::string {
+        const std::uint64_t seed =
+            sim::hash_combine(base_seed, static_cast<std::uint64_t>(i));
+        const sim::LitmusTest test = sim::generate_litmus(seed, config);
+        if (!cheap_to_cross_check(test)) return {};
+        if (!sim::printable_as(test, sim::LitmusDialect::X86) &&
+            !sim::printable_as(test, sim::LitmusDialect::AArch64)) {
+          return {};
+        }
+        const std::set<sim::Outcome> sc =
+            sim::enumerate_outcomes(test, sim::Arch::SC);
+        const std::set<sim::Outcome> own = sim::enumerate_outcomes(test, arch);
+        sim::Outcome witness;
+        for (const sim::Outcome& o : own) {
+          if (!sc.count(o)) {
+            witness = o;  // smallest relaxed outcome: the herd question proper
+            break;
+          }
+        }
+        if (witness.empty()) witness = *own.begin();
+        sim::LitmusFile file = sim::to_litmus_file(test, witness);
+        auto allowed_on = [&](sim::Arch a) {
+          if (a == sim::Arch::SC) return sc.count(witness) != 0;
+          if (a == arch) return own.count(witness) != 0;
+          return sim::enumerate_outcomes(test, a).count(witness) != 0;
+        };
+        file.expected[sim::Arch::SC] = allowed_on(sim::Arch::SC);
+        file.expected[sim::Arch::X86_TSO] = allowed_on(sim::Arch::X86_TSO);
+        file.expected[sim::Arch::ARMV8] = allowed_on(sim::Arch::ARMV8);
+        file.expected[sim::Arch::POWER7] = allowed_on(sim::Arch::POWER7);
+        return sim::print_litmus(file);
+      });
+  // Dense output numbering (skips leave no gaps) so `litmus_run
+  // --litmus-dir=... --export=...` writes the identical file names and the
+  // CI byte-level diff can compare the two directories directly.
+  int written = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::string& text = files[static_cast<std::size_t>(i)];
+    if (text.empty()) continue;
+    const std::uint64_t seed =
+        sim::hash_combine(base_seed, static_cast<std::uint64_t>(i));
+    char name[48];
+    std::snprintf(name, sizeof name, "%04d-fuzz-0x%llx.litmus", written,
+                  static_cast<unsigned long long>(seed));
+    const std::filesystem::path path = arch_dir / name;
+    std::ofstream out(path);
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "fuzz_conformance: cannot write %s\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    ++written;
+  }
+  return written;
+}
+
 int replay(std::uint64_t seed, const std::vector<sim::Arch>& archs,
            const sim::AxiomaticOptions& options) {
   int failures = 0;
@@ -124,6 +230,7 @@ int main(int argc, char** argv) {
   std::uint64_t replay_seed = 0;
   bool do_replay = false;
   int max_divergences = 1;
+  std::string export_dir;
   sim::AxiomaticOptions options;
 
   const std::vector<bench::FlagSpec> specs = {
@@ -164,6 +271,12 @@ int main(int argc, char** argv) {
          max_divergences = static_cast<int>(parse_u64(v));
          return max_divergences > 0;
        }},
+      {"--export-litmus", "DIR",
+       "write the corpus to DIR/<arch>/*.litmus in herd7 syntax",
+       [&](const std::string& v) {
+         export_dir = v;
+         return !v.empty();
+       }},
   };
   bench::Session session(argc, argv,
                          "Differential litmus conformance fuzzer", "", specs);
@@ -192,6 +305,18 @@ int main(int argc, char** argv) {
   sim::FuzzRunOptions run;
   run.threads = session.threads();
   run.max_divergences = max_divergences;
+
+  if (!export_dir.empty()) {
+    int exported = 0;
+    for (sim::Arch arch : archs) {
+      const bool power = arch == sim::Arch::POWER7;
+      exported += export_corpus(export_dir, arch, base_seed,
+                                power ? power_count : count,
+                                config_for(arch, options), run.threads);
+    }
+    std::printf("exported %d litmus tests to %s\n", exported,
+                export_dir.c_str());
+  }
 
   int failures = 0;
   for (sim::Arch arch : archs) {

@@ -89,6 +89,10 @@ void Session::record_throughput(const obs::Throughput& t) {
   record_lines_.push_back(obs::throughput_line(t));
 }
 
+void Session::record_litmus(const obs::LitmusVerdict& v) {
+  record_lines_.push_back(obs::litmus_line(v));
+}
+
 int Session::threads() const {
   return flags_.threads > 0 ? flags_.threads : par::default_threads();
 }

@@ -51,6 +51,7 @@ class Session {
                          const std::string& test, const core::Comparison& cmp);
   void record_sweep(const std::string& context, const core::SweepResult& sweep);
   void record_throughput(const obs::Throughput& t);
+  void record_litmus(const obs::LitmusVerdict& v);
 
   // Worker threads resolved from --threads (0 = hardware concurrency).
   int threads() const;

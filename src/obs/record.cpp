@@ -156,6 +156,31 @@ std::string throughput_line(const Throughput& t) {
   return w.take();
 }
 
+std::string litmus_line(const LitmusVerdict& v) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "litmus");
+  w.kv("name", v.name);
+  w.kv("dialect", v.dialect);
+  w.kv("source", v.source);
+  w.key("operational").begin_object();
+  w.kv("sc", v.op_sc);
+  w.kv("tso", v.op_tso);
+  w.kv("arm", v.op_arm);
+  w.kv("power", v.op_power);
+  w.end_object();
+  w.key("axiomatic").begin_object();
+  w.kv("sc", v.ax_sc);
+  w.kv("tso", v.ax_tso);
+  w.kv("arm", v.ax_arm);
+  w.kv("power", v.ax_power);
+  w.end_object();
+  w.kv("agree", v.agree);
+  w.kv("expect_ok", v.expect_ok);
+  w.end_object();
+  return w.take();
+}
+
 std::string counters_line(
     const std::vector<CounterRegistry::Entry>& entries) {
   JsonWriter w;
@@ -284,6 +309,28 @@ std::string validate_record(const JsonValue& record) {
                        {"cache_hits", K::Number},
                        {"cache_misses", K::Number},
                        {"cache_hit_rate", K::Number}});
+  }
+  if (t == "litmus") {
+    std::string err = check_keys(record, "litmus",
+                                 {{"name", K::String},
+                                  {"dialect", K::String},
+                                  {"source", K::String},
+                                  {"operational", K::Object},
+                                  {"axiomatic", K::Object},
+                                  {"agree", K::Bool},
+                                  {"expect_ok", K::Bool}});
+    if (!err.empty()) return err;
+    for (const char* side : {"operational", "axiomatic"}) {
+      err = check_keys(*record.find(side),
+                       side == std::string("operational") ? "litmus.operational"
+                                                          : "litmus.axiomatic",
+                       {{"sc", K::Bool},
+                        {"tso", K::Bool},
+                        {"arm", K::Bool},
+                        {"power", K::Bool}});
+      if (!err.empty()) return err;
+    }
+    return {};
   }
   if (t == "sites") {
     std::string err = check_keys(record, "sites",

@@ -22,6 +22,8 @@
 //   throughput : type, context, threads, programs, outcomes, wall_s,
 //                programs_per_s, outcomes_per_s, cache_hits, cache_misses,
 //                cache_hit_rate
+//   litmus     : type, name, dialect, source, operational{sc,tso,arm,power},
+//                axiomatic{sc,tso,arm,power}, agree, expect_ok
 //
 // throughput records carry wall-clock rates, so (like the manifest) they are
 // excluded from byte-identity comparisons between runs; every other record
@@ -89,6 +91,25 @@ struct Throughput {
 };
 
 std::string throughput_line(const Throughput& t);
+
+// Cross-oracle verdicts for one `.litmus` test (bench/litmus_run).  The
+// operational executor and the axiomatic oracles (single-axiom for
+// sc/tso/arm, Herding-Cats for power) each answer "is the final-state
+// condition reachable?" per architecture; `agree` is all four pairs
+// matching, `expect_ok` that any wmm-expect directive matched the
+// operational verdicts (true when the file carries none).  Deterministic
+// for a fixed input, independent of --threads.
+struct LitmusVerdict {
+  std::string name;
+  std::string dialect;  // "X86" or "AArch64"
+  std::string source;   // "file", "suite", "family", or "fuzz"
+  bool op_sc = false, op_tso = false, op_arm = false, op_power = false;
+  bool ax_sc = false, ax_tso = false, ax_arm = false, ax_power = false;
+  bool agree = false;
+  bool expect_ok = true;
+};
+
+std::string litmus_line(const LitmusVerdict& v);
 
 // Validates one parsed record against the schema above.  Returns an empty
 // string when valid, otherwise a description of the first problem.

@@ -1,0 +1,351 @@
+#include "sim/litmus_family.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "sim/fuzz.h"
+
+namespace wmm::sim {
+
+namespace {
+
+bool source_is_write(CommEdge e) { return e != CommEdge::Fre; }
+bool target_is_write(CommEdge e) { return e != CommEdge::Rfe; }
+
+char comm_char(CommEdge e) {
+  switch (e) {
+    case CommEdge::Rfe: return 'R';
+    case CommEdge::Fre: return 'F';
+    case CommEdge::Coe: return 'C';
+  }
+  return '?';
+}
+
+bool link_real(const FamilyLink& l) { return l.kind != LinkKind::None; }
+
+// Classic diy/herd cycle names, stored in one fixed rotation; candidates are
+// matched against every rotation.  `none_mask` bit i set = links[i] is None
+// (a single-event thread).
+struct ClassicEntry {
+  const char* pattern;
+  unsigned none_mask;
+  const char* name;
+};
+const ClassicEntry kClassics[] = {
+    {"RF", 0u, "MP"},       {"FF", 0u, "SB"},   {"RR", 0u, "LB"},
+    {"RC", 0u, "S"},        {"CF", 0u, "R"},    {"CC", 0u, "2+2W"},
+    {"RRF", 0u, "ISA2"},    {"RRF", 1u, "WRC"}, {"RFF", 1u, "RWC"},
+    {"RCF", 1u, "WWC"},     {"RFRF", 5u, "IRIW"},
+};
+
+// One realised event of the cycle.
+struct Event {
+  bool is_write = false;
+  int loc = 0;
+  int value = 0;  // write value, or the value a read must observe
+  int reg = -1;   // destination register for reads
+};
+
+}  // namespace
+
+const char* comm_edge_name(CommEdge e) {
+  switch (e) {
+    case CommEdge::Rfe: return "Rfe";
+    case CommEdge::Fre: return "Fre";
+    case CommEdge::Coe: return "Coe";
+  }
+  return "?";
+}
+
+std::string family_link_name(const FamilyLink& link) {
+  switch (link.kind) {
+    case LinkKind::None: return "";
+    case LinkKind::Po: return "po";
+    case LinkKind::DepAddr: return "addr";
+    case LinkKind::DepData: return "data";
+    case LinkKind::DepCtrl: return "ctrl";
+    case LinkKind::Fence: {
+      std::string name;
+      for (const char* p = fence_name(link.fence); *p; ++p) {
+        if (*p == ' ') name += '.';
+        else if (*p != '+') name += *p;
+      }
+      return name;
+    }
+  }
+  return "";
+}
+
+bool family_spec_valid(const FamilySpec& spec) {
+  const std::size_t n = spec.comm.size();
+  if (n < 2 || spec.links.size() != n) return false;
+  if (!link_real(spec.links[0])) return false;
+  int real = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FamilyLink& l = spec.links[i];
+    const CommEdge prev = spec.comm[(i + n - 1) % n];
+    // Thread i's first event is target(c_{i-1}), its second source(c_i).
+    const bool first_w = target_is_write(prev);
+    const bool second_w = source_is_write(spec.comm[i]);
+    switch (l.kind) {
+      case LinkKind::None:
+        if (first_w != second_w) return false;  // merged event needs one type
+        break;
+      case LinkKind::Po:
+        ++real;
+        break;
+      case LinkKind::Fence:
+        if (l.fence == FenceKind::None || l.fence == FenceKind::CtrlDep ||
+            l.fence == FenceKind::CompilerOnly)
+          return false;
+        ++real;
+        break;
+      case LinkKind::DepAddr:
+      case LinkKind::DepCtrl:
+        if (first_w) return false;  // dependencies spring from a read
+        ++real;
+        break;
+      case LinkKind::DepData:
+        if (first_w || !second_w) return false;
+        ++real;
+        break;
+    }
+  }
+  return real >= 2;  // >= 2 locations
+}
+
+FamilyProgram realize_family(const FamilySpec& spec) {
+  if (!family_spec_valid(spec))
+    throw std::invalid_argument("realize_family: invalid family spec");
+  const std::size_t n = spec.comm.size();
+
+  // Locations: walk the cycle, switching location at every real link.
+  std::vector<int> loc(n, 0);
+  for (std::size_t i = 1; i < n; ++i)
+    loc[i] = loc[i - 1] + (link_real(spec.links[i]) ? 1 : 0);
+  const int num_locs = loc[n - 1] + 1;
+
+  // Events per thread: [target(c_{i-1})] and [source(c_i)], merged when the
+  // link is None.
+  std::vector<std::vector<Event>> events(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t prev = (i + n - 1) % n;
+    Event first;
+    first.is_write = target_is_write(spec.comm[prev]);
+    first.loc = loc[prev];
+    events[i].push_back(first);
+    if (link_real(spec.links[i])) {
+      Event second;
+      second.is_write = source_is_write(spec.comm[i]);
+      second.loc = loc[i];
+      events[i].push_back(second);
+    }
+  }
+  auto tgt_of = [&](std::size_t i) -> Event& {
+    return events[(i + 1) % n].front();
+  };
+  auto src_of = [&](std::size_t i) -> Event& { return events[i].back(); };
+
+  // Coherence values: within a same-location run the writes appear in
+  // coherence order, so number them 1, 2, ... by appearance (initial value
+  // is 0).  Runs are the maximal same-location stretches of comm edges.
+  std::vector<int> final_value(static_cast<std::size_t>(num_locs), 0);
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i;
+    while (j + 1 < n && loc[j + 1] == loc[i]) ++j;
+    int next_value = 0;
+    if (src_of(i).is_write) src_of(i).value = ++next_value;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (tgt_of(k).is_write) tgt_of(k).value = ++next_value;
+    }
+    final_value[static_cast<std::size_t>(loc[i])] = next_value;
+    i = j + 1;
+  }
+
+  // Read values: an Rfe target observes its source's value; an Fre source
+  // observes the coherence predecessor of its target.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spec.comm[i] == CommEdge::Rfe) tgt_of(i).value = src_of(i).value;
+    if (spec.comm[i] == CommEdge::Fre) src_of(i).value = tgt_of(i).value - 1;
+  }
+
+  // Registers, thread-major.
+  int next_reg = 0;
+  for (auto& th : events) {
+    for (Event& e : th) {
+      if (!e.is_write) e.reg = next_reg++;
+    }
+  }
+
+  FamilyProgram out;
+  out.spec = spec;
+  out.test.num_vars = num_locs;
+  out.test.num_regs = next_reg;
+  for (std::size_t i = 0; i < n; ++i) {
+    LitmusThread th;
+    auto instr_for = [](const Event& e) {
+      return e.is_write ? LitmusInstr::write(e.loc, e.value)
+                        : LitmusInstr::read(e.reg, e.loc);
+    };
+    th.instrs.push_back(instr_for(events[i][0]));
+    if (events[i].size() == 2) {
+      const FamilyLink& l = spec.links[i];
+      if (l.kind == LinkKind::Fence)
+        th.instrs.push_back(LitmusInstr::barrier(l.fence));
+      LitmusInstr second = instr_for(events[i][1]);
+      const int src_reg = events[i][0].reg;
+      if (l.kind == LinkKind::DepAddr) second.addr_dep = src_reg;
+      if (l.kind == LinkKind::DepData) second.data_dep = src_reg;
+      if (l.kind == LinkKind::DepCtrl) second.ctrl_dep = src_reg;
+      th.instrs.push_back(second);
+    }
+    out.test.threads.push_back(std::move(th));
+  }
+
+  // Witness outcome: registers then final variable values.
+  out.witness.assign(static_cast<std::size_t>(next_reg + num_locs), 0);
+  for (const auto& th : events) {
+    for (const Event& e : th) {
+      if (!e.is_write) out.witness[static_cast<std::size_t>(e.reg)] = e.value;
+    }
+  }
+  for (int v = 0; v < num_locs; ++v)
+    out.witness[static_cast<std::size_t>(next_reg + v)] =
+        final_value[static_cast<std::size_t>(v)];
+
+  // Name: classic base when some rotation matches the table, systematic
+  // spelling otherwise, then one "+annotation" per real link.
+  std::string base;
+  std::size_t rot = 0;
+  for (const ClassicEntry& entry : kClassics) {
+    if (std::string(entry.pattern).size() != n) continue;
+    for (std::size_t r = 0; r < n && base.empty(); ++r) {
+      bool match = true;
+      for (std::size_t i = 0; i < n && match; ++i) {
+        const std::size_t j = (i + r) % n;
+        if (comm_char(spec.comm[j]) != entry.pattern[i]) match = false;
+        const bool want_none = (entry.none_mask >> i) & 1u;
+        if (link_real(spec.links[j]) == want_none) match = false;
+      }
+      if (match) {
+        base = entry.name;
+        rot = r;
+      }
+    }
+    if (!base.empty()) break;
+  }
+  if (base.empty()) {
+    base = "CY-";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!link_real(spec.links[i])) base += 'o';
+      base += comm_char(spec.comm[i]);
+    }
+  }
+  bool all_po = true;
+  for (const FamilyLink& l : spec.links) {
+    if (link_real(l) && l.kind != LinkKind::Po) all_po = false;
+  }
+  out.name = base;
+  if (!all_po) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const FamilyLink& l = spec.links[(i + rot) % n];
+      if (link_real(l)) out.name += "+" + family_link_name(l);
+    }
+  }
+  out.test.name = out.name;
+  return out;
+}
+
+std::vector<FamilyProgram> generate_families(const FamilyOptions& options) {
+  std::vector<FamilyProgram> out;
+  std::set<std::string> seen_keys;
+  std::set<std::string> seen_names;
+
+  const int max_n = std::min(options.max_comm_edges, 4);
+  for (int n = 2; n <= max_n; ++n) {
+    // Comm patterns, lexicographic in (Rfe, Fre, Coe).
+    const CommEdge kEdges[] = {CommEdge::Rfe, CommEdge::Fre, CommEdge::Coe};
+    std::vector<std::size_t> pat(static_cast<std::size_t>(n), 0);
+    for (bool more_pat = true; more_pat;) {
+      FamilySpec spec;
+      for (std::size_t p : pat) spec.comm.push_back(kEdges[p]);
+
+      // None masks over links 1..n-1 (link 0 is always real).  Cycles of 4
+      // comm edges are restricted to exactly two real links (IRIW shapes).
+      for (unsigned mask = 0; mask < (1u << (n - 1)); ++mask) {
+        const int nones = __builtin_popcount(mask);
+        if (n - nones < 2) continue;
+        if (n >= 4 && n - nones != 2) continue;
+        spec.links.assign(static_cast<std::size_t>(n), FamilyLink{});
+        for (int i = 1; i < n; ++i) {
+          if ((mask >> (i - 1)) & 1u)
+            spec.links[static_cast<std::size_t>(i)].kind = LinkKind::None;
+        }
+        if (!family_spec_valid(spec)) continue;  // type-compat of the mask
+
+        // Annotation choices per real link.
+        std::vector<std::size_t> real_idx;
+        std::vector<std::vector<FamilyLink>> choices;
+        for (int i = 0; i < n; ++i) {
+          if (!link_real(spec.links[static_cast<std::size_t>(i)])) continue;
+          real_idx.push_back(static_cast<std::size_t>(i));
+          std::vector<FamilyLink> c = {FamilyLink{LinkKind::Po, FenceKind::None}};
+          for (FenceKind f : options.fences)
+            c.push_back(FamilyLink{LinkKind::Fence, f});
+          if (options.include_deps) {
+            const CommEdge prev =
+                spec.comm[static_cast<std::size_t>((i + n - 1) % n)];
+            if (!target_is_write(prev)) {
+              c.push_back(FamilyLink{LinkKind::DepAddr, FenceKind::None});
+              c.push_back(FamilyLink{LinkKind::DepCtrl, FenceKind::None});
+              if (source_is_write(spec.comm[static_cast<std::size_t>(i)]))
+                c.push_back(FamilyLink{LinkKind::DepData, FenceKind::None});
+            }
+          }
+          choices.push_back(std::move(c));
+        }
+
+        // Odometer over the annotation product.
+        std::vector<std::size_t> pick(choices.size(), 0);
+        for (bool more = true; more;) {
+          for (std::size_t k = 0; k < pick.size(); ++k)
+            spec.links[real_idx[k]] = choices[k][pick[k]];
+          if (family_spec_valid(spec)) {
+            FamilyProgram prog = realize_family(spec);
+            const std::string key = canonical_program_key(prog.test);
+            if (!options.dedup || seen_keys.insert(key).second) {
+              // Isomorphic rotations share a name; keep the first program
+              // for a name even when structural dedup is off.
+              if (seen_names.insert(prog.name).second) {
+                out.push_back(std::move(prog));
+                if (options.limit && out.size() >= options.limit) return out;
+              }
+            }
+          }
+          more = false;
+          for (std::size_t k = pick.size(); k-- > 0;) {
+            if (++pick[k] < choices[k].size()) {
+              more = true;
+              break;
+            }
+            pick[k] = 0;
+          }
+          if (pick.empty()) break;
+        }
+      }
+
+      more_pat = false;
+      for (std::size_t k = pat.size(); k-- > 0;) {
+        if (++pat[k] < 3) {
+          more_pat = true;
+          break;
+        }
+        pat[k] = 0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wmm::sim

@@ -1,0 +1,98 @@
+// diy7-style systematic litmus-test family generation (Alglave et al.,
+// "Herding Cats"; the diy7 tool of the herd7 suite).
+//
+// A *critical cycle* is a cycle of relaxed edges that a memory model would
+// have to admit for the associated final state to be observable:
+//
+//   comm edges (between threads):   Rfe  W -> R   (read from external write)
+//                                   Fre  R -> W   (from-read to a later write)
+//                                   Coe  W -> W   (coherence between threads)
+//   link edges (inside one thread): Po, Fence(kind), DepAddr, DepData,
+//                                   DepCtrl — or None, merging the two
+//                                   endpoint events into a single-event
+//                                   thread (the WRC/IRIW writer shape).
+//
+// A FamilySpec lists n comm edges c_0..c_{n-1} and n links, where links[i]
+// connects target(c_{i-1}) to source(c_i) inside thread i (indices mod n).
+// Locations are assigned by walking the cycle: every real link switches to a
+// fresh location, None keeps it (so runs of same-location comm edges are
+// chains of merged events).  Realisation lays the cycle out as a LitmusTest
+// plus the witness outcome in enumerate_outcomes layout, and names the
+// program with the herd convention: classic base (MP, SB, LB, S, R, 2+2W,
+// ISA2, WRC, RWC, IRIW) when the cycle shape matches, systematic spelling
+// otherwise, then one "+annotation" per real link (MP+dmb.ish+addr).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/fence.h"
+#include "sim/memory_model.h"
+
+namespace wmm::sim {
+
+enum class CommEdge { Rfe, Fre, Coe };
+
+enum class LinkKind { None, Po, Fence, DepAddr, DepData, DepCtrl };
+
+struct FamilyLink {
+  LinkKind kind = LinkKind::Po;
+  FenceKind fence = FenceKind::None;  // when kind == Fence
+
+  friend bool operator==(const FamilyLink&, const FamilyLink&) = default;
+};
+
+struct FamilySpec {
+  std::vector<CommEdge> comm;     // n >= 2 comm edges around the cycle
+  std::vector<FamilyLink> links;  // size n; links[i] closes thread i
+
+  friend bool operator==(const FamilySpec&, const FamilySpec&) = default;
+};
+
+const char* comm_edge_name(CommEdge e);
+
+// Human-readable annotation for a link ("po", "dmb.ish", "addr", ...).
+std::string family_link_name(const FamilyLink& link);
+
+// Whether `spec` denotes a well-formed critical cycle: matching event types
+// across merged events, links[0] real plus at least one further real link
+// (equivalently >= 2 locations), and dependency links sourced at reads.
+bool family_spec_valid(const FamilySpec& spec);
+
+// A realised family member: the program, the witness outcome the cycle
+// observes (registers then final variable values), and the herd-style name.
+struct FamilyProgram {
+  FamilySpec spec;
+  std::string name;
+  LitmusTest test;
+  Outcome witness;
+};
+
+// Lays out a valid spec as a litmus program.  Throws std::invalid_argument
+// when !family_spec_valid(spec).
+FamilyProgram realize_family(const FamilySpec& spec);
+
+struct FamilyOptions {
+  // Largest cycle size (number of comm edges).  Cycles of 4 comm edges are
+  // only enumerated in the IRIW shape family (exactly two real links, i.e.
+  // two single-event writer/reader threads) to keep the space bounded.
+  int max_comm_edges = 4;
+  // Fence kinds tried on fence links.
+  std::vector<FenceKind> fences = {
+      FenceKind::DmbIsh, FenceKind::DmbIshLd, FenceKind::DmbIshSt,
+      FenceKind::LwSync, FenceKind::HwSync,   FenceKind::Mfence,
+  };
+  // Also try addr/data/ctrl dependency links.
+  bool include_deps = true;
+  // Drop programs isomorphic to an earlier one (canonical_program_key).
+  bool dedup = true;
+  // Stop after this many programs (0 = no cap).
+  std::size_t limit = 0;
+};
+
+// Enumerates every valid spec within the bounds, in a fixed deterministic
+// order, realises each, and (by default) deduplicates isomorphic programs.
+std::vector<FamilyProgram> generate_families(const FamilyOptions& options = {});
+
+}  // namespace wmm::sim

@@ -1,0 +1,1270 @@
+#include "sim/litmus_format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace wmm::sim {
+
+namespace {
+
+// x86 register names indexed by *global* register id (thread-major dense
+// numbering makes the mapping stable across the file).
+const char* const kX86Regs[] = {"EAX", "EBX",  "ECX",  "EDX",  "ESI",
+                                "EDI", "R8D",  "R9D",  "R10D", "R11D",
+                                "R12D", "R13D", "R14D", "R15D"};
+constexpr int kNumX86Regs = 14;
+
+// Short architecture names used by the wmm-expect directive, in the fixed
+// emission order sc, tso, arm, power.
+const Arch kExpectOrder[] = {Arch::SC, Arch::X86_TSO, Arch::ARMV8,
+                             Arch::POWER7};
+
+const char* arch_short(Arch arch) {
+  switch (arch) {
+    case Arch::SC: return "sc";
+    case Arch::X86_TSO: return "tso";
+    case Arch::ARMV8: return "arm";
+    case Arch::POWER7: return "power";
+  }
+  return "?";
+}
+
+std::optional<Arch> arch_from_short(const std::string& name) {
+  for (Arch a : kExpectOrder) {
+    if (name == arch_short(a)) return a;
+  }
+  return std::nullopt;
+}
+
+bool is_read(const LitmusInstr& in) { return in.type == AccessType::Read; }
+bool is_write(const LitmusInstr& in) { return in.type == AccessType::Write; }
+bool is_fence(const LitmusInstr& in) { return in.type == AccessType::Fence; }
+
+// The thread that loads global register `reg`, or -1.
+int reg_owner(const LitmusTest& test, int reg) {
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    for (const LitmusInstr& in : test.threads[t].instrs) {
+      if (is_read(in) && in.reg == reg) return static_cast<int>(t);
+    }
+  }
+  return -1;
+}
+
+// AArch64 fence spellings.  CtrlIsb is handled separately (CBNZ+label+ISB
+// idiom); the SYNC/LWSYNC/ISYNC/MFENCE entries are the documented extension
+// mnemonics for the cross-ISA fence kinds the fuzzer mixes in.
+std::optional<std::string> aarch64_fence_spelling(FenceKind kind) {
+  switch (kind) {
+    case FenceKind::DmbIsh: return "DMB ISH";
+    case FenceKind::DmbIshLd: return "DMB ISHLD";
+    case FenceKind::DmbIshSt: return "DMB ISHST";
+    case FenceKind::DsbSy: return "DSB SY";
+    case FenceKind::Isb: return "ISB";
+    case FenceKind::Nop: return "NOP";
+    case FenceKind::HwSync: return "SYNC";
+    case FenceKind::LwSync: return "LWSYNC";
+    case FenceKind::ISync: return "ISYNC";
+    case FenceKind::Mfence: return "MFENCE";
+    default: return std::nullopt;
+  }
+}
+
+// Scratch registers an instruction consumes when printed in AArch64: one for
+// the value of every store, one per address-dependency EOR.
+int scratch_needed(const LitmusInstr& in) {
+  if (is_write(in)) return 1 + (in.addr_dep >= 0 ? 1 : 0);
+  if (is_read(in)) return in.addr_dep >= 0 ? 1 : 0;
+  return 0;
+}
+
+// Why `test` cannot be printed in `dialect`, or nullopt when it can.
+std::optional<std::string> unprintable_reason(const LitmusTest& test,
+                                              LitmusDialect dialect) {
+  if (test.name.empty()) return "test has no name";
+  if (test.threads.empty()) return "test has no threads";
+  if (test.num_vars <= 0) return "test has no variables";
+
+  // Registers must be loaded exactly once each (global numbering) and dense:
+  // the printed file only records loads, so num_regs must be recoverable as
+  // max load target + 1.
+  std::vector<int> load_count(static_cast<std::size_t>(test.num_regs), 0);
+  int max_reg = -1;
+  for (const LitmusThread& th : test.threads) {
+    std::vector<int> loaded_here;
+    for (const LitmusInstr& in : th.instrs) {
+      if (is_read(in) || is_write(in)) {
+        if (in.var < 0 || in.var >= test.num_vars)
+          return "instruction references a variable out of range";
+      }
+      if (is_read(in)) {
+        if (in.reg < 0 || in.reg >= test.num_regs)
+          return "load target register out of range";
+        ++load_count[static_cast<std::size_t>(in.reg)];
+        max_reg = std::max(max_reg, in.reg);
+        if (in.data_dep >= 0) return "data dependency on a load";
+        if (in.release) return "release flag on a load";
+      }
+      if (is_write(in) && in.acquire) return "acquire flag on a store";
+      for (int dep : {in.addr_dep, in.data_dep, in.ctrl_dep}) {
+        if (dep < 0) continue;
+        if (is_fence(in) && in.fence != FenceKind::CtrlIsb)
+          return "dependency annotation on a fence";
+        if (std::find(loaded_here.begin(), loaded_here.end(), dep) ==
+            loaded_here.end())
+          return "dependency on a register not previously loaded in the "
+                 "same thread";
+      }
+      if (is_read(in)) loaded_here.push_back(in.reg);
+    }
+  }
+  for (int c : load_count) {
+    if (c != 1) return "registers must be loaded exactly once each";
+  }
+  if (max_reg + 1 != test.num_regs)
+    return "register numbering is not dense";
+
+  if (dialect == LitmusDialect::X86) {
+    if (test.num_regs > kNumX86Regs)
+      return "too many registers for the x86 register file";
+    int next = 0;
+    for (const LitmusThread& th : test.threads) {
+      for (const LitmusInstr& in : th.instrs) {
+        if (is_fence(in)) {
+          if (in.fence != FenceKind::Mfence && in.fence != FenceKind::Nop)
+            return std::string("fence '") + fence_name(in.fence) +
+                   "' has no x86 spelling";
+          continue;
+        }
+        if (in.addr_dep >= 0 || in.data_dep >= 0 || in.ctrl_dep >= 0)
+          return "x86 dialect cannot express dependencies";
+        if (in.acquire || in.release)
+          return "x86 dialect cannot express acquire/release accesses";
+        if (is_read(in) && in.reg != next++)
+          return "x86 dialect requires thread-major register numbering";
+      }
+    }
+  } else {
+    int max_scratch = 0;
+    for (const LitmusThread& th : test.threads) {
+      int need = 0;
+      for (const LitmusInstr& in : th.instrs) {
+        need += scratch_needed(in);
+        if (is_fence(in) && in.fence != FenceKind::CtrlIsb &&
+            !aarch64_fence_spelling(in.fence)) {
+          return std::string("fence '") + fence_name(in.fence) +
+                 "' has no instruction spelling";
+        }
+      }
+      max_scratch = std::max(max_scratch, need);
+    }
+    // W0..W<num_regs-1> data, then per-thread scratch, then X registers for
+    // variable addresses; X29/X30 stay reserved.
+    const int addr_base = test.num_regs + max_scratch;
+    if (addr_base + test.num_vars - 1 > 28)
+      return "register budget exceeded (needs X" +
+             std::to_string(addr_base + test.num_vars - 1) + ")";
+  }
+  return std::nullopt;
+}
+
+// Pads `cells` column-wise and joins rows " c | c ;".
+std::string layout_columns(const std::vector<std::vector<std::string>>& cols) {
+  std::size_t rows = 0;
+  std::vector<std::size_t> width(cols.size(), 0);
+  for (std::size_t t = 0; t < cols.size(); ++t) {
+    rows = std::max(rows, cols[t].size());
+    for (const std::string& c : cols[t]) width[t] = std::max(width[t], c.size());
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      const std::string& c = r < cols[t].size() ? cols[t][r] : std::string();
+      os << ' ' << c << std::string(width[t] - c.size(), ' ') << ' ';
+      os << (t + 1 == cols.size() ? ';' : '|');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_cond_atom(const LitmusFile& file, const LitmusCondAtom& a) {
+  std::ostringstream os;
+  if (a.is_reg) {
+    os << a.thread << ':';
+    if (file.dialect == LitmusDialect::X86) {
+      os << kX86Regs[a.index];
+    } else {
+      os << 'W' << a.index;
+    }
+  } else {
+    os << litmus_var_name(a.index);
+  }
+  os << '=' << a.value;
+  return os.str();
+}
+
+}  // namespace
+
+const char* litmus_dialect_name(LitmusDialect dialect) {
+  return dialect == LitmusDialect::X86 ? "X86" : "AArch64";
+}
+
+std::string litmus_var_name(int var) {
+  static const char* const kNames[] = {"x", "y", "z", "u"};
+  if (var >= 0 && var < 4) return kNames[var];
+  return "v" + std::to_string(var);
+}
+
+std::optional<int> litmus_var_index(const std::string& name) {
+  static const char* const kNames[] = {"x", "y", "z", "u"};
+  for (int i = 0; i < 4; ++i) {
+    if (name == kNames[i]) return i;
+  }
+  if (name.size() >= 2 && name[0] == 'v') {
+    int value = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) return std::nullopt;
+      value = value * 10 + (name[i] - '0');
+    }
+    if (value >= 4) return value;
+  }
+  return std::nullopt;
+}
+
+LitmusParseError::LitmusParseError(int line, int col, const std::string& message)
+    : std::runtime_error("line " + std::to_string(line) + ", col " +
+                         std::to_string(col) + ": " + message),
+      line_(line),
+      col_(col),
+      detail_(message) {}
+
+bool printable_as(const LitmusTest& test, LitmusDialect dialect) {
+  return !unprintable_reason(test, dialect).has_value();
+}
+
+std::string print_litmus(const LitmusFile& file) {
+  if (auto reason = unprintable_reason(file.test, file.dialect)) {
+    throw std::invalid_argument("cannot print '" + file.test.name + "' as " +
+                                litmus_dialect_name(file.dialect) + ": " +
+                                *reason);
+  }
+  const LitmusTest& test = file.test;
+  std::ostringstream os;
+  os << litmus_dialect_name(file.dialect) << ' ' << test.name << '\n';
+  if (!file.expected.empty()) {
+    os << "(* wmm-expect:";
+    for (Arch a : kExpectOrder) {
+      auto it = file.expected.find(a);
+      if (it == file.expected.end()) continue;
+      os << ' ' << arch_short(a) << '=' << (it->second ? "allow" : "forbid");
+    }
+    os << " *)\n";
+  }
+
+  // Variables each thread touches, for the address-register bindings.
+  std::vector<std::vector<int>> thread_vars(test.threads.size());
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    std::vector<bool> used(static_cast<std::size_t>(test.num_vars), false);
+    for (const LitmusInstr& in : test.threads[t].instrs) {
+      if (!is_fence(in)) used[static_cast<std::size_t>(in.var)] = true;
+    }
+    for (int v = 0; v < test.num_vars; ++v) {
+      if (used[static_cast<std::size_t>(v)]) thread_vars[t].push_back(v);
+    }
+  }
+
+  int max_scratch = 0;
+  for (const LitmusThread& th : test.threads) {
+    int need = 0;
+    for (const LitmusInstr& in : th.instrs) need += scratch_needed(in);
+    max_scratch = std::max(max_scratch, need);
+  }
+  const int scratch_base = test.num_regs;
+  const int addr_base = scratch_base + max_scratch;
+  auto addr_reg = [&](int var) { return addr_base + var; };
+
+  if (file.dialect == LitmusDialect::X86) {
+    os << "{ ";
+    for (int v = 0; v < test.num_vars; ++v)
+      os << litmus_var_name(v) << "=0; ";
+    os << "}\n";
+  } else {
+    os << "{\n";
+    for (int v = 0; v < test.num_vars; ++v)
+      os << litmus_var_name(v) << "=0;" << (v + 1 == test.num_vars ? "" : " ");
+    os << '\n';
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+      if (thread_vars[t].empty()) continue;
+      for (std::size_t i = 0; i < thread_vars[t].size(); ++i) {
+        const int v = thread_vars[t][i];
+        os << t << ":X" << addr_reg(v) << '=' << litmus_var_name(v) << ';'
+           << (i + 1 == thread_vars[t].size() ? "" : " ");
+      }
+      os << '\n';
+    }
+    os << "}\n";
+  }
+
+  // Program columns.
+  std::vector<std::vector<std::string>> cols(test.threads.size());
+  int label_counter = 0;  // global across threads, in thread order
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    cols[t].push_back("P" + std::to_string(t));
+    int scratch = scratch_base;
+    int last_read = -1;
+    auto emit_ctrl = [&](int reg) {
+      const int n = label_counter++;
+      cols[t].push_back("CBNZ W" + std::to_string(reg) + ",LC" +
+                        std::to_string(n));
+      cols[t].push_back("LC" + std::to_string(n) + ":");
+    };
+    for (const LitmusInstr& in : test.threads[t].instrs) {
+      if (is_fence(in)) {
+        if (in.fence == FenceKind::CtrlIsb) {
+          const int reg = in.ctrl_dep >= 0 ? in.ctrl_dep : last_read;
+          if (reg >= 0) {
+            emit_ctrl(reg);
+            cols[t].push_back("ISB");
+          } else {
+            cols[t].push_back("CTRLISB");
+          }
+        } else {
+          cols[t].push_back(*aarch64_fence_spelling(in.fence));
+        }
+        continue;
+      }
+      if (file.dialect == LitmusDialect::X86) {
+        if (is_read(in)) {
+          cols[t].push_back(std::string("MOV ") + kX86Regs[in.reg] + ",[" +
+                            litmus_var_name(in.var) + "]");
+        } else {
+          cols[t].push_back("MOV [" + litmus_var_name(in.var) + "],$" +
+                            std::to_string(in.value));
+        }
+        if (is_read(in)) last_read = in.reg;
+        continue;
+      }
+      if (in.ctrl_dep >= 0) emit_ctrl(in.ctrl_dep);
+      const std::string xv = "X" + std::to_string(addr_reg(in.var));
+      if (is_read(in)) {
+        std::string mem = "[" + xv + "]";
+        if (in.addr_dep >= 0) {
+          const int s = scratch++;
+          cols[t].push_back("EOR W" + std::to_string(s) + ",W" +
+                            std::to_string(in.addr_dep) + ",W" +
+                            std::to_string(in.addr_dep));
+          mem = "[" + xv + ",W" + std::to_string(s) + ",SXTW]";
+        }
+        cols[t].push_back((in.acquire ? "LDAR W" : "LDR W") +
+                          std::to_string(in.reg) + "," + mem);
+        last_read = in.reg;
+      } else {
+        const int v = scratch++;
+        if (in.data_dep >= 0) {
+          cols[t].push_back("EOR W" + std::to_string(v) + ",W" +
+                            std::to_string(in.data_dep) + ",W" +
+                            std::to_string(in.data_dep));
+          cols[t].push_back("ADD W" + std::to_string(v) + ",W" +
+                            std::to_string(v) + ",#" +
+                            std::to_string(in.value));
+        } else {
+          cols[t].push_back("MOV W" + std::to_string(v) + ",#" +
+                            std::to_string(in.value));
+        }
+        std::string mem = "[" + xv + "]";
+        if (in.addr_dep >= 0) {
+          const int u = scratch++;
+          cols[t].push_back("EOR W" + std::to_string(u) + ",W" +
+                            std::to_string(in.addr_dep) + ",W" +
+                            std::to_string(in.addr_dep));
+          mem = "[" + xv + ",W" + std::to_string(u) + ",SXTW]";
+        }
+        cols[t].push_back((in.release ? "STLR W" : "STR W") +
+                          std::to_string(v) + "," + mem);
+      }
+    }
+  }
+  os << layout_columns(cols);
+
+  os << (file.negated ? "~exists (" : "exists (");
+  for (std::size_t i = 0; i < file.condition.size(); ++i) {
+    if (i) os << " /\\ ";
+    os << format_cond_atom(file, file.condition[i]);
+  }
+  os << ")\n";
+  return os.str();
+}
+
+LitmusFile to_litmus_file(const LitmusTest& test, const Outcome& witness,
+                          std::optional<LitmusDialect> force) {
+  if (static_cast<int>(witness.size()) != test.num_regs + test.num_vars) {
+    throw std::invalid_argument(
+        "witness outcome size does not match registers + variables of '" +
+        test.name + "'");
+  }
+  LitmusFile file;
+  file.dialect = force ? *force
+                       : (printable_as(test, LitmusDialect::X86)
+                              ? LitmusDialect::X86
+                              : LitmusDialect::AArch64);
+  file.test = test;
+  for (int r = 0; r < test.num_regs; ++r) {
+    const int owner = reg_owner(test, r);
+    if (owner < 0) {
+      throw std::invalid_argument("register W" + std::to_string(r) +
+                                  " of '" + test.name + "' is never loaded");
+    }
+    file.condition.push_back(
+        {/*is_reg=*/true, owner, r, witness[static_cast<std::size_t>(r)]});
+  }
+  for (int v = 0; v < test.num_vars; ++v) {
+    file.condition.push_back(
+        {/*is_reg=*/false, -1, v,
+         witness[static_cast<std::size_t>(test.num_regs + v)]});
+  }
+  return file;
+}
+
+LitmusFile to_litmus_file(const LitmusCase& c,
+                          std::optional<LitmusDialect> force) {
+  LitmusFile file = to_litmus_file(c.test, c.relaxed_outcome, force);
+  for (Arch a : kExpectOrder) {
+    if (auto e = expected_allowed(c, a)) file.expected[a] = *e;
+  }
+  return file;
+}
+
+bool condition_holds(const LitmusFile& file, const Outcome& outcome) {
+  for (const LitmusCondAtom& a : file.condition) {
+    const int idx = a.is_reg ? a.index : file.test.num_regs + a.index;
+    if (idx < 0 || idx >= static_cast<int>(outcome.size())) return false;
+    if (outcome[static_cast<std::size_t>(idx)] != a.value) return false;
+  }
+  return true;
+}
+
+bool condition_reachable(const LitmusFile& file,
+                         const std::set<Outcome>& outcomes) {
+  return std::any_of(outcomes.begin(), outcomes.end(),
+                     [&](const Outcome& o) { return condition_holds(file, o); });
+}
+
+}  // namespace wmm::sim
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+namespace wmm::sim {
+namespace {
+
+struct Pos {
+  int line = 1;
+  int col = 1;
+};
+
+[[noreturn]] void fail(Pos p, const std::string& msg) {
+  throw LitmusParseError(p.line, p.col, msg);
+}
+
+// A source character with its original position (comment stripping blanks
+// characters in place, so positions survive).
+struct Ch {
+  char c;
+  Pos pos;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_blank(const std::string& s) { return trim(s).empty(); }
+
+long parse_long(const std::string& s, Pos p, const char* what) {
+  if (s.empty()) fail(p, std::string("expected ") + what);
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) fail(p, std::string("expected ") + what);
+  long value = 0;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i])))
+      fail(p, std::string("expected ") + what + ", got '" + s + "'");
+    value = value * 10 + (s[i] - '0');
+    if (value > 1000000000) fail(p, std::string(what) + " out of range");
+  }
+  return s[0] == '-' ? -value : value;
+}
+
+// Strips `(* ... *)` comments (nestable) in place, collecting their text.
+// Returns the stripped source split into lines.
+std::vector<std::string> strip_comments(
+    const std::string& text, std::vector<std::pair<Pos, std::string>>* comments) {
+  std::string out = text;
+  int depth = 0;
+  Pos pos{1, 1}, start{1, 1};
+  std::string current;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool open = c == '(' && i + 1 < out.size() && out[i + 1] == '*';
+    const bool close = c == '*' && i + 1 < out.size() && out[i + 1] == ')';
+    if (depth == 0 && open) {
+      start = pos;
+      depth = 1;
+      current.clear();
+      out[i] = ' ';
+    } else if (depth > 0 && open) {
+      ++depth;
+      current += "(*";
+      out[i + 1] = ' ';  // consumed below via loop body; blank both
+      out[i] = ' ';
+      // skip the '*' explicitly
+      ++pos.col;
+      ++i;
+      ++pos.col;
+      continue;
+    } else if (depth > 0 && close) {
+      --depth;
+      if (depth == 0) {
+        comments->emplace_back(start, current);
+      } else {
+        current += "*)";
+      }
+      out[i] = ' ';
+      out[i + 1] = ' ';
+      ++pos.col;
+      ++i;
+      ++pos.col;
+      continue;
+    } else if (depth == 0 && close) {
+      fail(pos, "unmatched '*)'");
+    } else if (depth > 0) {
+      current += c;
+      if (c != '\n') out[i] = ' ';
+    }
+    if (depth == 1 && open) {
+      // blank the '*' of the opener too
+      ++pos.col;
+      ++i;
+      out[i] = ' ';
+    }
+    if (out[i] == '\n' || c == '\n') {
+      ++pos.line;
+      pos.col = 1;
+    } else {
+      ++pos.col;
+    }
+  }
+  if (depth > 0) fail(start, "unterminated comment");
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : out) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  lines.push_back(line);
+  return lines;
+}
+
+// Splits an operand string on top-level commas (commas inside [...] do not
+// split).  Returns trimmed pieces.
+std::vector<std::string> split_ops(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!trim(cur).empty() || !out.empty()) out.push_back(trim(cur));
+  return out;
+}
+
+int parse_prefixed_reg(const std::string& s, char prefix, Pos p) {
+  if (s.size() < 2 || s[0] != prefix)
+    fail(p, std::string("expected a ") + prefix + " register, got '" + s + "'");
+  return static_cast<int>(parse_long(s.substr(1), p, "register number"));
+}
+
+int parse_imm(const std::string& s, Pos p) {
+  if (s.empty() || s[0] != '#')
+    fail(p, "expected an immediate '#value', got '" + s + "'");
+  return static_cast<int>(parse_long(s.substr(1), p, "immediate"));
+}
+
+struct MemOperand {
+  int xreg = -1;
+  int index_wreg = -1;  // -1: plain [Xn]
+};
+
+MemOperand parse_mem(const std::string& s, Pos p) {
+  if (s.size() < 2 || s.front() != '[' || s.back() != ']')
+    fail(p, "expected a memory operand '[Xn]', got '" + s + "'");
+  const std::vector<std::string> parts = split_ops(s.substr(1, s.size() - 2));
+  MemOperand mem;
+  if (parts.size() == 1) {
+    mem.xreg = parse_prefixed_reg(parts[0], 'X', p);
+  } else if (parts.size() == 3 && parts[2] == "SXTW") {
+    mem.xreg = parse_prefixed_reg(parts[0], 'X', p);
+    mem.index_wreg = parse_prefixed_reg(parts[1], 'W', p);
+  } else {
+    fail(p, "malformed memory operand '" + s + "'");
+  }
+  return mem;
+}
+
+std::optional<int> x86_reg_index(const std::string& name) {
+  for (int i = 0; i < kNumX86Regs; ++i) {
+    if (name == kX86Regs[i]) return i;
+  }
+  return std::nullopt;
+}
+
+struct Cell {
+  std::string text;  // trimmed
+  Pos pos;           // of the first non-space character
+};
+
+// A declared-variable table: name -> index, built from the init block.
+struct VarTable {
+  std::map<std::string, int> index;
+  int num_vars = 0;
+
+  std::optional<int> find(const std::string& name) const {
+    auto it = index.find(name);
+    if (it == index.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+// Scratch-value tracking while decoding one thread's assembly.
+struct Temp {
+  bool zero = false;   // EOR Wt,Ws,Ws result (value 0, tainted by src)
+  int src = -1;        // the data register the taint came from
+  int value = 0;       // for MOV/ADD results
+  bool has_value = false;
+};
+
+struct InitStmt {
+  std::string text;
+  Pos pos;
+};
+
+}  // namespace
+
+LitmusFile parse_litmus(const std::string& text) {
+  LitmusFile file;
+  std::vector<std::pair<Pos, std::string>> comments;
+  const std::vector<std::string> lines = strip_comments(text, &comments);
+
+  // wmm-expect directives ride in comments.
+  for (const auto& [cpos, body] : comments) {
+    const std::size_t at = body.find("wmm-expect:");
+    if (at == std::string::npos) continue;
+    std::istringstream is(body.substr(at + 11));
+    std::string tok;
+    while (is >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos)
+        fail(cpos, "malformed wmm-expect entry '" + tok + "'");
+      const std::optional<Arch> arch = arch_from_short(tok.substr(0, eq));
+      const std::string verdict = tok.substr(eq + 1);
+      if (!arch)
+        fail(cpos, "unknown architecture '" + tok.substr(0, eq) +
+                       "' in wmm-expect");
+      if (verdict != "allow" && verdict != "forbid")
+        fail(cpos, "wmm-expect verdict must be allow or forbid, got '" +
+                       verdict + "'");
+      file.expected[*arch] = verdict == "allow";
+    }
+  }
+
+  std::size_t li = 0;
+  auto skip_blank = [&] {
+    while (li < lines.size() && is_blank(lines[li])) ++li;
+  };
+  auto first_nonspace_col = [&](const std::string& line) {
+    int c = 1;
+    for (char ch : line) {
+      if (!std::isspace(static_cast<unsigned char>(ch))) break;
+      ++c;
+    }
+    return c;
+  };
+
+  // --- Header: "<arch> <name>".
+  skip_blank();
+  if (li >= lines.size()) fail({1, 1}, "empty litmus file");
+  {
+    const std::string& line = lines[li];
+    const int col = first_nonspace_col(line);
+    std::istringstream is(line);
+    std::string archword;
+    is >> archword;
+    Pos p{static_cast<int>(li) + 1, col};
+    if (archword == "X86") {
+      file.dialect = LitmusDialect::X86;
+    } else if (archword == "AArch64") {
+      file.dialect = LitmusDialect::AArch64;
+    } else {
+      fail(p, "unknown architecture '" + archword +
+                  "' (expected X86 or AArch64)");
+    }
+    std::string name = trim(line.substr(line.find(archword) + archword.size()));
+    if (name.empty())
+      fail({p.line, col + static_cast<int>(archword.size())},
+           "missing test name after architecture");
+    file.test.name = name;
+    ++li;
+  }
+
+  // --- Init block: statements between '{' and '}'.
+  skip_blank();
+  if (li >= lines.size() ||
+      trim(lines[li]).empty() || trim(lines[li])[0] != '{') {
+    Pos p{static_cast<int>(li) + 1, 1};
+    fail(p, "expected '{' to open the init block");
+  }
+  std::vector<InitStmt> init_stmts;
+  Pos open_pos{static_cast<int>(li) + 1, first_nonspace_col(lines[li])};
+  {
+    bool closed = false;
+    std::string cur;
+    Pos cur_pos{0, 0};
+    std::size_t ci = static_cast<std::size_t>(open_pos.col);  // after '{'
+    for (; li < lines.size() && !closed; ++li, ci = 0) {
+      const std::string& line = lines[li];
+      for (; ci < line.size(); ++ci) {
+        const char c = line[ci];
+        Pos p{static_cast<int>(li) + 1, static_cast<int>(ci) + 1};
+        if (c == '}') {
+          if (!is_blank(cur)) init_stmts.push_back({trim(cur), cur_pos});
+          if (!is_blank(line.substr(ci + 1)))
+            fail({p.line, p.col + 1}, "unexpected text after '}'");
+          closed = true;
+          break;
+        }
+        if (c == ';') {
+          if (!is_blank(cur)) init_stmts.push_back({trim(cur), cur_pos});
+          cur.clear();
+        } else {
+          if (is_blank(cur) && !std::isspace(static_cast<unsigned char>(c)))
+            cur_pos = p;
+          cur += c;
+        }
+      }
+    }
+    if (!closed) fail(open_pos, "unterminated init block");
+  }
+
+  // Pass 1: variable declarations "name=0".
+  VarTable vars;
+  std::vector<std::pair<std::string, Pos>> decls;
+  for (const InitStmt& st : init_stmts) {
+    if (st.text.find(':') != std::string::npos) continue;
+    const std::size_t eq = st.text.find('=');
+    if (eq == std::string::npos)
+      fail(st.pos, "expected '=' in init statement '" + st.text + "'");
+    const std::string name = trim(st.text.substr(0, eq));
+    const std::string value = trim(st.text.substr(eq + 1));
+    if (name.empty()) fail(st.pos, "missing variable name in init statement");
+    if (value != "0")
+      fail(st.pos, "non-zero initial values are not supported (got '" +
+                       name + "=" + value + "')");
+    for (const auto& [n, p] : decls) {
+      if (n == name) fail(st.pos, "variable '" + name + "' declared twice");
+    }
+    decls.emplace_back(name, st.pos);
+  }
+  if (decls.empty()) fail(open_pos, "init block declares no variables");
+  bool all_scheme = true;
+  for (const auto& [n, p] : decls) {
+    if (!litmus_var_index(n)) all_scheme = false;
+  }
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    const int idx = all_scheme ? *litmus_var_index(decls[i].first)
+                               : static_cast<int>(i);
+    vars.index[decls[i].first] = idx;
+    vars.num_vars = std::max(vars.num_vars, idx + 1);
+  }
+  file.test.num_vars = vars.num_vars;
+
+  // Pass 2: address-register bindings "p:Xn=name".
+  struct Binding {
+    int var;
+    Pos pos;
+  };
+  std::map<int, std::map<int, Binding>> bindings;  // thread -> xreg -> var
+  for (const InitStmt& st : init_stmts) {
+    const std::size_t colon = st.text.find(':');
+    if (colon == std::string::npos) continue;
+    if (file.dialect == LitmusDialect::X86)
+      fail(st.pos, "address-register bindings are not used in the X86 dialect");
+    const std::size_t eq = st.text.find('=');
+    if (eq == std::string::npos || eq < colon)
+      fail(st.pos, "expected '=' in init statement '" + st.text + "'");
+    const int proc = static_cast<int>(
+        parse_long(trim(st.text.substr(0, colon)), st.pos, "proc id"));
+    const std::string regname = trim(st.text.substr(colon + 1, eq - colon - 1));
+    const int xreg = parse_prefixed_reg(regname, 'X', st.pos);
+    const std::string varname = trim(st.text.substr(eq + 1));
+    const std::optional<int> var = vars.find(varname);
+    if (!var)
+      fail(st.pos, "address register bound to undeclared variable '" +
+                       varname + "'");
+    auto& slot = bindings[proc];
+    if (slot.count(xreg))
+      fail(st.pos, "address register X" + std::to_string(xreg) +
+                       " bound twice for proc " + std::to_string(proc));
+    slot.emplace(xreg, Binding{*var, st.pos});
+  }
+
+  // --- Program rows.
+  auto parse_row = [&](std::size_t line_idx) {
+    const std::string& line = lines[line_idx];
+    const std::string t = trim(line);
+    Pos end{static_cast<int>(line_idx) + 1, static_cast<int>(line.size()) + 1};
+    if (t.empty() || t.back() != ';')
+      fail(end, "expected ';' at end of row");
+    const std::size_t semi = line.rfind(';');
+    std::vector<Cell> cells;
+    std::string cur;
+    std::size_t start = 0;
+    auto push = [&](std::size_t upto) {
+      std::size_t b = start;
+      while (b < upto && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+      cells.push_back({trim(line.substr(start, upto - start)),
+                       Pos{static_cast<int>(line_idx) + 1,
+                           static_cast<int>(b) + 1}});
+    };
+    for (std::size_t i = 0; i < semi; ++i) {
+      if (line[i] == '|') {
+        push(i);
+        start = i + 1;
+      }
+    }
+    push(semi);
+    return cells;
+  };
+
+  skip_blank();
+  if (li >= lines.size())
+    fail({static_cast<int>(li), 1}, "missing program after init block");
+  const std::vector<Cell> header_cells = parse_row(li);
+  for (std::size_t i = 0; i < header_cells.size(); ++i) {
+    const std::string want = "P" + std::to_string(i);
+    if (header_cells[i].text != want)
+      fail(header_cells[i].pos, "expected '" + want + "' in the proc header, got '" +
+                                    header_cells[i].text + "'");
+  }
+  const std::size_t nthreads = header_cells.size();
+  ++li;
+
+  std::vector<std::vector<Cell>> program(nthreads);
+  bool saw_condition = false;
+  Pos cond_pos{0, 0};
+  std::string cond_first_line;
+  for (; li < lines.size(); ++li) {
+    if (is_blank(lines[li])) continue;
+    const std::string t = trim(lines[li]);
+    if (t.rfind("exists", 0) == 0 || t.rfind("~exists", 0) == 0) {
+      saw_condition = true;
+      cond_pos = Pos{static_cast<int>(li) + 1, first_nonspace_col(lines[li])};
+      break;
+    }
+    const std::vector<Cell> cells = parse_row(li);
+    if (cells.size() != nthreads)
+      fail(cells.front().pos,
+           "expected " + std::to_string(nthreads) + " columns, got " +
+               std::to_string(cells.size()));
+    for (std::size_t c = 0; c < nthreads; ++c) {
+      if (!cells[c].text.empty()) program[c].push_back(cells[c]);
+    }
+  }
+  if (!saw_condition)
+    fail({static_cast<int>(lines.size()), 1}, "missing final-state condition");
+
+  // --- Condition: collect chars between '(' and ')' (may span lines).
+  file.negated = trim(lines[static_cast<std::size_t>(cond_pos.line) - 1])
+                     .rfind("~exists", 0) == 0;
+  std::vector<Ch> cond_chars;
+  {
+    const std::size_t kw_len = file.negated ? 7 : 6;
+    std::size_t lidx = static_cast<std::size_t>(cond_pos.line) - 1;
+    std::size_t cidx = static_cast<std::size_t>(cond_pos.col) - 1 + kw_len;
+    // find '('
+    bool found_open = false;
+    Pos paren{0, 0};
+    for (; cidx < lines[lidx].size(); ++cidx) {
+      const char c = lines[lidx][cidx];
+      if (c == '(') {
+        found_open = true;
+        paren = {static_cast<int>(lidx) + 1, static_cast<int>(cidx) + 1};
+        break;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c)))
+        fail({static_cast<int>(lidx) + 1, static_cast<int>(cidx) + 1},
+             "expected '(' after 'exists'");
+    }
+    if (!found_open) fail(cond_pos, "expected '(' after 'exists'");
+    ++cidx;
+    bool closed = false;
+    for (; lidx < lines.size() && !closed; ++lidx, cidx = 0) {
+      for (; cidx < lines[lidx].size(); ++cidx) {
+        const char c = lines[lidx][cidx];
+        Pos p{static_cast<int>(lidx) + 1, static_cast<int>(cidx) + 1};
+        if (c == ')') {
+          closed = true;
+          if (!is_blank(lines[lidx].substr(cidx + 1)))
+            fail({p.line, p.col + 1}, "unexpected text after condition");
+          break;
+        }
+        cond_chars.push_back({c, p});
+      }
+    }
+    if (!closed) fail(paren, "unterminated condition");
+    for (; lidx < lines.size(); ++lidx) {
+      if (!is_blank(lines[lidx]))
+        fail({static_cast<int>(lidx) + 1, first_nonspace_col(lines[lidx])},
+             "unexpected text after condition");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < cond_chars.size(); ++i) {
+    if (cond_chars[i].c == '\\' && cond_chars[i + 1].c == '/')
+      fail(cond_chars[i].pos, "disjunctions are not supported");
+  }
+
+  // Split atoms on "/\".
+  std::vector<std::pair<std::string, Pos>> atoms;
+  {
+    std::string cur;
+    Pos cur_pos{cond_pos.line, cond_pos.col};
+    bool have_pos = false;
+    auto flush = [&](Pos at) {
+      if (is_blank(cur)) fail(at, "empty conjunct in condition");
+      atoms.emplace_back(trim(cur), cur_pos);
+      cur.clear();
+      have_pos = false;
+    };
+    for (std::size_t i = 0; i < cond_chars.size(); ++i) {
+      if (cond_chars[i].c == '/' && i + 1 < cond_chars.size() &&
+          cond_chars[i + 1].c == '\\') {
+        flush(cond_chars[i].pos);
+        ++i;
+        continue;
+      }
+      if (!have_pos &&
+          !std::isspace(static_cast<unsigned char>(cond_chars[i].c))) {
+        cur_pos = cond_chars[i].pos;
+        have_pos = true;
+      }
+      cur += cond_chars[i].c;
+    }
+    if (!is_blank(cur) || atoms.empty()) {
+      if (is_blank(cur))
+        fail(cond_pos, "empty condition");
+      atoms.emplace_back(trim(cur), cur_pos);
+    }
+  }
+
+  // --- Decode the program columns into LitmusInstrs.
+  std::map<int, int> loaded_global;            // data reg -> owning thread
+  std::vector<std::vector<int>> loaded_per(nthreads);
+  file.test.threads.resize(nthreads);
+  int max_data_reg = -1;
+
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    std::map<int, Temp> temps;
+    int pending_ctrl = -1;
+    Pos pending_pos{0, 0};
+    std::string expect_label;
+    auto& out = file.test.threads[t].instrs;
+    auto& loaded_here = loaded_per[t];
+    auto thread_binding = [&](int xreg, Pos p) {
+      auto bt = bindings.find(static_cast<int>(t));
+      if (bt != bindings.end()) {
+        auto bx = bt->second.find(xreg);
+        if (bx != bt->second.end()) return bx->second.var;
+      }
+      fail(p, "undeclared address register X" + std::to_string(xreg) +
+                  " (no init binding for proc " + std::to_string(t) + ")");
+    };
+    auto require_loaded_here = [&](int reg, Pos p) {
+      if (std::find(loaded_here.begin(), loaded_here.end(), reg) ==
+          loaded_here.end())
+        fail(p, "dangling dependency: register W" + std::to_string(reg) +
+                    " has not been loaded on this thread");
+    };
+    auto take_ctrl = [&]() {
+      const int c = pending_ctrl;
+      pending_ctrl = -1;
+      return c;
+    };
+    for (const Cell& cell : program[t]) {
+      const std::string& s = cell.text;
+      if (!expect_label.empty()) {
+        if (s != expect_label + ":")
+          fail(cell.pos, "expected label '" + expect_label +
+                             ":' after CBNZ, got '" + s + "'");
+        expect_label.clear();
+        continue;
+      }
+      const std::size_t sp = s.find(' ');
+      const std::string mn = s.substr(0, sp);
+      const std::string rest = sp == std::string::npos ? "" : trim(s.substr(sp));
+      const std::vector<std::string> ops = split_ops(rest);
+
+      if (file.dialect == LitmusDialect::X86) {
+        if (mn == "MFENCE" && ops.empty()) {
+          out.push_back(LitmusInstr::barrier(FenceKind::Mfence));
+        } else if (mn == "NOP" && ops.empty()) {
+          out.push_back(LitmusInstr::barrier(FenceKind::Nop));
+        } else if (mn == "MOV" && ops.size() == 2 && !ops[0].empty() &&
+                   ops[0][0] == '[') {
+          // MOV [x],$v  — store.
+          if (ops[0].size() < 3 || ops[0].back() != ']')
+            fail(cell.pos, "malformed memory operand '" + ops[0] + "'");
+          const std::string varname = trim(ops[0].substr(1, ops[0].size() - 2));
+          const std::optional<int> var = vars.find(varname);
+          if (!var)
+            fail(cell.pos, "undeclared variable '" + varname + "'");
+          if (ops[1].empty() || ops[1][0] != '$')
+            fail(cell.pos, "expected a '$value' store operand, got '" +
+                               ops[1] + "'");
+          const int value = static_cast<int>(
+              parse_long(ops[1].substr(1), cell.pos, "store value"));
+          out.push_back(LitmusInstr::write(*var, value));
+        } else if (mn == "MOV" && ops.size() == 2 && !ops[1].empty() &&
+                   ops[1][0] == '[') {
+          // MOV EAX,[x]  — load.
+          const std::optional<int> reg = x86_reg_index(ops[0]);
+          if (!reg)
+            fail(cell.pos, "unknown register '" + ops[0] + "'");
+          if (ops[1].size() < 3 || ops[1].back() != ']')
+            fail(cell.pos, "malformed memory operand '" + ops[1] + "'");
+          const std::string varname = trim(ops[1].substr(1, ops[1].size() - 2));
+          const std::optional<int> var = vars.find(varname);
+          if (!var)
+            fail(cell.pos, "undeclared variable '" + varname + "'");
+          if (loaded_global.count(*reg))
+            fail(cell.pos, "register " + ops[0] + " already loaded");
+          loaded_global[*reg] = static_cast<int>(t);
+          loaded_here.push_back(*reg);
+          max_data_reg = std::max(max_data_reg, *reg);
+          out.push_back(LitmusInstr::read(*reg, *var));
+        } else {
+          fail(cell.pos, "unknown instruction '" + s + "'");
+        }
+        continue;
+      }
+
+      // AArch64 dialect.
+      if (mn == "LC" || (mn.rfind("LC", 0) == 0 && mn.back() == ':')) {
+        fail(cell.pos, "label '" + s + "' does not follow a CBNZ");
+      } else if (mn == "CBNZ") {
+        if (ops.size() != 2)
+          fail(cell.pos, "CBNZ expects a register and a label");
+        const int reg = parse_prefixed_reg(ops[0], 'W', cell.pos);
+        require_loaded_here(reg, cell.pos);
+        if (pending_ctrl >= 0)
+          fail(cell.pos, "nested control dependencies are not supported");
+        pending_ctrl = reg;
+        pending_pos = cell.pos;
+        expect_label = ops[1];
+      } else if (mn == "MOV") {
+        if (ops.size() != 2)
+          fail(cell.pos, "MOV expects a register and an immediate");
+        const int reg = parse_prefixed_reg(ops[0], 'W', cell.pos);
+        Temp tmp;
+        tmp.has_value = true;
+        tmp.value = parse_imm(ops[1], cell.pos);
+        temps[reg] = tmp;
+      } else if (mn == "EOR") {
+        if (ops.size() != 3)
+          fail(cell.pos, "EOR expects three registers");
+        const int dst = parse_prefixed_reg(ops[0], 'W', cell.pos);
+        const int a = parse_prefixed_reg(ops[1], 'W', cell.pos);
+        const int b = parse_prefixed_reg(ops[2], 'W', cell.pos);
+        if (a != b)
+          fail(cell.pos, "EOR operands must match (false-dependency idiom)");
+        require_loaded_here(a, cell.pos);
+        Temp tmp;
+        tmp.zero = true;
+        tmp.src = a;
+        temps[dst] = tmp;
+      } else if (mn == "ADD") {
+        if (ops.size() != 3)
+          fail(cell.pos, "ADD expects two registers and an immediate");
+        const int dst = parse_prefixed_reg(ops[0], 'W', cell.pos);
+        const int src = parse_prefixed_reg(ops[1], 'W', cell.pos);
+        if (dst != src)
+          fail(cell.pos, "ADD must target its source register");
+        auto it = temps.find(dst);
+        if (it == temps.end() || !it->second.zero)
+          fail(cell.pos, "ADD without a preceding EOR false dependency");
+        it->second.has_value = true;
+        it->second.value = parse_imm(ops[2], cell.pos);
+      } else if (mn == "LDR" || mn == "LDAR") {
+        if (ops.size() != 2)
+          fail(cell.pos, "load expects a register and a memory operand");
+        const int reg = parse_prefixed_reg(ops[0], 'W', cell.pos);
+        const MemOperand mem = parse_mem(ops[1], cell.pos);
+        const int var = thread_binding(mem.xreg, cell.pos);
+        if (loaded_global.count(reg))
+          fail(cell.pos, "register W" + std::to_string(reg) +
+                             " already loaded");
+        LitmusInstr in = LitmusInstr::read(reg, var);
+        in.acquire = mn == "LDAR";
+        if (mem.index_wreg >= 0) {
+          auto it = temps.find(mem.index_wreg);
+          if (it == temps.end() || !it->second.zero)
+            fail(cell.pos, "index register W" + std::to_string(mem.index_wreg) +
+                               " is not an EOR false dependency");
+          in.addr_dep = it->second.src;
+        }
+        in.ctrl_dep = take_ctrl();
+        loaded_global[reg] = static_cast<int>(t);
+        loaded_here.push_back(reg);
+        max_data_reg = std::max(max_data_reg, reg);
+        out.push_back(in);
+      } else if (mn == "STR" || mn == "STLR") {
+        if (ops.size() != 2)
+          fail(cell.pos, "store expects a register and a memory operand");
+        const int reg = parse_prefixed_reg(ops[0], 'W', cell.pos);
+        const MemOperand mem = parse_mem(ops[1], cell.pos);
+        const int var = thread_binding(mem.xreg, cell.pos);
+        auto it = temps.find(reg);
+        if (it == temps.end() || !it->second.has_value) {
+          if (std::find(loaded_here.begin(), loaded_here.end(), reg) !=
+              loaded_here.end())
+            fail(cell.pos, "storing a loaded register is not supported "
+                           "(use the EOR+ADD data-dependency idiom)");
+          fail(cell.pos, "store of undefined register W" +
+                             std::to_string(reg));
+        }
+        LitmusInstr in = LitmusInstr::write(var, it->second.value);
+        in.release = mn == "STLR";
+        if (it->second.zero) in.data_dep = it->second.src;
+        if (mem.index_wreg >= 0) {
+          auto ix = temps.find(mem.index_wreg);
+          if (ix == temps.end() || !ix->second.zero)
+            fail(cell.pos, "index register W" + std::to_string(mem.index_wreg) +
+                               " is not an EOR false dependency");
+          in.addr_dep = ix->second.src;
+        }
+        in.ctrl_dep = take_ctrl();
+        out.push_back(in);
+      } else if (mn == "ISB" && ops.empty()) {
+        if (pending_ctrl >= 0) {
+          const int reg = take_ctrl();
+          LitmusInstr in = LitmusInstr::barrier(FenceKind::CtrlIsb);
+          // The printer branches on the most recent load; only remember the
+          // register when it deviates from that default.
+          if (loaded_here.empty() || loaded_here.back() != reg)
+            in.ctrl_dep = reg;
+          out.push_back(in);
+        } else {
+          out.push_back(LitmusInstr::barrier(FenceKind::Isb));
+        }
+      } else if (mn == "DMB") {
+        if (rest == "ISH") out.push_back(LitmusInstr::barrier(FenceKind::DmbIsh));
+        else if (rest == "ISHLD")
+          out.push_back(LitmusInstr::barrier(FenceKind::DmbIshLd));
+        else if (rest == "ISHST")
+          out.push_back(LitmusInstr::barrier(FenceKind::DmbIshSt));
+        else
+          fail(cell.pos, "unknown barrier 'DMB " + rest + "'");
+      } else if (mn == "DSB") {
+        if (rest == "SY") out.push_back(LitmusInstr::barrier(FenceKind::DsbSy));
+        else
+          fail(cell.pos, "unknown barrier 'DSB " + rest + "'");
+      } else if (mn == "NOP" && ops.empty()) {
+        out.push_back(LitmusInstr::barrier(FenceKind::Nop));
+      } else if (mn == "SYNC" && ops.empty()) {
+        out.push_back(LitmusInstr::barrier(FenceKind::HwSync));
+      } else if (mn == "LWSYNC" && ops.empty()) {
+        out.push_back(LitmusInstr::barrier(FenceKind::LwSync));
+      } else if (mn == "ISYNC" && ops.empty()) {
+        out.push_back(LitmusInstr::barrier(FenceKind::ISync));
+      } else if (mn == "MFENCE" && ops.empty()) {
+        out.push_back(LitmusInstr::barrier(FenceKind::Mfence));
+      } else if (mn == "CTRLISB" && ops.empty()) {
+        out.push_back(LitmusInstr::barrier(FenceKind::CtrlIsb));
+      } else {
+        fail(cell.pos, "unknown instruction '" + s + "'");
+      }
+    }
+    if (!expect_label.empty())
+      fail(pending_pos, "CBNZ label '" + expect_label + "' is never defined");
+    if (pending_ctrl >= 0)
+      fail(pending_pos, "dangling control dependency: branch on W" +
+                            std::to_string(pending_ctrl) +
+                            " guards no access");
+  }
+  file.test.num_regs = max_data_reg + 1;
+
+  // Bindings must name procs that exist.
+  for (const auto& [proc, regs] : bindings) {
+    if (proc < 0 || proc >= static_cast<int>(nthreads))
+      fail(regs.begin()->second.pos,
+           "init binding names proc " + std::to_string(proc) +
+               ", but the program has " + std::to_string(nthreads) +
+               " procs");
+  }
+
+  // --- Condition atoms.
+  for (const auto& [atext, apos] : atoms) {
+    const std::size_t eq = atext.find('=');
+    if (eq == std::string::npos)
+      fail(apos, "expected '=' in condition atom '" + atext + "'");
+    const std::string lhs = trim(atext.substr(0, eq));
+    const std::string rhs = trim(atext.substr(eq + 1));
+    LitmusCondAtom atom;
+    atom.value = static_cast<int>(parse_long(rhs, apos, "condition value"));
+    const std::size_t colon = lhs.find(':');
+    if (colon != std::string::npos) {
+      atom.is_reg = true;
+      atom.thread = static_cast<int>(
+          parse_long(trim(lhs.substr(0, colon)), apos, "proc id"));
+      const std::string regname = trim(lhs.substr(colon + 1));
+      if (file.dialect == LitmusDialect::X86) {
+        const std::optional<int> reg = x86_reg_index(regname);
+        if (!reg) fail(apos, "unknown register '" + regname + "'");
+        atom.index = *reg;
+      } else {
+        atom.index = parse_prefixed_reg(regname, 'W', apos);
+      }
+      auto it = loaded_global.find(atom.index);
+      if (it == loaded_global.end())
+        fail(apos, "condition references register " + regname +
+                       ", which is never loaded");
+      if (it->second != atom.thread)
+        fail(apos, "register " + regname + " is loaded by P" +
+                       std::to_string(it->second) + ", not P" +
+                       std::to_string(atom.thread));
+    } else {
+      atom.is_reg = false;
+      atom.thread = -1;
+      const std::optional<int> var = vars.find(lhs);
+      if (!var)
+        fail(apos, "condition references undeclared variable '" + lhs + "'");
+      atom.index = *var;
+    }
+    file.condition.push_back(atom);
+  }
+
+  return file;
+}
+
+}  // namespace wmm::sim

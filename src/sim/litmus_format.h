@@ -1,0 +1,149 @@
+// herd7 `.litmus` text-format interop: a parser and printer for the standard
+// litmus-test interchange format, mapped onto the simulator's LitmusTest /
+// Outcome types.
+//
+// The herd7 family of tools (herd7, litmus7, diy7 — Alglave et al.) reads
+// tests of the form
+//
+//     AArch64 MP+dmb.ish+addr
+//     (* wmm-expect: sc=forbid tso=forbid arm=forbid power=forbid *)
+//     {
+//     x=0; y=0;
+//     0:X2=x; 0:X3=y;
+//     1:X2=x; 1:X3=y;
+//     }
+//      P0           | P1                 ;
+//      MOV W4,#1    | LDR W0,[X3]        ;
+//      STR W4,[X2]  | EOR W4,W0,W0       ;
+//      DMB ISH      | LDR W1,[X2,W4,SXTW];
+//      MOV W5,#1    |                    ;
+//      STR W5,[X3]  |                    ;
+//     exists (1:W0=1 /\ 1:W1=0 /\ x=1 /\ y=1)
+//
+// and WiredTiger documents its lock-free algorithms exactly this way.  This
+// module supports two dialects covering the simulator's instruction set:
+//
+//   X86      — `MOV [x],$1` stores, `MOV EAX,[x]` loads, MFENCE, NOP.  Only
+//              tests with plain accesses and x86-expressible fences print in
+//              this dialect.
+//   AArch64  — LDR/LDAR/STR/STLR with the standard herd dependency idioms
+//              (EOR Wt,Ws,Ws false dependencies, register-offset addressing
+//              for address dependencies, CBNZ+label control dependencies),
+//              DMB ISH/ISHLD/ISHST, DSB SY, ISB, NOP.  Because the fuzzer
+//              deliberately mixes ISAs, the dialect also accepts the
+//              *extension mnemonics* SYNC / LWSYNC / ISYNC / MFENCE for the
+//              POWER and x86 fence kinds (see docs/litmus_format.md; files
+//              using them are not valid input for external herd7).
+//
+// Parsing reports precise diagnostics: every error carries the 1-based line
+// and column of the offending token.  Printing is deterministic, and
+// `parse(print(f))` reproduces `f` exactly (and therefore
+// `print(parse(print(f))) == print(f)` byte-for-byte — the round-trip gate
+// CI enforces on exported fuzz corpora).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/litmus.h"
+#include "sim/memory_model.h"
+
+namespace wmm::sim {
+
+enum class LitmusDialect { X86, AArch64 };
+
+const char* litmus_dialect_name(LitmusDialect dialect);
+
+// Variable naming shared with the fuzzer's pretty-printer: x, y, z, u, then
+// vN.  litmus_var_index is the exact inverse (nullopt for names outside the
+// scheme; the parser numbers unknown names by order of appearance instead).
+std::string litmus_var_name(int var);
+std::optional<int> litmus_var_index(const std::string& name);
+
+// One conjunct of the final-state condition: either `P:reg = value` (is_reg,
+// thread = the proc whose register it is, index = global register id) or
+// `var = value` (thread = -1, index = variable id).
+struct LitmusCondAtom {
+  bool is_reg = false;
+  int thread = -1;
+  int index = 0;
+  int value = 0;
+
+  friend bool operator==(const LitmusCondAtom&,
+                         const LitmusCondAtom&) = default;
+};
+
+// A parsed (or printable) `.litmus` file: the program plus the final-state
+// question and optional expected per-architecture verdicts carried in a
+// `(* wmm-expect: ... *)` comment.
+struct LitmusFile {
+  LitmusDialect dialect = LitmusDialect::AArch64;
+  LitmusTest test;
+  std::vector<LitmusCondAtom> condition;  // conjunction, in file order
+  bool negated = false;                   // `~exists (...)` instead of `exists`
+  std::map<Arch, bool> expected;          // wmm-expect: arch -> allowed
+
+  friend bool operator==(const LitmusFile&, const LitmusFile&) = default;
+};
+
+// Parse error with a precise source position (1-based line and column).
+class LitmusParseError : public std::runtime_error {
+ public:
+  LitmusParseError(int line, int col, const std::string& message);
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+  // The message without the "line L, col C: " prefix.
+  const std::string& detail() const { return detail_; }
+
+ private:
+  int line_;
+  int col_;
+  std::string detail_;
+};
+
+// Parses herd7 `.litmus` text.  Throws LitmusParseError on malformed input.
+LitmusFile parse_litmus(const std::string& text);
+
+// Prints `file` in its dialect.  Throws std::invalid_argument when the test
+// is not expressible (see printable_as).
+std::string print_litmus(const LitmusFile& file);
+
+// Whether `test` can be printed in `dialect`.  X86 requires plain accesses
+// (no dependencies, no acquire/release), x86-expressible fences
+// (mfence/nop), at most 14 registers, and thread-major dense register
+// numbering; AArch64 covers everything except FenceKind::CtrlDep and
+// FenceKind::CompilerOnly (which have no instruction spelling).
+bool printable_as(const LitmusTest& test, LitmusDialect dialect);
+
+// Builds the LitmusFile for a suite case: the relaxed outcome becomes an
+// `exists` conjunction over every register and every final variable value,
+// and the per-architecture expectations become the wmm-expect directive.
+// Picks the X86 dialect when the test is expressible there (WiredTiger
+// convention: an x86 test should exist whenever the program is x86-shaped),
+// AArch64 otherwise; `force` overrides.
+LitmusFile to_litmus_file(const LitmusCase& c,
+                          std::optional<LitmusDialect> force = std::nullopt);
+
+// As above for a bare test + witness outcome (fuzzer exports: no
+// expectations).
+LitmusFile to_litmus_file(const LitmusTest& test, const Outcome& witness,
+                          std::optional<LitmusDialect> force = std::nullopt);
+
+// Whether `outcome` (enumerate_outcomes layout: registers then final
+// variable values) satisfies every conjunct of the condition.
+bool condition_holds(const LitmusFile& file, const Outcome& outcome);
+
+// The herd verdict on a set of reachable outcomes: for `exists` conditions,
+// whether some outcome satisfies the conjunction; `~exists` asks the same
+// question (the negation expresses the *expected* answer, not a different
+// query).  Partial conditions (fewer atoms than registers + variables) are
+// supported: any consistent outcome is a witness.
+bool condition_reachable(const LitmusFile& file,
+                         const std::set<Outcome>& outcomes);
+
+}  // namespace wmm::sim

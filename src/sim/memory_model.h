@@ -72,10 +72,15 @@ struct LitmusInstr {
     i.fence = kind;
     return i;
   }
+
+  // Structural equality (used by the .litmus round-trip property tests).
+  friend bool operator==(const LitmusInstr&, const LitmusInstr&) = default;
 };
 
 struct LitmusThread {
   std::vector<LitmusInstr> instrs;
+
+  friend bool operator==(const LitmusThread&, const LitmusThread&) = default;
 };
 
 struct LitmusTest {
@@ -83,6 +88,8 @@ struct LitmusTest {
   std::vector<LitmusThread> threads;
   int num_vars = 0;
   int num_regs = 0;  // registers are global indices across threads
+
+  friend bool operator==(const LitmusTest&, const LitmusTest&) = default;
 };
 
 // A final state: register values indexed by register id.

@@ -1,0 +1,49 @@
+// Large fixed-seed fuzz corpus for the `.litmus` round-trip property (the
+// `fuzz` ctest label; litmus_format_test.cpp runs a 100-program slice in the
+// default suite).  Every program the conformance fuzzer can generate — in
+// each per-architecture generator shape — must print, re-parse to the same
+// structure, and reprint byte-identically.
+#include <gtest/gtest.h>
+
+#include "sim/fuzz.h"
+#include "sim/litmus_format.h"
+#include "sim/rng.h"
+
+namespace wmm::sim {
+namespace {
+
+void round_trip_corpus(const FuzzConfig& config, std::uint64_t base_seed,
+                       int count) {
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = hash_combine(base_seed, i);
+    const LitmusTest test = generate_litmus(seed, config);
+    ASSERT_TRUE(printable_as(test, LitmusDialect::AArch64)) << test.name;
+    const Outcome witness(
+        static_cast<std::size_t>(test.num_regs + test.num_vars), 0);
+    for (LitmusDialect dialect :
+         {LitmusDialect::X86, LitmusDialect::AArch64}) {
+      if (!printable_as(test, dialect)) continue;
+      const LitmusFile file = to_litmus_file(test, witness, dialect);
+      const std::string text = print_litmus(file);
+      const LitmusFile back = parse_litmus(text);
+      EXPECT_EQ(back.test, file.test) << test.name;
+      EXPECT_EQ(print_litmus(back), text) << test.name << ": reprint drifted";
+    }
+  }
+}
+
+TEST(LitmusFormatFuzz, DefaultShape1k) {
+  round_trip_corpus(FuzzConfig{}, 0xc0ffee, 1000);
+}
+
+TEST(LitmusFormatFuzz, PowerShape1k) {
+  round_trip_corpus(FuzzConfig::for_arch(Arch::POWER7), 0xc0ffee, 1000);
+}
+
+TEST(LitmusFormatFuzz, PowerTeethShapes1k) {
+  round_trip_corpus(FuzzConfig::power_teeth_sb(), 0xdead, 500);
+  round_trip_corpus(FuzzConfig::power_teeth_wrc(), 0xbeef, 500);
+}
+
+}  // namespace
+}  // namespace wmm::sim
