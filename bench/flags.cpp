@@ -43,6 +43,12 @@ std::vector<FlagHelp> help_rows(const std::vector<FlagSpec>& extra) {
   rows.push_back({"--json=FILE", "write JSONL run records (manifest, runs, counters)"});
   rows.push_back({"--trace=FILE", "write a Chrome trace-event timeline (Perfetto-loadable)"});
   rows.push_back({"--counters", "print the simulator event counters at exit"});
+  rows.push_back({"--profile",
+                  "enable hot-loop profiler spans; adds a `profile` record to "
+                  "--json and real-time spans to --trace"});
+  rows.push_back({"--histograms",
+                  "enable latency histograms; adds a `histograms` record to "
+                  "--json"});
   rows.push_back({"--threads=N",
                   "worker threads for parallel drivers (default: hardware "
                   "concurrency; 1 = sequential; output is identical either "
@@ -89,6 +95,10 @@ CommonFlags parse_flags(int argc, char** argv, const std::string& title,
       out.trace_path = value;
     } else if (name == "--counters") {
       out.counters = true;
+    } else if (name == "--profile") {
+      out.profile = true;
+    } else if (name == "--histograms") {
+      out.histograms = true;
     } else if (name == "--threads") {
       char* end = nullptr;
       const long n = std::strtol(value.c_str(), &end, 10);

@@ -25,6 +25,10 @@ struct CommonFlags {
   std::string json_path;   // --json=FILE : JSONL run records
   std::string trace_path;  // --trace=FILE: Chrome trace-event timeline
   bool counters = false;   // --counters  : print simulator counters at exit
+  bool profile = false;    // --profile   : hot-loop profiler spans; emits a
+                           //               `profile` record (and feeds --trace)
+  bool histograms = false;  // --histograms: latency histograms; emits a
+                            //               `histograms` record
   bool quiet = false;      // --quiet     : suppress the human-readable report
   int threads = 0;         // --threads=N : worker threads (0 = hardware
                            //               concurrency; 1 = sequential)

@@ -4,6 +4,8 @@
 //   report_diff BASE.jsonl TEST.jsonl [--tol-k=F] [--tol-rel=F]
 //               [--tol-counter=F] [--quiet]
 //   report_diff --validate FILE.jsonl
+//   report_diff --bench BASE_BENCH.json TEST_BENCH.json
+//               [--tol-bench-rate=F] [--tol-bench-lat=F]
 //
 // Records are matched by identity — sweeps by (context, benchmark,
 // code_path), comparisons by (context, benchmark, base, test), runs by
@@ -23,13 +25,30 @@
 //      value diff would compare different experiments.  Counters are exempt:
 //      counters only in TEST are reported but tolerated (new experiments).
 //
+// Wall-clock record types — manifest, throughput, histograms, profile — are
+// schema-validated but never matched or compared: they are excluded from the
+// identity sets (exit 3) and from value diffs alike, because their numbers
+// vary run to run by construction.
+//
 // --validate instead schema-checks every line of one file (exit 1 on the
 // first invalid record).
+//
+// --bench compares two BENCH_sim.json perf-trajectory documents (written by
+// bench/perf_trajectory).  Workloads are matched by (name, engine, threads);
+// a workload present in only one document is a set mismatch (exit 3).  The
+// checks are one-sided — only a throughput *drop* (programs_per_s below
+// base * (1 - --tol-bench-rate), default 0.50) or a latency *rise* (a phase
+// p99 above base * (1 + --tol-bench-lat), default 1.00) fails — so a faster
+// build always passes.  Every failure names the workload, the metric, and
+// the tolerance it broke.  Defaults are deliberately generous: the gate
+// exists to catch order-of-magnitude regressions through CI jitter, not to
+// benchmark precisely.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <string>
@@ -89,6 +108,9 @@ std::optional<Report> load(const std::string& path) {
     }
     ++r.records;
     const std::string type = str(*v, "type");
+    // Wall-clock records (manifest, throughput, histograms, profile) are
+    // validated above but deliberately not bucketed: they never participate
+    // in identity-set checks or value diffs.
     if (type == "sweep") {
       const std::string key = str(*v, "context") + "/" + str(*v, "benchmark") +
                               "/" + str(*v, "code_path");
@@ -186,13 +208,144 @@ int validate_file(const std::string& path) {
   return 0;
 }
 
+// --- --bench mode: BENCH_sim.json perf-trajectory gate ----------------------
+
+struct BenchWorkload {
+  double programs_per_s = 0.0;
+  std::map<std::string, double> phase_p99;  // phase name -> p99 ns
+};
+
+// Workloads keyed "name/engine/tN".
+std::optional<std::map<std::string, BenchWorkload>> load_bench(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "report_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  const std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  std::string error;
+  const std::optional<obs::JsonValue> doc = obs::parse_json(text, &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: JSON error: %s\n", path.c_str(), error.c_str());
+    return std::nullopt;
+  }
+  const obs::JsonValue* workloads = doc->find("workloads");
+  if (!workloads || !workloads->is_array()) {
+    std::fprintf(stderr, "%s: not a BENCH document (no 'workloads' array)\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  std::map<std::string, BenchWorkload> out;
+  for (const obs::JsonValue& w : workloads->array) {
+    if (!w.is_object()) {
+      std::fprintf(stderr, "%s: workload entry is not an object\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+    const std::string key = str(w, "name") + "/" + str(w, "engine") + "/t" +
+                            std::to_string(static_cast<long long>(
+                                num(w, "threads")));
+    BenchWorkload& b = out[key];
+    b.programs_per_s = num(w, "programs_per_s");
+    if (const obs::JsonValue* phases = w.find("phases");
+        phases && phases->is_object()) {
+      for (const auto& [phase, v] : phases->object) {
+        if (v.is_object()) b.phase_p99[phase] = num(v, "p99");
+      }
+    }
+  }
+  return out;
+}
+
+int bench_diff(const std::string& base_path, const std::string& test_path,
+               double tol_rate, double tol_lat, bool quiet) {
+  const auto base = load_bench(base_path);
+  const auto test = load_bench(test_path);
+  if (!base || !test) return 1;
+
+  int set_mismatches = 0;
+  for (const auto& [key, w] : *base) {
+    if (!test->count(key)) {
+      std::fprintf(stderr, "MISMATCH workload %s (only in base)\n",
+                   key.c_str());
+      ++set_mismatches;
+    }
+  }
+  for (const auto& [key, w] : *test) {
+    if (!base->count(key)) {
+      std::fprintf(stderr, "MISMATCH workload %s (only in test)\n",
+                   key.c_str());
+      ++set_mismatches;
+    }
+  }
+  if (set_mismatches > 0) {
+    std::fprintf(stderr,
+                 "report_diff: mismatched workload sets (%d difference(s)) -- "
+                 "the BENCH documents cover different matrices, values were "
+                 "not compared\n",
+                 set_mismatches);
+    return 3;
+  }
+
+  int matched = 0;
+  int failures = 0;
+  for (const auto& [key, b] : *base) {
+    const BenchWorkload& t = test->at(key);
+    ++matched;
+    // Throughput gate, one-sided: only a drop beyond tolerance fails.
+    if (b.programs_per_s > 0.0 &&
+        t.programs_per_s < b.programs_per_s * (1.0 - tol_rate)) {
+      std::fprintf(stderr,
+                   "BENCH REGRESSION %s metric=programs_per_s base=%g test=%g "
+                   "(-%.1f%% exceeds tolerance %.0f%%)\n",
+                   key.c_str(), b.programs_per_s, t.programs_per_s,
+                   (1.0 - t.programs_per_s / b.programs_per_s) * 100.0,
+                   tol_rate * 100.0);
+      ++failures;
+    } else if (!quiet) {
+      std::printf("ok       %s programs_per_s %g -> %g (tol %.0f%%)\n",
+                  key.c_str(), b.programs_per_s, t.programs_per_s,
+                  tol_rate * 100.0);
+    }
+    // Latency gate, one-sided: only a p99 rise beyond tolerance fails.
+    // Phases present in just one document are structural differences in the
+    // harness, reported but tolerated (e.g. a phase newly instrumented).
+    for (const auto& [phase, base_p99] : b.phase_p99) {
+      const auto it = t.phase_p99.find(phase);
+      if (it == t.phase_p99.end()) {
+        if (!quiet) {
+          std::printf("note     %s phase %s only in base\n", key.c_str(),
+                      phase.c_str());
+        }
+        continue;
+      }
+      if (base_p99 > 0.0 && it->second > base_p99 * (1.0 + tol_lat)) {
+        std::fprintf(stderr,
+                     "BENCH REGRESSION %s metric=phase.%s.p99 base=%gns "
+                     "test=%gns (+%.1f%% exceeds tolerance %.0f%%)\n",
+                     key.c_str(), phase.c_str(), base_p99, it->second,
+                     (it->second / base_p99 - 1.0) * 100.0, tol_lat * 100.0);
+        ++failures;
+      }
+    }
+  }
+  std::printf("report_diff --bench: %d workload(s) matched, %d regression(s)\n",
+              matched, failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double tol_k = 0.10;
   double tol_rel = 0.05;
   double tol_counter = 0.25;
+  double tol_bench_rate = 0.50;
+  double tol_bench_lat = 1.00;
   bool validate = false;
+  bool bench = false;
   const auto tol_flag = [](double& target) {
     return [&target](const std::string& v) {
       char* end = nullptr;
@@ -211,6 +364,16 @@ int main(int argc, char** argv) {
        tol_flag(tol_counter)},
       {"--validate", "", "schema-check a single report and exit",
        [&](const std::string&) { return validate = true; }},
+      {"--bench", "",
+       "compare two BENCH_sim.json perf-trajectory documents (one-sided "
+       "throughput/latency gate)",
+       [&](const std::string&) { return bench = true; }},
+      {"--tol-bench-rate", "F",
+       "--bench: tolerated programs_per_s drop (default 0.50 = 50%)",
+       tol_flag(tol_bench_rate)},
+      {"--tol-bench-lat", "F",
+       "--bench: tolerated phase-p99 rise (default 1.00 = 2x)",
+       tol_flag(tol_bench_lat)},
   };
   const bench::CommonFlags flags = bench::parse_flags(
       argc, argv, "report_diff: compare two JSONL benchmark reports", specs);
@@ -221,6 +384,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     return validate_file(flags.positional[0]);
+  }
+  if (bench) {
+    if (flags.positional.size() != 2) {
+      std::fprintf(stderr,
+                   "usage: report_diff --bench BASE_BENCH.json "
+                   "TEST_BENCH.json\n");
+      return 2;
+    }
+    return bench_diff(flags.positional[0], flags.positional[1], tol_bench_rate,
+                      tol_bench_lat, flags.quiet);
   }
   if (flags.positional.size() != 2) {
     std::fprintf(stderr,

@@ -2,17 +2,48 @@
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <streambuf>
 
 #include "bench_util.h"
 #include "core/report.h"
+#include "obs/histogram.h"
+#include "obs/profile.h"
 #include "obs/record.h"
 #include "par/pool.h"
 
 namespace wmm::bench {
 
 namespace {
+
+// The session the terminate handler flushes.  Sessions are constructed in
+// main() and not shared across threads; the handler is best-effort.
+Session* g_active_session = nullptr;
+
+// An uncaught exception calls std::terminate *without* unwinding, so the
+// Session destructor never runs and the whole report would be lost.  The
+// chained handler finalizes the active session (file writes persist through
+// the subsequent abort) and then defers to the previous handler.
+std::terminate_handler g_previous_terminate = nullptr;
+
+[[noreturn]] void terminate_with_flush() {
+  if (Session* s = g_active_session) {
+    g_active_session = nullptr;
+    s->set_extra("aborted", "true");
+    s->finalize();
+  }
+  if (g_previous_terminate) g_previous_terminate();
+  std::abort();
+}
+
+void install_terminate_handler() {
+  static const bool once = [] {
+    g_previous_terminate = std::set_terminate(&terminate_with_flush);
+    return true;
+  }();
+  (void)once;
+}
 
 // Discards everything written to it (--quiet).
 class NullBuffer : public std::streambuf {
@@ -57,7 +88,14 @@ Session::Session(int argc, char** argv, std::string title,
     trace_ = std::make_unique<obs::TraceSink>();
     obs::set_trace(trace_.get());
   }
+  if (flags_.profile || flags_.histograms) {
+    // Both flags run the span profiler (histograms are fed by spans); each
+    // flag gates only its own JSONL record.
+    obs::set_profile_enabled(true);
+  }
   counters_before_ = obs::counters().snapshot(/*include_zero=*/false);
+  g_active_session = this;
+  install_terminate_handler();
   if (!flags_.quiet) print_header(title_, paper_ref_);
 }
 
@@ -101,10 +139,17 @@ double Session::elapsed_seconds() const {
   return monotonic_seconds() - start_seconds_;
 }
 
-Session::~Session() {
+void Session::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (g_active_session == this) g_active_session = nullptr;
+
   const double wall_clock_s = monotonic_seconds() - start_seconds_;
   const std::vector<obs::CounterRegistry::Entry> deltas = obs::snapshot_delta(
       counters_before_, obs::counters().snapshot(/*include_zero=*/false));
+  if (flags_.profile || flags_.histograms) {
+    obs::set_profile_enabled(false);
+  }
 
   if (!flags_.json_path.empty()) {
     std::ofstream os(flags_.json_path);
@@ -123,6 +168,15 @@ Session::~Session() {
       os << obs::manifest_line(m) << '\n';
       for (const std::string& line : record_lines_) os << line << '\n';
       os << obs::counters_line(deltas) << '\n';
+      if (flags_.histograms) {
+        os << obs::histograms_line(obs::histograms().snapshot()) << '\n';
+      }
+      if (flags_.profile) {
+        os << obs::profile_line(obs::profiler().snapshot(),
+                                obs::pool_stats().snapshot())
+           << '\n';
+      }
+      os.flush();
     }
   }
 
@@ -134,6 +188,7 @@ Session::~Session() {
                    flags_.trace_path.c_str());
     } else {
       trace_->write(os);
+      os.flush();
     }
     if (trace_->truncated()) {
       std::fprintf(stderr,
@@ -151,7 +206,10 @@ Session::~Session() {
     }
     std::cout << "\nsimulator event counters (this run):\n";
     table.print(std::cout);
+    std::cout.flush();
   }
 }
+
+Session::~Session() { finalize(); }
 
 }  // namespace wmm::bench

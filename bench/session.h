@@ -5,9 +5,18 @@
 // common flags (plus any binary-specific FlagSpecs), prints the usual header
 // unless --quiet, installs a process-wide trace sink when --trace is given,
 // and snapshots the counter registry.  Results are recorded as they are
-// produced; the destructor writes the JSONL report (manifest first, then the
-// records in emission order, then a counters record with the whole-run
-// deltas), serialises the trace, and prints the counters table on --counters.
+// produced; finalize() (idempotent, called by the destructor) writes the
+// JSONL report — manifest first, then the records in emission order, then a
+// counters record with the whole-run deltas, then `histograms`/`profile`
+// records under --histograms/--profile — serialises the trace, and prints
+// the counters table on --counters.
+//
+// Abnormal exits: an exception that escapes main() reaches std::terminate
+// without unwinding, so the destructor alone would lose the report and the
+// trace.  The first Session constructed installs a chained terminate handler
+// that finalizes the active session (manifest gains "aborted":"true", the
+// counters record still carries the deltas accumulated so far) before the
+// previous handler aborts the process.
 #pragma once
 
 #include <iostream>
@@ -59,6 +68,11 @@ class Session {
   // Seconds since the session started (monotonic).
   double elapsed_seconds() const;
 
+  // Writes the JSONL report and the trace file and prints the counters
+  // table.  Idempotent: the second and later calls do nothing, so the
+  // destructor is a no-op after an explicit or terminate-handler call.
+  void finalize();
+
  private:
   std::string binary_;
   std::string title_;
@@ -73,6 +87,7 @@ class Session {
   std::ostream* out_ = nullptr;
   std::unique_ptr<std::ostream> null_out_;
   double start_seconds_ = 0.0;
+  bool finalized_ = false;
 };
 
 }  // namespace wmm::bench

@@ -1,0 +1,151 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wmm::obs {
+
+namespace {
+constexpr std::uint64_t kEmptyMin = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank with interpolation: the sample at (1-based) rank
+  // ceil(q * count), located by cumulative bucket counts and placed
+  // proportionally between the bucket's bounds.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = static_cast<double>(histogram_bucket_lower(b));
+    const double hi = static_cast<double>(histogram_bucket_upper(b));
+    const double frac =
+        (target - static_cast<double>(before)) / static_cast<double>(buckets[b]);
+    const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    // The true extrema are tracked exactly; never report outside them.
+    return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot merge_histograms(const HistogramSnapshot& a,
+                                   const HistogramSnapshot& b) {
+  HistogramSnapshot out = a;
+  out.count += b.count;
+  out.sum += b.sum;
+  if (b.count > 0) {
+    out.min = a.count == 0 ? b.min : std::min(a.min, b.min);
+    out.max = a.count == 0 ? b.max : std::max(a.max, b.max);
+  }
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] += b.buckets[i];
+  }
+  return out;
+}
+
+HistogramId HistogramRegistry::register_histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<HistogramId>(i);
+  }
+  if (names_.size() >= kCapacity) return kInvalidHistogram;
+  names_.push_back(name);
+  return static_cast<HistogramId>(names_.size() - 1);
+}
+
+std::size_t HistogramRegistry::shard_index() {
+  // Recording threads stripe across shards by arrival order; a thread keeps
+  // its shard for life so its samples never contend with other threads'
+  // cache lines (beyond kShards concurrent recorders).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void HistogramRegistry::merge_into(HistogramSnapshot& out,
+                                   std::size_t id) const {
+  std::uint64_t merged_min = kEmptyMin;
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n = s.buckets[id][b].load(std::memory_order_relaxed);
+      out.buckets[b] += n;
+      out.count += n;
+    }
+    out.sum += s.sum[id].load(std::memory_order_relaxed);
+    merged_min =
+        std::min(merged_min, s.min[id].load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max[id].load(std::memory_order_relaxed));
+  }
+  out.min = merged_min == kEmptyMin ? 0 : merged_min;
+}
+
+std::vector<HistogramSnapshot> HistogramRegistry::snapshot(
+    bool include_zero) const {
+  std::vector<HistogramSnapshot> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    HistogramSnapshot s;
+    s.name = names_[i];
+    merge_into(s, i);
+    if (s.count == 0 && !include_zero) continue;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+HistogramSnapshot HistogramRegistry::snapshot_one(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot s;
+  s.name = name;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      merge_into(s, i);
+      break;
+    }
+  }
+  return s;
+}
+
+void HistogramRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Shard& s : shards_) {
+    for (std::size_t id = 0; id < kCapacity; ++id) {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        s.buckets[id][b].store(0, std::memory_order_relaxed);
+      }
+      s.sum[id].store(0, std::memory_order_relaxed);
+      s.min[id].store(kEmptyMin, std::memory_order_relaxed);
+      s.max[id].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t HistogramRegistry::registered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+HistogramRegistry& histograms() {
+  // Atomics zero-initialise in static storage; the min slots need the
+  // empty sentinel, installed by a one-time reset.
+  static HistogramRegistry* registry = [] {
+    static HistogramRegistry r;
+    r.reset_values();
+    return &r;
+  }();
+  return *registry;
+}
+
+}  // namespace wmm::obs

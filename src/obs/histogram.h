@@ -1,0 +1,145 @@
+// Sharded, lock-free log2-bucket latency histograms.
+//
+// Histograms complete the metric family started in counters.h: counters say
+// *how often* a code path ran, histograms say *how long* each pass took.  A
+// subsystem registers a histogram once by name (mutex-guarded, like counter
+// registration) and then records raw latencies from hot paths with relaxed
+// atomics — no locks, no allocation.  Values land in power-of-two buckets
+// (bucket b >= 1 covers [2^(b-1), 2^b) nanoseconds; bucket 0 is exactly 0),
+// so a record is one shift plus one fetch_add, and the registry is sharded
+// per recording thread so concurrent pool workers do not ping-pong a cache
+// line per sample.
+//
+// Everything derived from a histogram (p50/p90/p99, bucket counts) is
+// wall-clock data: the `histograms` JSONL record built from these snapshots
+// is excluded from byte-identity comparisons exactly like `throughput`
+// (docs/schema.md).  Nothing here ever touches the deterministic counter
+// registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wmm::obs {
+
+using HistogramId = std::uint32_t;
+inline constexpr HistogramId kInvalidHistogram = ~HistogramId{0};
+
+// Bucket geometry, shared by the registry and report_diff-side consumers.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+// 0 -> 0; otherwise 1 + floor(log2 v), clamped to the last bucket.  Constexpr
+// so the bucket-boundary tests can pin the geometry at compile time.
+constexpr std::size_t histogram_bucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  std::size_t b = 0;
+  while (v != 0 && b < kHistogramBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+// Inclusive lower bound of a bucket (0 for bucket 0, else 2^(b-1)).
+constexpr std::uint64_t histogram_bucket_lower(std::size_t b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+// Exclusive upper bound of a bucket (1 for bucket 0, else 2^b); the last
+// bucket is open-ended but reported with this nominal bound.
+constexpr std::uint64_t histogram_bucket_upper(std::size_t b) {
+  return b == 0 ? 1 : std::uint64_t{1} << b;
+}
+
+// One histogram's merged (cross-shard) state at a point in time.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  std::uint64_t buckets[kHistogramBuckets] = {};
+
+  // Quantile estimate (q in [0,1]) by linear interpolation inside the
+  // bucket holding the rank, clamped to the observed [min, max].  Exact for
+  // single-bucket distributions; within one bucket width otherwise.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+};
+
+// Bucket-wise sum of two snapshots (same name expected; a's name is kept).
+HistogramSnapshot merge_histograms(const HistogramSnapshot& a,
+                                   const HistogramSnapshot& b);
+
+class HistogramRegistry {
+ public:
+  static constexpr std::size_t kCapacity = 64;  // histogram slots
+  static constexpr std::size_t kShards = 8;     // per-thread striping
+
+  // Registers (or looks up) a histogram by name.  Idempotent; thread-safe.
+  // Returns kInvalidHistogram (record() on it is a no-op) past capacity.
+  HistogramId register_histogram(const std::string& name);
+
+  // Records one sample.  Lock-free: one relaxed fetch_add into this thread's
+  // shard plus relaxed min/max maintenance.
+  void record(HistogramId id, std::uint64_t value) {
+    if (id >= kCapacity) return;
+    Shard& s = shards_[shard_index()];
+    s.buckets[id][histogram_bucket(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum[id].fetch_add(value, std::memory_order_relaxed);
+    relax_min(s.min[id], value);
+    relax_max(s.max[id], value);
+  }
+
+  // Merged snapshots of every registered histogram, sorted by name;
+  // zero-count entries included only on request.
+  std::vector<HistogramSnapshot> snapshot(bool include_zero = false) const;
+
+  // Merged snapshot of one histogram by name (count 0 when unregistered).
+  HistogramSnapshot snapshot_one(const std::string& name) const;
+
+  // Zeroes every bucket/sum/min/max; registrations persist.
+  void reset_values();
+
+  std::size_t registered() const;
+
+ private:
+  struct Shard {
+    std::atomic<std::uint64_t> buckets[kCapacity][kHistogramBuckets];
+    std::atomic<std::uint64_t> sum[kCapacity];
+    std::atomic<std::uint64_t> min[kCapacity];  // ~0 when empty
+    std::atomic<std::uint64_t> max[kCapacity];
+  };
+
+  static std::size_t shard_index();
+
+  static void relax_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur && !slot.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+  static void relax_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
+  void merge_into(HistogramSnapshot& out, std::size_t id) const;
+
+  mutable std::mutex mutex_;  // guards names_ growth only
+  std::vector<std::string> names_;
+  Shard shards_[kShards];
+};
+
+// The process-global registry used by the profiler and the pool metrics.
+HistogramRegistry& histograms();
+
+}  // namespace wmm::obs

@@ -193,6 +193,63 @@ std::string counters_line(
   return w.take();
 }
 
+std::string histograms_line(const std::vector<HistogramSnapshot>& hists) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "histograms");
+  w.key("values").begin_object();
+  for (const HistogramSnapshot& h : hists) {
+    w.key(h.name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("p50", h.p50());
+    w.kv("p90", h.p90());
+    w.kv("p99", h.p99());
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      w.begin_array();
+      w.value(static_cast<std::uint64_t>(b));
+      w.value(h.buckets[b]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string profile_line(const PhaseSnapshot& phases,
+                         const PoolStats::Snapshot& pool) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "profile");
+  w.key("phases").begin_object();
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (phases[i].count == 0) continue;
+    w.key(phase_name(static_cast<Phase>(i))).begin_object();
+    w.kv("count", phases[i].count);
+    w.kv("total_ns", phases[i].total_ns);
+    w.kv("self_ns", phases[i].self_ns);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("pool").begin_object();
+  w.kv("tasks", pool.tasks);
+  w.kv("steals", pool.steals);
+  w.kv("waves", pool.waves);
+  w.kv("queue_depth", static_cast<std::int64_t>(pool.queue_depth));
+  w.kv("queue_depth_hwm", pool.queue_depth_hwm);
+  w.kv("worker_busy_ns", pool.worker_busy_ns);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
 namespace {
 
 struct KeySpec {
@@ -242,7 +299,8 @@ std::string validate_record(const JsonValue& record) {
          {"wall_clock_s", K::Number},
          {"run_options", K::Object}});
     if (!err.empty()) return err;
-    if (record.find("schema")->number != kSchemaVersion) {
+    const double schema = record.find("schema")->number;
+    if (schema < kMinSchemaVersion || schema > kSchemaVersion) {
       return "manifest has unsupported schema version";
     }
     return {};
@@ -371,6 +429,55 @@ std::string validate_record(const JsonValue& record) {
       }
     }
     return {};
+  }
+  if (t == "histograms") {
+    std::string err = check_keys(record, "histograms", {{"values", K::Object}});
+    if (!err.empty()) return err;
+    for (const auto& [name, v] : record.find("values")->object) {
+      if (!v.is_object()) {
+        return "histograms value '" + name + "' is not an object";
+      }
+      err = check_keys(v, "histograms.value",
+                       {{"count", K::Number},
+                        {"sum", K::Number},
+                        {"min", K::Number},
+                        {"max", K::Number},
+                        {"p50", K::Number},
+                        {"p90", K::Number},
+                        {"p99", K::Number},
+                        {"buckets", K::Array}});
+      if (!err.empty()) return err;
+      for (const JsonValue& pair : v.find("buckets")->array) {
+        if (!pair.is_array() || pair.array.size() != 2 ||
+            !pair.array[0].is_number() || !pair.array[1].is_number()) {
+          return "histograms value '" + name +
+                 "' bucket entry is not a [bucket_index, count] pair";
+        }
+      }
+    }
+    return {};
+  }
+  if (t == "profile") {
+    std::string err = check_keys(
+        record, "profile", {{"phases", K::Object}, {"pool", K::Object}});
+    if (!err.empty()) return err;
+    for (const auto& [name, v] : record.find("phases")->object) {
+      if (!v.is_object()) {
+        return "profile phase '" + name + "' is not an object";
+      }
+      err = check_keys(v, "profile.phase",
+                       {{"count", K::Number},
+                        {"total_ns", K::Number},
+                        {"self_ns", K::Number}});
+      if (!err.empty()) return err;
+    }
+    return check_keys(*record.find("pool"), "profile.pool",
+                      {{"tasks", K::Number},
+                       {"steals", K::Number},
+                       {"waves", K::Number},
+                       {"queue_depth", K::Number},
+                       {"queue_depth_hwm", K::Number},
+                       {"worker_busy_ns", K::Number}});
   }
   return "unknown record type '" + t + "'";
 }

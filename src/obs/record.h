@@ -7,7 +7,8 @@
 // consumes these files; validate_record checks the schema both there and in
 // the golden-schema tests.
 //
-// Schema v1 record types and required keys:
+// Schema v1.1 record types and required keys (v1 plus `histograms` and
+// `profile`; v1 files remain valid):
 //   manifest   : type, schema, binary, title, paper_ref, argv, git_sha,
 //                compiler, timestamp, wall_clock_s, run_options
 //   run        : type, context, name, n, mean, geomean, stddev, min, max,
@@ -24,11 +25,16 @@
 //                cache_hit_rate
 //   litmus     : type, name, dialect, source, operational{sc,tso,arm,power},
 //                axiomatic{sc,tso,arm,power}, agree, expect_ok
+//   histograms : type, values (each entry: count, sum, min, max, p50, p90,
+//                p99, buckets as [bucket_index, count] pairs)       [v1.1]
+//   profile    : type, phases (each entry: count, total_ns, self_ns),
+//                pool{tasks, steals, waves, queue_depth,
+//                queue_depth_hwm, worker_busy_ns}                   [v1.1]
 //
-// throughput records carry wall-clock rates, so (like the manifest) they are
-// excluded from byte-identity comparisons between runs; every other record
-// type is deterministic for a fixed seed and configuration, independent of
-// --threads.
+// throughput, histograms, and profile records carry wall-clock measurements,
+// so (like the manifest) they are excluded from byte-identity comparisons
+// between runs; every other record type is deterministic for a fixed seed
+// and configuration, independent of --threads.
 #pragma once
 
 #include <map>
@@ -38,11 +44,18 @@
 #include "core/harness.h"
 #include "core/stats.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/json.h"
+#include "obs/profile.h"
 
 namespace wmm::obs {
 
-inline constexpr int kSchemaVersion = 1;
+// Version written by manifest_line.  validate_record accepts any version in
+// [kMinSchemaVersion, kSchemaVersion]: 1.1 added the histograms/profile
+// records without changing any v1 record, so committed v1 baselines stay
+// valid.
+inline constexpr double kSchemaVersion = 1.1;
+inline constexpr double kMinSchemaVersion = 1.0;
 
 struct Manifest {
   std::string binary;
@@ -110,6 +123,16 @@ struct LitmusVerdict {
 };
 
 std::string litmus_line(const LitmusVerdict& v);
+
+// Latency-histogram summaries (typically histograms().snapshot()).  Values
+// are keyed by histogram name; buckets are emitted sparsely as
+// [bucket_index, count] pairs.  Wall-clock data: identity-excluded.
+std::string histograms_line(const std::vector<HistogramSnapshot>& hists);
+
+// Profiler phase totals plus the scheduling-dependent pool metrics.  Phases
+// with a zero count are omitted.  Wall-clock data: identity-excluded.
+std::string profile_line(const PhaseSnapshot& phases,
+                         const PoolStats::Snapshot& pool);
 
 // Validates one parsed record against the schema above.  Returns an empty
 // string when valid, otherwise a description of the first problem.

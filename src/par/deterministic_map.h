@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profile.h"
 #include "par/pool.h"
 
 namespace wmm::par {
@@ -38,6 +39,9 @@ auto par_map(Pool& pool, const std::vector<T>& items, Fn&& fn)
   std::vector<R> results(items.size());
   if (items.empty()) return results;
   note_fanout(items.size());
+  // Wave latency: submit of the first task to completion of the whole batch.
+  WMM_PROFILE_SPAN(obs::Phase::PoolWave);
+  obs::pool_stats().waves.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::exception_ptr> errors(items.size());
   if (pool.threads() <= 1 || items.size() == 1) {
     // Sequential path, in input order.  Exception semantics deliberately

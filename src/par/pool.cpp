@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/counters.h"
+#include "obs/profile.h"
 
 namespace wmm::par {
 
@@ -27,6 +28,24 @@ const ParCounters& par_counters() {
       obs::counters().register_counter("par.tasks"),
   };
   return ids;
+}
+
+// Executes one dequeued task with pool-stats accounting.  The task count is
+// a relaxed add (negligible next to the queue mutex); the clock reads for
+// worker-utilization time run only when profiling is on.
+void run_task(std::function<void()>& task) {
+  obs::pool_stats().tasks.fetch_add(1, std::memory_order_relaxed);
+  if (obs::profile_enabled()) {
+    const std::uint64_t start = obs::profile_now_ns();
+    {
+      WMM_PROFILE_SPAN(obs::Phase::PoolTask);
+      task();
+    }
+    obs::pool_stats().worker_busy_ns.fetch_add(obs::profile_now_ns() - start,
+                                               std::memory_order_relaxed);
+  } else {
+    task();
+  }
 }
 
 }  // namespace
@@ -57,6 +76,7 @@ Pool::~Pool() {
 }
 
 void Pool::submit(std::function<void()> fn) {
+  obs::pool_stats().on_submit();
   const std::size_t q =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
@@ -80,6 +100,7 @@ bool Pool::try_pop(std::size_t first, std::function<void()>& out) {
       queue.tasks.pop_front();
       steals_.fetch_add(1, std::memory_order_relaxed);
     }
+    obs::pool_stats().on_dequeue(/*stolen=*/i != 0);
     return true;
   }
   return false;
@@ -92,7 +113,7 @@ bool Pool::help() {
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   std::function<void()> task;
   if (!try_pop(first, task)) return false;
-  task();
+  run_task(task);
   return true;
 }
 
@@ -100,7 +121,7 @@ void Pool::worker(std::size_t self) {
   while (true) {
     std::function<void()> task;
     if (try_pop(self, task)) {
-      task();
+      run_task(task);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);

@@ -10,10 +10,12 @@
 // Determinism contract: the pool schedules tasks in an arbitrary order, so
 // anything observable must be made deterministic by the *caller* — write
 // results into per-task slots and merge in task-index order (par_map does
-// this).  Scheduling-dependent statistics (steal counts) are deliberately
-// kept out of the obs counter registry so counter records stay bit-identical
-// across thread counts; only scheduling-independent totals (pools created,
-// jobs fanned out, tasks mapped) are registered.
+// this).  Scheduling-dependent statistics (steal counts, queue depth, task
+// latencies) are deliberately kept out of the obs counter registry so
+// counter records stay bit-identical across thread counts; they feed
+// obs::pool_stats() instead, which surfaces only in the identity-excluded
+// `profile` record.  Only scheduling-independent totals (pools created, jobs
+// fanned out, tasks mapped) are registered as counters.
 #pragma once
 
 #include <atomic>

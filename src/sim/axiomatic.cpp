@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profile.h"
+
 namespace wmm::sim {
 
 namespace {
@@ -393,6 +395,7 @@ bool axiomatic_ppo(const LitmusThread& thread, std::size_t i, std::size_t j,
 
 std::set<Outcome> axiomatic_outcomes(const LitmusTest& test, Arch arch,
                                      const AxiomaticOptions& options) {
+  WMM_PROFILE_SPAN(obs::Phase::AxCheck);
   const CandidateSpace s = build_space(test, arch, options);
   std::set<Outcome> out;
   for_each_candidate(s, [&](const Candidate& c) {

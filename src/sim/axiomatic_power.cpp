@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profile.h"
+
 namespace wmm::sim {
 
 namespace {
@@ -607,6 +609,7 @@ bool power_fence_ordered(const LitmusThread& thread, std::size_t i,
 
 std::set<Outcome> power_axiomatic_outcomes(
     const LitmusTest& test, const PowerAxiomaticOptions& options) {
+  WMM_PROFILE_SPAN(obs::Phase::AxPowerCheck);
   const PwSpace s = build_space(test, options);
   std::set<Outcome> out;
   pw_for_each_candidate(s, [&](const PwCandidate& c) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
 
@@ -66,6 +67,7 @@ void Cpu::receive_invalidation(double at_time) {
 }
 
 double Cpu::process_invalidations() {
+  WMM_PROFILE_SPAN(obs::Phase::SbDrain);
   const double pending = pending_invalidations();
   if (pending > 0.0) {
     reg_->add(ids_->invq_drains);
@@ -77,6 +79,7 @@ double Cpu::process_invalidations() {
 }
 
 void Cpu::load_shared(LineId line) {
+  WMM_PROFILE_SPAN(obs::Phase::Coherence);
   const bool transfer = machine_->directory_.read(line, index_);
   if (transfer) {
     const double start = now_;
@@ -93,14 +96,18 @@ void Cpu::load_shared(LineId line) {
 }
 
 void Cpu::store_shared(LineId line) {
-  const double stall = sb_.push(now_);
-  if (stall > 0.0) {
-    if (obs::TraceSink* t = obs::trace()) {
-      t->complete("sb-stall", "mem", machine_->id_,
-                  static_cast<std::uint32_t>(index_), now_, stall);
+  {
+    WMM_PROFILE_SPAN(obs::Phase::SbDrain);
+    const double stall = sb_.push(now_);
+    if (stall > 0.0) {
+      if (obs::TraceSink* t = obs::trace()) {
+        t->complete("sb-stall", "mem", machine_->id_,
+                    static_cast<std::uint32_t>(index_), now_, stall);
+      }
     }
+    now_ += stall + params_->store_issue_ns;
   }
-  now_ += stall + params_->store_issue_ns;
+  WMM_PROFILE_SPAN(obs::Phase::Coherence);
   std::vector<int>& targets = machine_->invalidation_scratch_;
   const bool transfer = machine_->directory_.write(line, index_, targets);
   if (transfer) {
@@ -313,6 +320,7 @@ double Machine::run(const std::vector<SimThread*>& threads,
     throw std::invalid_argument("Machine::run: threads/cpu_of size mismatch");
   }
   obs::counters().add(sim_counters().machine_runs);
+  WMM_PROFILE_SPAN(obs::Phase::MachineRun);
   std::vector<bool> active(threads.size(), true);
   std::size_t remaining = threads.size();
   while (remaining > 0) {
@@ -328,7 +336,12 @@ double Machine::run(const std::vector<SimThread*>& threads,
         best_now = t;
       }
     }
-    if (!threads[best]->step(*cpus_[cpu_of[best]])) {
+    bool alive;
+    {
+      WMM_PROFILE_SPAN(obs::Phase::MachineStep);
+      alive = threads[best]->step(*cpus_[cpu_of[best]]);
+    }
+    if (!alive) {
       active[best] = false;
       --remaining;
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profile.h"
+
 namespace wmm::sim {
 
 namespace {
@@ -382,6 +384,7 @@ void interleave(Execution& ex,
 }  // namespace
 
 std::set<Outcome> enumerate_outcomes(const LitmusTest& test, Arch arch) {
+  WMM_PROFILE_SPAN(obs::Phase::OpEnumerate);
   std::set<Outcome> outcomes;
 
   std::vector<ThreadOrders> per_thread;

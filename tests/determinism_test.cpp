@@ -16,6 +16,8 @@
 #include "jvm/fencing.h"
 #include "kernel/barriers.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
+#include "obs/record.h"
 #include "sim/fuzz.h"
 #include "workloads/jvm_workloads.h"
 #include "workloads/kernel_workloads.h"
@@ -241,6 +243,35 @@ TEST(Determinism, FuzzCounterDeltasThreadCountInvariant) {
       EXPECT_EQ(d1[i].value, d8[i].value) << d1[i].name;
     }
   }
+}
+
+// Turning the span profiler ON must not perturb the identity-checked JSONL:
+// everything wall-clock lives in the `histograms`/`profile` records (which,
+// like `throughput`, are excluded from byte-identity), so the *counters
+// record bytes* — the identity-relevant record a fuzz run emits — must stay
+// identical between --threads=1 and 8 with profiling enabled.
+TEST(Determinism, ProfilingOnKeepsCounterRecordBytesThreadCountInvariant) {
+  obs::set_profile_enabled(true);
+  const auto counter_record_bytes = [&](int threads) {
+    const auto before = obs::counters().snapshot(/*include_zero=*/true);
+    corpus_at(threads, sim::Arch::ARMV8, 120);
+    const auto after = obs::counters().snapshot(/*include_zero=*/true);
+    // Serialise the delta exactly the way Session::finalize does, so the
+    // comparison is over record *bytes*, not just values.
+    return obs::counters_line(obs::snapshot_delta(before, after));
+  };
+  const obs::PhaseSnapshot phases_before = obs::profiler().snapshot();
+  const std::string line1 = counter_record_bytes(1);
+  const std::string line8 = counter_record_bytes(8);
+  const obs::PhaseSnapshot phase_deltas =
+      obs::phase_delta(phases_before, obs::profiler().snapshot());
+  obs::set_profile_enabled(false);
+
+  EXPECT_EQ(line1, line8);
+  // The profiler was demonstrably live while those bytes were produced.
+  using P = obs::Phase;
+  EXPECT_GT(phase_deltas[static_cast<std::size_t>(P::OpEnumerate)].count, 0u);
+  EXPECT_GT(phase_deltas[static_cast<std::size_t>(P::AxCheck)].count, 0u);
 }
 
 }  // namespace

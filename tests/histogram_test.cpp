@@ -1,0 +1,197 @@
+// Unit tests for the sharded log2-bucket latency histograms: the bucket
+// geometry is pinned exactly (the `histograms` record and BENCH_sim.json
+// percentiles both build on it), merges are bucket-wise sums with correct
+// empty-side min/max handling, and concurrent recording across shards loses
+// no samples.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace wmm::obs {
+namespace {
+
+// The registry's shard arrays are a few hundred KB — heap-allocate local
+// instances and install the empty-min sentinels like the global accessor.
+std::unique_ptr<HistogramRegistry> make_registry() {
+  auto r = std::make_unique<HistogramRegistry>();
+  r->reset_values();
+  return r;
+}
+
+TEST(HistogramBuckets, BoundariesArePowerOfTwoEdges) {
+  // Bucket 0 holds exactly the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(7), 3u);
+  EXPECT_EQ(histogram_bucket(8), 4u);
+  EXPECT_EQ(histogram_bucket(1023), 10u);
+  EXPECT_EQ(histogram_bucket(1024), 11u);
+  // The last bucket absorbs everything past 2^62.
+  EXPECT_EQ(histogram_bucket(std::uint64_t{1} << 62), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket(std::uint64_t{1} << 63), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket(std::numeric_limits<std::uint64_t>::max()),
+            kHistogramBuckets - 1);
+}
+
+TEST(HistogramBuckets, LowerAndUpperBoundsMatchBucketOf) {
+  EXPECT_EQ(histogram_bucket_lower(0), 0u);
+  EXPECT_EQ(histogram_bucket_upper(0), 1u);
+  for (std::size_t b = 1; b + 1 < kHistogramBuckets; ++b) {
+    const std::uint64_t lo = histogram_bucket_lower(b);
+    const std::uint64_t hi = histogram_bucket_upper(b);
+    EXPECT_EQ(lo, std::uint64_t{1} << (b - 1));
+    EXPECT_EQ(hi, std::uint64_t{1} << b);
+    // Every bucket's bounds round-trip through histogram_bucket.
+    EXPECT_EQ(histogram_bucket(lo), b) << b;
+    EXPECT_EQ(histogram_bucket(hi - 1), b) << b;
+    EXPECT_EQ(histogram_bucket(hi), b + 1) << b;
+  }
+}
+
+TEST(HistogramRegistry, RecordTracksCountSumMinMax) {
+  auto reg = make_registry();
+  const HistogramId id = reg->register_histogram("t.basic");
+  ASSERT_NE(id, kInvalidHistogram);
+  for (std::uint64_t v : {5u, 17u, 3u, 900u}) reg->record(id, v);
+
+  const HistogramSnapshot s = reg->snapshot_one("t.basic");
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 925u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 900u);
+  EXPECT_EQ(s.buckets[histogram_bucket(5)], 1u);
+  EXPECT_EQ(s.buckets[histogram_bucket(900)], 1u);
+}
+
+TEST(HistogramRegistry, RegistrationIsIdempotentAndCapacityBounded) {
+  auto reg = make_registry();
+  const HistogramId a = reg->register_histogram("t.same");
+  EXPECT_EQ(a, reg->register_histogram("t.same"));
+  for (std::size_t i = 1; i < HistogramRegistry::kCapacity; ++i) {
+    ASSERT_NE(reg->register_histogram("t.fill" + std::to_string(i)),
+              kInvalidHistogram);
+  }
+  EXPECT_EQ(reg->registered(), HistogramRegistry::kCapacity);
+  const HistogramId overflow = reg->register_histogram("t.overflow");
+  EXPECT_EQ(overflow, kInvalidHistogram);
+  reg->record(overflow, 42);  // must be a no-op, not a write out of bounds
+  EXPECT_EQ(reg->snapshot_one("t.overflow").count, 0u);
+}
+
+TEST(HistogramSnapshot, QuantilesOfSingleValueAreExact) {
+  auto reg = make_registry();
+  const HistogramId id = reg->register_histogram("t.point");
+  for (int i = 0; i < 100; ++i) reg->record(id, 1000);
+  const HistogramSnapshot s = reg->snapshot_one("t.point");
+  // All mass in one bucket with min == max: every quantile collapses to the
+  // exact value via the [min, max] clamp.
+  EXPECT_DOUBLE_EQ(s.p50(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.p90(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 1000.0);
+}
+
+TEST(HistogramSnapshot, QuantilesAreMonotoneAndBounded) {
+  auto reg = make_registry();
+  const HistogramId id = reg->register_histogram("t.spread");
+  for (std::uint64_t v = 1; v <= 1000; ++v) reg->record(id, v);
+  const HistogramSnapshot s = reg->snapshot_one("t.spread");
+  const double p50 = s.p50();
+  const double p90 = s.p90();
+  const double p99 = s.p99();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, static_cast<double>(s.min));
+  EXPECT_LE(p99, static_cast<double>(s.max));
+  // Log2 buckets bound the error to one bucket width: p50 of 1..1000 is in
+  // [256, 1024), p99 in [512, 1000].
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 1024.0);
+  EXPECT_GE(p99, 512.0);
+}
+
+TEST(HistogramMerge, SumsBucketsAndCombinesExtrema) {
+  auto reg = make_registry();
+  const HistogramId a = reg->register_histogram("t.a");
+  const HistogramId b = reg->register_histogram("t.b");
+  reg->record(a, 10);
+  reg->record(a, 20);
+  reg->record(b, 5);
+  reg->record(b, 500);
+
+  const HistogramSnapshot sa = reg->snapshot_one("t.a");
+  const HistogramSnapshot sb = reg->snapshot_one("t.b");
+  const HistogramSnapshot m = merge_histograms(sa, sb);
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_EQ(m.sum, 535u);
+  EXPECT_EQ(m.min, 5u);
+  EXPECT_EQ(m.max, 500u);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(m.buckets[i], sa.buckets[i] + sb.buckets[i]);
+  }
+}
+
+TEST(HistogramMerge, EmptySideDoesNotPoisonExtrema) {
+  auto reg = make_registry();
+  reg->register_histogram("t.full");
+  const HistogramId full = reg->register_histogram("t.full");
+  reg->record(full, 7);
+  const HistogramSnapshot sf = reg->snapshot_one("t.full");
+  const HistogramSnapshot se = reg->snapshot_one("t.never-registered");
+  ASSERT_EQ(se.count, 0u);
+
+  const HistogramSnapshot m1 = merge_histograms(sf, se);
+  EXPECT_EQ(m1.count, 1u);
+  EXPECT_EQ(m1.min, 7u);
+  EXPECT_EQ(m1.max, 7u);
+  const HistogramSnapshot m2 = merge_histograms(se, sf);
+  EXPECT_EQ(m2.count, 1u);
+  EXPECT_EQ(m2.min, 7u);
+  EXPECT_EQ(m2.max, 7u);
+}
+
+TEST(HistogramRegistry, ConcurrentRecordingLosesNoSamples) {
+  auto reg = make_registry();
+  const HistogramId id = reg->register_histogram("t.mt");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, id, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        reg->record(id, static_cast<std::uint64_t>(t) * 1000 + (i % 7));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const HistogramSnapshot s = reg->snapshot_one("t.mt");
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, (kThreads - 1) * 1000u + 6u);
+}
+
+TEST(HistogramRegistry, ResetValuesKeepsRegistrations) {
+  auto reg = make_registry();
+  const HistogramId id = reg->register_histogram("t.reset");
+  reg->record(id, 99);
+  ASSERT_EQ(reg->snapshot_one("t.reset").count, 1u);
+  reg->reset_values();
+  const HistogramSnapshot s = reg->snapshot_one("t.reset");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(reg->register_histogram("t.reset"), id);
+  reg->record(id, 3);
+  EXPECT_EQ(reg->snapshot_one("t.reset").min, 3u);
+}
+
+}  // namespace
+}  // namespace wmm::obs

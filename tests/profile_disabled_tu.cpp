@@ -1,0 +1,28 @@
+// Compiled with -DWMM_PROFILE_DISABLED (set in tests/CMakeLists.txt) while
+// the rest of profile_test is built normally: proves the compile-time kill
+// switch turns WMM_PROFILE_SPAN into an empty statement even when runtime
+// profiling is enabled.
+#ifndef WMM_PROFILE_DISABLED
+#error "profile_disabled_tu.cpp must be compiled with WMM_PROFILE_DISABLED"
+#endif
+
+#include <cstdint>
+
+#include "obs/profile.h"
+
+namespace wmm::obs {
+
+std::uint64_t disabled_tu_machine_run_span_delta() {
+  const PhaseSnapshot before = profiler().snapshot();
+  {
+    WMM_PROFILE_SPAN(Phase::MachineRun);
+    // Keep the scope non-empty so nothing here can be optimised away for
+    // reasons unrelated to the kill switch.
+    volatile int sink = 0;
+    for (int i = 0; i < 100; ++i) sink = sink + i;
+  }
+  const PhaseSnapshot delta = phase_delta(before, profiler().snapshot());
+  return delta[static_cast<std::size_t>(Phase::MachineRun)].count;
+}
+
+}  // namespace wmm::obs

@@ -1,0 +1,180 @@
+// Tests for the scoped-span profiler and the scheduling-dependent pool
+// metrics: spans are no-ops while profiling is off, nesting attributes self
+// time as inclusive-minus-children, spans feed the per-phase "prof.*"
+// histograms, the profiler never touches the deterministic counter registry,
+// and pool counters behave (tasks/steals/busy monotone, queue-depth gauge
+// returns to zero after a wave).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/profile.h"
+#include "par/deterministic_map.h"
+#include "par/pool.h"
+
+namespace wmm::obs {
+
+// Defined in profile_disabled_tu.cpp, which is compiled with
+// -DWMM_PROFILE_DISABLED: runs a WMM_PROFILE_SPAN and reports the resulting
+// MachineRun count delta (zero iff the kill switch compiled it out).
+std::uint64_t disabled_tu_machine_run_span_delta();
+
+namespace {
+
+constexpr std::size_t idx(Phase p) { return static_cast<std::size_t>(p); }
+
+// Spin until the monotonic clock advances so a span is guaranteed > 0 ns.
+void burn_at_least_one_tick() {
+  const std::uint64_t t0 = profile_now_ns();
+  while (profile_now_ns() == t0) {
+  }
+}
+
+// RAII guard so a failing assertion cannot leave profiling enabled for
+// unrelated tests in this binary.
+struct ProfilingOn {
+  ProfilingOn() { set_profile_enabled(true); }
+  ~ProfilingOn() { set_profile_enabled(false); }
+};
+
+TEST(Profile, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(profile_enabled());
+  const PhaseSnapshot before = profiler().snapshot();
+  for (int i = 0; i < 10; ++i) {
+    WMM_PROFILE_SPAN(Phase::MachineRun);
+    WMM_PROFILE_SPAN(Phase::AxCheck);
+    burn_at_least_one_tick();
+  }
+  const PhaseSnapshot delta = phase_delta(before, profiler().snapshot());
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    EXPECT_EQ(delta[p].count, 0u) << phase_name(static_cast<Phase>(p));
+    EXPECT_EQ(delta[p].total_ns, 0u);
+    EXPECT_EQ(delta[p].self_ns, 0u);
+  }
+}
+
+TEST(Profile, CompileTimeKillSwitchCompilesSpansToNothing) {
+  // Even with runtime profiling ON, a TU built with WMM_PROFILE_DISABLED
+  // must not record anything — the macro expands to an empty statement.
+  ProfilingOn on;
+  EXPECT_EQ(disabled_tu_machine_run_span_delta(), 0u);
+}
+
+TEST(Profile, NestedSpansAttributeSelfTimeAsInclusiveMinusChildren) {
+  const PhaseSnapshot before = profiler().snapshot();
+  {
+    ProfilingOn on;
+    WMM_PROFILE_SPAN(Phase::MachineRun);
+    burn_at_least_one_tick();
+    {
+      WMM_PROFILE_SPAN(Phase::MachineStep);
+      burn_at_least_one_tick();
+    }
+    burn_at_least_one_tick();
+  }
+  const PhaseSnapshot delta = phase_delta(before, profiler().snapshot());
+  const PhaseTotals& outer = delta[idx(Phase::MachineRun)];
+  const PhaseTotals& inner = delta[idx(Phase::MachineStep)];
+  ASSERT_EQ(outer.count, 1u);
+  ASSERT_EQ(inner.count, 1u);
+  // A leaf span's self time is its inclusive time.
+  EXPECT_EQ(inner.self_ns, inner.total_ns);
+  EXPECT_GT(inner.total_ns, 0u);
+  // The parent's self time is exactly inclusive minus its one child.
+  EXPECT_GE(outer.total_ns, inner.total_ns);
+  EXPECT_EQ(outer.self_ns, outer.total_ns - inner.total_ns);
+  EXPECT_GT(outer.self_ns, 0u);  // it burned ticks outside the child
+}
+
+TEST(Profile, SpansFeedPerPhaseHistograms) {
+  const std::uint64_t before =
+      histograms().snapshot_one("prof.ax.check").count;
+  {
+    ProfilingOn on;
+    for (int i = 0; i < 3; ++i) {
+      WMM_PROFILE_SPAN(Phase::AxCheck);
+      burn_at_least_one_tick();
+    }
+  }
+  const HistogramSnapshot after = histograms().snapshot_one("prof.ax.check");
+  EXPECT_EQ(after.count, before + 3);
+  EXPECT_GT(after.max, 0u);
+}
+
+TEST(Profile, ProfilerNeverTouchesDeterministicCounters) {
+  const std::vector<CounterRegistry::Entry> before =
+      counters().snapshot(/*include_zero=*/true);
+  {
+    ProfilingOn on;
+    for (int i = 0; i < 5; ++i) {
+      WMM_PROFILE_SPAN(Phase::SbDrain);
+      burn_at_least_one_tick();
+    }
+  }
+  const std::vector<CounterRegistry::Entry> after =
+      counters().snapshot(/*include_zero=*/true);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].name, after[i].name);
+    EXPECT_EQ(before[i].value, after[i].value) << before[i].name;
+  }
+}
+
+TEST(PoolMetrics, WaveDrivesTasksAndGaugeReturnsToZero) {
+  const PoolStats::Snapshot before = pool_stats().snapshot();
+  const PhaseSnapshot phases_before = profiler().snapshot();
+
+  constexpr std::size_t kItems = 64;
+  std::vector<int> items(kItems);
+  std::iota(items.begin(), items.end(), 0);
+  {
+    ProfilingOn on;
+    par::Pool pool(4);
+    const std::vector<std::uint64_t> out =
+        par::par_map(pool, items, [](const int& v) {
+          burn_at_least_one_tick();
+          return static_cast<std::uint64_t>(v) * 2;
+        });
+    ASSERT_EQ(out.size(), kItems);
+    EXPECT_EQ(out[63], 126u);  // results still land in input-index order
+  }
+  const PoolStats::Snapshot after = pool_stats().snapshot();
+
+  // Task and wave counters are monotone and account for exactly this wave.
+  EXPECT_EQ(after.tasks, before.tasks + kItems);
+  EXPECT_EQ(after.waves, before.waves + 1);
+  EXPECT_GE(after.steals, before.steals);
+  EXPECT_GE(after.queue_depth_hwm, before.queue_depth_hwm);
+  EXPECT_GE(after.queue_depth_hwm, 1u);
+  // Every submitted task was dequeued: the gauge is back where it started
+  // (zero — nothing else is in flight in this process).
+  EXPECT_EQ(after.queue_depth, before.queue_depth);
+  EXPECT_EQ(after.queue_depth, 0);
+  // Profiling was on, so task bodies accumulated busy time and spans.
+  EXPECT_GT(after.worker_busy_ns, before.worker_busy_ns);
+  const PhaseSnapshot delta = phase_delta(phases_before, profiler().snapshot());
+  EXPECT_EQ(delta[idx(Phase::PoolTask)].count, kItems);
+  EXPECT_EQ(delta[idx(Phase::PoolWave)].count, 1u);
+  EXPECT_GT(delta[idx(Phase::PoolWave)].total_ns, 0u);
+}
+
+TEST(PoolMetrics, SequentialWaveStillCountsTheWave) {
+  const PoolStats::Snapshot before = pool_stats().snapshot();
+  std::vector<int> items = {1, 2, 3};
+  const std::vector<int> out =
+      par::par_map(items, [](const int& v) { return v + 1; }, /*threads=*/1);
+  EXPECT_EQ(out, (std::vector<int>{2, 3, 4}));
+  const PoolStats::Snapshot after = pool_stats().snapshot();
+  // The sequential path never submits to a pool: the wave is counted but no
+  // tasks flow through the queues and the gauge is untouched.
+  EXPECT_EQ(after.waves, before.waves + 1);
+  EXPECT_EQ(after.tasks, before.tasks);
+  EXPECT_EQ(after.queue_depth, before.queue_depth);
+}
+
+}  // namespace
+}  // namespace wmm::obs
