@@ -265,27 +265,39 @@ int bench_diff(const std::string& base_path, const std::string& test_path,
   const auto test = load_bench(test_path);
   if (!base || !test) return 1;
 
-  int set_mismatches = 0;
+  // Workload-set drift is a matrix change, not value drift: report the full
+  // symmetric difference of workload keys so the failure names exactly which
+  // rows appeared or disappeared (exit 3, see docs/schema.md).
+  std::vector<std::string> only_base;
+  std::vector<std::string> only_test;
   for (const auto& [key, w] : *base) {
-    if (!test->count(key)) {
-      std::fprintf(stderr, "MISMATCH workload %s (only in base)\n",
-                   key.c_str());
-      ++set_mismatches;
-    }
+    if (!test->count(key)) only_base.push_back(key);
   }
   for (const auto& [key, w] : *test) {
-    if (!base->count(key)) {
-      std::fprintf(stderr, "MISMATCH workload %s (only in test)\n",
-                   key.c_str());
-      ++set_mismatches;
-    }
+    if (!base->count(key)) only_test.push_back(key);
   }
-  if (set_mismatches > 0) {
+  if (!only_base.empty() || !only_test.empty()) {
+    const auto join = [](const std::vector<std::string>& keys) {
+      std::string out;
+      for (const std::string& k : keys) {
+        if (!out.empty()) out += ", ";
+        out += k;
+      }
+      return out;
+    };
+    if (!only_base.empty()) {
+      std::fprintf(stderr, "MISMATCH workloads only in base: %s\n",
+                   join(only_base).c_str());
+    }
+    if (!only_test.empty()) {
+      std::fprintf(stderr, "MISMATCH workloads only in test: %s\n",
+                   join(only_test).c_str());
+    }
     std::fprintf(stderr,
-                 "report_diff: mismatched workload sets (%d difference(s)) -- "
-                 "the BENCH documents cover different matrices, values were "
-                 "not compared\n",
-                 set_mismatches);
+                 "report_diff: mismatched workload sets (%zu difference(s)) "
+                 "-- the BENCH documents cover different matrices, values "
+                 "were not compared\n",
+                 only_base.size() + only_test.size());
     return 3;
   }
 

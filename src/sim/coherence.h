@@ -6,13 +6,22 @@
 // that another core holds modified pays a coherence-miss transfer over the
 // bus.  The bus serialises transfers, so heavily contended runs also queue.
 //
+// The directory is an open-addressed hash table in struct-of-arrays layout:
+// parallel key/owner/sharer columns indexed by the same slot, with inline
+// storage for the first 64 lines so litmus- and workload-scale programs never
+// touch the heap.  A store's invalidation targets come back as a core
+// bitmask, which Machine::send_invalidations drains in one sweep — there is
+// no per-message allocation anywhere on this path (docs/simulator.md,
+// "Coherence directory").
+//
 // Bulk private traffic does not use the directory; it is modelled
 // statistically in Cpu::private_access.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+#include <cstring>
+#include <memory>
 
 #include "sim/metrics.h"
 
@@ -51,66 +60,149 @@ class Bus {
   double busy_until_ = 0.0;
 };
 
-// Directory state for one shared line.
-struct LineState {
-  int owner = -1;            // core holding the line modified; -1 = clean
-  std::uint32_t sharers = 0; // bitmask of cores with a (possibly stale) copy
-};
-
 class CoherenceDirectory {
  public:
-  LineState& line(LineId id) { return lines_[id]; }
+  CoherenceDirectory() { use_inline(); }
 
-  // Record a read by `core`: returns true when the access is a coherence miss
-  // (the line is modified in another core's cache).  Updates sharer state.
+  // The active-column pointers alias the inline arrays, so the directory is
+  // pinned in place (Machine never moves either).
+  CoherenceDirectory(const CoherenceDirectory&) = delete;
+  CoherenceDirectory& operator=(const CoherenceDirectory&) = delete;
+
+  // Record a read by `core`: returns true when the access needs a line
+  // transfer — either a coherence miss (the line is modified in another
+  // core's cache) or a cold fill.  Updates sharer state.
   bool read(LineId id, int core) {
-    LineState& l = lines_[id];
-    const bool miss = l.owner >= 0 && l.owner != core;
+    const std::size_t s = slot_of(id);
+    const bool miss = owner_[s] >= 0 && owner_[s] != core;
     if (miss) {
       reg_->add(ids_->coh_misses);
       // Owner's copy is downgraded to shared.
-      l.sharers |= (1u << l.owner);
-      l.owner = -1;
+      sharers_[s] |= 1u << owner_[s];
+      owner_[s] = -1;
     }
-    const bool had_copy = (l.sharers >> core) & 1u;
-    l.sharers |= (1u << core);
+    const bool had_copy = (sharers_[s] >> core) & 1u;
+    sharers_[s] |= 1u << core;
     return miss || !had_copy;
   }
 
-  // Record a write by `core`: fills `invalidated` with the other cores that
-  // must be sent an invalidation and returns true when ownership had to be
-  // transferred (line modified elsewhere or shared).
-  bool write(LineId id, int core, std::vector<int>& invalidated) {
-    LineState& l = lines_[id];
-    invalidated.clear();
-    bool transfer = false;
-    if (l.owner >= 0 && l.owner != core) {
-      invalidated.push_back(l.owner);
-      transfer = true;
-    }
-    const std::uint32_t others = l.sharers & ~(1u << core);
-    for (int c = 0; c < 32; ++c) {
-      if ((others >> c) & 1u) {
-        if (l.owner != c) invalidated.push_back(c);
-        transfer = true;
-      }
-    }
-    l.owner = core;
-    l.sharers = (1u << core);
-    if (transfer) {
+  // Record a write by `core`: returns the bitmask of other cores that must be
+  // sent an invalidation.  A non-zero mask means ownership had to be
+  // transferred (line modified elsewhere or shared); zero means the writer
+  // already owned the line exclusively.
+  std::uint32_t write(LineId id, int core) {
+    const std::size_t s = slot_of(id);
+    std::uint32_t targets = sharers_[s];
+    if (owner_[s] >= 0) targets |= 1u << owner_[s];
+    targets &= ~(1u << core);
+    owner_[s] = core;
+    sharers_[s] = 1u << core;
+    if (targets != 0) {
       reg_->add(ids_->coh_transfers);
-      reg_->add(ids_->coh_invalidations, invalidated.size());
+      reg_->add(ids_->coh_invalidations,
+                static_cast<std::uint64_t>(std::popcount(targets)));
     }
-    return transfer;
+    return targets;
   }
 
-  void reset() { lines_.clear(); }
-  std::size_t tracked_lines() const { return lines_.size(); }
+  void reset() {
+    heap_.reset();
+    use_inline();
+  }
+
+  std::size_t tracked_lines() const { return count_; }
+  std::size_t capacity() const { return mask_ + 1; }
 
  private:
+  static constexpr std::size_t kInlineSlots = 64;  // power of two
+
+  // Find-or-insert: linear probing over the key column; a fresh slot starts
+  // clean and unshared, matching the old map's value-initialised LineState.
+  std::size_t slot_of(LineId id) {
+    std::size_t s = hash(id) & mask_;
+    while (true) {
+      if (!used_[s]) break;
+      if (keys_[s] == id) return s;
+      s = (s + 1) & mask_;
+    }
+    if (count_ * 10 >= (mask_ + 1) * 7) {
+      grow();
+      s = hash(id) & mask_;
+      while (used_[s]) s = (s + 1) & mask_;
+    }
+    used_[s] = 1;
+    keys_[s] = id;
+    owner_[s] = -1;
+    sharers_[s] = 0;
+    ++count_;
+    return s;
+  }
+
+  static std::size_t hash(LineId id) {
+    // splitmix64 finaliser: line ids are often small consecutive integers.
+    std::uint64_t h = id + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+
+  void use_inline() {
+    keys_ = inline_keys_;
+    owner_ = inline_owner_;
+    sharers_ = inline_sharers_;
+    used_ = inline_used_;
+    mask_ = kInlineSlots - 1;
+    count_ = 0;
+    std::memset(inline_used_, 0, sizeof(inline_used_));
+  }
+
+  void grow() {
+    const std::size_t old_cap = mask_ + 1;
+    const std::size_t cap = old_cap * 2;
+    // One heap block, columns laid out back to back.
+    const std::size_t bytes =
+        cap * (sizeof(LineId) + sizeof(std::int32_t) + sizeof(std::uint32_t) +
+               sizeof(std::uint8_t));
+    auto block = std::make_unique<std::byte[]>(bytes);
+    auto* keys = reinterpret_cast<LineId*>(block.get());
+    auto* owner = reinterpret_cast<std::int32_t*>(keys + cap);
+    auto* sharers = reinterpret_cast<std::uint32_t*>(owner + cap);
+    auto* used = reinterpret_cast<std::uint8_t*>(sharers + cap);
+    std::memset(used, 0, cap);
+    const std::size_t new_mask = cap - 1;
+    for (std::size_t s = 0; s < old_cap; ++s) {
+      if (!used_[s]) continue;
+      std::size_t d = hash(keys_[s]) & new_mask;
+      while (used[d]) d = (d + 1) & new_mask;
+      used[d] = 1;
+      keys[d] = keys_[s];
+      owner[d] = owner_[s];
+      sharers[d] = sharers_[s];
+    }
+    heap_ = std::move(block);
+    keys_ = keys;
+    owner_ = owner;
+    sharers_ = sharers;
+    used_ = used;
+    mask_ = new_mask;
+  }
+
   obs::CounterRegistry* reg_ = &obs::counters();
   const SimCounterIds* ids_ = &sim_counters();
-  std::unordered_map<LineId, LineState> lines_;
+
+  // Active columns (inline or heap).
+  LineId* keys_ = nullptr;
+  std::int32_t* owner_ = nullptr;    // core holding the line modified; -1 clean
+  std::uint32_t* sharers_ = nullptr; // bitmask of cores with a copy
+  std::uint8_t* used_ = nullptr;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+
+  LineId inline_keys_[kInlineSlots];
+  std::int32_t inline_owner_[kInlineSlots];
+  std::uint32_t inline_sharers_[kInlineSlots];
+  std::uint8_t inline_used_[kInlineSlots];
+  std::unique_ptr<std::byte[]> heap_;
 };
 
 }  // namespace wmm::sim

@@ -1,0 +1,266 @@
+// Per-enumeration arena allocator and packed outcome set for the operational
+// litmus executor's hot loop.
+//
+// One outcome enumeration touches thousands-to-millions of interleavings; the
+// pre-rewrite executor paid a handful of `new`/`delete` pairs per
+// interleaving (per-write visibility vectors, observed lists, the
+// std::set<std::vector<int>> node per outcome probe).  The arena replaces all
+// of that with bump allocation out of a chunk that is *reused* across
+// enumerations: the first enumeration on a thread sizes the chunk, every
+// later one of the same shape runs allocation-free.  Litmus-scale programs
+// fit in the inline first chunk and never touch the heap at all.
+//
+// Lifetime rules (see docs/simulator.md, "Arena lifetime rules"):
+//   - All allocations are trivially-destructible PODs; the arena never runs
+//     destructors.
+//   - `reset()` reclaims everything at once between programs.  Pointers from
+//     before a reset are invalid.
+//   - Within one cycle, every allocation stays valid until the reset even if
+//     the arena grows (retired chunks are kept alive, not freed).
+//   - After a reset the arena coalesces into a single chunk sized to the
+//     cycle's high-water mark, so a steady-state workload settles into one
+//     allocation-free chunk (pinned by
+//     MachineRewrite.ArenaHighWaterStableAcrossReuse).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace wmm::sim {
+
+struct ArenaStats {
+  std::size_t reserved_bytes = 0;    // capacity currently held
+  std::size_t high_water_bytes = 0;  // max bytes live in any one cycle
+  std::uint64_t resets = 0;          // completed cycles
+};
+
+class Arena {
+ public:
+  // The arena starts bump-allocating out of `inline_chunk` (typically a
+  // member array of the owning workspace) and only heap-allocates when a
+  // cycle outgrows it.
+  Arena(std::byte* inline_chunk, std::size_t inline_size)
+      : inline_base_(inline_chunk),
+        inline_size_(inline_size),
+        base_(inline_chunk),
+        cap_(inline_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // `n` default-initialised (i.e. uninitialised) Ts.  T must be trivial: the
+  // arena runs no constructors or destructors.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    const std::size_t align = alignof(T);
+    std::size_t used = (used_ + align - 1) & ~(align - 1);
+    const std::size_t bytes = n * sizeof(T);
+    if (used + bytes > cap_) {
+      grow_chunk(bytes + align);
+      used = (used_ + align - 1) & ~(align - 1);
+    }
+    T* p = reinterpret_cast<T*>(base_ + used);
+    used_ = used + bytes;
+    return p;
+  }
+
+  // Zero-filled variant for index/floor tables.
+  template <typename T>
+  T* alloc_zero(std::size_t n) {
+    T* p = alloc<T>(n);
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return p;
+  }
+
+  // Reclaim the whole cycle.  Retired overflow chunks are coalesced into one
+  // chunk sized to the cycle's total, so the next cycle of the same shape is
+  // a single allocation-free bump sequence.
+  void reset() {
+    const std::size_t cycle_bytes = retired_bytes_ + used_;
+    if (cycle_bytes > stats_.high_water_bytes) {
+      stats_.high_water_bytes = cycle_bytes;
+    }
+    ++stats_.resets;
+    if (!retired_.empty()) {
+      // Outgrew the current chunk this cycle: replace everything with one
+      // chunk that would have fit the whole cycle.
+      retired_.clear();
+      retired_bytes_ = 0;
+      if (cycle_bytes <= inline_size_) {
+        heap_.reset();
+        base_ = inline_base_;
+        cap_ = inline_size_;
+      } else {
+        const std::size_t want = cycle_bytes + cycle_bytes / 2;
+        heap_ = std::make_unique<std::byte[]>(want);
+        base_ = heap_.get();
+        cap_ = want;
+      }
+    }
+    used_ = 0;
+    stats_.reserved_bytes = cap_;
+  }
+
+  ArenaStats stats() const {
+    ArenaStats s = stats_;
+    s.reserved_bytes = cap_;
+    return s;
+  }
+
+ private:
+  void grow_chunk(std::size_t need) {
+    // Retire the current chunk (allocations in it stay live until reset).
+    if (base_ != inline_base_) {
+      retired_.push_back(std::move(heap_));
+    }
+    retired_bytes_ += used_;
+    const std::size_t want = need > cap_ * 2 ? need : cap_ * 2;
+    heap_ = std::make_unique<std::byte[]>(want);
+    base_ = heap_.get();
+    cap_ = want;
+    used_ = 0;
+  }
+
+  std::byte* inline_base_;
+  std::size_t inline_size_;
+  std::byte* base_;
+  std::size_t cap_;
+  std::size_t used_ = 0;
+  std::unique_ptr<std::byte[]> heap_;  // current heap chunk, if any
+  std::vector<std::unique_ptr<std::byte[]>> retired_;
+  std::size_t retired_bytes_ = 0;
+  ArenaStats stats_;
+};
+
+// Growable POD array over an arena (size/capacity in elements).  Growth
+// copy-allocates; the old span is arena garbage until the next reset, which
+// is the deal the executor signs: capacities are sized up-front on the hot
+// path so growth only happens while a shape is first seen.
+template <typename T>
+class ArenaVec {
+ public:
+  void init(Arena& arena, std::size_t capacity) {
+    data_ = arena.alloc<T>(capacity ? capacity : 1);
+    cap_ = capacity ? capacity : 1;
+    size_ = 0;
+  }
+  void clear() { size_ = 0; }
+  void push_back(Arena& arena, T v) {
+    if (size_ == cap_) {
+      T* bigger = arena.alloc<T>(cap_ * 2);
+      std::memcpy(static_cast<void*>(bigger), data_, size_ * sizeof(T));
+      data_ = bigger;
+      cap_ *= 2;
+    }
+    data_[size_++] = v;
+  }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+// Deduplicating set of fixed-width int32 tuples (packed outcomes), open
+// addressing over arena storage.  Distinct entries are appended to a flat
+// pool (`entry(i)` = i-th distinct outcome in first-seen order); the hash
+// table stores pool indices.  Replaces std::set<std::vector<int>> on the
+// per-interleaving path: no node allocation, no per-probe vector compare
+// through two pointer hops.
+class PackedOutcomeSet {
+ public:
+  void init(Arena& arena, std::uint32_t width) {
+    arena_ = &arena;
+    width_ = width;
+    count_ = 0;
+    pool_cap_ = 64;
+    pool_ = arena.alloc<std::int32_t>(static_cast<std::size_t>(pool_cap_) *
+                                      (width_ ? width_ : 1));
+    table_mask_ = 127;
+    table_ = arena.alloc_zero<std::uint32_t>(table_mask_ + 1);
+  }
+
+  // Insert the `width()` ints at `v`; returns true when the tuple is new.
+  bool insert(const std::int32_t* v) {
+    const std::uint64_t h = hash(v);
+    std::size_t slot = static_cast<std::size_t>(h) & table_mask_;
+    while (true) {
+      const std::uint32_t e = table_[slot];
+      if (e == 0) break;
+      const std::int32_t* stored =
+          pool_ + static_cast<std::size_t>(e - 1) * width_;
+      if (width_ == 0 ||
+          std::memcmp(stored, v, width_ * sizeof(std::int32_t)) == 0) {
+        return false;
+      }
+      slot = (slot + 1) & table_mask_;
+    }
+    if (count_ == pool_cap_) grow_pool();
+    std::memcpy(pool_ + static_cast<std::size_t>(count_) * width_, v,
+                width_ * sizeof(std::int32_t));
+    table_[slot] = ++count_;
+    if (static_cast<std::size_t>(count_) * 10 > (table_mask_ + 1) * 7) {
+      rehash();
+    }
+    return true;
+  }
+
+  std::uint32_t size() const { return count_; }
+  std::uint32_t width() const { return width_; }
+  const std::int32_t* entry(std::uint32_t i) const {
+    return pool_ + static_cast<std::size_t>(i) * width_;
+  }
+
+ private:
+  std::uint64_t hash(const std::int32_t* v) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the int columns
+    for (std::uint32_t i = 0; i < width_; ++i) {
+      h ^= static_cast<std::uint32_t>(v[i]);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= h >> 32;
+    return h;
+  }
+
+  void grow_pool() {
+    std::int32_t* bigger = arena_->alloc<std::int32_t>(
+        static_cast<std::size_t>(pool_cap_) * 2 * (width_ ? width_ : 1));
+    std::memcpy(bigger, pool_,
+                static_cast<std::size_t>(count_) * width_ * sizeof(std::int32_t));
+    pool_ = bigger;
+    pool_cap_ *= 2;
+  }
+
+  void rehash() {
+    const std::size_t new_size = (table_mask_ + 1) * 2;
+    table_ = arena_->alloc_zero<std::uint32_t>(new_size);
+    table_mask_ = new_size - 1;
+    for (std::uint32_t e = 1; e <= count_; ++e) {
+      const std::int32_t* v = pool_ + static_cast<std::size_t>(e - 1) * width_;
+      std::size_t slot = static_cast<std::size_t>(hash(v)) & table_mask_;
+      while (table_[slot] != 0) slot = (slot + 1) & table_mask_;
+      table_[slot] = e;
+    }
+  }
+
+  Arena* arena_ = nullptr;
+  std::uint32_t width_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t pool_cap_ = 0;
+  std::int32_t* pool_ = nullptr;
+  std::size_t table_mask_ = 0;
+  std::uint32_t* table_ = nullptr;
+};
+
+}  // namespace wmm::sim

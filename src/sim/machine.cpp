@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <stdexcept>
 #include <string>
 
@@ -39,8 +40,12 @@ Cpu::Cpu(Machine* machine, int index, const ArchParams& params)
       params_(&params),
       reg_(&obs::counters()),
       ids_(&sim_counters()),
-      sb_(params.sb_capacity, params.sb_drain_ns),
-      rng_(hash_combine(0xc0ffee, static_cast<std::uint64_t>(index))) {
+      sb_(params.sb_capacity, params.sb_drain_ns,
+          machine->columns_.sb_drain_complete() + index,
+          machine->columns_.sb_local_hwm() + index),
+      rng_(hash_combine(0xc0ffee, static_cast<std::uint64_t>(index))),
+      invq_pending_(machine->columns_.invq_pending() + index),
+      invq_updated_(machine->columns_.invq_updated() + index) {
   predictor_.reset();
 }
 
@@ -52,8 +57,8 @@ double Cpu::pending_invalidations() const {
   // core's local future) has simply not started draining yet — the elapsed
   // time must not go negative or the queue would grow with cross-core clock
   // skew instead of with traffic.
-  const double elapsed = std::max(0.0, now_ - invq_updated_);
-  return std::max(0.0, invq_pending_ - elapsed / kInvBackgroundNs);
+  const double elapsed = std::max(0.0, now_ - *invq_updated_);
+  return std::max(0.0, *invq_pending_ - elapsed / kInvBackgroundNs);
 }
 
 double Cpu::outstanding_load_wait() const {
@@ -62,8 +67,8 @@ double Cpu::outstanding_load_wait() const {
 
 void Cpu::receive_invalidation(double at_time) {
   reg_->add(ids_->invq_received);
-  invq_pending_ = pending_invalidations() + 1.0;
-  invq_updated_ = std::max(invq_updated_, at_time);
+  *invq_pending_ = pending_invalidations() + 1.0;
+  *invq_updated_ = std::max(*invq_updated_, at_time);
 }
 
 double Cpu::process_invalidations() {
@@ -73,8 +78,8 @@ double Cpu::process_invalidations() {
     reg_->add(ids_->invq_drains);
     reg_->add(ids_->invq_drained, static_cast<std::uint64_t>(pending + 0.5));
   }
-  invq_pending_ = 0.0;
-  invq_updated_ = now_;
+  *invq_pending_ = 0.0;
+  *invq_updated_ = now_;
   return pending * params_->inv_process_ns;
 }
 
@@ -108,9 +113,8 @@ void Cpu::store_shared(LineId line) {
     now_ += stall + params_->store_issue_ns;
   }
   WMM_PROFILE_SPAN(obs::Phase::Coherence);
-  std::vector<int>& targets = machine_->invalidation_scratch_;
-  const bool transfer = machine_->directory_.write(line, index_, targets);
-  if (transfer) {
+  const std::uint32_t targets = machine_->directory_.write(line, index_);
+  if (targets != 0) {
     // Ownership transfer happens at drain time; the entry drains late and the
     // bus carries the invalidation traffic.
     const double drain_at = sb_.drain_complete_time();
@@ -278,17 +282,18 @@ void Cpu::reset() {
   now_ = 0.0;
   sb_.reset();
   predictor_.reset();
-  invq_pending_ = 0.0;
-  invq_updated_ = 0.0;
+  *invq_pending_ = 0.0;
+  *invq_updated_ = 0.0;
   last_load_complete_ = 0.0;
 }
 
 Machine::Machine(const ArchParams& params)
     : params_(params),
       id_(g_next_machine_id.fetch_add(1, std::memory_order_relaxed)) {
+  columns_.init(params_.num_cores);
   cpus_.reserve(params_.num_cores);
   for (unsigned i = 0; i < params_.num_cores; ++i) {
-    cpus_.push_back(std::make_unique<Cpu>(this, static_cast<int>(i), params_));
+    cpus_.emplace_back(this, static_cast<int>(i), params_);
   }
   if (obs::TraceSink* t = obs::trace()) {
     t->set_process_name(id_, std::string(arch_name(params_.arch)) +
@@ -296,22 +301,36 @@ Machine::Machine(const ArchParams& params)
   }
 }
 
-void Machine::send_invalidations(const std::vector<int>& targets, double at) {
-  for (int t : targets) {
-    if (t >= 0 && static_cast<unsigned>(t) < cpus_.size()) {
-      cpus_[static_cast<unsigned>(t)]->receive_invalidation(at);
-    }
+void Machine::send_invalidations(std::uint32_t targets, double at) {
+  const unsigned n = static_cast<unsigned>(cpus_.size());
+  if (n < 32) targets &= (1u << n) - 1u;
+  if (targets == 0) return;
+  // One batched receipt count, then a single sweep over the queue columns —
+  // each target's update is the exact per-message arithmetic of
+  // Cpu::receive_invalidation, without the per-target dispatch.
+  obs::counters().add(sim_counters().invq_received,
+                      static_cast<std::uint64_t>(std::popcount(targets)));
+  double* pending = columns_.invq_pending();
+  double* updated = columns_.invq_updated();
+  for (std::uint32_t m = targets; m != 0; m &= m - 1) {
+    const unsigned c = static_cast<unsigned>(std::countr_zero(m));
+    const double now = cpus_[c].now_;
+    const double elapsed = std::max(0.0, now - updated[c]);
+    const double live =
+        std::max(0.0, pending[c] - elapsed / Cpu::kInvBackgroundNs);
+    pending[c] = live + 1.0;
+    updated[c] = std::max(updated[c], at);
   }
 }
 
 void Machine::stall_all(double ns) {
   obs::counters().add(sim_counters().stw_pauses);  // cold path
   double max_now = 0.0;
-  for (const auto& c : cpus_) max_now = std::max(max_now, c->now());
+  for (const Cpu& c : cpus_) max_now = std::max(max_now, c.now());
   if (obs::TraceSink* t = obs::trace()) {
     t->complete("stop-the-world", "machine", id_, 0, max_now, ns);
   }
-  for (const auto& c : cpus_) c->now_ = max_now + ns;
+  for (Cpu& c : cpus_) c.now_ = max_now + ns;
 }
 
 double Machine::run(const std::vector<SimThread*>& threads,
@@ -330,7 +349,7 @@ double Machine::run(const std::vector<SimThread*>& threads,
     double best_now = 0.0;
     for (std::size_t i = 0; i < threads.size(); ++i) {
       if (!active[i]) continue;
-      const double t = cpus_[cpu_of[i]]->now();
+      const double t = cpus_[cpu_of[i]].now();
       if (best == threads.size() || t < best_now) {
         best = i;
         best_now = t;
@@ -339,7 +358,7 @@ double Machine::run(const std::vector<SimThread*>& threads,
     bool alive;
     {
       WMM_PROFILE_SPAN(obs::Phase::MachineStep);
-      alive = threads[best]->step(*cpus_[cpu_of[best]]);
+      alive = threads[best]->step(cpus_[cpu_of[best]]);
     }
     if (!alive) {
       active[best] = false;
@@ -347,7 +366,7 @@ double Machine::run(const std::vector<SimThread*>& threads,
     }
   }
   double end = 0.0;
-  for (unsigned c : cpu_of) end = std::max(end, cpus_[c]->now());
+  for (unsigned c : cpu_of) end = std::max(end, cpus_[c].now());
   return end;
 }
 
@@ -360,7 +379,7 @@ double Machine::run(const std::vector<SimThread*>& threads) {
 }
 
 void Machine::reset() {
-  for (const auto& c : cpus_) c->reset();
+  for (Cpu& c : cpus_) c.reset();
   bus_.reset();
   directory_.reset();
 }

@@ -7,6 +7,14 @@
 // that take", with fence costs depending on machine state.  Functional
 // weak-memory *semantics* (which outcomes are possible) live in the separate
 // litmus executor (sim/memory_model.h).
+//
+// Layout: cores live in one contiguous std::vector<Cpu>, and the
+// frequently-swept per-core doubles (store-buffer drain state, invalidation
+// queue) are struct-of-arrays columns owned by the Machine (CoreColumns
+// below) with inline storage for typical core counts.  Invalidations travel
+// as core bitmasks straight from the coherence directory and are delivered in
+// one batched sweep — no per-message objects (docs/simulator.md, "Timing
+// machine").
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,39 @@
 namespace wmm::sim {
 
 class Machine;
+
+// Struct-of-arrays per-core timing state: four parallel double columns laid
+// out column-major in one block, inline up to kInlineCores.  The Machine owns
+// the block; each Cpu (and its StoreBuffer view) holds pointers to its slots,
+// and batched sweeps (send_invalidations) walk a whole column contiguously.
+class CoreColumns {
+ public:
+  void init(unsigned cores) {
+    cores_ = cores;
+    if (cores > kInlineCores) {
+      heap_ = std::make_unique<double[]>(4 * static_cast<std::size_t>(cores));
+      base_ = heap_.get();
+    } else {
+      base_ = inline_;
+    }
+    for (std::size_t i = 0; i < 4 * static_cast<std::size_t>(cores); ++i) {
+      base_[i] = 0.0;
+    }
+  }
+
+  double* sb_drain_complete() { return base_; }
+  double* sb_local_hwm() { return base_ + cores_; }
+  double* invq_pending() { return base_ + 2 * static_cast<std::size_t>(cores_); }
+  double* invq_updated() { return base_ + 3 * static_cast<std::size_t>(cores_); }
+
+  static constexpr unsigned kInlineCores = 16;
+
+ private:
+  double inline_[4 * kInlineCores];
+  std::unique_ptr<double[]> heap_;
+  double* base_ = nullptr;
+  unsigned cores_ = 0;
+};
 
 // One simulated hardware thread's timing state.
 class Cpu {
@@ -105,14 +146,16 @@ class Cpu {
   const SimCounterIds* ids_;
 
   double now_ = 0.0;
-  StoreBuffer sb_;
+  StoreBuffer sb_;  // view over this core's CoreColumns slots
   BranchPredictor predictor_;
   Rng rng_;
 
   // Invalidation queue as a decaying counter: entries are acknowledged in the
   // background at one per `inv_background_ns` when the core is not fencing.
-  double invq_pending_ = 0.0;
-  double invq_updated_ = 0.0;
+  // The pending/updated doubles live in the Machine's CoreColumns; these are
+  // this core's slots.
+  double* invq_pending_;
+  double* invq_updated_;
   static constexpr double kInvBackgroundNs = 18.0;
 
   double last_load_complete_ = 0.0;
@@ -132,6 +175,11 @@ class Machine {
  public:
   explicit Machine(const ArchParams& params);
 
+  // Cpus cache pointers into columns_ and back-pointers to the machine, so a
+  // Machine is pinned at its construction address.
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
   const ArchParams& params() const { return params_; }
   Arch arch() const { return params_.arch; }
 
@@ -140,13 +188,15 @@ class Machine {
   unsigned id() const { return id_; }
 
   unsigned num_cpus() const { return static_cast<unsigned>(cpus_.size()); }
-  Cpu& cpu(unsigned i) { return *cpus_[i]; }
+  Cpu& cpu(unsigned i) { return cpus_[i]; }
 
   Bus& bus() { return bus_; }
   CoherenceDirectory& directory() { return directory_; }
 
-  // Deliver an invalidation to every core in `targets` at time `at`.
-  void send_invalidations(const std::vector<int>& targets, double at);
+  // Deliver an invalidation to every core whose bit is set in `targets`
+  // (as produced by CoherenceDirectory::write) at time `at`, in one sweep
+  // over the invalidation-queue columns.
+  void send_invalidations(std::uint32_t targets, double at);
 
   // Stop-the-world pause (e.g. garbage collection): all cores advance to the
   // max clock plus `ns`.
@@ -165,10 +215,10 @@ class Machine {
  private:
   ArchParams params_;
   unsigned id_ = 0;
-  std::vector<std::unique_ptr<Cpu>> cpus_;
+  CoreColumns columns_;  // initialised before cpus_ are constructed
+  std::vector<Cpu> cpus_;
   Bus bus_;
   CoherenceDirectory directory_;
-  std::vector<int> invalidation_scratch_;
 
   friend class Cpu;
 };

@@ -1,9 +1,11 @@
 #include "sim/memory_model.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "obs/profile.h"
+#include "sim/enum_arena.h"
 
 namespace wmm::sim {
 
@@ -88,73 +90,152 @@ bool must_commit_in_order(const LitmusThread& thread, std::size_t i,
 
 namespace {
 
-// Identifier of one instruction in the global sequence.
-struct EventRef {
-  int tid;
-  int idx;  // instruction index within the thread
+constexpr int kNever = 1 << 28;
+
+// Precomputed per-event commit behaviour (SoA columns over flat event ids).
+enum : std::uint8_t {
+  kEvWrite = 0,
+  kEvRead = 1,
+  kEvFenceFull = 2,   // full barrier: cumulative push + catch-up on POWER
+  kEvFenceOther = 3,  // commit-order node with no commit-time effect (lwsync)
 };
 
-struct ThreadOrders {
-  // Node list: indices of instructions that participate in the commit order
-  // (accesses + full-barrier fences).
-  std::vector<int> nodes;
-  // All valid commit orders, as sequences of instruction indices.
-  std::vector<std::vector<int>> orders;
+// The per-thread enumeration workspace: one arena reused across calls plus a
+// running enumeration count.  Thread-local so concurrent par_map workers
+// never share mutable state; nothing here touches the obs counter registry.
+struct EnumWorkspace {
+  static constexpr std::size_t kInlineBytes = 64 * 1024;
+  alignas(64) std::byte inline_chunk[kInlineBytes];
+  Arena arena{inline_chunk, kInlineBytes};
+  std::uint64_t enumerations = 0;
 };
 
-// Linear extensions of the per-thread commit DAG.  `pred[k]` holds the
-// predecessor set of node k as a bitmask, so the per-step readiness test is a
-// single mask intersection against the `done` set instead of rescanning every
-// still-unplaced node.  Bits are visited in ascending node order, preserving
-// the enumeration order of the previous O(n²)-per-step implementation.
-void enumerate_linear_extensions(const std::vector<int>& nodes,
-                                 const std::vector<std::uint64_t>& pred,
-                                 std::uint64_t done, std::vector<int>& current,
-                                 std::vector<std::vector<int>>& out) {
-  const std::size_t n = nodes.size();
-  if (current.size() == n) {
-    out.push_back(current);
+EnumWorkspace& workspace() {
+  thread_local EnumWorkspace ws;
+  return ws;
+}
+
+// Every column the step loop touches, allocated out of the arena up-front so
+// the per-interleaving path performs no allocation at all.  Integer columns
+// throughout: the executor never chases a pointer into LitmusInstr on the
+// hot path.
+struct Enumeration {
+  const LitmusTest* test = nullptr;
+  bool forwarding = false;
+  Arena* arena = nullptr;
+
+  int T = 0;  // threads
+  int V = 0;  // shared variables
+  int R = 0;  // registers
+  int L = 0;  // outcome width = R + V
+  int E = 0;  // total instruction events
+
+  // Flat event columns; event id = thread_base[t] + instruction index.
+  int* thread_base = nullptr;
+  std::uint8_t* ev_kind = nullptr;
+  int* ev_tid = nullptr;
+  int* ev_var = nullptr;
+  int* ev_val = nullptr;
+  int* ev_reg = nullptr;
+  std::uint8_t* ev_push = nullptr;  // write triggers a cumulativity push
+  int* ev_delay_base = nullptr;     // write -> first delay-slot bit, -1 none
+  int delay_bits = 0;
+
+  // Per-thread commit orders, flattened: thread t owns order_count[t]
+  // sequences of order_len[t] flat event ids each, stored back to back in
+  // order_pool starting at order_base[t].
+  int* order_len = nullptr;
+  std::size_t* order_base = nullptr;
+  std::size_t* order_count = nullptr;
+  ArenaVec<int> order_pool;
+
+  // Execution scratch, capacities fixed before the product loop starts.
+  int* seq = nullptr;            // current global commit sequence
+  int* regs = nullptr;           // R (zeroed once: every leaf writes the
+                                 // same register set)
+  std::int32_t* outcome = nullptr;  // L packing scratch
+
+  // Non-forwarding fast path: last committed write per variable.
+  int* var_val = nullptr;           // V
+  std::uint8_t* var_has = nullptr;  // V
+
+  // Forwarding (POWER) path: committed-write columns, capacity E.
+  int* w_pos = nullptr;
+  int* w_tid = nullptr;
+  int* w_var = nullptr;
+  int* w_val = nullptr;
+  int* w_prev = nullptr;     // previous write to the same variable
+  int* w_visfrom = nullptr;  // [write * T + reader], stride T
+  int* var_last = nullptr;   // V: latest write per variable, -1 none
+  int* obs_pool = nullptr;   // per-thread observed-write lists, capacity E
+  int* obs_base = nullptr;   // T
+  int* obs_count = nullptr;  // T
+  int* seen_floor = nullptr;  // [tid * V + var] coherence floor
+  std::uint32_t delay_mask = 0;
+
+  PackedOutcomeSet outcomes;
+};
+
+// Linear extensions of one thread's commit DAG, emitted into the flat order
+// pool.  `pred[k]` is node k's predecessor bitmask, so per-step readiness is
+// one mask intersection; bits are visited in ascending node order, which
+// fixes the emission order deterministically (docs/simulator.md,
+// "Enumeration order").
+void emit_linear_extensions(const int* nodes, const std::uint64_t* pred,
+                            std::size_t n, std::uint64_t done, int* current,
+                            std::size_t depth, Arena& arena,
+                            ArenaVec<int>& pool, std::size_t& count) {
+  if (depth == n) {
+    for (std::size_t i = 0; i < n; ++i) pool.push_back(arena, current[i]);
+    ++count;
     return;
   }
   const std::uint64_t all = n >= 64 ? ~0ULL : ((1ULL << n) - 1ULL);
   for (std::uint64_t avail = all & ~done; avail != 0; avail &= avail - 1) {
     const int k = __builtin_ctzll(avail);
     if ((pred[static_cast<std::size_t>(k)] & ~done) != 0) continue;
-    current.push_back(nodes[static_cast<std::size_t>(k)]);
-    enumerate_linear_extensions(nodes, pred, done | (1ULL << k), current, out);
-    current.pop_back();
+    current[depth] = nodes[k];
+    emit_linear_extensions(nodes, pred, n, done | (1ULL << k), current,
+                           depth + 1, arena, pool, count);
   }
 }
 
-ThreadOrders thread_orders(const LitmusThread& thread, Arch arch) {
-  ThreadOrders result;
+// Commit-order nodes and edges for thread `t`, then all linear extensions
+// into the shared pool.
+void build_thread_orders(Enumeration& en, int t, Arch arch) {
+  const LitmusThread& thread = en.test->threads[static_cast<std::size_t>(t)];
+  Arena& arena = *en.arena;
+
+  int node_instr[64];
+  int nodes[64];
+  std::size_t n = 0;
   for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
     const LitmusInstr& in = thread.instrs[i];
     if (is_access(in) || is_full_barrier(in.fence) ||
         in.fence == FenceKind::LwSync) {
       // lwsync nodes are needed in the sequence for cumulativity timing even
       // though they do not constrain all pairs; they get only the edges that
-      // its ordering classes justify (reads/writes before it commit first
-      // when the class is ordered with *anything*) — but to avoid transitive
-      // overconstraint we add no edges for it at all and instead let the
-      // executor trigger its cumulativity at the first post-fence write
-      // (which IS ordered after group A).  So: node without edges.
-      result.nodes.push_back(static_cast<int>(i));
+      // its ordering classes justify — see the edge loop below.
+      if (n >= 64) {
+        throw std::invalid_argument(
+            "litmus thread too large for commit-order masks");
+      }
+      node_instr[n] = static_cast<int>(i);
+      nodes[n] = en.thread_base[t] + static_cast<int>(i);
+      ++n;
     }
   }
-  const std::size_t n = result.nodes.size();
-  if (n > 64) {
-    throw std::invalid_argument("litmus thread too large for commit-order masks");
-  }
+
   // pred[b] bit a set <=> node a must commit before node b.
-  std::vector<std::uint64_t> pred(n, 0);
+  std::uint64_t pred[64];
+  std::memset(pred, 0, n * sizeof(std::uint64_t));
   const auto add_edge = [&pred](std::size_t a, std::size_t b) {
     pred[b] |= 1ULL << a;
   };
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
-      const std::size_t i = static_cast<std::size_t>(result.nodes[a]);
-      const std::size_t j = static_cast<std::size_t>(result.nodes[b]);
+      const std::size_t i = static_cast<std::size_t>(node_instr[a]);
+      const std::size_t j = static_cast<std::size_t>(node_instr[b]);
       const LitmusInstr& ii = thread.instrs[i];
       const LitmusInstr& jj = thread.instrs[j];
       // lwsync nodes float freely except against full barriers (handled by
@@ -162,11 +243,10 @@ ThreadOrders thread_orders(const LitmusThread& thread, Arch arch) {
       const bool i_lw = !is_access(ii) && ii.fence == FenceKind::LwSync;
       const bool j_lw = !is_access(jj) && jj.fence == FenceKind::LwSync;
       if (i_lw || j_lw) {
-        // Keep an lwsync after the accesses of its group A that it orders
-        // against *everything* is too strong; instead keep it merely after
-        // prior reads (rw+rr cover reads) and before later writes (ww+rw),
-        // which matches its cumulativity trigger without constraining the
-        // store->load pairs it permits to reorder.
+        // Keeping an lwsync ordered against *everything* is too strong;
+        // instead keep it merely after prior accesses and before later
+        // writes, which matches its cumulativity trigger without
+        // constraining the store->load pairs it permits to reorder.
         if (i_lw && !j_lw) {
           if (is_write(jj)) add_edge(a, b);  // lwsync before later writes
         } else if (j_lw && !i_lw) {
@@ -180,261 +260,358 @@ ThreadOrders thread_orders(const LitmusThread& thread, Arch arch) {
       if (must_commit_in_order(thread, i, j, arch)) add_edge(a, b);
     }
   }
-  std::vector<int> current;
-  enumerate_linear_extensions(result.nodes, pred, 0, current, result.orders);
-  return result;
+
+  en.order_len[t] = static_cast<int>(n);
+  en.order_base[t] = en.order_pool.size();
+  std::size_t count = 0;
+  int current[64];
+  emit_linear_extensions(nodes, pred, n, 0, current, 0, arena, en.order_pool,
+                         count);
+  en.order_count[t] = count;
 }
 
-struct Execution {
-  const LitmusTest* test;
-  Arch arch;
-  bool forwarding;
+// Pack and deduplicate the final state: registers, then the coherence-latest
+// value of each variable.
+inline void record_outcome_tail_fast(Enumeration& en) {
+  for (int v = 0; v < en.V; ++v) {
+    en.outcome[en.R + v] = en.var_has[v] ? en.var_val[v] : 0;
+  }
+}
 
-  // The global commit sequence being executed.
-  std::vector<EventRef> sequence;
-
-  // Delay choices: for each (write-event, reader-thread), true = visibility
-  // delayed until pushed/caught-up.  Indexed via delay_index.
-  std::vector<std::pair<EventRef, int>> delay_slots;  // (write, reader tid)
-  std::vector<bool> delays;
-
-  std::set<Outcome>* outcomes;
-};
-
-struct CommittedWrite {
-  int pos;      // position in the global sequence (coherence order proxy)
-  int tid;
-  int var;
-  int value;
-  // visible_from[r]: earliest position from which reader r sees this write.
-  std::vector<int> visible_from;
-};
-
-constexpr int kNever = 1 << 28;
-
-void execute_sequence(Execution& ex) {
-  const LitmusTest& test = *ex.test;
-  const int num_threads = static_cast<int>(test.threads.size());
-
-  std::vector<int> regs(static_cast<std::size_t>(test.num_regs), 0);
-  std::vector<CommittedWrite> writes;
-  // Writes observed by each thread (indices into `writes`), including its own.
-  std::vector<std::vector<int>> observed(static_cast<std::size_t>(num_threads));
-  // Coherence floor: latest write position already read per (thread, var).
-  std::vector<std::vector<int>> seen_floor(
-      static_cast<std::size_t>(num_threads),
-      std::vector<int>(static_cast<std::size_t>(test.num_vars), -1));
-
-  auto delay_of = [&](int write_tid, int write_idx, int reader) -> bool {
-    for (std::size_t s = 0; s < ex.delay_slots.size(); ++s) {
-      if (ex.delay_slots[s].first.tid == write_tid &&
-          ex.delay_slots[s].first.idx == write_idx &&
-          ex.delay_slots[s].second == reader) {
-        return ex.delays[s];
-      }
+// One interleaving under the non-forwarding semantics (SC / TSO / ARMv8):
+// a committed write is immediately visible to every thread, so a read
+// returns the latest committed write to its variable and the visibility,
+// observed-set, and coherence-floor machinery all collapse away.
+void execute_fast(Enumeration& en, int seq_len) {
+  std::memset(en.var_has, 0, static_cast<std::size_t>(en.V));
+  for (int pos = 0; pos < seq_len; ++pos) {
+    const int e = en.seq[pos];
+    const std::uint8_t kind = en.ev_kind[e];
+    if (kind == kEvWrite) {
+      const int v = en.ev_var[e];
+      en.var_val[v] = en.ev_val[e];
+      en.var_has[v] = 1;
+    } else if (kind == kEvRead) {
+      const int v = en.ev_var[e];
+      const int r = en.ev_reg[e];
+      if (r >= 0) en.regs[r] = en.var_has[v] ? en.var_val[v] : 0;
     }
-    return false;
-  };
+  }
+  for (int r = 0; r < en.R; ++r) en.outcome[r] = en.regs[r];
+  record_outcome_tail_fast(en);
+  en.outcomes.insert(en.outcome);
+}
 
-  for (int pos = 0; pos < static_cast<int>(ex.sequence.size()); ++pos) {
-    const EventRef ev = ex.sequence[static_cast<std::size_t>(pos)];
-    const LitmusInstr& in =
-        test.threads[static_cast<std::size_t>(ev.tid)].instrs[static_cast<std::size_t>(ev.idx)];
+// One interleaving under the forwarding semantics (POWER): per-write
+// visibility columns with delay choices, cumulative pushes at WW-ordering
+// barriers, and full-barrier catch-up — the exact semantics of the previous
+// implementation over SoA columns.  Reads walk the per-variable write chain
+// newest-first, so the first visible-or-floored write IS the coherence-latest
+// candidate.
+void execute_forwarding(Enumeration& en, int seq_len) {
+  const int T = en.T;
+  const int V = en.V;
+  int nw = 0;
+  std::memset(en.var_last, 0xFF, static_cast<std::size_t>(V) * sizeof(int));
+  std::memset(en.seen_floor, 0xFF,
+              static_cast<std::size_t>(T) * static_cast<std::size_t>(V) *
+                  sizeof(int));
+  std::memset(en.obs_count, 0, static_cast<std::size_t>(T) * sizeof(int));
 
-    if (is_write(in)) {
-      CommittedWrite w;
-      w.pos = pos;
-      w.tid = ev.tid;
-      w.var = in.var;
-      w.value = in.value;
-      w.visible_from.assign(static_cast<std::size_t>(num_threads), pos);
-      if (ex.forwarding) {
-        for (int r = 0; r < num_threads; ++r) {
-          if (r != ev.tid && delay_of(ev.tid, ev.idx, r)) {
-            w.visible_from[static_cast<std::size_t>(r)] = kNever;
+  for (int pos = 0; pos < seq_len; ++pos) {
+    const int e = en.seq[pos];
+    const int tid = en.ev_tid[e];
+    switch (en.ev_kind[e]) {
+      case kEvWrite: {
+        const int v = en.ev_var[e];
+        const int wi = nw++;
+        en.w_pos[wi] = pos;
+        en.w_tid[wi] = tid;
+        en.w_var[wi] = v;
+        en.w_val[wi] = en.ev_val[e];
+        int* vf = en.w_visfrom + static_cast<std::size_t>(wi) * T;
+        for (int r = 0; r < T; ++r) vf[r] = pos;
+        if (const int db = en.ev_delay_base[e]; db >= 0) {
+          // Delay choices: visibility to reader r withheld until a push or
+          // catch-up (early forwarding to everyone else).
+          int off = 0;
+          for (int r = 0; r < T; ++r) {
+            if (r == tid) continue;
+            if ((en.delay_mask >> (db + off)) & 1u) vf[r] = kNever;
+            ++off;
           }
         }
-      }
-      writes.push_back(std::move(w));
-      observed[static_cast<std::size_t>(ev.tid)].push_back(
-          static_cast<int>(writes.size()) - 1);
-
-      // Cumulativity trigger: hardware barriers (lwsync, sync, dmb variants
-      // ordering stores) are cumulative — writes the thread had observed
-      // before the barrier propagate everywhere before writes after it.
-      // This write commits after every group-A access of any WW-ordering
-      // fence that program-precedes it, so trigger those pushes here.  A
-      // release store is itself cumulative in the same way.
-      if (ex.forwarding) {
-        const auto& instrs = test.threads[static_cast<std::size_t>(ev.tid)].instrs;
-        bool push = in.release;
-        for (int f = 0; f < ev.idx && !push; ++f) {
-          const LitmusInstr& fi = instrs[static_cast<std::size_t>(f)];
-          if (!is_access(fi) && fence_order(fi.fence).ww) push = true;
-        }
-        if (push) {
-          for (int wi : observed[static_cast<std::size_t>(ev.tid)]) {
-            CommittedWrite& ow = writes[static_cast<std::size_t>(wi)];
-            for (int r = 0; r < num_threads; ++r) {
-              ow.visible_from[static_cast<std::size_t>(r)] =
-                  std::min(ow.visible_from[static_cast<std::size_t>(r)], pos);
+        en.w_prev[wi] = en.var_last[v];
+        en.var_last[v] = wi;
+        en.obs_pool[en.obs_base[tid] + en.obs_count[tid]++] = wi;
+        if (en.ev_push[e]) {
+          // Cumulativity: writes this thread had observed before a
+          // WW-ordering fence (or this release store) propagate everywhere
+          // no later than this commit.
+          const int* items = en.obs_pool + en.obs_base[tid];
+          const int cnt = en.obs_count[tid];
+          for (int i = 0; i < cnt; ++i) {
+            int* vfo = en.w_visfrom + static_cast<std::size_t>(items[i]) * T;
+            for (int r = 0; r < T; ++r) {
+              if (pos < vfo[r]) vfo[r] = pos;
             }
           }
         }
+        break;
       }
-    } else if (is_read(in)) {
-      // Read the coherence-latest write visible to this thread, never going
-      // below the per-location floor already observed.
-      int best = -1;
-      for (int wi = 0; wi < static_cast<int>(writes.size()); ++wi) {
-        const CommittedWrite& w = writes[static_cast<std::size_t>(wi)];
-        if (w.var != in.var) continue;
-        const bool visible =
-            w.tid == ev.tid ||
-            w.visible_from[static_cast<std::size_t>(ev.tid)] <= pos;
-        const bool floored =
-            w.pos <= seen_floor[static_cast<std::size_t>(ev.tid)][static_cast<std::size_t>(in.var)];
-        if (visible || floored) {
-          if (best < 0 || w.pos > writes[static_cast<std::size_t>(best)].pos) best = wi;
-        }
-      }
-      int value = 0;
-      if (best >= 0) {
-        const CommittedWrite& w = writes[static_cast<std::size_t>(best)];
-        value = w.value;
-        seen_floor[static_cast<std::size_t>(ev.tid)][static_cast<std::size_t>(in.var)] =
-            std::max(seen_floor[static_cast<std::size_t>(ev.tid)][static_cast<std::size_t>(in.var)],
-                     w.pos);
-        observed[static_cast<std::size_t>(ev.tid)].push_back(best);
-      }
-      if (in.reg >= 0) regs[static_cast<std::size_t>(in.reg)] = value;
-    } else {
-      // Fence node committed.  Any full barrier is cumulative: it pushes the
-      // thread's observed writes to everyone and catches the thread up on
-      // everything already committed (sync/dmb ish/mfence semantics).
-      if (ex.forwarding && is_full_barrier(in.fence)) {
-        // Group-A push: writes observed by accesses program-before the sync.
-        for (int wi : observed[static_cast<std::size_t>(ev.tid)]) {
-          CommittedWrite& ow = writes[static_cast<std::size_t>(wi)];
-          for (int r = 0; r < num_threads; ++r) {
-            ow.visible_from[static_cast<std::size_t>(r)] =
-                std::min(ow.visible_from[static_cast<std::size_t>(r)], pos);
+      case kEvRead: {
+        const int v = en.ev_var[e];
+        const int floor = en.seen_floor[tid * V + v];
+        int best = -1;
+        for (int wi = en.var_last[v]; wi >= 0; wi = en.w_prev[wi]) {
+          const bool visible =
+              en.w_tid[wi] == tid ||
+              en.w_visfrom[static_cast<std::size_t>(wi) * T + tid] <= pos;
+          if (visible || en.w_pos[wi] <= floor) {
+            best = wi;
+            break;
           }
         }
-        // Reader catch-up: everything committed so far becomes visible to
-        // this thread.
-        for (CommittedWrite& w : writes) {
-          w.visible_from[static_cast<std::size_t>(ev.tid)] =
-              std::min(w.visible_from[static_cast<std::size_t>(ev.tid)], pos);
+        int value = 0;
+        if (best >= 0) {
+          value = en.w_val[best];
+          if (en.w_pos[best] > floor) en.seen_floor[tid * V + v] = en.w_pos[best];
+          en.obs_pool[en.obs_base[tid] + en.obs_count[tid]++] = best;
         }
+        if (en.ev_reg[e] >= 0) en.regs[en.ev_reg[e]] = value;
+        break;
       }
+      case kEvFenceFull: {
+        // Full barrier: cumulative group-A push of the thread's observed
+        // writes to everyone, then catch-up of this thread on everything
+        // committed so far (sync / dmb ish / mfence semantics).
+        const int* items = en.obs_pool + en.obs_base[tid];
+        const int cnt = en.obs_count[tid];
+        for (int i = 0; i < cnt; ++i) {
+          int* vfo = en.w_visfrom + static_cast<std::size_t>(items[i]) * T;
+          for (int r = 0; r < T; ++r) {
+            if (pos < vfo[r]) vfo[r] = pos;
+          }
+        }
+        for (int wi = 0; wi < nw; ++wi) {
+          int& x = en.w_visfrom[static_cast<std::size_t>(wi) * T + tid];
+          if (pos < x) x = pos;
+        }
+        break;
+      }
+      default:
+        break;  // weak fence node: no commit-time effect
     }
   }
 
-  // Outcome = registers followed by the final (coherence-latest) value of
-  // each variable.
-  Outcome outcome = regs;
-  for (int v = 0; v < test.num_vars; ++v) {
-    int best = -1;
-    for (int wi = 0; wi < static_cast<int>(writes.size()); ++wi) {
-      if (writes[static_cast<std::size_t>(wi)].var != v) continue;
-      if (best < 0 ||
-          writes[static_cast<std::size_t>(wi)].pos > writes[static_cast<std::size_t>(best)].pos) {
-        best = wi;
-      }
-    }
-    outcome.push_back(best >= 0 ? writes[static_cast<std::size_t>(best)].value : 0);
+  for (int r = 0; r < en.R; ++r) en.outcome[r] = en.regs[r];
+  for (int v = 0; v < V; ++v) {
+    const int wi = en.var_last[v];
+    en.outcome[en.R + v] = wi >= 0 ? en.w_val[wi] : 0;
   }
-  ex.outcomes->insert(std::move(outcome));
+  en.outcomes.insert(en.outcome);
 }
 
-void execute_with_delays(Execution& ex) {
-  if (!ex.forwarding || ex.delay_slots.empty()) {
-    execute_sequence(ex);
+void execute_with_delays(Enumeration& en, int seq_len) {
+  if (!en.forwarding) {
+    execute_fast(en, seq_len);
     return;
   }
-  const std::size_t bits = ex.delay_slots.size();
-  if (bits > 20) {
-    throw std::invalid_argument("litmus test too large for delay enumeration");
+  if (en.delay_bits == 0) {
+    en.delay_mask = 0;
+    execute_forwarding(en, seq_len);
+    return;
   }
-  for (std::uint64_t mask = 0; mask < (1ULL << bits); ++mask) {
-    for (std::size_t b = 0; b < bits; ++b) ex.delays[b] = (mask >> b) & 1ULL;
-    execute_sequence(ex);
+  for (std::uint64_t mask = 0; mask < (1ULL << en.delay_bits); ++mask) {
+    en.delay_mask = static_cast<std::uint32_t>(mask);
+    execute_forwarding(en, seq_len);
   }
 }
 
-void interleave(Execution& ex,
-                const std::vector<std::vector<int>>& chosen_orders,
-                std::vector<std::size_t>& cursor) {
+void interleave(Enumeration& en, const int* const* chosen,
+                const int* chosen_len, int* cursor, int depth) {
   bool done = true;
-  for (std::size_t t = 0; t < chosen_orders.size(); ++t) {
-    if (cursor[t] < chosen_orders[t].size()) {
+  for (int t = 0; t < en.T; ++t) {
+    if (cursor[t] < chosen_len[t]) {
       done = false;
-      cursor[t] += 1;
-      ex.sequence.push_back(EventRef{static_cast<int>(t),
-                                     chosen_orders[t][cursor[t] - 1]});
-      interleave(ex, chosen_orders, cursor);
-      ex.sequence.pop_back();
-      cursor[t] -= 1;
+      en.seq[depth] = chosen[t][cursor[t]];
+      ++cursor[t];
+      interleave(en, chosen, chosen_len, cursor, depth + 1);
+      --cursor[t];
     }
   }
-  if (done) execute_with_delays(ex);
+  if (done) execute_with_delays(en, depth);
 }
 
 }  // namespace
 
 std::set<Outcome> enumerate_outcomes(const LitmusTest& test, Arch arch) {
   WMM_PROFILE_SPAN(obs::Phase::OpEnumerate);
-  std::set<Outcome> outcomes;
+  EnumWorkspace& ws = workspace();
+  Arena& arena = ws.arena;
+  ++ws.enumerations;
+  // Reclaim the cycle on every exit path (including the too-large throws) so
+  // the arena's next cycle starts clean.
+  struct CycleGuard {
+    Arena& a;
+    ~CycleGuard() { a.reset(); }
+  } guard{arena};
 
-  std::vector<ThreadOrders> per_thread;
-  per_thread.reserve(test.threads.size());
-  for (const LitmusThread& t : test.threads) {
-    per_thread.push_back(thread_orders(t, arch));
+  Enumeration en;
+  en.test = &test;
+  en.forwarding = allows_early_forwarding(arch);
+  en.arena = &arena;
+  en.T = static_cast<int>(test.threads.size());
+  en.V = test.num_vars;
+  en.R = test.num_regs;
+  en.L = en.R + en.V;
+
+  // --- Flat event columns ---------------------------------------------------
+  en.thread_base = arena.alloc<int>(static_cast<std::size_t>(en.T) + 1);
+  int total = 0;
+  for (int t = 0; t < en.T; ++t) {
+    en.thread_base[t] = total;
+    total += static_cast<int>(
+        test.threads[static_cast<std::size_t>(t)].instrs.size());
   }
+  en.thread_base[en.T] = total;
+  en.E = total;
 
-  Execution ex;
-  ex.test = &test;
-  ex.arch = arch;
-  ex.forwarding = allows_early_forwarding(arch);
-  ex.outcomes = &outcomes;
+  const std::size_t ecount = static_cast<std::size_t>(en.E ? en.E : 1);
+  en.ev_kind = arena.alloc<std::uint8_t>(ecount);
+  en.ev_tid = arena.alloc<int>(ecount);
+  en.ev_var = arena.alloc<int>(ecount);
+  en.ev_val = arena.alloc<int>(ecount);
+  en.ev_reg = arena.alloc<int>(ecount);
+  en.ev_push = arena.alloc<std::uint8_t>(ecount);
+  en.ev_delay_base = arena.alloc<int>(ecount);
 
-  if (ex.forwarding) {
-    for (std::size_t t = 0; t < test.threads.size(); ++t) {
-      const auto& instrs = test.threads[t].instrs;
-      for (std::size_t i = 0; i < instrs.size(); ++i) {
-        if (!is_write(instrs[i])) continue;
-        for (std::size_t r = 0; r < test.threads.size(); ++r) {
-          if (r == t) continue;
-          ex.delay_slots.push_back(
-              {EventRef{static_cast<int>(t), static_cast<int>(i)},
-               static_cast<int>(r)});
-        }
+  for (int t = 0; t < en.T; ++t) {
+    const auto& instrs = test.threads[static_cast<std::size_t>(t)].instrs;
+    bool ww_fence_seen = false;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const LitmusInstr& in = instrs[i];
+      const int e = en.thread_base[t] + static_cast<int>(i);
+      en.ev_tid[e] = t;
+      en.ev_var[e] = in.var;
+      en.ev_val[e] = in.value;
+      en.ev_reg[e] = in.reg;
+      en.ev_delay_base[e] = -1;
+      if (is_write(in)) {
+        en.ev_kind[e] = kEvWrite;
+        // Cumulativity trigger: this write commits after every group-A
+        // access of any WW-ordering fence that program-precedes it; a
+        // release store is itself cumulative the same way.
+        en.ev_push[e] = (in.release || ww_fence_seen) ? 1 : 0;
+      } else if (is_read(in)) {
+        en.ev_kind[e] = kEvRead;
+        en.ev_push[e] = 0;
+      } else {
+        en.ev_kind[e] = is_full_barrier(in.fence) ? kEvFenceFull : kEvFenceOther;
+        en.ev_push[e] = 0;
+        if (fence_order(in.fence).ww) ww_fence_seen = true;
       }
     }
-    ex.delays.assign(ex.delay_slots.size(), false);
   }
 
-  // Cartesian product of per-thread commit orders, then all interleavings.
-  std::vector<std::size_t> pick(test.threads.size(), 0);
-  while (true) {
-    std::vector<std::vector<int>> chosen;
-    chosen.reserve(test.threads.size());
-    for (std::size_t t = 0; t < test.threads.size(); ++t) {
-      chosen.push_back(per_thread[t].orders[pick[t]]);
+  // --- Delay slots (POWER early forwarding) ---------------------------------
+  if (en.forwarding && en.T > 1) {
+    int bits = 0;
+    for (int t = 0; t < en.T; ++t) {
+      const auto& instrs = test.threads[static_cast<std::size_t>(t)].instrs;
+      for (std::size_t i = 0; i < instrs.size(); ++i) {
+        if (!is_write(instrs[i])) continue;
+        const int e = en.thread_base[t] + static_cast<int>(i);
+        en.ev_delay_base[e] = bits;
+        bits += en.T - 1;
+      }
     }
-    std::vector<std::size_t> cursor(test.threads.size(), 0);
-    interleave(ex, chosen, cursor);
+    if (bits > 20) {
+      throw std::invalid_argument("litmus test too large for delay enumeration");
+    }
+    en.delay_bits = bits;
+  }
+
+  // --- Per-thread commit orders --------------------------------------------
+  en.order_len = arena.alloc<int>(static_cast<std::size_t>(en.T ? en.T : 1));
+  en.order_base =
+      arena.alloc<std::size_t>(static_cast<std::size_t>(en.T ? en.T : 1));
+  en.order_count =
+      arena.alloc<std::size_t>(static_cast<std::size_t>(en.T ? en.T : 1));
+  en.order_pool.init(arena, 256);
+  int seq_cap = 0;
+  for (int t = 0; t < en.T; ++t) {
+    build_thread_orders(en, t, arch);
+    seq_cap += en.order_len[t];
+  }
+
+  // --- Execution scratch ----------------------------------------------------
+  en.seq = arena.alloc<int>(static_cast<std::size_t>(seq_cap ? seq_cap : 1));
+  en.regs = arena.alloc_zero<int>(static_cast<std::size_t>(en.R ? en.R : 1));
+  en.outcome =
+      arena.alloc<std::int32_t>(static_cast<std::size_t>(en.L ? en.L : 1));
+  const std::size_t vcount = static_cast<std::size_t>(en.V ? en.V : 1);
+  en.var_val = arena.alloc<int>(vcount);
+  en.var_has = arena.alloc<std::uint8_t>(vcount);
+  if (en.forwarding) {
+    en.w_pos = arena.alloc<int>(ecount);
+    en.w_tid = arena.alloc<int>(ecount);
+    en.w_var = arena.alloc<int>(ecount);
+    en.w_val = arena.alloc<int>(ecount);
+    en.w_prev = arena.alloc<int>(ecount);
+    en.w_visfrom = arena.alloc<int>(ecount * static_cast<std::size_t>(en.T));
+    en.var_last = arena.alloc<int>(vcount);
+    en.obs_pool = arena.alloc<int>(ecount);
+    en.obs_base = arena.alloc<int>(static_cast<std::size_t>(en.T));
+    en.obs_count = arena.alloc<int>(static_cast<std::size_t>(en.T));
+    for (int t = 0; t < en.T; ++t) en.obs_base[t] = en.thread_base[t];
+    en.seen_floor =
+        arena.alloc<int>(static_cast<std::size_t>(en.T) * vcount);
+  }
+  en.outcomes.init(arena, static_cast<std::uint32_t>(en.L));
+
+  // --- Cartesian product of per-thread commit orders, then interleavings ---
+  const std::size_t tcount = static_cast<std::size_t>(en.T ? en.T : 1);
+  const int** chosen = arena.alloc<const int*>(tcount);
+  int* chosen_len = arena.alloc<int>(tcount);
+  int* cursor = arena.alloc<int>(tcount);
+  std::size_t* pick = arena.alloc_zero<std::size_t>(tcount);
+  while (true) {
+    for (int t = 0; t < en.T; ++t) {
+      chosen[t] = en.order_pool.data() + en.order_base[t] +
+                  pick[t] * static_cast<std::size_t>(en.order_len[t]);
+      chosen_len[t] = en.order_len[t];
+      cursor[t] = 0;
+    }
+    interleave(en, chosen, chosen_len, cursor, 0);
 
     // Advance the product counter.
-    std::size_t t = 0;
-    for (; t < test.threads.size(); ++t) {
-      if (++pick[t] < per_thread[t].orders.size()) break;
+    int t = 0;
+    for (; t < en.T; ++t) {
+      if (++pick[t] < en.order_count[t]) break;
       pick[t] = 0;
     }
-    if (t == test.threads.size()) break;
+    if (t == en.T) break;
+  }
+
+  // Unpack the deduplicated outcomes into the caller-facing sorted set (cold
+  // path: one node per *distinct* outcome, not per interleaving).
+  std::set<Outcome> outcomes;
+  for (std::uint32_t i = 0; i < en.outcomes.size(); ++i) {
+    const std::int32_t* v = en.outcomes.entry(i);
+    outcomes.insert(Outcome(v, v + en.L));
   }
   return outcomes;
+}
+
+EnumArenaStats enumeration_arena_stats() {
+  const EnumWorkspace& ws = workspace();
+  const ArenaStats s = ws.arena.stats();
+  EnumArenaStats out;
+  out.reserved_bytes = s.reserved_bytes;
+  out.high_water_bytes = s.high_water_bytes;
+  out.enumerations = ws.enumerations;
+  return out;
 }
 
 }  // namespace wmm::sim

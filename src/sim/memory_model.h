@@ -98,6 +98,18 @@ using Outcome = std::vector<int>;
 // Enumerate all architecturally reachable outcomes of `test` on `arch`.
 std::set<Outcome> enumerate_outcomes(const LitmusTest& test, Arch arch);
 
+// Introspection over the calling thread's enumeration arena (the bump
+// allocator behind enumerate_outcomes): capacity held, the high-water mark of
+// bytes live within one enumeration, and how many enumerations have run.
+// Per-thread by construction — arena internals never enter the obs counter
+// registry, which must stay byte-identical across --threads.
+struct EnumArenaStats {
+  std::size_t reserved_bytes = 0;
+  std::size_t high_water_bytes = 0;
+  std::uint64_t enumerations = 0;
+};
+EnumArenaStats enumeration_arena_stats();
+
 // True when program-order pair (i, j) of `thread` must commit in order on
 // `arch` (exposed for tests).
 bool must_commit_in_order(const LitmusThread& thread, std::size_t i,

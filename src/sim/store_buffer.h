@@ -10,6 +10,13 @@
 // context-dependent: in a microbenchmark the buffer is empty and fences cost
 // their base latency; in a store-heavy macrobenchmark the drain wait
 // dominates.
+//
+// Layout: the mutable state is exactly two doubles per core — the drain
+// completion time and the buffer's occupancy high-water mark.  StoreBuffer is
+// a *view* over those two slots; the Machine owns them as struct-of-arrays
+// columns (machine.h, CoreColumns) so that the scheduler's cross-core scans
+// touch one contiguous cache line instead of hopping between Cpu objects.
+// Standalone users (tests, calibration probes) bind a view to two locals.
 #pragma once
 
 #include <algorithm>
@@ -22,12 +29,17 @@ namespace wmm::sim {
 class StoreBuffer {
  public:
   // Counter slots and the registry are resolved once at construction (cold)
-  // so the per-store hot path is a direct inlined increment.
-  StoreBuffer(unsigned capacity, double drain_ns)
+  // so the per-store hot path is a direct inlined increment.  `drain_complete`
+  // and `local_hwm` are the caller-owned state slots this view mutates; they
+  // must start at 0 and outlive the view.
+  StoreBuffer(unsigned capacity, double drain_ns, double* drain_complete,
+              double* local_hwm)
       : capacity_(capacity),
         drain_ns_(drain_ns),
         reg_(&obs::counters()),
-        ids_(&sim_counters()) {}
+        ids_(&sim_counters()),
+        drain_complete_(drain_complete),
+        local_hwm_(local_hwm) {}
 
   // Append one store at time `now`; returns the stall time (ns) suffered by
   // the core when the buffer is full.
@@ -48,13 +60,15 @@ class StoreBuffer {
 
   // Extend the drain of the most recent store (e.g. a store to a line owned
   // by another core pays an ownership-transfer delay at drain time).
-  void delay_drain(double extra_ns) { drain_complete_ += extra_ns; }
+  void delay_drain(double extra_ns) { *drain_complete_ += extra_ns; }
 
   // Time at which the buffer becomes empty (<= now means already empty).
-  double drain_complete_time() const { return drain_complete_; }
+  double drain_complete_time() const { return *drain_complete_; }
 
   // Remaining drain wait as observed at `now`.
-  double drain_wait(double now) const { return std::max(0.0, drain_complete_ - now); }
+  double drain_wait(double now) const {
+    return std::max(0.0, *drain_complete_ - now);
+  }
 
   // Number of entries still buffered at `now`.
   double occupancy(double now) const { return drain_wait(now) / drain_ns_; }
@@ -63,8 +77,8 @@ class StoreBuffer {
   double drain_ns_per_entry() const { return drain_ns_; }
 
   void reset() {
-    drain_complete_ = 0.0;
-    local_hwm_ = 0.0;
+    *drain_complete_ = 0.0;
+    *local_hwm_ = 0.0;
   }
 
  private:
@@ -73,18 +87,18 @@ class StoreBuffer {
   double push_counted(double now) {
     double stall = 0.0;
     const double full_horizon = static_cast<double>(capacity_) * drain_ns_;
-    if (drain_complete_ - now > full_horizon) {
+    if (*drain_complete_ - now > full_horizon) {
       // Buffer full: the core stalls until one slot frees up.
-      stall = (drain_complete_ - now) - full_horizon;
+      stall = (*drain_complete_ - now) - full_horizon;
       now += stall;
       reg_->add(ids_->sb_full_stalls);
     }
-    drain_complete_ = std::max(drain_complete_, now) + drain_ns_;
+    *drain_complete_ = std::max(*drain_complete_, now) + drain_ns_;
     // The global gauge only needs touching when this buffer's own high-water
     // mark moves, which keeps the common path free of atomic ops.
-    const double occupancy_now = (drain_complete_ - now) / drain_ns_;
-    if (occupancy_now > local_hwm_) {
-      local_hwm_ = occupancy_now;
+    const double occupancy_now = (*drain_complete_ - now) / drain_ns_;
+    if (occupancy_now > *local_hwm_) {
+      *local_hwm_ = occupancy_now;
       reg_->record_max(ids_->sb_occupancy_hwm,
                        static_cast<std::uint64_t>(occupancy_now + 0.5));
     }
@@ -95,8 +109,8 @@ class StoreBuffer {
   double drain_ns_;
   obs::CounterRegistry* reg_;
   const SimCounterIds* ids_;
-  double drain_complete_ = 0.0;
-  double local_hwm_ = 0.0;  // this buffer's own occupancy high-water mark
+  double* drain_complete_;  // this core's drain-completion column slot
+  double* local_hwm_;       // this core's occupancy high-water column slot
 };
 
 }  // namespace wmm::sim

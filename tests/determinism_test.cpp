@@ -274,5 +274,32 @@ TEST(Determinism, ProfilingOnKeepsCounterRecordBytesThreadCountInvariant) {
   EXPECT_GT(phase_deltas[static_cast<std::size_t>(P::AxCheck)].count, 0u);
 }
 
+// The per-thread enumeration arena (sim/enum_arena.h) reuses one chunk across
+// programs and keeps per-thread high-water statistics.  Neither may leak into
+// the identity-checked counter record: the record's *bytes* must be identical
+// whether the corpus ran on 1 or 8 workers (each with its own arena), and
+// across two consecutive runs on the same workers (where the second run
+// reuses chunks the first run sized).  Allocation-related *semantics*
+// counters stay in the registry; arena internals stay out.
+TEST(Determinism, ArenaReuseKeepsCounterRecordBytesInvariant) {
+  const auto counter_record_bytes = [&](int threads) {
+    const auto before = obs::counters().snapshot(/*include_zero=*/true);
+    corpus_at(threads, sim::Arch::ARMV8, 150);
+    const auto after = obs::counters().snapshot(/*include_zero=*/true);
+    return obs::counters_line(obs::snapshot_delta(before, after));
+  };
+  const std::string t1_first = counter_record_bytes(1);
+  const std::string t8 = counter_record_bytes(8);
+  const std::string t1_second = counter_record_bytes(1);
+
+  // Across --threads: per-thread arenas must not shift any counter.
+  EXPECT_EQ(t1_first, t8);
+  // Across consecutive runs: a warm arena (chunk already sized, zero heap
+  // traffic) must count exactly like a cold one.
+  EXPECT_EQ(t1_first, t1_second);
+  // And no arena internals are registered at all.
+  EXPECT_EQ(t1_first.find("arena"), std::string::npos) << t1_first;
+}
+
 }  // namespace
 }  // namespace wmm::workloads

@@ -1,0 +1,134 @@
+// Safety net for the simulator hot-loop rewrite (arena + SoA executor,
+// docs/simulator.md): the rewritten operational engine must produce exactly
+// the outcome sets the independent axiomatic oracles produce, on both the
+// hand-verified golden corpus and a fixed-seed fuzz corpus, and the
+// per-thread enumeration arena must behave as documented — identical results
+// when reused back to back, and no high-water growth once a workload's shape
+// has been seen.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "sim/axiomatic.h"
+#include "sim/axiomatic_power.h"
+#include "sim/fuzz.h"
+#include "sim/litmus_format.h"
+#include "sim/memory_model.h"
+#include "sim/rng.h"
+
+#ifndef WMM_LITMUS_DIR
+#error "WMM_LITMUS_DIR must point at the golden corpus"
+#endif
+
+namespace wmm::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::set<Outcome> oracle_outcomes(const LitmusTest& test, Arch arch) {
+  return arch == Arch::POWER7 ? power_axiomatic_outcomes(test)
+                              : axiomatic_outcomes(test, arch);
+}
+
+// --- Outcome-set equality vs. the oracles ---------------------------------
+
+// Every golden .litmus program: the rewritten executor's outcome set equals
+// the axiomatic oracle's, per architecture, as full sets (the golden test
+// itself only checks the wmm-expect verdict bit).
+TEST(MachineRewrite, GoldenCorpusOutcomeSetsMatchOracles) {
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(WMM_LITMUS_DIR)) {
+    if (entry.path().extension() != ".litmus") continue;
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const LitmusFile file = parse_litmus(ss.str());
+    ++files;
+    for (const Arch arch :
+         {Arch::SC, Arch::X86_TSO, Arch::ARMV8, Arch::POWER7}) {
+      EXPECT_EQ(enumerate_outcomes(file.test, arch),
+                oracle_outcomes(file.test, arch))
+          << entry.path() << " on " << arch_name(arch);
+    }
+  }
+  EXPECT_GE(files, 15);
+}
+
+// Fixed-seed fuzz corpus: 2000 generated programs spread over the four
+// architectures (the differential check the fuzzer runs at scale, pinned
+// here as a plain ctest so the rewrite cannot merge without it).
+class MachineRewriteFuzz : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(MachineRewriteFuzz, OutcomeSetsMatchOracles) {
+  const Arch arch = GetParam();
+  const FuzzConfig config = FuzzConfig::for_arch(arch);
+  const int count = 500;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed =
+        hash_combine(0x5eedf00d, static_cast<std::uint64_t>(i));
+    const LitmusTest test = generate_litmus(seed, config);
+    ASSERT_EQ(enumerate_outcomes(test, arch), oracle_outcomes(test, arch))
+        << test.name << " (seed " << seed << ") on " << arch_name(arch);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, MachineRewriteFuzz,
+                         ::testing::Values(Arch::SC, Arch::X86_TSO,
+                                          Arch::ARMV8, Arch::POWER7),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           return std::string(arch_name(info.param));
+                         });
+
+// --- Arena lifetime invariants (docs/simulator.md, "Arena lifetime rules") -
+
+TEST(MachineRewrite, BackToBackEnumerationsAreIdentical) {
+  for (const Arch arch : {Arch::ARMV8, Arch::POWER7}) {
+    const LitmusTest test =
+        generate_litmus(0xab5eed, FuzzConfig::for_arch(arch));
+    const std::set<Outcome> first = enumerate_outcomes(test, arch);
+    const std::set<Outcome> second = enumerate_outcomes(test, arch);
+    EXPECT_EQ(first, second) << arch_name(arch);
+  }
+}
+
+TEST(MachineRewrite, ArenaHighWaterStableAcrossReuse) {
+  // Warm up: let the arena see the workload's shape once.
+  const LitmusTest test = generate_litmus(0x57ab1e, FuzzConfig::for_arch(Arch::ARMV8));
+  (void)enumerate_outcomes(test, Arch::ARMV8);
+  const EnumArenaStats warm = enumeration_arena_stats();
+  EXPECT_GT(warm.enumerations, 0u);
+  EXPECT_GT(warm.high_water_bytes, 0u);
+
+  // Steady state: re-running the same program must not move the high-water
+  // mark or grow the arena's reservation — the whole cycle is served from
+  // the chunk the warm-up sized.
+  for (int i = 0; i < 10; ++i) (void)enumerate_outcomes(test, Arch::ARMV8);
+  const EnumArenaStats steady = enumeration_arena_stats();
+  EXPECT_EQ(steady.high_water_bytes, warm.high_water_bytes);
+  EXPECT_EQ(steady.reserved_bytes, warm.reserved_bytes);
+  EXPECT_EQ(steady.enumerations, warm.enumerations + 10);
+}
+
+TEST(MachineRewrite, ArenaStatsAreOutsideTheCounterRegistry) {
+  // Arena internals are per-thread introspection only: enumerations must not
+  // mint obs counters, or counter records would stop being byte-identical
+  // across --threads (each worker thread has its own arena).
+  const LitmusTest test = generate_litmus(0x0b5, FuzzConfig::for_arch(Arch::ARMV8));
+  const auto before = obs::counters().snapshot(/*include_zero=*/true);
+  (void)enumerate_outcomes(test, Arch::ARMV8);
+  const auto after = obs::counters().snapshot(/*include_zero=*/true);
+  for (const auto& entry : after) {
+    EXPECT_EQ(entry.name.find("arena"), std::string::npos) << entry.name;
+  }
+  // The enumeration itself must not have minted any new counter names.
+  EXPECT_EQ(before.size(), after.size());
+}
+
+}  // namespace
+}  // namespace wmm::sim

@@ -12,8 +12,19 @@ namespace {
 
 // --- StoreBuffer ----------------------------------------------------------------
 
+// StoreBuffer is a view over two caller-owned column slots (normally the
+// Machine's CoreColumns); standalone tests bind it to locals.
+struct SbFixture {
+  double drain_complete = 0.0;
+  double local_hwm = 0.0;
+  StoreBuffer sb;
+  SbFixture(unsigned capacity, double drain_ns)
+      : sb(capacity, drain_ns, &drain_complete, &local_hwm) {}
+};
+
 TEST(StoreBufferTest, DrainsOverTime) {
-  StoreBuffer sb(8, 2.0);
+  SbFixture f(8, 2.0);
+  StoreBuffer& sb = f.sb;
   EXPECT_DOUBLE_EQ(sb.drain_wait(0.0), 0.0);
   sb.push(0.0);
   EXPECT_DOUBLE_EQ(sb.drain_wait(0.0), 2.0);
@@ -22,14 +33,16 @@ TEST(StoreBufferTest, DrainsOverTime) {
 }
 
 TEST(StoreBufferTest, OccupancyTracksEntries) {
-  StoreBuffer sb(8, 2.0);
+  SbFixture f(8, 2.0);
+  StoreBuffer& sb = f.sb;
   for (int i = 0; i < 4; ++i) sb.push(0.0);
   EXPECT_NEAR(sb.occupancy(0.0), 4.0, 1e-12);
   EXPECT_NEAR(sb.occupancy(4.0), 2.0, 1e-12);
 }
 
 TEST(StoreBufferTest, FullBufferStallsCore) {
-  StoreBuffer sb(4, 2.0);
+  SbFixture f(4, 2.0);
+  StoreBuffer& sb = f.sb;
   double stall_total = 0.0;
   for (int i = 0; i < 6; ++i) stall_total += sb.push(0.0);
   // The drain model is continuous: the fifth push lands exactly at the full
@@ -38,10 +51,21 @@ TEST(StoreBufferTest, FullBufferStallsCore) {
 }
 
 TEST(StoreBufferTest, DelayDrainExtendsTail) {
-  StoreBuffer sb(8, 2.0);
+  SbFixture f(8, 2.0);
+  StoreBuffer& sb = f.sb;
   sb.push(0.0);
   sb.delay_drain(10.0);
   EXPECT_DOUBLE_EQ(sb.drain_wait(0.0), 12.0);
+}
+
+TEST(StoreBufferTest, StateLivesInTheBoundColumnSlots) {
+  SbFixture f(8, 2.0);
+  f.sb.push(0.0);
+  EXPECT_DOUBLE_EQ(f.drain_complete, 2.0);
+  EXPECT_DOUBLE_EQ(f.local_hwm, 1.0);
+  f.sb.reset();
+  EXPECT_DOUBLE_EQ(f.drain_complete, 0.0);
+  EXPECT_DOUBLE_EQ(f.local_hwm, 0.0);
 }
 
 // --- BranchPredictor --------------------------------------------------------------
@@ -91,23 +115,40 @@ TEST(BusTest, QueueingCappedAcrossClockSkew) {
 
 TEST(CoherenceTest, ReadAfterRemoteWriteIsMiss) {
   CoherenceDirectory dir;
-  std::vector<int> inv;
-  dir.write(1, /*core=*/0, inv);
-  EXPECT_TRUE(inv.empty());  // no other sharers yet
-  EXPECT_TRUE(dir.read(1, 1));   // miss: owned modified by core 0
-  EXPECT_FALSE(dir.read(1, 1));  // now cached
+  EXPECT_EQ(dir.write(1, /*core=*/0), 0u);  // no other sharers yet
+  EXPECT_TRUE(dir.read(1, 1));              // miss: owned modified by core 0
+  EXPECT_FALSE(dir.read(1, 1));             // now cached
 }
 
 TEST(CoherenceTest, WriteInvalidatesSharers) {
   CoherenceDirectory dir;
-  std::vector<int> inv;
   EXPECT_TRUE(dir.read(5, 0));
   EXPECT_TRUE(dir.read(5, 1));
   EXPECT_TRUE(dir.read(5, 2));
-  dir.write(5, 0, inv);
   // Cores 1 and 2 must receive invalidations; core 0 must not.
-  EXPECT_EQ(inv.size(), 2u);
-  EXPECT_TRUE((inv[0] == 1 && inv[1] == 2) || (inv[0] == 2 && inv[1] == 1));
+  EXPECT_EQ(dir.write(5, 0), (1u << 1) | (1u << 2));
+}
+
+TEST(CoherenceTest, WriteAfterRemoteWriteInvalidatesOldOwnerOnce) {
+  CoherenceDirectory dir;
+  EXPECT_EQ(dir.write(7, 0), 0u);
+  // Core 0 both owns the line and is its only sharer: exactly one
+  // invalidation, not two.
+  EXPECT_EQ(dir.write(7, 1), 1u << 0);
+}
+
+TEST(CoherenceTest, DirectoryGrowsPastInlineSlots) {
+  CoherenceDirectory dir;
+  // Touch far more lines than the inline table holds; state must survive the
+  // rehash into heap columns.
+  for (LineId id = 0; id < 500; ++id) EXPECT_TRUE(dir.read(id * 977 + 3, 1));
+  EXPECT_EQ(dir.tracked_lines(), 500u);
+  for (LineId id = 0; id < 500; ++id) {
+    EXPECT_FALSE(dir.read(id * 977 + 3, 1)) << id;  // still cached
+    EXPECT_EQ(dir.write(id * 977 + 3, 0), 1u << 1) << id;
+  }
+  dir.reset();
+  EXPECT_EQ(dir.tracked_lines(), 0u);
 }
 
 // --- Cpu fence timing ---------------------------------------------------------------
