@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
     // One sweep per benchmark, fanned out across workers; simulated time is
     // virtual, so the series are identical for any thread count.
     const double arch_start = session.elapsed_seconds();
-    const std::vector<core::SweepResult> sweeps =
-        core::SensitivityStudy(*platform, session.threads()).sweeps(config);
+    core::SensitivityStudy study(*platform, session.threads());
+    study.set_cache(session.cache());
+    const std::vector<core::SweepResult> sweeps = study.sweeps(config);
     obs::Throughput tp;
     tp.context = std::string("sweep/") + sim::arch_name(arch);
     tp.threads = session.threads();

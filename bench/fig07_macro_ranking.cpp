@@ -26,9 +26,10 @@ int main(int argc, char** argv) {
   config.runs = bench::ranking_runs();
 
   const double start = session.elapsed_seconds();
+  core::SensitivityStudy study(*platform, session.threads());
+  study.set_cache(session.cache());
   const core::RankingMatrix matrix =
-      core::SensitivityStudy(*platform, session.threads())
-          .ranking(config, [&](const std::string& macro,
+      study.ranking(config, [&](const std::string& macro,
                                const std::string& benchmark,
                                const core::Comparison& cmp) {
             session.record_comparison("armv8", benchmark, "base", macro, cmp);

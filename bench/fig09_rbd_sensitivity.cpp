@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
   config.max_exponent = 9;
   config.runs = bench::paper_runs();
 
-  const std::vector<core::SweepResult> sweeps =
-      core::SensitivityStudy(*platform, session.threads()).sweeps(config);
+  core::SensitivityStudy study(*platform, session.threads());
+  study.set_cache(session.cache());
+  const std::vector<core::SweepResult> sweeps = study.sweeps(config);
 
   core::Table table({"benchmark", "k", "+/-"});
   for (const core::SweepResult& sweep : sweeps) {

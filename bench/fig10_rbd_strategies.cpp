@@ -30,9 +30,10 @@ int main(int argc, char** argv) {
   // default "base case" is the comparison baseline.
   config.runs = bench::paper_runs();
 
+  core::SensitivityStudy study(*platform, session.threads());
+  study.set_cache(session.cache());
   const std::vector<core::StrategyComparison> results =
-      core::SensitivityStudy(*platform, session.threads())
-          .strategies(config);
+      study.strategies(config);
 
   std::string current;
   core::Table table({"strategy", "rel perf", "min", "max", "95% CI"});

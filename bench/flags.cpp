@@ -53,6 +53,13 @@ std::vector<FlagHelp> help_rows(const std::vector<FlagSpec>& extra) {
                   "worker threads for parallel drivers (default: hardware "
                   "concurrency; 1 = sequential; output is identical either "
                   "way)"});
+  rows.push_back({"--cache=DIR",
+                  "persistent content-addressed result store: warm re-runs "
+                  "skip simulation for already-answered cells (records stay "
+                  "byte-identical; counters/throughput differ)"});
+  rows.push_back({"--cache-max-mb=N",
+                  "result-store size bound in MiB before least-recently-used "
+                  "entries are evicted (default 256)"});
   rows.push_back({"--quiet", "suppress the human-readable report"});
   rows.push_back({"--list-sites",
                   "print each platform's instrumentation sites as JSONL "
@@ -108,6 +115,21 @@ CommonFlags parse_flags(int argc, char** argv, const std::string& title,
         std::exit(2);
       }
       out.threads = static_cast<int>(n);
+    } else if (name == "--cache") {
+      if (value.empty()) {
+        std::cerr << program << ": --cache needs a directory (--cache=DIR)\n";
+        std::exit(2);
+      }
+      out.cache_dir = value;
+    } else if (name == "--cache-max-mb") {
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || n < 1 || n > 1048576) {
+        std::cerr << program << ": bad value for --cache-max-mb: '" << value
+                  << "'\n";
+        std::exit(2);
+      }
+      out.cache_max_mb = static_cast<int>(n);
     } else if (name == "--quiet") {
       out.quiet = true;
     } else if (name == "--list-sites") {

@@ -32,6 +32,11 @@ struct CommonFlags {
   bool quiet = false;      // --quiet     : suppress the human-readable report
   int threads = 0;         // --threads=N : worker threads (0 = hardware
                            //               concurrency; 1 = sequential)
+  std::string cache_dir;   // --cache=DIR : persistent content-addressed
+                           //               result store (cache/store.h);
+                           //               empty = caching off
+  int cache_max_mb = 256;  // --cache-max-mb=N : store size bound before LRU
+                           //               eviction kicks in
   std::vector<std::string> positional;
 };
 

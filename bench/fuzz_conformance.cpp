@@ -305,6 +305,10 @@ int main(int argc, char** argv) {
   sim::FuzzRunOptions run;
   run.threads = session.threads();
   run.max_divergences = max_divergences;
+  // --cache=DIR: answer previously conformant canonical programs from the
+  // persistent store, so a warm fixed-seed corpus re-run skips simulation.
+  // Stdout stays byte-identical either way.
+  run.cache = session.cache();
 
   if (!export_dir.empty()) {
     int exported = 0;

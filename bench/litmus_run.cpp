@@ -35,11 +35,10 @@
 
 #include "bench_util.h"
 #include "session.h"
-#include "sim/axiomatic.h"
-#include "sim/axiomatic_power.h"
 #include "sim/litmus.h"
 #include "sim/litmus_family.h"
 #include "sim/litmus_format.h"
+#include "svc/exec.h"
 
 namespace {
 
@@ -181,41 +180,14 @@ int main(int argc, char** argv) {
     os << "exported " << inputs.size() << " tests to " << export_dir << "\n";
   }
 
-  // The herd question per architecture, both oracles, in parallel.
+  // The herd question per architecture, both oracles, in parallel — the
+  // shared svc::litmus_verdict engine, so the verdict logic (and its
+  // persistent-store keying under --cache) is identical to the daemon's
+  // litmus op.
   const std::vector<obs::LitmusVerdict> verdicts = bench::par_index_map(
       inputs.size(), session.threads(), [&](int i) {
-        const sim::LitmusFile& f = inputs[static_cast<std::size_t>(i)].file;
-        obs::LitmusVerdict v;
-        v.name = f.test.name;
-        v.dialect = sim::litmus_dialect_name(f.dialect);
-        v.source = inputs[static_cast<std::size_t>(i)].source;
-        auto op = [&](sim::Arch a) {
-          return sim::condition_reachable(f,
-                                          sim::enumerate_outcomes(f.test, a));
-        };
-        auto ax = [&](sim::Arch a) {
-          return sim::condition_reachable(f, sim::axiomatic_outcomes(f.test, a));
-        };
-        v.op_sc = op(sim::Arch::SC);
-        v.op_tso = op(sim::Arch::X86_TSO);
-        v.op_arm = op(sim::Arch::ARMV8);
-        v.op_power = op(sim::Arch::POWER7);
-        v.ax_sc = ax(sim::Arch::SC);
-        v.ax_tso = ax(sim::Arch::X86_TSO);
-        v.ax_arm = ax(sim::Arch::ARMV8);
-        v.ax_power = sim::condition_reachable(
-            f, sim::power_axiomatic_outcomes(f.test));
-        v.agree = v.op_sc == v.ax_sc && v.op_tso == v.ax_tso &&
-                  v.op_arm == v.ax_arm && v.op_power == v.ax_power;
-        v.expect_ok = true;
-        for (const auto& [arch, allowed] : f.expected) {
-          const bool got = arch == sim::Arch::SC        ? v.op_sc
-                           : arch == sim::Arch::X86_TSO ? v.op_tso
-                           : arch == sim::Arch::ARMV8   ? v.op_arm
-                                                        : v.op_power;
-          if (got != allowed) v.expect_ok = false;
-        }
-        return v;
+        const Input& in = inputs[static_cast<std::size_t>(i)];
+        return svc::litmus_verdict(in.file, in.source, session.cache());
       });
 
   int disagreements = 0;

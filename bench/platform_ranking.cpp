@@ -63,9 +63,10 @@ int main(int argc, char** argv) {
   const double start = session.elapsed_seconds();
   for (const std::string& name : names) {
     const auto platform = platform::make_platform(name, sim::Arch::ARMV8);
+    core::SensitivityStudy study(*platform, session.threads());
+    study.set_cache(session.cache());
     matrices.push_back(
-        core::SensitivityStudy(*platform, session.threads())
-            .ranking(config, [&](const std::string& site,
+        study.ranking(config, [&](const std::string& site,
                                  const std::string& benchmark,
                                  const core::Comparison& cmp) {
               session.record_comparison(name + "/armv8", benchmark, "base",

@@ -1,0 +1,200 @@
+// Client / load generator for the sensitivity-analysis daemon (extra
+// deliverable).
+//
+// Replays a JSONL file of requests (one JSON request per line, '#' comments
+// skipped) against a running sensitivity_serve daemon, or fires the
+// built-in mixed-stream load generator (sweep + ranking + strategies +
+// litmus waves).  Every record frame the daemon streams back is appended
+// verbatim to this binary's --json report, so a served report's study
+// records are byte-identical to a --direct run of the same requests — the
+// CI soak job diffs exactly that.
+//
+// Usage:
+//   sensitivity_client --socket=PATH [--requests=FILE] [--loadgen=N]
+//                      [--direct] [--shutdown] [--json=FILE] ...
+//
+//   --requests=FILE  replay one request per line
+//   --loadgen=N      append N waves of the built-in mixed request stream
+//                    (each wave repeats the same requests, so wave 2+ is
+//                    all cache hits on a --cache'd daemon)
+//   --direct         execute in-process through the same engine instead of
+//                    connecting (byte-identity baseline; honours --cache)
+//   --shutdown       ask the daemon to exit after the last request
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/histogram.h"
+#include "session.h"
+#include "svc/client.h"
+#include "svc/exec.h"
+
+namespace {
+
+using namespace wmm;
+
+// One wave of the mixed stream: every op kind, bounded small so CI waves
+// finish in seconds.  Deliberately identical across waves — a warm daemon
+// answers repeat waves entirely from its store.
+std::vector<std::string> loadgen_wave() {
+  return {
+      R"({"op":"sweep","platform":"jvm","arch":"arm","benchmarks":["spark"],)"
+      R"("max_exponent":3,"runs":{"warmups":1,"samples":2}})",
+      R"({"op":"ranking","platform":"kernel","arch":"arm",)"
+      R"("benchmarks":["ebizzy"],"sites":["smp_mb","smp_rmb"],)"
+      R"("cost_iterations":256,"runs":{"warmups":1,"samples":2}})",
+      R"({"op":"strategies","platform":"kernel","arch":"arm",)"
+      R"("benchmarks":["ebizzy"],"strategies":["ctrl"],)"
+      R"("runs":{"warmups":1,"samples":2}})",
+      R"({"op":"litmus","family":{"max_comm_edges":3,"limit":16}})",
+  };
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string requests_file;
+  int loadgen = 0;
+  bool direct = false;
+  bool shutdown = false;
+
+  const std::vector<bench::FlagSpec> specs = {
+      {"--socket", "PATH", "daemon socket (required unless --direct)",
+       [&](const std::string& v) {
+         socket_path = v;
+         return !v.empty();
+       }},
+      {"--requests", "FILE", "replay one JSON request per line",
+       [&](const std::string& v) {
+         requests_file = v;
+         return !v.empty();
+       }},
+      {"--loadgen", "N", "append N waves of the built-in mixed stream",
+       [&](const std::string& v) {
+         loadgen = std::atoi(v.c_str());
+         return loadgen >= 1 && loadgen <= 10000;
+       }},
+      {"--direct", "", "execute in-process instead of connecting",
+       [&](const std::string&) { return direct = true; }},
+      {"--shutdown", "", "ask the daemon to exit after the last request",
+       [&](const std::string&) { return shutdown = true; }},
+  };
+  bench::Session session(argc, argv,
+                         "Sensitivity-analysis daemon client / load generator",
+                         "", specs);
+  std::ostream& os = session.out();
+
+  std::vector<std::string> requests;
+  if (!requests_file.empty()) {
+    std::ifstream is(requests_file);
+    if (!is) {
+      std::fprintf(stderr, "sensitivity_client: cannot read %s\n",
+                   requests_file.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      requests.push_back(line);
+    }
+  }
+  for (int wave = 0; wave < loadgen; ++wave) {
+    for (std::string& r : loadgen_wave()) requests.push_back(std::move(r));
+  }
+  if (requests.empty() && !shutdown) {
+    std::fprintf(stderr,
+                 "sensitivity_client: nothing to do (use --requests=FILE, "
+                 "--loadgen=N, or --shutdown)\n");
+    return 2;
+  }
+  if (!direct && socket_path.empty()) {
+    std::fprintf(stderr, "sensitivity_client: --socket=PATH is required "
+                         "(or use --direct)\n");
+    return 2;
+  }
+  session.set_extra("requests", std::to_string(requests.size()));
+  session.set_extra("mode", direct ? "direct" : "daemon");
+
+  const obs::HistogramId latency =
+      obs::histograms().register_histogram("svc.client_ns");
+
+  svc::Client client;
+  if (!direct) {
+    // The daemon may still be binding when a soak script launches both
+    // sides; retry the initial connect for a few seconds.
+    std::string error;
+    bool connected = false;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (client.connect(socket_path, &error)) {
+        connected = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!connected) {
+      std::fprintf(stderr, "sensitivity_client: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  std::uint64_t records = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::uint64_t start = now_ns();
+    bool ok = false;
+    std::string error;
+    if (direct) {
+      svc::ExecOptions options;
+      options.threads = session.threads();
+      options.cache = session.cache();
+      const svc::ExecResult r = svc::execute_request_text(
+          requests[i], options, [&](const std::string& line) {
+            session.record_raw(line);
+            ++records;
+          });
+      ok = r.ok;
+      error = r.error;
+    } else {
+      const svc::ClientResult r =
+          client.request(requests[i], [&](const std::string& line) {
+            session.record_raw(line);
+            ++records;
+          });
+      ok = r.ok;
+      error = r.error;
+    }
+    obs::histograms().record(latency, now_ns() - start);
+    if (!ok) {
+      std::fprintf(stderr, "sensitivity_client: request %zu failed: %s\n", i,
+                   error.c_str());
+      ++failures;
+    }
+  }
+
+  if (!direct) {
+    // Pull the daemon's aggregate `service` record into this report (queue
+    // depth, in-flight, cache hit counts as the daemon saw them).
+    client.request("{\"op\":\"stats\"}",
+                   [&](const std::string& line) { session.record_raw(line); });
+    if (shutdown && !client.shutdown_server()) {
+      std::fprintf(stderr, "sensitivity_client: shutdown request failed\n");
+      ++failures;
+    }
+  }
+
+  os << requests.size() << " request(s), " << records << " record(s), "
+     << failures << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Sensitivity-analysis-as-a-service daemon (extra deliverable).
+//
+// Serves the shared request engine (src/svc) over a Unix-domain socket:
+// clients send length-framed JSON requests (sweep / ranking / strategies /
+// litmus batches) and receive the schema-v1.1 records streamed back frame
+// by frame, byte-identical to a direct in-process run.  Pair with --cache
+// to answer repeated study cells and corpus programs from the persistent
+// content-addressed store without re-simulating.
+//
+// Usage:
+//   sensitivity_serve --socket=PATH [--max-inflight=N] [--cache=DIR]
+//                     [--threads=N] [--json=FILE] ...
+//
+// Runs until SIGINT/SIGTERM or a client sends {"op":"shutdown"}.  The
+// --json report carries a `service` record (requests, cells, errors, queue
+// and in-flight high-water marks, cache hit counts) plus the usual
+// counters record (svc.* and cache.*); --histograms adds the
+// svc.request_ns latency distribution.
+#include <csignal>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "session.h"
+#include "svc/server.h"
+
+namespace {
+
+wmm::svc::Server* g_server = nullptr;
+
+void stop_server(int) {
+  if (g_server) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wmm;
+  std::string socket_path;
+  int max_inflight = 2;
+
+  const std::vector<bench::FlagSpec> specs = {
+      {"--socket", "PATH", "Unix-domain socket to listen on (required)",
+       [&](const std::string& v) {
+         socket_path = v;
+         return !v.empty();
+       }},
+      {"--max-inflight", "N",
+       "concurrently executing requests; excess queues (default 2)",
+       [&](const std::string& v) {
+         max_inflight = std::atoi(v.c_str());
+         return max_inflight >= 1 && max_inflight <= 64;
+       }},
+  };
+  bench::Session session(argc, argv, "Sensitivity-analysis batch daemon", "",
+                         specs);
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "sensitivity_serve: --socket=PATH is required\n");
+    return 2;
+  }
+  session.set_extra("socket", socket_path);
+
+  svc::ServerConfig config;
+  config.socket_path = socket_path;
+  config.threads = session.threads();
+  config.max_inflight = max_inflight;
+  config.cache = session.cache();
+
+  svc::Server server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "sensitivity_serve: %s\n", error.c_str());
+    return 2;
+  }
+  g_server = &server;
+  std::signal(SIGINT, &stop_server);
+  std::signal(SIGTERM, &stop_server);
+
+  session.out() << "serving on " << socket_path << " ("
+                << config.threads << " worker thread(s), max "
+                << max_inflight << " in-flight request(s))\n";
+  session.out().flush();
+  server.serve();
+  g_server = nullptr;
+
+  obs::ServiceStats stats = server.stats();
+  stats.wall_s = session.elapsed_seconds();
+  session.record_service(stats);
+  session.out() << "served " << stats.requests << " request(s), "
+                << stats.cells << " cell(s), " << stats.errors
+                << " error(s)\n";
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <streambuf>
 
 #include "bench_util.h"
+#include "cache/store.h"
 #include "core/report.h"
 #include "obs/histogram.h"
 #include "obs/profile.h"
@@ -93,6 +94,13 @@ Session::Session(int argc, char** argv, std::string title,
     // flag gates only its own JSONL record.
     obs::set_profile_enabled(true);
   }
+  if (!flags_.cache_dir.empty()) {
+    cache::CacheConfig cc;
+    cc.root = flags_.cache_dir;
+    cc.max_bytes =
+        static_cast<std::uint64_t>(flags_.cache_max_mb) * 1024 * 1024;
+    cache_ = std::make_unique<cache::ResultCache>(cc);
+  }
   counters_before_ = obs::counters().snapshot(/*include_zero=*/false);
   g_active_session = this;
   install_terminate_handler();
@@ -129,6 +137,14 @@ void Session::record_throughput(const obs::Throughput& t) {
 
 void Session::record_litmus(const obs::LitmusVerdict& v) {
   record_lines_.push_back(obs::litmus_line(v));
+}
+
+void Session::record_service(const obs::ServiceStats& s) {
+  record_lines_.push_back(obs::service_line(s));
+}
+
+void Session::record_raw(const std::string& json_line) {
+  record_lines_.push_back(json_line);
 }
 
 int Session::threads() const {
@@ -168,6 +184,21 @@ void Session::finalize() {
       os << obs::manifest_line(m) << '\n';
       for (const std::string& line : record_lines_) os << line << '\n';
       os << obs::counters_line(deltas) << '\n';
+      if (cache_) {
+        const cache::CacheStats cs = cache_->stats();
+        const cache::ResultCache::Usage usage = cache_->usage();
+        obs::CacheActivity ca;
+        ca.root = flags_.cache_dir;
+        ca.schema_hash = cache_->schema();
+        ca.hits = cs.hits;
+        ca.misses = cs.misses;
+        ca.writes = cs.writes;
+        ca.evictions = cs.evictions;
+        ca.corrupt = cs.corrupt;
+        ca.entries = usage.entries;
+        ca.bytes = usage.bytes;
+        os << obs::cache_line(ca) << '\n';
+      }
       if (flags_.histograms) {
         os << obs::histograms_line(obs::histograms().snapshot()) << '\n';
       }

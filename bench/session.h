@@ -31,6 +31,10 @@
 #include "obs/record.h"
 #include "obs/trace.h"
 
+namespace wmm::cache {
+class ResultCache;
+}  // namespace wmm::cache
+
 namespace wmm::bench {
 
 class Session {
@@ -61,6 +65,18 @@ class Session {
   void record_sweep(const std::string& context, const core::SweepResult& sweep);
   void record_throughput(const obs::Throughput& t);
   void record_litmus(const obs::LitmusVerdict& v);
+  void record_service(const obs::ServiceStats& s);
+
+  // Appends one pre-serialised JSONL record verbatim (no trailing newline).
+  // Used by the service client to forward the daemon's streamed records into
+  // this session's report unchanged, preserving byte-identity with a direct
+  // in-process run.
+  void record_raw(const std::string& json_line);
+
+  // The persistent result store opened for --cache=DIR, or nullptr when the
+  // flag is absent.  Owned by the session; finalize() appends a `cache`
+  // record with its end-of-run activity.
+  cache::ResultCache* cache() const { return cache_.get(); }
 
   // Worker threads resolved from --threads (0 = hardware concurrency).
   int threads() const;
@@ -84,6 +100,7 @@ class Session {
   std::vector<std::string> record_lines_;
   std::vector<obs::CounterRegistry::Entry> counters_before_;
   std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<cache::ResultCache> cache_;
   std::ostream* out_ = nullptr;
   std::unique_ptr<std::ostream> null_out_;
   double start_seconds_ = 0.0;

@@ -1,0 +1,150 @@
+#include "cache/codec.h"
+
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace wmm::cache {
+
+namespace {
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_bool(std::string& out, bool v) { out.push_back(v ? 1 : 0); }
+
+void put_str(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.append(s.data(), s.size());
+}
+
+// Sequential reader; `ok` latches false on the first short read.
+struct Reader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take(std::size_t n, const char** p) {
+    if (!ok || bytes.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    *p = bytes.data() + pos;
+    pos += n;
+    return true;
+  }
+  std::uint64_t u64() {
+    const char* p;
+    if (!take(8, &p)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return ok ? v : 0.0;
+  }
+  bool boolean() {
+    const char* p;
+    if (!take(1, &p)) return false;
+    return *p != 0;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    const char* p;
+    if (!take(static_cast<std::size_t>(n), &p)) return {};
+    return std::string(p, static_cast<std::size_t>(n));
+  }
+  bool done() const { return ok && pos == bytes.size(); }
+};
+
+void put_comparison(std::string& out, const core::Comparison& cmp) {
+  put_f64(out, cmp.value);
+  put_f64(out, cmp.min);
+  put_f64(out, cmp.max);
+  put_f64(out, cmp.ci95);
+}
+
+core::Comparison take_comparison(Reader& r) {
+  core::Comparison cmp;
+  cmp.value = r.f64();
+  cmp.min = r.f64();
+  cmp.max = r.f64();
+  cmp.ci95 = r.f64();
+  return cmp;
+}
+
+}  // namespace
+
+std::string encode_comparison(const core::Comparison& cmp) {
+  std::string out;
+  put_comparison(out, cmp);
+  return out;
+}
+
+std::optional<core::Comparison> decode_comparison(std::string_view bytes) {
+  Reader r{bytes};
+  const core::Comparison cmp = take_comparison(r);
+  if (!r.done()) return std::nullopt;
+  return cmp;
+}
+
+std::string encode_sweep_result(const core::SweepResult& sweep) {
+  std::string out;
+  put_str(out, sweep.benchmark);
+  put_str(out, sweep.code_path);
+  put_u64(out, sweep.points.size());
+  for (const core::SweepPoint& p : sweep.points) {
+    put_f64(out, p.cost_ns);
+    put_f64(out, p.rel_perf);
+  }
+  put_f64(out, sweep.fit.k);
+  put_f64(out, sweep.fit.stderr_k);
+  put_f64(out, sweep.fit.chi2);
+  put_bool(out, sweep.fit.converged);
+  return out;
+}
+
+std::optional<core::SweepResult> decode_sweep_result(std::string_view bytes) {
+  Reader r{bytes};
+  core::SweepResult sweep;
+  sweep.benchmark = r.str();
+  sweep.code_path = r.str();
+  const std::uint64_t n = r.u64();
+  if (!r.ok || n > bytes.size()) return std::nullopt;  // length sanity
+  sweep.points.resize(static_cast<std::size_t>(n));
+  for (core::SweepPoint& p : sweep.points) {
+    p.cost_ns = r.f64();
+    p.rel_perf = r.f64();
+  }
+  sweep.fit.k = r.f64();
+  sweep.fit.stderr_k = r.f64();
+  sweep.fit.chi2 = r.f64();
+  sweep.fit.converged = r.boolean();
+  if (!r.done()) return std::nullopt;
+  return sweep;
+}
+
+std::string describe_run_options(const core::RunOptions& runs) {
+  std::string out = "w";
+  out += std::to_string(runs.warmups);
+  out += ";s";
+  out += std::to_string(runs.samples);
+  out += ";cv";
+  out += obs::format_double(runs.cv_warn_threshold);
+  return out;
+}
+
+}  // namespace wmm::cache

@@ -1,0 +1,37 @@
+// Byte-exact serialisation of the methodology results that ResultCache
+// stores for SensitivityStudy cells.
+//
+// The format is a plain length-prefixed binary encoding (u64 little-endian
+// lengths and counts, doubles copied bit-for-bit), so decode(encode(x))
+// reproduces every field exactly — which is what lets a warm cache run emit
+// sweep/comparison JSONL records byte-identical to the cold run that
+// populated the store.  The format has no version field of its own: it is
+// versioned by the engine schema hash baked into every cache entry
+// (store.cpp kEngineSchema "payload=codec-v1"), so changing anything here
+// requires bumping that string.
+//
+// Decoders return nullopt on any truncation or trailing garbage; the caller
+// treats that as a cache miss (the entry checksum makes this near-impossible
+// short of a schema-discipline bug, but a miss is always safe).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/harness.h"
+#include "core/stats.h"
+
+namespace wmm::cache {
+
+std::string encode_comparison(const core::Comparison& cmp);
+std::optional<core::Comparison> decode_comparison(std::string_view bytes);
+
+std::string encode_sweep_result(const core::SweepResult& sweep);
+std::optional<core::SweepResult> decode_sweep_result(std::string_view bytes);
+
+// Cache-key fragment describing one RunOptions (cell results depend on
+// warmups/samples/cv threshold).
+std::string describe_run_options(const core::RunOptions& runs);
+
+}  // namespace wmm::cache

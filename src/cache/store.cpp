@@ -1,0 +1,311 @@
+#include "cache/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace wmm::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// The engine schema description.  Everything a cached payload's bytes depend
+// on belongs in this string: the simulator's observable semantics version,
+// the canonical-program encoding, and the serialised payload formats.  Bump
+// the trailing version whenever any of those change — every existing store
+// then self-invalidates (entries read back with the old hash are deleted as
+// stale).  Deliberately NOT the git sha: the cache must survive commits that
+// leave semantics alone.
+constexpr const char kEngineSchema[] =
+    "wmm-result-cache"
+    "|operational=sc,tso,armv8,power7-forwarding"
+    "|axiomatic=single-axiom+hc-power-4axiom"
+    "|canonical-key=perm-min-v1"
+    "|payload=codec-v1"
+    "|v1";
+
+constexpr char kMagic[8] = {'W', 'M', 'M', 'C', '1', '\n', 0, 0};
+
+struct CacheCounters {
+  obs::CounterId hit;
+  obs::CounterId miss;
+  obs::CounterId write;
+  obs::CounterId evict;
+  obs::CounterId corrupt;
+  obs::CounterId bytes;  // high-water gauge of tracked store size
+};
+
+const CacheCounters& cache_counters() {
+  static const CacheCounters ids = {
+      obs::counters().register_counter("cache.hit"),
+      obs::counters().register_counter("cache.miss"),
+      obs::counters().register_counter("cache.write"),
+      obs::counters().register_counter("cache.evict"),
+      obs::counters().register_counter("cache.corrupt"),
+      obs::counters().register_gauge("cache.bytes"),
+  };
+  return ids;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint64_t read_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t engine_schema_hash() {
+  static const std::uint64_t h = fnv1a64(kEngineSchema);
+  return h;
+}
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {
+  std::error_code ec;
+  fs::create_directories(config_.root, ec);
+}
+
+std::uint64_t ResultCache::schema_hash() const {
+  return config_.schema_override != 0 ? config_.schema_override
+                                      : engine_schema_hash();
+}
+
+std::uint64_t ResultCache::content_hash(std::string_view domain,
+                                        std::string_view key) const {
+  std::uint64_t h = kFnvOffsetBasis;
+  std::string prefix;
+  append_u64(prefix, schema_hash());
+  append_u64(prefix, config_.extra_fingerprint);
+  h = fnv1a64(prefix, h);
+  h = fnv1a64(domain, h);
+  h = fnv1a64("\x1f", h);  // domain/key separator: "ab"+"c" != "a"+"bc"
+  h = fnv1a64(key, h);
+  return h;
+}
+
+fs::path ResultCache::entry_path(std::string_view domain,
+                                 std::string_view key) const {
+  const std::uint64_t h = content_hash(domain, key);
+  const std::string hex = hex16(h);
+  return fs::path(config_.root) / hex.substr(0, 2) / (hex + ".wmmc");
+}
+
+std::optional<std::string> ResultCache::get(std::string_view domain,
+                                            std::string_view key) {
+  const CacheCounters& ids = cache_counters();
+  const fs::path path = entry_path(domain, key);
+
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      obs::counters().add(ids.miss);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    blob = std::move(ss).str();
+  }
+
+  // Parse and verify: magic, schema hash, lengths, embedded key, checksum.
+  // Every failure mode is a corrupt miss that deletes the file — a torn or
+  // stale entry must never be served and never needs manual cleanup.
+  const auto reject = [&]() -> std::optional<std::string> {
+    std::error_code ec;
+    fs::remove(path, ec);
+    obs::counters().add(ids.corrupt);
+    obs::counters().add(ids.miss);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return std::nullopt;
+  };
+
+  const std::string full_key = std::string(domain) + '\x1f' + std::string(key);
+  const std::size_t header = sizeof kMagic + 8 + 8;  // magic, schema, key_len
+  if (blob.size() < header ||
+      std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) {
+    return reject();
+  }
+  if (read_u64(blob.data() + sizeof kMagic) != schema_hash()) {
+    return reject();  // stale engine/config schema: self-invalidate
+  }
+  const std::uint64_t key_len = read_u64(blob.data() + sizeof kMagic + 8);
+  if (blob.size() < header + key_len + 8) return reject();
+  const std::string_view stored_key(blob.data() + header,
+                                    static_cast<std::size_t>(key_len));
+  if (stored_key != full_key) return reject();  // 64-bit hash collision
+  const std::uint64_t value_len =
+      read_u64(blob.data() + header + static_cast<std::size_t>(key_len));
+  const std::size_t value_off =
+      header + static_cast<std::size_t>(key_len) + 8;
+  if (blob.size() != value_off + value_len + 8) return reject();
+  const std::string_view value(blob.data() + value_off,
+                               static_cast<std::size_t>(value_len));
+  const std::uint64_t want =
+      read_u64(blob.data() + value_off + static_cast<std::size_t>(value_len));
+  if (fnv1a64(value, fnv1a64(stored_key)) != want) return reject();
+
+  // Refresh recency so eviction is LRU-ish across processes.
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+
+  obs::counters().add(ids.hit);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+  }
+  return std::string(value);
+}
+
+void ResultCache::put(std::string_view domain, std::string_view key,
+                      std::string_view value) {
+  const CacheCounters& ids = cache_counters();
+  const fs::path path = entry_path(domain, key);
+  const std::string full_key = std::string(domain) + '\x1f' + std::string(key);
+
+  std::string blob;
+  blob.append(kMagic, sizeof kMagic);
+  append_u64(blob, schema_hash());
+  append_u64(blob, full_key.size());
+  blob += full_key;
+  append_u64(blob, value.size());
+  blob.append(value.data(), value.size());
+  append_u64(blob, fnv1a64(value, fnv1a64(full_key)));
+
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = ++temp_seq_;
+  }
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  // Unique temp name per (process, store, put): concurrent writers never
+  // share a temp file, and rename() into place is atomic on POSIX.
+  fs::path tmp = path.parent_path() /
+                 (path.filename().string() + ".tmp." +
+                  std::to_string(static_cast<unsigned long long>(::getpid())) +
+                  "." + std::to_string(seq));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;  // best-effort store: a failed write is just a future miss
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+
+  obs::counters().add(ids.write);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  track_bytes_locked();
+  stats_.bytes += blob.size();
+  if (config_.max_bytes != 0 && stats_.bytes > config_.max_bytes) {
+    evict_locked();
+  }
+  obs::counters().record_max(ids.bytes, stats_.bytes);
+}
+
+void ResultCache::track_bytes_locked() {
+  if (bytes_tracked_) return;
+  bytes_tracked_ = true;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(config_.root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == ".wmmc") {
+      total += static_cast<std::uint64_t>(it->file_size(ec));
+    }
+  }
+  stats_.bytes = total;
+}
+
+void ResultCache::evict_locked() {
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(config_.root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec) || it->path().extension() != ".wmmc") {
+      continue;
+    }
+    Entry e;
+    e.path = it->path();
+    e.mtime = fs::last_write_time(e.path, ec);
+    e.size = static_cast<std::uint64_t>(it->file_size(ec));
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+
+  // Recompute from the scan (other processes may have grown the store) and
+  // trim oldest-first to 7/8 of the bound, so puts do not evict on every
+  // call once the store fills.
+  std::uint64_t total = 0;
+  for (const Entry& e : entries) total += e.size;
+  const std::uint64_t target = config_.max_bytes - config_.max_bytes / 8;
+  const CacheCounters& ids = cache_counters();
+  for (const Entry& e : entries) {
+    if (total <= target) break;
+    if (fs::remove(e.path, ec); !ec) {
+      total -= e.size;
+      ++stats_.evictions;
+      obs::counters().add(ids.evict);
+    }
+  }
+  stats_.bytes = total;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ResultCache::Usage ResultCache::usage() const {
+  Usage u;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(config_.root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == ".wmmc") {
+      ++u.entries;
+      u.bytes += static_cast<std::uint64_t>(it->file_size(ec));
+    }
+  }
+  return u;
+}
+
+}  // namespace wmm::cache

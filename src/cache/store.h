@@ -1,0 +1,144 @@
+// Content-addressed on-disk result store (the persistent half of the
+// canonical-program memo cache, and the cell cache behind SensitivityStudy).
+//
+// Every entry is one file under a two-level sharded directory fan-out:
+//
+//     <root>/<ss>/<hhhhhhhhhhhhhhhh>.wmmc
+//
+// where `hh..h` is the 64-bit FNV-1a content hash (hex) of the entry's full
+// key and `ss` its first byte — so a warm lookup is one open()+read() with no
+// directory scans, and 256 shard directories keep any one directory small at
+// corpus scale.
+//
+// Keys are *content-addressed*: the caller passes a domain ("fuzz", "study",
+// "litmus") plus a key string that must encode everything the cached value
+// depends on (canonical program encoding, platform/arch/config descriptors).
+// The store mixes in an engine schema hash derived from a schema-description
+// string — stable across commits (unlike a git sha) but bumped whenever the
+// simulator's observable semantics or any cached payload format changes — so
+// stale entries from an older engine self-invalidate as misses and are
+// deleted on sight.
+//
+// Durability and concurrency:
+//   * writes go to a unique temp file in the same shard directory and are
+//     published with rename(2), so readers never observe a torn entry and
+//     concurrent writers of the same key race benignly (last rename wins,
+//     both files are complete);
+//   * reads verify a trailing FNV-1a checksum over the key+value bytes and
+//     the embedded key itself (hash-collision guard); any mismatch counts as
+//     a corrupt miss and removes the file;
+//   * the store is bounded: when the tracked byte total exceeds
+//     `max_bytes`, the least-recently-used entries (file mtime; refreshed on
+//     hit) are evicted until the store is back under 7/8 of the bound.
+//
+// Observability: hits/misses/writes/evictions/corruption feed the process
+// counter registry under `cache.*` (the same names the fuzzer's in-memory
+// memo reports through, so report_diff sees one coherent hit-rate surface)
+// and per-store totals are available via stats() for the `cache` JSONL
+// record.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wmm::cache {
+
+// 64-bit FNV-1a over `data`, chained from `seed` (pass the previous digest to
+// hash a concatenation without materialising it).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Hash of the engine schema description (see store.cpp).  Stable across
+// commits; changes exactly when kEngineSchema is edited.
+std::uint64_t engine_schema_hash();
+
+struct CacheConfig {
+  std::string root;  // store directory, created on demand
+  // Size bound in bytes (0 = unbounded).  Eviction trims to 7/8 of this.
+  std::uint64_t max_bytes = 256ull << 20;
+  // Extra fingerprint mixed into every content hash and validated on read —
+  // callers fold configuration that applies to *all* their keys in here.
+  std::uint64_t extra_fingerprint = 0;
+  // Testing hook: overrides engine_schema_hash() when non-zero, so the
+  // schema-bump invalidation path is testable without editing the schema.
+  std::uint64_t schema_override = 0;
+};
+
+// Per-store totals (the process-wide `cache.*` counters aggregate across
+// stores; these back the per-run `cache` JSONL record).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t corrupt = 0;  // checksum/format failures (stale schema too)
+  std::uint64_t bytes = 0;    // tracked store size after the last mutation
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Looks up domain+key.  nullopt on miss (absent, stale schema, corrupt,
+  // or hash-collision key mismatch — the latter three delete the file).
+  // Thread-safe; refreshes the entry mtime on hit (LRU recency).
+  std::optional<std::string> get(std::string_view domain,
+                                 std::string_view key);
+
+  // Publishes domain+key -> value via write-to-temp + rename.  Thread-safe;
+  // may trigger eviction when the store exceeds its bound.
+  void put(std::string_view domain, std::string_view key,
+           std::string_view value);
+
+  CacheStats stats() const;
+
+  // Entries currently on disk (full scan; tests and the `cache` record).
+  struct Usage {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  Usage usage() const;
+
+  const std::string& root() const { return config_.root; }
+
+  // The engine fingerprint this store's entries are keyed by (schema_override
+  // when set, engine_schema_hash() otherwise); recorded in the `cache` JSONL
+  // record so stale-entry invalidations are diagnosable from reports.
+  std::uint64_t schema() const { return schema_hash(); }
+
+  // The content hash addressing domain+key under this store's schema and
+  // extra fingerprint (exposed for tests that corrupt entries on disk).
+  std::uint64_t content_hash(std::string_view domain,
+                             std::string_view key) const;
+  std::filesystem::path entry_path(std::string_view domain,
+                                   std::string_view key) const;
+
+ private:
+  std::uint64_t schema_hash() const;
+  void evict_locked();     // trims to 7/8 of max_bytes; mutex_ held
+  void track_bytes_locked();  // lazily initialises bytes_ from a disk scan
+
+  CacheConfig config_;
+  mutable std::mutex mutex_;  // guards stats_/bytes accounting + eviction
+  CacheStats stats_;
+  bool bytes_tracked_ = false;
+  std::uint64_t temp_seq_ = 0;
+};
+
+}  // namespace wmm::cache

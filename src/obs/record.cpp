@@ -181,6 +181,48 @@ std::string litmus_line(const LitmusVerdict& v) {
   return w.take();
 }
 
+std::string cache_line(const CacheActivity& c) {
+  const std::uint64_t probes = c.hits + c.misses;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "cache");
+  w.kv("root", c.root);
+  w.kv("schema_hash", c.schema_hash);
+  w.kv("hits", c.hits);
+  w.kv("misses", c.misses);
+  w.kv("writes", c.writes);
+  w.kv("evictions", c.evictions);
+  w.kv("corrupt", c.corrupt);
+  w.kv("entries", c.entries);
+  w.kv("bytes", c.bytes);
+  w.kv("hit_rate", probes > 0 ? static_cast<double>(c.hits) /
+                                    static_cast<double>(probes)
+                              : 0.0);
+  w.end_object();
+  return w.take();
+}
+
+std::string service_line(const ServiceStats& s) {
+  const std::uint64_t probes = s.cache_hits + s.cache_misses;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "service");
+  w.kv("context", s.context);
+  w.kv("requests", s.requests);
+  w.kv("cells", s.cells);
+  w.kv("errors", s.errors);
+  w.kv("wall_s", s.wall_s);
+  w.kv("queue_depth_hwm", s.queue_depth_hwm);
+  w.kv("in_flight_hwm", s.in_flight_hwm);
+  w.kv("cache_hits", s.cache_hits);
+  w.kv("cache_misses", s.cache_misses);
+  w.kv("cache_hit_rate", probes > 0 ? static_cast<double>(s.cache_hits) /
+                                          static_cast<double>(probes)
+                                    : 0.0);
+  w.end_object();
+  return w.take();
+}
+
 std::string counters_line(
     const std::vector<CounterRegistry::Entry>& entries) {
   JsonWriter w;
@@ -478,6 +520,32 @@ std::string validate_record(const JsonValue& record) {
                        {"queue_depth", K::Number},
                        {"queue_depth_hwm", K::Number},
                        {"worker_busy_ns", K::Number}});
+  }
+  if (t == "cache") {
+    return check_keys(record, "cache",
+                      {{"root", K::String},
+                       {"schema_hash", K::Number},
+                       {"hits", K::Number},
+                       {"misses", K::Number},
+                       {"writes", K::Number},
+                       {"evictions", K::Number},
+                       {"corrupt", K::Number},
+                       {"entries", K::Number},
+                       {"bytes", K::Number},
+                       {"hit_rate", K::Number}});
+  }
+  if (t == "service") {
+    return check_keys(record, "service",
+                      {{"context", K::String},
+                       {"requests", K::Number},
+                       {"cells", K::Number},
+                       {"errors", K::Number},
+                       {"wall_s", K::Number},
+                       {"queue_depth_hwm", K::Number},
+                       {"in_flight_hwm", K::Number},
+                       {"cache_hits", K::Number},
+                       {"cache_misses", K::Number},
+                       {"cache_hit_rate", K::Number}});
   }
   return "unknown record type '" + t + "'";
 }

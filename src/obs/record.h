@@ -30,11 +30,17 @@
 //   profile    : type, phases (each entry: count, total_ns, self_ns),
 //                pool{tasks, steals, waves, queue_depth,
 //                queue_depth_hwm, worker_busy_ns}                   [v1.1]
+//   cache      : type, root, schema_hash, hits, misses, writes,
+//                evictions, corrupt, entries, bytes, hit_rate       [v1.1]
+//   service    : type, context, requests, cells, errors, wall_s,
+//                queue_depth_hwm, in_flight_hwm, cache_hits,
+//                cache_misses, cache_hit_rate                       [v1.1]
 //
-// throughput, histograms, and profile records carry wall-clock measurements,
-// so (like the manifest) they are excluded from byte-identity comparisons
-// between runs; every other record type is deterministic for a fixed seed
-// and configuration, independent of --threads.
+// throughput, histograms, profile, cache, and service records carry
+// wall-clock or storage-state measurements, so (like the manifest) they are
+// excluded from byte-identity comparisons between runs; every other record
+// type is deterministic for a fixed seed and configuration, independent of
+// --threads and of a warm result cache.
 #pragma once
 
 #include <map>
@@ -123,6 +129,39 @@ struct LitmusVerdict {
 };
 
 std::string litmus_line(const LitmusVerdict& v);
+
+// End-of-run summary of a persistent result store (cache/store.h).  Plain
+// integers rather than cache types so wmm_obs stays below wmm_cache in the
+// link order.  Storage-state data: identity-excluded.
+struct CacheActivity {
+  std::string root;              // store directory
+  std::uint64_t schema_hash = 0; // engine fingerprint entries are keyed by
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t entries = 0;     // on-disk entry count after the run
+  std::uint64_t bytes = 0;       // on-disk bytes after the run
+};
+
+std::string cache_line(const CacheActivity& c);
+
+// End-of-run (or per-drain) summary of the batch-serving daemon
+// (svc/server.h).  Wall-clock data: identity-excluded.
+struct ServiceStats {
+  std::string context;           // e.g. socket path or "loadgen"
+  std::uint64_t requests = 0;    // frames answered
+  std::uint64_t cells = 0;       // study cells / corpus programs evaluated
+  std::uint64_t errors = 0;      // malformed or failed requests
+  double wall_s = 0.0;
+  std::uint64_t queue_depth_hwm = 0;
+  std::uint64_t in_flight_hwm = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+std::string service_line(const ServiceStats& s);
 
 // Latency-histogram summaries (typically histograms().snapshot()).  Values
 // are keyed by histogram name; buckets are emitted sparsely as

@@ -1,11 +1,19 @@
 #include "platform/study.h"
 
+#include <sstream>
+
+#include "cache/codec.h"
+#include "cache/store.h"
 #include "core/cost_function.h"
 #include "par/deterministic_map.h"
 
 namespace wmm::core {
 
 namespace {
+
+// One "study" cache domain for all three cell kinds; the key spells the kind
+// out ("sweep"/"ranking"/"strategy") so the encodings cannot collide.
+constexpr const char kStudyDomain[] = "study";
 
 // par_map over indices 0..n-1, results in index order (bit-identical for any
 // thread count since each cell is an independent virtual-time simulation).
@@ -21,7 +29,23 @@ std::vector<std::string> or_default(std::vector<std::string> chosen,
   return chosen.empty() ? std::move(fallback) : std::move(chosen);
 }
 
+// Cell-key fragment for a site list ("" = every site, spelled "*" so it can
+// never collide with a real site id).
+std::string sites_fragment(const std::vector<std::string>& sites) {
+  if (sites.empty()) return "*";
+  std::string out;
+  for (const std::string& s : sites) {
+    out += s;
+    out += ',';
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string SensitivityStudy::cell_prefix() const {
+  return platform_->name() + '|' + sim::arch_name(platform_->arch()) + '|';
+}
 
 std::vector<SweepResult> SensitivityStudy::sweeps(
     const SweepStudyConfig& config) const {
@@ -35,13 +59,28 @@ std::vector<SweepResult> SensitivityStudy::sweeps(
   return map_cells(benchmarks.size() * ncp, threads_, [&](int cell) {
     const std::string& benchmark = benchmarks[static_cast<std::size_t>(cell) / ncp];
     const CodePathSpec& path = config.code_paths[static_cast<std::size_t>(cell) % ncp];
+    std::string key;
+    if (cache_) {
+      std::ostringstream k;
+      k << cell_prefix() << "sweep|" << benchmark << '|' << path.label << '|'
+        << sites_fragment(path.sites) << '|' << config.max_exponent << '|'
+        << config.strategy << '|' << cache::describe_run_options(config.runs);
+      key = std::move(k).str();
+      if (const std::optional<std::string> hit =
+              cache_->get(kStudyDomain, key)) {
+        if (std::optional<SweepResult> sweep =
+                cache::decode_sweep_result(*hit)) {
+          return std::move(*sweep);
+        }
+      }
+    }
     // Calibrated per cell (not hoisted): the in-vitro calibration runs are
     // part of each sweep's measurement procedure, and keeping them inside the
     // cell preserves the simulator event counters of the previous bespoke
     // drivers exactly.
     const CostFunctionCalibration cal =
         platform_->calibration(config.max_exponent);
-    return sweep_sensitivity(
+    SweepResult sweep = sweep_sensitivity(
         benchmark, path.label,
         [&](std::uint32_t iters) {
           platform::BenchmarkRequest request;
@@ -55,6 +94,10 @@ std::vector<SweepResult> SensitivityStudy::sweeps(
         },
         sizes, [&](std::uint32_t iters) { return cal.ns_for(iters); },
         config.runs);
+    if (cache_) {
+      cache_->put(kStudyDomain, key, cache::encode_sweep_result(sweep));
+    }
+    return sweep;
   });
 }
 
@@ -83,13 +126,31 @@ RankingMatrix SensitivityStudy::ranking(
         const std::string& site = sites[static_cast<std::size_t>(cell) / nb];
         const std::string& benchmark =
             benchmarks[static_cast<std::size_t>(cell) % nb];
+        std::string key;
+        if (cache_) {
+          std::ostringstream k;
+          k << cell_prefix() << "ranking|" << benchmark << '|' << site << '|'
+            << config.cost_iterations << '|' << config.strategy << '|'
+            << cache::describe_run_options(config.runs);
+          key = std::move(k).str();
+          if (const std::optional<std::string> hit =
+                  cache_->get(kStudyDomain, key)) {
+            if (std::optional<Comparison> cmp = cache::decode_comparison(*hit)) {
+              return *cmp;
+            }
+          }
+        }
         platform::BenchmarkRequest test = base_request(benchmark);
         test.sites = {site};
         test.injection =
             Injection::cost_function(config.cost_iterations, spill);
-        return compare_configurations(
+        const Comparison cmp = compare_configurations(
             [&] { return platform_->make_benchmark(base_request(benchmark)); },
             [&] { return platform_->make_benchmark(test); }, config.runs);
+        if (cache_) {
+          cache_->put(kStudyDomain, key, cache::encode_comparison(cmp));
+        }
+        return cmp;
       });
 
   RankingMatrix matrix(sites, benchmarks);
@@ -122,13 +183,30 @@ std::vector<StrategyComparison> SensitivityStudy::strategies(
             benchmarks[static_cast<std::size_t>(cell) / ns];
         const std::string& strategy =
             test_strategies[static_cast<std::size_t>(cell) % ns];
+        std::string key;
+        if (cache_) {
+          std::ostringstream k;
+          k << cell_prefix() << "strategy|" << benchmark << '|' << strategy
+            << '|' << cache::describe_run_options(config.runs);
+          key = std::move(k).str();
+          if (const std::optional<std::string> hit =
+                  cache_->get(kStudyDomain, key)) {
+            if (std::optional<Comparison> cmp = cache::decode_comparison(*hit)) {
+              return *cmp;
+            }
+          }
+        }
         platform::BenchmarkRequest base;
         base.benchmark = benchmark;
         platform::BenchmarkRequest test = base;
         test.strategy = strategy;
-        return compare_configurations(
+        const Comparison cmp = compare_configurations(
             [&] { return platform_->make_benchmark(base); },
             [&] { return platform_->make_benchmark(test); }, config.runs);
+        if (cache_) {
+          cache_->put(kStudyDomain, key, cache::encode_comparison(cmp));
+        }
+        return cmp;
       });
 
   std::vector<StrategyComparison> out;

@@ -25,6 +25,10 @@
 #include "core/harness.h"
 #include "platform/platform.h"
 
+namespace wmm::cache {
+class ResultCache;
+}  // namespace wmm::cache
+
 namespace wmm::core {
 
 // Streams every underlying comparison of a ranking/strategy study as it is
@@ -80,6 +84,17 @@ class SensitivityStudy {
                             int threads = 1)
       : platform_(&platform), threads_(threads) {}
 
+  // Attach a persistent content-addressed result store (cache/store.h).
+  // Each study cell — one sweep series, one ranking comparison, one strategy
+  // comparison — is keyed by the platform name, architecture, benchmark,
+  // site set / strategy, cost sizes, and run options; a hit skips the cell's
+  // whole simulation (calibration included) and decodes the stored result,
+  // which is byte-identical to recomputing it (cache/codec.h).  Counter
+  // records therefore differ between warm and cold runs (skipped simulations
+  // bump nothing), which is why caching is opt-in per binary via --cache.
+  void set_cache(cache::ResultCache* cache) { cache_ = cache; }
+  cache::ResultCache* cache() const { return cache_; }
+
   // Sweep results in benchmark-major × code-path order.
   std::vector<SweepResult> sweeps(const SweepStudyConfig& config) const;
 
@@ -97,8 +112,12 @@ class SensitivityStudy {
   int threads() const { return threads_; }
 
  private:
+  // Key fragment shared by every cell of this study: platform name + arch.
+  std::string cell_prefix() const;
+
   const platform::Platform* platform_;
   int threads_;
+  cache::ResultCache* cache_ = nullptr;
 };
 
 }  // namespace wmm::core

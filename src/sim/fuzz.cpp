@@ -1,10 +1,12 @@
 #include "sim/fuzz.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 #include <sstream>
 #include <unordered_map>
 
+#include "cache/store.h"
 #include "obs/counters.h"
 #include "par/deterministic_map.h"
 #include "par/pool.h"
@@ -549,6 +551,10 @@ std::string canonical_program_key(const LitmusTest& test) {
 
 namespace {
 
+// The in-memory memo reports through the same `cache.*` counter names the
+// persistent store uses (cache/store.cpp), so report_diff sees one coherent
+// hit-rate surface: `cache.hit` counts programs answered without simulation
+// (memo or store), `cache.miss` programs that were fully cross-checked.
 struct MemoCounters {
   obs::CounterId hits;
   obs::CounterId misses;
@@ -556,8 +562,8 @@ struct MemoCounters {
 
 const MemoCounters& memo_counters() {
   static const MemoCounters ids = {
-      obs::counters().register_counter("fuzz.memo.hits"),
-      obs::counters().register_counter("fuzz.memo.misses"),
+      obs::counters().register_counter("cache.hit"),
+      obs::counters().register_counter("cache.miss"),
   };
   return ids;
 }
@@ -580,6 +586,26 @@ Divergence finish_divergence(Divergence d, std::uint64_t seed,
 
 }  // namespace
 
+std::string fuzz_cache_prefix(Arch arch, const FuzzConfig& config,
+                              const AxiomaticOptions& options) {
+  std::ostringstream os;
+  os << arch_name(arch) << '|' << config.min_threads << ','
+     << config.max_threads << ',' << config.min_instrs_per_thread << ','
+     << config.max_instrs_per_thread << ',' << config.max_total_instrs << ','
+     << config.max_total_writes << ',' << config.max_vars << ','
+     << config.fence_probability << ',' << config.dep_probability << ','
+     << config.acquire_release_probability << ",f";
+  for (const FenceKind f : config.fence_alphabet) {
+    os << static_cast<int>(f) << '.';
+  }
+  os << '|' << options.drop_tso_store_load_fence
+     << options.drop_dependency_order << options.drop_same_location_order
+     << options.drop_acquire_release << options.power.lwsync_is_sync
+     << options.power.drop_b_cumulativity << options.power.drop_observation
+     << options.power_sandwich << '|';
+  return os.str();
+}
+
 FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
                                   const FuzzConfig& config,
                                   const AxiomaticOptions& options,
@@ -593,6 +619,12 @@ FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
   // Divergent programs are never inserted, so a hit always means conformant.
   std::unordered_map<std::string, long long> memo;
   const int chunk_size = std::max(1, run.chunk_size);
+  // The persistent store sits behind the in-memory memo: consulted once per
+  // unseen canonical key (in seed order, on the driver thread), and fed back
+  // into the memo so repeats within the run never touch disk again.
+  cache::ResultCache* const store = run.memoize ? run.cache : nullptr;
+  const std::string store_prefix =
+      store ? fuzz_cache_prefix(arch, config, options) : std::string();
 
   // One generated seed within the current wave.
   struct Item {
@@ -638,6 +670,17 @@ FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
           items.push_back(std::move(item));
           continue;
         }
+        if (store) {
+          if (const std::optional<std::string> v =
+                  store->get("fuzz", store_prefix + item.key)) {
+            item.outcomes = std::strtoll(v->c_str(), nullptr, 10);
+            memo.emplace(item.key, item.outcomes);
+            report.memo_hits += 1;
+            report.store_hits += 1;
+            items.push_back(std::move(item));
+            continue;
+          }
+        }
         wave_work.emplace(item.key, static_cast<int>(work.size()));
       }
       report.memo_misses += 1;
@@ -675,7 +718,13 @@ FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
           work[static_cast<std::size_t>(item.work)] ==
           static_cast<int>(&item - items.data());
       if (!r.divergence.has_value()) {
-        if (run.memoize && own_result) memo.emplace(item.key, r.outcomes);
+        if (run.memoize && own_result) {
+          memo.emplace(item.key, r.outcomes);
+          if (store) {
+            store->put("fuzz", store_prefix + item.key,
+                       std::to_string(r.outcomes));
+          }
+        }
         continue;
       }
       std::optional<Divergence> d;
@@ -698,10 +747,16 @@ FuzzReport run_conformance_corpus(Arch arch, std::uint64_t base_seed, int count,
     start = end;
   }
 
+  // Store hits/misses were already counted by ResultCache::get; the driver
+  // adds only what the store did not see (memo-only hits, and misses when no
+  // store is attached) so `cache.hit`/`cache.miss` never double count.
   const MemoCounters& ids = memo_counters();
-  obs::counters().add(ids.hits, static_cast<std::uint64_t>(report.memo_hits));
-  obs::counters().add(ids.misses,
-                      static_cast<std::uint64_t>(report.memo_misses));
+  obs::counters().add(
+      ids.hits, static_cast<std::uint64_t>(report.memo_hits - report.store_hits));
+  if (!store) {
+    obs::counters().add(ids.misses,
+                        static_cast<std::uint64_t>(report.memo_misses));
+  }
   return report;
 }
 

@@ -30,6 +30,10 @@
 #include "sim/axiomatic.h"
 #include "sim/litmus.h"
 
+namespace wmm::cache {
+class ResultCache;
+}  // namespace wmm::cache
+
 namespace wmm::sim {
 
 // Program-shape bounds for the generator.  The defaults keep both the
@@ -112,8 +116,11 @@ struct FuzzReport {
   std::uint64_t base_seed = 0;
   int programs = 0;
   long long outcomes_checked = 0;   // total operational outcomes compared
-  long long memo_hits = 0;          // programs answered by the canonical cache
+  long long memo_hits = 0;          // programs answered without simulation
+                                    // (in-memory memo or on-disk store)
   long long memo_misses = 0;        // programs fully cross-checked
+  long long store_hits = 0;         // subset of memo_hits answered by the
+                                    // persistent store (FuzzRunOptions::cache)
   std::vector<Divergence> divergences;  // already shrunk
 
   bool ok() const { return divergences.empty(); }
@@ -139,7 +146,23 @@ struct FuzzRunOptions {
   // so the dedup pattern, counter totals, and early-stop point match across
   // thread counts.
   int chunk_size = 256;
+  // Persistent content-addressed store (cache/store.h).  Consulted on every
+  // in-memory memo miss under a key of canonical_program_key plus the
+  // arch/config/options fingerprint; conformant verdicts are written back,
+  // divergent programs never are, so a warm corpus re-run skips simulation
+  // for every previously conformant program while still recomputing and
+  // reporting any divergence exactly.  Report contents (programs, outcomes,
+  // divergences) are byte-identical with or without the store; only the
+  // hit/miss accounting (identity-excluded) differs.
+  cache::ResultCache* cache = nullptr;
 };
+
+// Cache-key prefix for one (arch, generator config, axiomatic options)
+// combination; the per-program suffix is canonical_program_key.  Any field
+// that changes a conformance verdict or an outcome count must be encoded
+// here.
+std::string fuzz_cache_prefix(Arch arch, const FuzzConfig& config,
+                              const AxiomaticOptions& options);
 
 // Canonical structural key for a generated program: the lexicographically
 // smallest encoding over all thread orderings, with variables, registers,

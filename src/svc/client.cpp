@@ -1,0 +1,95 @@
+#include "svc/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/json.h"
+#include "svc/protocol.h"
+
+namespace wmm::svc {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    if (error) *error = "socket path too long: " + socket_path;
+    close();
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (error) {
+      *error = "connect " + socket_path + ": " + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+ClientResult Client::request(const std::string& json, const RecordSink& sink) {
+  ClientResult result;
+  if (fd_ < 0) {
+    result.error = "not connected";
+    return result;
+  }
+  if (!write_frame(fd_, json)) {
+    result.error = "send failed (daemon gone?)";
+    return result;
+  }
+  for (;;) {
+    std::string frame_error;
+    const std::optional<std::string> frame = read_frame(fd_, &frame_error);
+    if (!frame) {
+      result.error = frame_error.empty() ? "connection closed mid-response"
+                                         : frame_error;
+      return result;
+    }
+    // The terminator is the only frame carrying "ok"; anything else is a
+    // record line, forwarded verbatim (never re-serialised, preserving
+    // byte-identity with a direct run).
+    const std::optional<obs::JsonValue> v = obs::parse_json(*frame);
+    if (v && v->is_object() && v->find("ok")) {
+      const obs::JsonValue* ok = v->find("ok");
+      result.ok = ok->is_bool() && ok->boolean;
+      if (!result.ok) {
+        const obs::JsonValue* err = v->find("error");
+        result.error =
+            err && err->is_string() ? err->string : "server error";
+      }
+      return result;
+    }
+    result.records += 1;
+    if (sink) sink(*frame);
+  }
+}
+
+bool Client::ping() {
+  const ClientResult r = request("{\"op\":\"ping\"}", nullptr);
+  return r.ok;
+}
+
+bool Client::shutdown_server() {
+  const ClientResult r = request("{\"op\":\"shutdown\"}", nullptr);
+  return r.ok;
+}
+
+}  // namespace wmm::svc

@@ -1,0 +1,48 @@
+// Client side of the sensitivity-analysis daemon protocol: connect to the
+// Unix socket, send one length-framed JSON request, stream the record
+// frames back until the terminator.  Used by bench/sensitivity_client (file
+// replay and the mixed-stream load generator) and the svc tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/exec.h"  // RecordSink
+
+namespace wmm::svc {
+
+struct ClientResult {
+  bool ok = false;
+  std::string error;          // transport or server-reported failure
+  std::uint64_t records = 0;  // record frames received before the terminator
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to the daemon.  Idempotent per instance: call once.
+  bool connect(const std::string& socket_path, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Sends `json` and forwards every record frame to `sink` (may be null)
+  // until the server's terminator frame; the terminator's ok/error become
+  // the result.  A transport failure mid-stream reports ok=false with the
+  // records delivered so far.
+  ClientResult request(const std::string& json, const RecordSink& sink);
+
+  // Control helpers (one frame each).
+  bool ping();
+  // Asks the daemon to stop accepting and exit its serve() loop.
+  bool shutdown_server();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace wmm::svc

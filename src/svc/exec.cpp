@@ -1,0 +1,334 @@
+#include "svc/exec.h"
+
+#include <exception>
+#include <optional>
+#include <vector>
+
+#include "cache/store.h"
+#include "obs/json.h"
+#include "par/deterministic_map.h"
+#include "platform/platform.h"
+#include "platform/study.h"
+#include "sim/axiomatic.h"
+#include "sim/axiomatic_power.h"
+#include "sim/litmus.h"
+#include "sim/litmus_family.h"
+
+namespace wmm::svc {
+
+namespace {
+
+std::string str_field(const obs::JsonValue& v, const char* key,
+                      const std::string& fallback = {}) {
+  const obs::JsonValue* f = v.find(key);
+  return f && f->is_string() ? f->string : fallback;
+}
+
+double num_field(const obs::JsonValue& v, const char* key, double fallback) {
+  const obs::JsonValue* f = v.find(key);
+  return f && f->is_number() ? f->number : fallback;
+}
+
+std::vector<std::string> string_list(const obs::JsonValue& v,
+                                     const char* key) {
+  std::vector<std::string> out;
+  const obs::JsonValue* f = v.find(key);
+  if (!f || !f->is_array()) return out;
+  for (const obs::JsonValue& e : f->array) {
+    if (e.is_string()) out.push_back(e.string);
+  }
+  return out;
+}
+
+std::optional<sim::Arch> parse_arch(const std::string& s) {
+  if (s == "sc") return sim::Arch::SC;
+  if (s == "tso" || s == "x86") return sim::Arch::X86_TSO;
+  if (s == "arm") return sim::Arch::ARMV8;
+  if (s == "power") return sim::Arch::POWER7;
+  return std::nullopt;
+}
+
+// `runs` object with per-op defaults (paper runs for sweeps/strategies,
+// the faster ranking runs for the injected-cost matrices).
+core::RunOptions parse_runs(const obs::JsonValue& request,
+                            core::RunOptions fallback) {
+  const obs::JsonValue* runs = request.find("runs");
+  if (!runs || !runs->is_object()) return fallback;
+  fallback.warmups = static_cast<int>(
+      num_field(*runs, "warmups", static_cast<double>(fallback.warmups)));
+  fallback.samples = static_cast<int>(
+      num_field(*runs, "samples", static_cast<double>(fallback.samples)));
+  fallback.cv_warn_threshold =
+      num_field(*runs, "cv_warn_threshold", fallback.cv_warn_threshold);
+  return fallback;
+}
+
+// Builds the platform + attaches the store; shared by the three study ops.
+struct StudyTarget {
+  std::unique_ptr<platform::Platform> platform;
+  sim::Arch arch = sim::Arch::ARMV8;
+};
+
+std::optional<StudyTarget> parse_target(const obs::JsonValue& request,
+                                        std::string* error) {
+  const std::string platform_name = str_field(request, "platform");
+  const std::optional<sim::Arch> arch =
+      parse_arch(str_field(request, "arch"));
+  if (platform_name.empty() || !arch) {
+    *error = "study request needs \"platform\" and \"arch\" "
+             "(sc|tso|x86|arm|power)";
+    return std::nullopt;
+  }
+  platform::register_builtin_platforms();
+  StudyTarget t;
+  t.arch = *arch;
+  try {
+    t.platform = platform::make_platform(platform_name, *arch);
+  } catch (const std::exception&) {
+    *error = "unknown platform '" + platform_name + "'";
+    return std::nullopt;
+  }
+  return t;
+}
+
+ExecResult exec_sweep(const obs::JsonValue& request,
+                      const ExecOptions& options, const RecordSink& emit) {
+  ExecResult result;
+  std::optional<StudyTarget> target = parse_target(request, &result.error);
+  if (!target) return result;
+
+  core::SweepStudyConfig config;
+  config.benchmarks = string_list(request, "benchmarks");
+  config.max_exponent =
+      static_cast<unsigned>(num_field(request, "max_exponent", 8));
+  config.strategy = str_field(request, "strategy");
+  config.runs = parse_runs(request, core::RunOptions{2, 6});
+  if (const obs::JsonValue* paths = request.find("code_paths");
+      paths && paths->is_array()) {
+    for (const obs::JsonValue& p : paths->array) {
+      if (!p.is_object()) continue;
+      config.code_paths.push_back(
+          {str_field(p, "label", "path"), string_list(p, "sites")});
+    }
+  }
+  if (config.code_paths.empty()) config.code_paths = {{"all-barriers", {}}};
+
+  core::SensitivityStudy study(*target->platform, options.threads);
+  study.set_cache(options.cache);
+  const std::vector<core::SweepResult> sweeps = study.sweeps(config);
+  for (const core::SweepResult& sweep : sweeps) {
+    emit(obs::sweep_line(sim::arch_name(target->arch), sweep));
+  }
+  result.ok = true;
+  result.cells = sweeps.size();
+  return result;
+}
+
+ExecResult exec_ranking(const obs::JsonValue& request,
+                        const ExecOptions& options, const RecordSink& emit) {
+  ExecResult result;
+  std::optional<StudyTarget> target = parse_target(request, &result.error);
+  if (!target) return result;
+
+  core::RankingStudyConfig config;
+  config.benchmarks = string_list(request, "benchmarks");
+  config.sites = string_list(request, "sites");
+  config.cost_iterations =
+      static_cast<std::uint32_t>(num_field(request, "cost_iterations", 1024));
+  config.strategy = str_field(request, "strategy");
+  config.runs = parse_runs(request, core::RunOptions{1, 4});
+
+  const std::string context = target->platform->name() + std::string("/") +
+                              sim::arch_name(target->arch);
+  core::SensitivityStudy study(*target->platform, options.threads);
+  study.set_cache(options.cache);
+  study.ranking(config, [&](const std::string& site,
+                            const std::string& benchmark,
+                            const core::Comparison& cmp) {
+    emit(obs::comparison_line(context, benchmark, "base", site, cmp));
+    result.cells += 1;
+  });
+  result.ok = true;
+  return result;
+}
+
+ExecResult exec_strategies(const obs::JsonValue& request,
+                           const ExecOptions& options,
+                           const RecordSink& emit) {
+  ExecResult result;
+  std::optional<StudyTarget> target = parse_target(request, &result.error);
+  if (!target) return result;
+
+  core::StrategyStudyConfig config;
+  config.benchmarks = string_list(request, "benchmarks");
+  config.strategies = string_list(request, "strategies");
+  config.runs = parse_runs(request, core::RunOptions{2, 6});
+
+  const std::string context = target->platform->name() + std::string("/") +
+                              sim::arch_name(target->arch);
+  core::SensitivityStudy study(*target->platform, options.threads);
+  study.set_cache(options.cache);
+  study.strategies(config, [&](const std::string& strategy,
+                               const std::string& benchmark,
+                               const core::Comparison& cmp) {
+    emit(obs::comparison_line(context, benchmark, "default", strategy, cmp));
+    result.cells += 1;
+  });
+  result.ok = true;
+  return result;
+}
+
+ExecResult exec_litmus(const obs::JsonValue& request,
+                       const ExecOptions& options, const RecordSink& emit) {
+  ExecResult result;
+  struct Input {
+    sim::LitmusFile file;
+    std::string source;
+  };
+  std::vector<Input> inputs;
+  if (const obs::JsonValue* tests = request.find("tests");
+      tests && tests->is_array()) {
+    for (const obs::JsonValue& t : tests->array) {
+      if (!t.is_string()) continue;
+      try {
+        inputs.push_back({sim::parse_litmus(t.string), "file"});
+      } catch (const sim::LitmusParseError& e) {
+        result.error = "litmus parse error: " + e.detail();
+        return result;
+      }
+    }
+  } else if (const obs::JsonValue* suite = request.find("suite");
+             suite && suite->is_bool() && suite->boolean) {
+    for (const sim::LitmusCase& c : sim::litmus_suite()) {
+      inputs.push_back({sim::to_litmus_file(c), "suite"});
+    }
+  } else {
+    sim::FamilyOptions family;
+    if (const obs::JsonValue* f = request.find("family");
+        f && f->is_object()) {
+      family.max_comm_edges = static_cast<int>(num_field(
+          *f, "max_comm_edges", static_cast<double>(family.max_comm_edges)));
+      family.limit = static_cast<std::size_t>(num_field(*f, "limit", 0));
+    }
+    for (const sim::FamilyProgram& p : generate_families(family)) {
+      inputs.push_back({sim::to_litmus_file(p.test, p.witness), "family"});
+    }
+  }
+
+  std::vector<int> indices(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    indices[i] = static_cast<int>(i);
+  }
+  const std::vector<obs::LitmusVerdict> verdicts = par::par_map(
+      indices,
+      [&](const int& i) {
+        const Input& in = inputs[static_cast<std::size_t>(i)];
+        return litmus_verdict(in.file, in.source, options.cache);
+      },
+      options.threads);
+  for (const obs::LitmusVerdict& v : verdicts) emit(obs::litmus_line(v));
+  result.ok = true;
+  result.cells = verdicts.size();
+  return result;
+}
+
+}  // namespace
+
+obs::LitmusVerdict litmus_verdict(const sim::LitmusFile& file,
+                                  const std::string& source,
+                                  cache::ResultCache* store) {
+  obs::LitmusVerdict v;
+  v.name = file.test.name;
+  v.dialect = sim::litmus_dialect_name(file.dialect);
+  v.source = source;
+
+  // Key by the printed program: it round-trips the parsed form exactly
+  // (pinned by the CI litmus-interop gate) and embeds the final-state
+  // condition plus any wmm-expect directives, i.e. everything the ten
+  // verdict bits depend on.
+  const std::string key = store ? sim::print_litmus(file) : std::string();
+  bool* const bits[10] = {&v.op_sc, &v.op_tso, &v.op_arm,  &v.op_power,
+                          &v.ax_sc, &v.ax_tso, &v.ax_arm,  &v.ax_power,
+                          &v.agree, &v.expect_ok};
+  if (store) {
+    if (const std::optional<std::string> hit = store->get("litmus", key)) {
+      if (hit->size() == 10) {
+        for (std::size_t i = 0; i < 10; ++i) *bits[i] = (*hit)[i] == '1';
+        return v;
+      }
+    }
+  }
+
+  auto op = [&](sim::Arch a) {
+    return sim::condition_reachable(file,
+                                    sim::enumerate_outcomes(file.test, a));
+  };
+  auto ax = [&](sim::Arch a) {
+    return sim::condition_reachable(file,
+                                    sim::axiomatic_outcomes(file.test, a));
+  };
+  v.op_sc = op(sim::Arch::SC);
+  v.op_tso = op(sim::Arch::X86_TSO);
+  v.op_arm = op(sim::Arch::ARMV8);
+  v.op_power = op(sim::Arch::POWER7);
+  v.ax_sc = ax(sim::Arch::SC);
+  v.ax_tso = ax(sim::Arch::X86_TSO);
+  v.ax_arm = ax(sim::Arch::ARMV8);
+  v.ax_power =
+      sim::condition_reachable(file, sim::power_axiomatic_outcomes(file.test));
+  v.agree = v.op_sc == v.ax_sc && v.op_tso == v.ax_tso &&
+            v.op_arm == v.ax_arm && v.op_power == v.ax_power;
+  v.expect_ok = true;
+  for (const auto& [arch, allowed] : file.expected) {
+    const bool got = arch == sim::Arch::SC        ? v.op_sc
+                     : arch == sim::Arch::X86_TSO ? v.op_tso
+                     : arch == sim::Arch::ARMV8   ? v.op_arm
+                                                  : v.op_power;
+    if (got != allowed) v.expect_ok = false;
+  }
+  if (store) {
+    std::string value(10, '0');
+    for (std::size_t i = 0; i < 10; ++i) value[i] = *bits[i] ? '1' : '0';
+    store->put("litmus", key, value);
+  }
+  return v;
+}
+
+ExecResult execute_request(const obs::JsonValue& request,
+                           const ExecOptions& options,
+                           const RecordSink& emit) {
+  ExecResult result;
+  if (!request.is_object()) {
+    result.error = "request is not a JSON object";
+    return result;
+  }
+  const std::string op = str_field(request, "op");
+  try {
+    if (op == "sweep") return exec_sweep(request, options, emit);
+    if (op == "ranking") return exec_ranking(request, options, emit);
+    if (op == "strategies") return exec_strategies(request, options, emit);
+    if (op == "litmus") return exec_litmus(request, options, emit);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  }
+  result.error = op.empty() ? "request missing \"op\""
+                            : "unknown op '" + op + "'";
+  return result;
+}
+
+ExecResult execute_request_text(const std::string& json,
+                                const ExecOptions& options,
+                                const RecordSink& emit) {
+  std::string error;
+  const std::optional<obs::JsonValue> request =
+      obs::parse_json(json, &error);
+  if (!request) {
+    ExecResult result;
+    result.error = "request JSON error: " + error;
+    return result;
+  }
+  return execute_request(*request, options, emit);
+}
+
+}  // namespace wmm::svc

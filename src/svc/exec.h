@@ -1,0 +1,87 @@
+// The daemon's request engine, shared verbatim with the client's --direct
+// mode: one function that turns a parsed request into a stream of JSONL
+// record lines.
+//
+// Both the daemon (svc/server.cpp) and sensitivity_client --direct call
+// execute_request, so a served response is byte-identical to an in-process
+// run *by construction* — there is no second code path to drift.  The
+// records are produced by the same obs record builders the fig binaries use
+// (sweep/comparison/litmus lines, schema v1.1), with the same context
+// conventions, and cells fan out over the same deterministic par_map, so
+// record bytes are additionally independent of the thread count and of a
+// warm result cache.
+//
+// Request shapes (one JSON object per request; full field reference in
+// docs/service.md):
+//
+//   {"op":"sweep", "platform":"jvm", "arch":"arm",
+//    "benchmarks":[...], "code_paths":[{"label":"...","sites":[...]}],
+//    "max_exponent":8, "strategy":"", "runs":{"warmups":2,"samples":6}}
+//       -> one `sweep` record per benchmark x code path
+//   {"op":"ranking", "platform":"kernel", "arch":"arm", "benchmarks":[...],
+//    "sites":[...], "cost_iterations":1024, "strategy":"",
+//    "runs":{"warmups":1,"samples":4}}
+//       -> one `comparison` record per site x benchmark (base "base",
+//          test = site id)
+//   {"op":"strategies", "platform":"kernel", "arch":"arm",
+//    "benchmarks":[...], "strategies":[...], "runs":{...}}
+//       -> one `comparison` record per benchmark x strategy (base
+//          "default", test = strategy name)
+//   {"op":"litmus", "suite":true | "family":{"max_comm_edges":4,"limit":64}
+//    | "tests":["<litmus source>", ...]}
+//       -> one `litmus` record per test, input order
+//
+// Omitted list fields default to the platform's full set, mirroring the
+// StudyConfig defaults.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/record.h"
+#include "sim/litmus_format.h"
+
+namespace wmm::cache {
+class ResultCache;
+}  // namespace wmm::cache
+
+namespace wmm::svc {
+
+struct ExecOptions {
+  int threads = 1;                      // par_map fan-out per request
+  cache::ResultCache* cache = nullptr;  // optional persistent result store
+};
+
+struct ExecResult {
+  bool ok = false;
+  std::string error;         // set when !ok
+  std::uint64_t cells = 0;   // study cells / litmus programs evaluated
+};
+
+// Receives each JSONL record line (no trailing newline) as it is ready.
+using RecordSink = std::function<void(const std::string& line)>;
+
+// Dispatches one parsed request.  Unknown ops and malformed fields fail
+// cleanly (ok=false, no partial throw); records already emitted before a
+// failure stay emitted, mirroring a crashed in-process run's flushed lines.
+ExecResult execute_request(const obs::JsonValue& request,
+                           const ExecOptions& options, const RecordSink& emit);
+
+// Convenience: parse `json` then dispatch.
+ExecResult execute_request_text(const std::string& json,
+                                const ExecOptions& options,
+                                const RecordSink& emit);
+
+// The cross-oracle verdict for one parsed `.litmus` file (the herd question
+// per architecture, both oracles) — the single implementation behind
+// bench/litmus_run and the daemon's litmus op.  With a store attached the
+// verdict is keyed by the *printed* program text (which embeds the final-
+// state condition and any wmm-expect directives), so a warm corpus re-run
+// answers from disk without touching either oracle.
+obs::LitmusVerdict litmus_verdict(const sim::LitmusFile& file,
+                                  const std::string& source,
+                                  cache::ResultCache* store);
+
+}  // namespace wmm::svc

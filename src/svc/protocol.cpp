@@ -1,0 +1,82 @@
+#include "svc/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace wmm::svc {
+
+namespace {
+
+// Full-buffer write with EINTR/short-write retry.
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Full-buffer read.  Returns 1 on success, 0 on EOF at the *first* byte
+// (clean close between frames), -1 on error or EOF mid-buffer.
+int read_all(int fd, char* data, std::size_t len) {
+  bool any = false;
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return any ? -1 : 0;
+    any = true;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  return write_all(fd, prefix, sizeof prefix) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd, std::string* error) {
+  if (error) error->clear();
+  char prefix[4];
+  const int got = read_all(fd, prefix, sizeof prefix);
+  if (got == 0) return std::nullopt;  // clean EOF, error stays ""
+  if (got < 0) {
+    if (error) *error = "read error in frame length";
+    return std::nullopt;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(
+      static_cast<unsigned char>(prefix[0]) |
+      (static_cast<unsigned char>(prefix[1]) << 8) |
+      (static_cast<unsigned char>(prefix[2]) << 16) |
+      (static_cast<unsigned char>(prefix[3]) << 24));
+  if (len == 0 || len > kMaxFrameBytes) {
+    if (error) *error = "bad frame length " + std::to_string(len);
+    return std::nullopt;
+  }
+  std::string payload(len, '\0');
+  if (read_all(fd, payload.data(), len) != 1) {
+    if (error) *error = "truncated frame payload";
+    return std::nullopt;
+  }
+  return payload;
+}
+
+}  // namespace wmm::svc

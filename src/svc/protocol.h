@@ -1,0 +1,40 @@
+// Length-framed JSONL transport for the sensitivity-analysis daemon.
+//
+// A connection is a bidirectional stream of *frames* over a Unix-domain
+// socket.  Each frame is a 4-byte little-endian payload length followed by
+// exactly that many bytes of UTF-8 JSON (one record or request per frame —
+// the framing replaces the newline of a JSONL file, so payloads may contain
+// anything).  A zero-length frame is invalid; frames above kMaxFrameBytes
+// are rejected before allocation so a corrupt length prefix cannot OOM the
+// daemon.
+//
+// The request/response protocol built on top is documented in
+// docs/service.md: the client sends one request frame and reads response
+// frames until a frame whose JSON carries `"done": true` (success) or
+// `"ok": false` (failure); every frame before the terminator is a verbatim
+// schema-v1.1 JSONL record, byte-identical to what a direct in-process run
+// of the same request would have written to its --json report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wmm::svc {
+
+// Upper bound on one frame's payload (16 MiB — the largest legitimate frame
+// is one litmus corpus request, well under 1 MiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+// Writes one frame (length prefix + payload), retrying on short writes and
+// EINTR.  Returns false on any other write error (e.g. the peer hung up).
+bool write_frame(int fd, std::string_view payload);
+
+// Reads one frame.  Returns nullopt on clean EOF before a length prefix, on
+// a malformed length (0 or > kMaxFrameBytes), or on a read error / truncated
+// payload; when `error` is non-null it is set to a description ("" for clean
+// EOF).
+std::optional<std::string> read_frame(int fd, std::string* error = nullptr);
+
+}  // namespace wmm::svc

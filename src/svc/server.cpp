@@ -1,0 +1,277 @@
+#include "svc/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cache/store.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "svc/exec.h"
+#include "svc/protocol.h"
+
+namespace wmm::svc {
+
+namespace {
+
+struct SvcCounters {
+  obs::CounterId requests;
+  obs::CounterId cells;
+  obs::CounterId errors;
+  obs::CounterId queue_depth;  // gauge (high-water mark)
+  obs::CounterId in_flight;    // gauge (high-water mark)
+  obs::HistogramId request_ns;
+};
+
+const SvcCounters& svc_counters() {
+  static const SvcCounters ids = [] {
+    SvcCounters c;
+    c.requests = obs::counters().register_counter("svc.requests");
+    c.cells = obs::counters().register_counter("svc.cells");
+    c.errors = obs::counters().register_counter("svc.errors");
+    c.queue_depth = obs::counters().register_gauge("svc.queue_depth");
+    c.in_flight = obs::counters().register_gauge("svc.in_flight");
+    c.request_ns = obs::histograms().register_histogram("svc.request_ns");
+    return c;
+  }();
+  return ids;
+}
+
+// The gate's condition variable lives here so the header stays free of
+// <condition_variable> (the Server only names the mutex and two ints).
+std::condition_variable& gate_cv() {
+  static std::condition_variable cv;
+  return cv;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void bump_hwm(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  if (config_.threads < 1) config_.threads = 1;
+  if (config_.max_inflight < 1) config_.max_inflight = 1;
+}
+
+Server::~Server() {
+  stop();
+  std::vector<std::thread> pending;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    pending.swap(connections_);
+  }
+  for (std::thread& t : pending) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool Server::start(std::string* error) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof addr.sun_path) {
+    if (error) *error = "socket path too long: " + config_.socket_path;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ::unlink(config_.socket_path.c_str());  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    if (error) {
+      *error = "bind/listen " + config_.socket_path + ": " +
+               std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Server::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  std::vector<std::thread> pending;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    pending.swap(connections_);
+  }
+  for (std::thread& t : pending) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes a blocked accept(); close() releases the fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+}
+
+obs::ServiceStats Server::stats() const {
+  obs::ServiceStats s;
+  s.context = config_.socket_path;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cells = cells_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.queue_depth_hwm = queue_depth_hwm_.load(std::memory_order_relaxed);
+  s.in_flight_hwm = in_flight_hwm_.load(std::memory_order_relaxed);
+  if (config_.cache) {
+    const cache::CacheStats cs = config_.cache->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+  }
+  return s;
+}
+
+void Server::handle_connection(int fd) {
+  for (;;) {
+    std::string error;
+    const std::optional<std::string> payload = read_frame(fd, &error);
+    if (!payload) {
+      if (!error.empty()) errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!handle_request(fd, *payload)) {
+      stop();
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+bool Server::handle_request(int fd, const std::string& payload) {
+  const SvcCounters& ids = svc_counters();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::counters().add(ids.requests);
+
+  // Control ops answer without touching the admission gate.
+  std::string parse_error;
+  const std::optional<obs::JsonValue> request =
+      obs::parse_json(payload, &parse_error);
+  const std::string op =
+      request && request->is_object() && request->find("op") &&
+              request->find("op")->is_string()
+          ? request->find("op")->string
+          : std::string();
+  if (op == "ping") {
+    obs::JsonWriter w;
+    w.begin_object().kv("ok", true).kv("type", "pong").end_object();
+    return write_frame(fd, w.take());
+  }
+  if (op == "stats") {
+    obs::ServiceStats s = stats();
+    write_frame(fd, obs::service_line(s));
+    obs::JsonWriter w;
+    w.begin_object().kv("ok", true).kv("done", true).end_object();
+    write_frame(fd, w.take());
+    return true;
+  }
+  if (op == "shutdown") {
+    obs::JsonWriter w;
+    w.begin_object().kv("ok", true).kv("type", "bye").end_object();
+    write_frame(fd, w.take());
+    return false;
+  }
+  if (!request) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::counters().add(ids.errors);
+    obs::JsonWriter w;
+    w.begin_object()
+        .kv("ok", false)
+        .kv("error", "request JSON error: " + parse_error)
+        .end_object();
+    write_frame(fd, w.take());
+    return true;
+  }
+
+  // Admission gate: wait for an execution slot, tracking depth and
+  // occupancy as high-water gauges.
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex_);
+    ++queue_depth_;
+    bump_hwm(queue_depth_hwm_, static_cast<std::uint64_t>(queue_depth_));
+    obs::counters().record_max(ids.queue_depth,
+                               static_cast<std::uint64_t>(queue_depth_));
+    gate_cv().wait(lock, [this] { return in_flight_ < config_.max_inflight; });
+    --queue_depth_;
+    ++in_flight_;
+    bump_hwm(in_flight_hwm_, static_cast<std::uint64_t>(in_flight_));
+    obs::counters().record_max(ids.in_flight,
+                               static_cast<std::uint64_t>(in_flight_));
+  }
+
+  const std::uint64_t start = now_ns();
+  ExecOptions options;
+  options.threads = config_.threads;
+  options.cache = config_.cache;
+  bool peer_alive = true;
+  const ExecResult result =
+      execute_request(*request, options, [&](const std::string& line) {
+        if (peer_alive) peer_alive = write_frame(fd, line);
+      });
+  obs::histograms().record(ids.request_ns, now_ns() - start);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    --in_flight_;
+  }
+  gate_cv().notify_one();
+
+  cells_.fetch_add(result.cells, std::memory_order_relaxed);
+  obs::counters().add(ids.cells, result.cells);
+  if (!result.ok) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::counters().add(ids.errors);
+  }
+  if (peer_alive) {
+    obs::JsonWriter w;
+    w.begin_object().kv("ok", result.ok);
+    if (result.ok) {
+      w.kv("done", true).kv("records", result.cells);
+    } else {
+      w.kv("error", result.error);
+    }
+    w.end_object();
+    write_frame(fd, w.take());
+  }
+  return true;
+}
+
+}  // namespace wmm::svc

@@ -1,0 +1,96 @@
+// Sensitivity-analysis batch daemon over a Unix-domain socket.
+//
+// The server listens on a filesystem socket, accepts any number of
+// concurrent client connections, and answers length-framed JSON requests
+// (svc/protocol.h) by streaming back the schema-v1.1 records produced by
+// the shared request engine (svc/exec.h), one record per frame, terminated
+// by a summary frame.  Every connection is handled on its own thread;
+// request *execution* is admission-controlled by a counting gate so a burst
+// of requests queues rather than oversubscribing the machine, and each
+// admitted request fans its cells out across a `threads`-wide src/par
+// work-stealing pool (one wave per request — the "shards" of the wave).
+//
+// Observability: svc.requests / svc.cells / svc.errors counters plus
+// svc.queue_depth and svc.in_flight high-water gauges in the process
+// registry, per-request latency in the "svc.request_ns" histogram, and an
+// aggregate ServiceStats snapshot for the `service` JSONL record.  All of
+// it is wall-clock data (identity-excluded); the *record* frames streamed
+// to clients remain deterministic.
+//
+// Shutdown: a {"op":"shutdown"} request acks, then stops the accept loop
+// and drains live connections.  stop() does the same from the host process
+// (used by tests and signal handlers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/record.h"
+
+namespace wmm::cache {
+class ResultCache;
+}  // namespace wmm::cache
+
+namespace wmm::svc {
+
+struct ServerConfig {
+  std::string socket_path;              // bound (and unlinked) by the server
+  int threads = 1;                      // pool width for each request wave
+  int max_inflight = 2;                 // concurrently executing requests
+  cache::ResultCache* cache = nullptr;  // optional persistent result store
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds and listens.  Returns false (with a description in *error) when
+  // the socket cannot be created; a stale socket file is unlinked first.
+  bool start(std::string* error);
+
+  // Accept loop; returns after stop() or a shutdown request has been
+  // processed and every connection thread has been joined.
+  void serve();
+
+  // Requests shutdown from another thread: closes the listening socket so
+  // serve()'s accept call returns.
+  void stop();
+
+  // Aggregate totals since start (wall_s is filled by the caller).
+  obs::ServiceStats stats() const;
+
+ private:
+  void handle_connection(int fd);
+  // Executes one request frame and streams its records; returns false when
+  // the request asked for shutdown.
+  bool handle_request(int fd, const std::string& payload);
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+
+  // Admission gate: queue_depth_ requests are waiting, in_flight_ hold a
+  // slot.  Mirrored as high-water gauges in the counter registry.
+  std::mutex gate_mutex_;
+  int in_flight_ = 0;
+  int queue_depth_ = 0;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cells_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> queue_depth_hwm_{0};
+  std::atomic<std::uint64_t> in_flight_hwm_{0};
+};
+
+}  // namespace wmm::svc

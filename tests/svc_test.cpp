@@ -1,0 +1,272 @@
+// Sensitivity-analysis service: frame transport, the shared request engine,
+// and a live server+client round trip over a temporary Unix socket —
+// including the byte-identity contract between served and direct records.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/store.h"
+#include "svc/client.h"
+#include "svc/exec.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+
+namespace wmm::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> run_direct(const std::string& request,
+                                    cache::ResultCache* cache = nullptr,
+                                    int threads = 1) {
+  std::vector<std::string> lines;
+  ExecOptions options;
+  options.threads = threads;
+  options.cache = cache;
+  const ExecResult r = execute_request_text(
+      request, options, [&](const std::string& line) { lines.push_back(line); });
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.cells, lines.size());
+  return lines;
+}
+
+TEST(ProtocolTest, FramesRoundTripOverASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  ASSERT_TRUE(write_frame(fds[0], "{\"op\":\"ping\"}"));
+  ASSERT_TRUE(write_frame(fds[0], std::string(100000, 'x')));  // multi-write
+
+  std::string error;
+  auto first = read_frame(fds[1], &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_EQ(*first, "{\"op\":\"ping\"}");
+  auto second = read_frame(fds[1], &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  EXPECT_EQ(second->size(), 100000u);
+
+  // Clean EOF: nullopt with an empty error.
+  ::close(fds[0]);
+  error = "sentinel";
+  EXPECT_FALSE(read_frame(fds[1], &error).has_value());
+  EXPECT_TRUE(error.empty());
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, RejectsEmptyOversizeAndTruncatedFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  EXPECT_FALSE(write_frame(fds[0], ""));
+  EXPECT_FALSE(write_frame(fds[0], std::string(kMaxFrameBytes + 1, 'x')));
+
+  // A length prefix promising more bytes than ever arrive: hard error, not
+  // clean EOF.
+  const std::uint32_t length = 64;
+  unsigned char prefix[4] = {static_cast<unsigned char>(length & 0xff), 0, 0,
+                             0};
+  ASSERT_EQ(::write(fds[0], prefix, sizeof prefix), 4);
+  ASSERT_EQ(::write(fds[0], "short", 5), 5);
+  ::close(fds[0]);
+  std::string error;
+  EXPECT_FALSE(read_frame(fds[1], &error).has_value());
+  EXPECT_FALSE(error.empty());
+  ::close(fds[1]);
+}
+
+TEST(ExecTest, LitmusFamilyRequestEmitsOneRecordPerProgram) {
+  const std::vector<std::string> lines = run_direct(
+      R"({"op":"litmus","family":{"max_comm_edges":3,"limit":8}})");
+  ASSERT_EQ(lines.size(), 8u);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"type\":\"litmus\""), std::string::npos) << line;
+  }
+}
+
+TEST(ExecTest, SweepRequestEmitsSweepRecords) {
+  const std::vector<std::string> lines = run_direct(
+      R"({"op":"sweep","platform":"jvm","arch":"arm","benchmarks":["spark"],)"
+      R"("max_exponent":2,"runs":{"warmups":1,"samples":2}})");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"sweep\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"benchmark\":\"spark\""), std::string::npos);
+}
+
+TEST(ExecTest, MalformedRequestsFailCleanly) {
+  ExecOptions options;
+  int emitted = 0;
+  const RecordSink sink = [&](const std::string&) { ++emitted; };
+
+  EXPECT_FALSE(execute_request_text("not json", options, sink).ok);
+  EXPECT_FALSE(execute_request_text("{\"op\":\"nope\"}", options, sink).ok);
+  EXPECT_FALSE(execute_request_text("{}", options, sink).ok);
+  EXPECT_FALSE(execute_request_text(
+                   R"({"op":"sweep","platform":"nope","arch":"arm"})", options,
+                   sink)
+                   .ok);
+  EXPECT_FALSE(execute_request_text(
+                   R"({"op":"litmus","tests":["garbage program"]})", options,
+                   sink)
+                   .ok);
+  EXPECT_EQ(emitted, 0);
+}
+
+TEST(ExecTest, RecordsAreIdenticalAcrossThreadCounts) {
+  const std::string request =
+      R"({"op":"litmus","family":{"max_comm_edges":3,"limit":12}})";
+  const std::vector<std::string> one = run_direct(request, nullptr, 1);
+  const std::vector<std::string> four = run_direct(request, nullptr, 4);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ExecTest, WarmCacheReproducesRecordsWithoutRecomputing) {
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("wmm_svc_test_cache_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  cache::CacheConfig config;
+  config.root = root.string();
+  cache::ResultCache store(config);
+
+  const std::string request =
+      R"({"op":"litmus","family":{"max_comm_edges":3,"limit":12}})";
+  const std::vector<std::string> cold = run_direct(request, &store);
+  const cache::CacheStats after_cold = store.stats();
+  EXPECT_EQ(after_cold.hits, 0u);
+  EXPECT_EQ(after_cold.writes, 12u);
+
+  const std::vector<std::string> warm = run_direct(request, &store);
+  EXPECT_EQ(cold, warm);
+  const cache::CacheStats after_warm = store.stats();
+  EXPECT_EQ(after_warm.hits, 12u);
+
+  fs::remove_all(root);
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = (fs::temp_directory_path() /
+                    ("wmm_svc_test_" + std::to_string(::getpid()) + ".sock"))
+                       .string();
+    config_.socket_path = socket_path_;
+    config_.threads = 2;
+    server_ = std::make_unique<Server>(config_);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+    serve_thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  void TearDown() override {
+    server_->stop();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    server_.reset();
+    EXPECT_FALSE(fs::exists(socket_path_));
+  }
+
+  std::string socket_path_;
+  ServerConfig config_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+};
+
+TEST_F(ServerFixture, PingAndStats) {
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+  EXPECT_TRUE(client.ping());
+
+  std::vector<std::string> lines;
+  const ClientResult r = client.request(
+      "{\"op\":\"stats\"}", [&](const std::string& l) { lines.push_back(l); });
+  EXPECT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"service\""), std::string::npos);
+}
+
+TEST_F(ServerFixture, ServedRecordsAreByteIdenticalToDirectExecution) {
+  const std::string request =
+      R"({"op":"litmus","family":{"max_comm_edges":3,"limit":10}})";
+  const std::vector<std::string> direct = run_direct(request);
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+  std::vector<std::string> served;
+  const ClientResult r = client.request(
+      request, [&](const std::string& l) { served.push_back(l); });
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.records, served.size());
+  EXPECT_EQ(served, direct);
+
+  const obs::ServiceStats stats = server_->stats();
+  EXPECT_GE(stats.requests, 1u);
+  EXPECT_GE(stats.cells, 10u);
+}
+
+TEST_F(ServerFixture, BadRequestsReportErrorsWithoutKillingTheConnection) {
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+
+  const ClientResult bad = client.request("{\"op\":\"nope\"}", nullptr);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+
+  // The connection survives a failed request.
+  EXPECT_TRUE(client.ping());
+  EXPECT_GE(server_->stats().errors, 1u);
+}
+
+TEST_F(ServerFixture, ConcurrentClientsAllGetCompleteResponses) {
+  const std::string request =
+      R"({"op":"litmus","family":{"max_comm_edges":3,"limit":6}})";
+  const std::vector<std::string> expected = run_direct(request);
+
+  constexpr int kClients = 4;
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<ClientResult> results(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client;
+      std::string err;
+      if (!client.connect(socket_path_, &err)) return;
+      results[i] = client.request(
+          request, [&](const std::string& l) { responses[i].push_back(l); });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(results[i].ok) << i << ": " << results[i].error;
+    EXPECT_EQ(responses[i], expected) << i;
+  }
+  EXPECT_GE(server_->stats().queue_depth_hwm, 1u);
+}
+
+TEST(ServerShutdownTest, ShutdownRequestStopsServe) {
+  const std::string socket_path =
+      (fs::temp_directory_path() /
+       ("wmm_svc_shutdown_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerConfig config;
+  config.socket_path = socket_path;
+  Server server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread serve_thread([&server] { server.serve(); });
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket_path, &error)) << error;
+  EXPECT_TRUE(client.shutdown_server());
+  serve_thread.join();  // returns because the shutdown request stopped it
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+}  // namespace
+}  // namespace wmm::svc
