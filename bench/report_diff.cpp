@@ -9,7 +9,9 @@
 //
 // Records are matched by identity — sweeps by (context, benchmark,
 // code_path), comparisons by (context, benchmark, base, test), runs by
-// (context, name), counters by name — and their headline numbers compared
+// (context, name), synth records by (name, arch, mode, cost_model) with the
+// recovered assignment compared exactly (no tolerance; costs are ignored),
+// counters by name — and their headline numbers compared
 // within relative tolerances: fitted sensitivity k within --tol-k (default
 // 10%), relative-performance values within --tol-rel (default 5%), counter
 // values within --tol-counter (default 25%; counters drift with sampling
@@ -67,6 +69,7 @@ struct Report {
   std::map<std::string, double> comparisons;  // key -> value
   std::map<std::string, double> runs;         // key -> geomean
   std::map<std::string, double> counters;     // name -> value
+  std::map<std::string, std::string> synths;  // key -> recovered assignment
   int records = 0;
 };
 
@@ -123,6 +126,15 @@ std::optional<Report> load(const std::string& path) {
       r.comparisons[key] = num(*v, "value");
     } else if (type == "run") {
       r.runs[str(*v, "context") + "/" + str(*v, "name")] = num(*v, "geomean");
+    } else if (type == "synth") {
+      // synth cost numbers are cost-model data (identity-excluded), but the
+      // *recovered assignment* is deterministic for a fixed problem: a
+      // change there means the synthesizer now picks different fences.
+      const std::string key = str(*v, "name") + "/" + str(*v, "arch") + "/" +
+                              str(*v, "mode") + "/" + str(*v, "cost_model");
+      const obs::JsonValue* feasible = v->find("feasible");
+      const bool ok = feasible && feasible->is_bool() && feasible->boolean;
+      r.synths[key] = (ok ? "" : "infeasible:") + str(*v, "assignment");
     } else if (type == "counters") {
       const obs::JsonValue* values = v->find("values");
       if (values) {
@@ -198,6 +210,37 @@ void diff_section(const char* what, const std::map<std::string, double>& base,
         }
         ++stats.extra;
       }
+    }
+  }
+}
+
+// Exact string comparison of recovered synth assignments: any difference is
+// a failure (there is no tolerance on which fences a fix uses), and a key
+// present in only one report is an identity mismatch like the other
+// experiment-naming sections.
+void diff_assignments(const std::map<std::string, std::string>& base,
+                      const std::map<std::string, std::string>& test,
+                      bool quiet, DiffStats& stats) {
+  for (const auto& [key, base_value] : base) {
+    const auto it = test.find(key);
+    if (it == test.end()) {
+      std::fprintf(stderr, "MISMATCH synth %s (only in base)\n", key.c_str());
+      ++stats.base_only;
+      continue;
+    }
+    ++stats.matched;
+    if (base_value != it->second) {
+      std::fprintf(stderr, "ASSIGN   synth %s: %s -> %s\n", key.c_str(),
+                   base_value.c_str(), it->second.c_str());
+      ++stats.failures;
+    } else if (!quiet) {
+      std::printf("ok       synth %s: %s\n", key.c_str(), base_value.c_str());
+    }
+  }
+  for (const auto& [key, value] : test) {
+    if (!base.count(key)) {
+      std::fprintf(stderr, "MISMATCH synth %s (only in test)\n", key.c_str());
+      ++stats.test_only;
     }
   }
 }
@@ -427,6 +470,7 @@ int main(int argc, char** argv) {
                /*identity=*/true, stats);
   diff_section("counter", base->counters, test->counters, tol_counter,
                flags.quiet, /*identity=*/false, stats);
+  diff_assignments(base->synths, test->synths, flags.quiet, stats);
 
   std::printf(
       "report_diff: %d matched, %d failures (%d missing), %d extra, worst "

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "synth/lattice.h"
+
 namespace wmm::jvm {
 
 namespace {
@@ -37,31 +39,24 @@ FencingStrategy::FencingStrategy(const JvmConfig& config)
       ir_counters_("jvm.ir.", ir_site_names()) {}
 
 sim::FenceKind FencingStrategy::lowering(Elemental e) const {
-  using sim::FenceKind;
   if (e == Elemental::StoreStore && config_.storestore_override) {
     return *config_.storestore_override;
   }
-  switch (config_.arch) {
-    case sim::Arch::ARMV8:
-      // JDK9 AArch64 lowering (paper 4.2): LoadLoad/LoadStore -> dmb ishld,
-      // StoreStore -> dmb ishst, StoreLoad -> dmb ish.
-      switch (e) {
-        case Elemental::LoadLoad:
-        case Elemental::LoadStore: return FenceKind::DmbIshLd;
-        case Elemental::StoreStore: return FenceKind::DmbIshSt;
-        case Elemental::StoreLoad: return FenceKind::DmbIsh;
-      }
-      break;
-    case sim::Arch::POWER7:
-      // StoreLoad -> hwsync; all other elemental barriers -> lwsync.
-      return e == Elemental::StoreLoad ? FenceKind::HwSync : FenceKind::LwSync;
-    case sim::Arch::X86_TSO:
-      // TSO only needs StoreLoad fencing.
-      return e == Elemental::StoreLoad ? FenceKind::Mfence : FenceKind::CompilerOnly;
-    case sim::Arch::SC:
-      return FenceKind::CompilerOnly;
+  // Each elemental barrier IS one lattice class; lowering is the generic
+  // weakest-cover query.  This reproduces the JDK9 tables the paper cites
+  // (4.2): ARM LoadLoad/LoadStore -> dmb ishld, StoreStore -> dmb ishst,
+  // StoreLoad -> dmb ish; POWER StoreLoad -> hwsync, rest -> lwsync; x86
+  // StoreLoad -> mfence, rest free under TSO.  Pinned against the historic
+  // switch by synth_lattice_test.
+  synth::OrderMask need = synth::kOrderNone;
+  switch (e) {
+    case Elemental::LoadLoad: need = synth::kOrderRR; break;
+    case Elemental::LoadStore: need = synth::kOrderRW; break;
+    case Elemental::StoreLoad: need = synth::kOrderWR; break;
+    case Elemental::StoreStore: need = synth::kOrderWW; break;
   }
-  return FenceKind::None;
+  return synth::lower_order(need, config_.arch, synth::SiteIdiom::Standalone,
+                            sim::FenceKind::CompilerOnly);
 }
 
 sim::FenceSeq FencingStrategy::ir_sequence(IrBarrier b) const {

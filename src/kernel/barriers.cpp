@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "synth/lattice.h"
+
 namespace wmm::kernel {
 
 namespace {
@@ -54,63 +56,79 @@ KernelBarriers::KernelBarriers(const KernelConfig& config)
 
 sim::FenceKind KernelBarriers::lowering(KMacro m) const {
   using sim::FenceKind;
-  switch (config_.arch) {
-    case sim::Arch::ARMV8:
-      switch (m) {
-        case KMacro::SmpMb:
-        case KMacro::SmpMbBeforeAtomic:
-        case KMacro::SmpMbAfterAtomic:
-        case KMacro::SmpStoreMb: return FenceKind::DmbIsh;
-        case KMacro::SmpRmb: return FenceKind::DmbIshLd;
-        case KMacro::SmpWmb: return FenceKind::DmbIshSt;
-        case KMacro::Mb:
-        case KMacro::Rmb:
-        case KMacro::Wmb: return FenceKind::DsbSy;  // dsb sy / ld / st
-        case KMacro::ReadOnce:
-        case KMacro::WriteOnce: return FenceKind::CompilerOnly;
-        case KMacro::ReadBarrierDepends:
-          switch (config_.rbd) {
-            case RbdStrategy::BaseNop: return FenceKind::CompilerOnly;
-            case RbdStrategy::Ctrl: return FenceKind::CtrlDep;
-            case RbdStrategy::CtrlIsb: return FenceKind::CtrlIsb;
-            case RbdStrategy::DmbIshld:
-            case RbdStrategy::LaSr: return FenceKind::DmbIshLd;
-            case RbdStrategy::DmbIsh: return FenceKind::DmbIsh;
-          }
-          return FenceKind::CompilerOnly;
-        case KMacro::SmpLoadAcquire:
-        case KMacro::SmpStoreRelease: return FenceKind::None;  // ldar/stlr
-      }
-      break;
-    case sim::Arch::POWER7:
-      switch (m) {
-        case KMacro::SmpMb:
-        case KMacro::Mb:
-        case KMacro::SmpMbBeforeAtomic:
-        case KMacro::SmpMbAfterAtomic:
-        case KMacro::SmpStoreMb: return FenceKind::HwSync;
-        case KMacro::SmpRmb:
-        case KMacro::Rmb:
-        case KMacro::SmpWmb:
-        case KMacro::Wmb: return FenceKind::LwSync;
-        case KMacro::ReadOnce:
-        case KMacro::WriteOnce:
-        case KMacro::ReadBarrierDepends: return FenceKind::CompilerOnly;
-        case KMacro::SmpLoadAcquire: return FenceKind::ISync;  // ld;cmp;bne;isync
-        case KMacro::SmpStoreRelease: return FenceKind::LwSync;
-      }
-      break;
-    case sim::Arch::X86_TSO:
-      switch (m) {
-        case KMacro::SmpMb:
-        case KMacro::Mb:
-        case KMacro::SmpStoreMb: return FenceKind::Mfence;
-        default: return FenceKind::CompilerOnly;
-      }
-    case sim::Arch::SC:
-      return FenceKind::CompilerOnly;
+  // This table is a view of the unified ordering lattice: each macro is a
+  // (required-order, idiom) row lowered through synth::lower_order, which
+  // picks the weakest menu instruction covering the requirement on top of
+  // the arch's free order (synth_lattice_test pins it against the historic
+  // per-arch switch).  Three ARM rows stay explicit because they are not
+  // lattice lowerings: READ_BARRIER_DEPENDS is the experiment variable
+  // (strategy-selected), and smp_load_acquire/smp_store_release lower to
+  // native ldar/stlr instructions, not fences.
+  if (config_.arch == sim::Arch::ARMV8) {
+    switch (m) {
+      case KMacro::ReadBarrierDepends:
+        switch (config_.rbd) {
+          case RbdStrategy::BaseNop: return FenceKind::CompilerOnly;
+          case RbdStrategy::Ctrl: return FenceKind::CtrlDep;
+          case RbdStrategy::CtrlIsb: return FenceKind::CtrlIsb;
+          case RbdStrategy::DmbIshld:
+          case RbdStrategy::LaSr: return FenceKind::DmbIshLd;
+          case RbdStrategy::DmbIsh: return FenceKind::DmbIsh;
+        }
+        return FenceKind::CompilerOnly;
+      case KMacro::SmpLoadAcquire:
+      case KMacro::SmpStoreRelease: return FenceKind::None;  // ldar/stlr
+      default: break;
+    }
   }
-  return FenceKind::None;
+  synth::OrderMask need = synth::kOrderNone;
+  synth::SiteIdiom idiom = synth::SiteIdiom::Standalone;
+  switch (m) {
+    case KMacro::SmpMb:
+    case KMacro::SmpStoreMb:
+      need = synth::kOrderFull;
+      break;
+    case KMacro::SmpMbBeforeAtomic:
+    case KMacro::SmpMbAfterAtomic:
+      // Full ordering around an atomic RMW — except on x86, where the lock
+      // prefix already orders everything and Linux defines these as no-ops.
+      need = config_.arch == sim::Arch::X86_TSO ? synth::kOrderNone
+                                                : synth::kOrderFull;
+      break;
+    case KMacro::Mb:
+      need = synth::kOrderFull;
+      idiom = synth::SiteIdiom::System;  // dsb scope on arm64
+      break;
+    case KMacro::Rmb:
+      need = synth::kOrderRR;
+      idiom = synth::SiteIdiom::System;
+      break;
+    case KMacro::Wmb:
+      need = synth::kOrderWW;
+      idiom = synth::SiteIdiom::System;
+      break;
+    case KMacro::SmpRmb:
+      need = synth::kOrderRR;
+      break;
+    case KMacro::SmpWmb:
+      need = synth::kOrderWW;
+      break;
+    case KMacro::ReadOnce:
+    case KMacro::WriteOnce:
+    case KMacro::ReadBarrierDepends:
+      // Address-dependency ordering is free on every modelled arch but
+      // (historical) Alpha; only the compiler must not break it.
+      need = synth::kOrderNone;
+      break;
+    case KMacro::SmpLoadAcquire:
+      need = synth::kOrderRR | synth::kOrderRW;
+      idiom = synth::SiteIdiom::PostLoad;  // ld;cmp;bne;isync on POWER
+      break;
+    case KMacro::SmpStoreRelease:
+      need = synth::kOrderRW | synth::kOrderWW;
+      break;
+  }
+  return synth::lower_order(need, config_.arch, idiom, FenceKind::CompilerOnly);
 }
 
 std::uint32_t KernelBarriers::injected_slots() const {

@@ -223,6 +223,34 @@ std::string service_line(const ServiceStats& s) {
   return w.take();
 }
 
+std::string synth_line(const SynthRecord& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "synth");
+  w.kv("name", r.name);
+  w.kv("arch", r.arch);
+  w.kv("mode", r.mode);
+  w.kv("cost_model", r.cost_model);
+  w.kv("slots", r.slots);
+  w.kv("feasible", r.feasible);
+  w.kv("assignment", r.assignment);
+  w.kv("cost_ns", r.cost_ns);
+  w.key("ranked").begin_array();
+  for (const auto& [assignment, cost_ns] : r.ranked) {
+    w.begin_object();
+    w.kv("assignment", assignment);
+    w.kv("cost_ns", cost_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("candidates", r.candidates);
+  w.kv("oracle_queries", r.oracle_queries);
+  w.kv("pruned_correct", r.pruned_correct);
+  w.kv("pruned_incorrect", r.pruned_incorrect);
+  w.end_object();
+  return w.take();
+}
+
 std::string counters_line(
     const std::vector<CounterRegistry::Entry>& entries) {
   JsonWriter w;
@@ -533,6 +561,30 @@ std::string validate_record(const JsonValue& record) {
                        {"entries", K::Number},
                        {"bytes", K::Number},
                        {"hit_rate", K::Number}});
+  }
+  if (t == "synth") {
+    std::string err = check_keys(record, "synth",
+                                 {{"name", K::String},
+                                  {"arch", K::String},
+                                  {"mode", K::String},
+                                  {"cost_model", K::String},
+                                  {"slots", K::Number},
+                                  {"feasible", K::Bool},
+                                  {"assignment", K::String},
+                                  {"cost_ns", K::Number},
+                                  {"ranked", K::Array},
+                                  {"candidates", K::Number},
+                                  {"oracle_queries", K::Number},
+                                  {"pruned_correct", K::Number},
+                                  {"pruned_incorrect", K::Number}});
+    if (!err.empty()) return err;
+    for (const JsonValue& r : record.find("ranked")->array) {
+      if (!r.is_object()) return "synth ranked entry is not an object";
+      err = check_keys(r, "synth.ranked",
+                       {{"assignment", K::String}, {"cost_ns", K::Number}});
+      if (!err.empty()) return err;
+    }
+    return {};
   }
   if (t == "service") {
     return check_keys(record, "service",

@@ -35,16 +35,24 @@
 //   service    : type, context, requests, cells, errors, wall_s,
 //                queue_depth_hwm, in_flight_hwm, cache_hits,
 //                cache_misses, cache_hit_rate                       [v1.1]
+//   synth      : type, name, arch, mode, cost_model, slots, feasible,
+//                assignment, cost_ns, ranked (each entry: assignment,
+//                cost_ns), candidates, oracle_queries, pruned_correct,
+//                pruned_incorrect                                   [v1.2]
 //
 // throughput, histograms, profile, cache, and service records carry
 // wall-clock or storage-state measurements, so (like the manifest) they are
 // excluded from byte-identity comparisons between runs; every other record
 // type is deterministic for a fixed seed and configuration, independent of
-// --threads and of a warm result cache.
+// --threads and of a warm result cache.  synth records are identity-excluded
+// like profile/throughput — their cost numbers depend on the cost-model
+// configuration under study — but report_diff still compares the *recovered
+// assignment* (name/arch/mode/cost_model -> assignment, feasible) exactly.
 #pragma once
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/harness.h"
@@ -58,9 +66,9 @@ namespace wmm::obs {
 
 // Version written by manifest_line.  validate_record accepts any version in
 // [kMinSchemaVersion, kSchemaVersion]: 1.1 added the histograms/profile
-// records without changing any v1 record, so committed v1 baselines stay
-// valid.
-inline constexpr double kSchemaVersion = 1.1;
+// records and 1.2 the synth record, neither changing any earlier record, so
+// committed v1/v1.1 baselines stay valid.
+inline constexpr double kSchemaVersion = 1.2;
 inline constexpr double kMinSchemaVersion = 1.0;
 
 struct Manifest {
@@ -162,6 +170,32 @@ struct ServiceStats {
 };
 
 std::string service_line(const ServiceStats& s);
+
+// One fence-synthesis answer (bench/fence_synth, the daemon's synth op):
+// which assignment of fence instructions to the program's slots forbids the
+// forbidden outcomes at minimal cost.  `assignment` is the slot-wise
+// instruction list ("lwsync;isync", "none;none" when no fence is needed),
+// "empty" for a slot-less program, or "infeasible"; `ranked` lists every correct assignment in ascending cost
+// order when the full ranking was requested.  Cost-model-dependent data:
+// identity-excluded, but the recovered assignment itself is diffed by
+// report_diff.
+struct SynthRecord {
+  std::string name;        // litmus program name
+  std::string arch;        // arch_name
+  std::string mode;        // "exact" | "greedy"
+  std::string cost_model;  // "vitro" | "vivo"
+  int slots = 0;
+  bool feasible = false;
+  std::string assignment;
+  double cost_ns = 0.0;
+  std::vector<std::pair<std::string, double>> ranked;  // assignment -> cost
+  std::uint64_t candidates = 0;
+  std::uint64_t oracle_queries = 0;
+  std::uint64_t pruned_correct = 0;
+  std::uint64_t pruned_incorrect = 0;
+};
+
+std::string synth_line(const SynthRecord& r);
 
 // Latency-histogram summaries (typically histograms().snapshot()).  Values
 // are keyed by histogram name; buckets are emitted sparsely as

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "synth/lattice.h"
+
 namespace wmm::platform::cxx11 {
 
 namespace {
@@ -39,8 +41,26 @@ sim::FenceKind Lowering::dominant() const {
   return sim::FenceKind::CompilerOnly;
 }
 
-Lowering access_lowering(AccessPoint p, sim::Arch arch) {
-  using sim::FenceKind;
+namespace {
+
+// Ordering requirement of one access point under one arch's documented
+// mapping convention, as a pair of lattice elements: what must stay ordered
+// across the leading fence slot and across the trailing one.  The
+// conventions genuinely differ per arch (ARM trails acquiring loads with a
+// dmb, POWER leads seq_cst accesses with a sync, x86 trails the seq_cst
+// store with its mfence), so the rows are per-arch; the *instructions* then
+// fall out of the generic weakest-cover query.
+struct OrderReq {
+  synth::OrderMask before = synth::kOrderNone;
+  synth::OrderMask after = synth::kOrderNone;
+  synth::SiteIdiom before_idiom = synth::SiteIdiom::Standalone;
+  synth::SiteIdiom after_idiom = synth::SiteIdiom::Standalone;
+};
+
+OrderReq access_order(AccessPoint p, sim::Arch arch) {
+  using namespace synth;
+  constexpr OrderMask kAcquire = kOrderRR | kOrderRW;   // load ; later accesses
+  constexpr OrderMask kRelease = kOrderRW | kOrderWW;   // earlier accesses ; store
   switch (arch) {
     case sim::Arch::ARMV8:
       // Barrier substitution (DESIGN §2): trailing dmb after acquiring /
@@ -48,12 +68,16 @@ Lowering access_lowering(AccessPoint p, sim::Arch arch) {
       // trailing full barrier after a seq_cst store to order it with later
       // seq_cst loads.
       switch (p) {
-        case AccessPoint::LoadAcquire: return {FenceKind::None, FenceKind::DmbIshLd};
-        case AccessPoint::StoreRelease: return {FenceKind::DmbIsh, FenceKind::None};
-        case AccessPoint::LoadSeqCst: return {FenceKind::None, FenceKind::DmbIsh};
-        case AccessPoint::StoreSeqCst: return {FenceKind::DmbIsh, FenceKind::DmbIsh};
-        case AccessPoint::RmwAcqRel: return {FenceKind::DmbIsh, FenceKind::DmbIsh};
-        case AccessPoint::FenceSeqCst: return {FenceKind::DmbIsh, FenceKind::None};
+        case AccessPoint::LoadAcquire: return {.after = kAcquire};
+        case AccessPoint::StoreRelease: return {.before = kRelease};
+        case AccessPoint::LoadSeqCst: return {.after = kOrderFull};
+        case AccessPoint::StoreSeqCst:
+          return {.before = kRelease, .after = kOrderWR};
+        case AccessPoint::RmwAcqRel:
+          // The ll/sc pair's store must also stay ordered with later
+          // accesses, so the trailing requirement is full, not just acquire.
+          return {.before = kRelease, .after = kOrderFull};
+        case AccessPoint::FenceSeqCst: return {.before = kOrderFull};
         default: break;
       }
       break;
@@ -61,28 +85,46 @@ Lowering access_lowering(AccessPoint p, sim::Arch arch) {
       // The standard POWER mapping: lwsync before releasing stores, hwsync
       // before seq_cst accesses, ctrl+isync after acquiring loads.
       switch (p) {
-        case AccessPoint::LoadAcquire: return {FenceKind::None, FenceKind::ISync};
-        case AccessPoint::StoreRelease: return {FenceKind::LwSync, FenceKind::None};
-        case AccessPoint::LoadSeqCst: return {FenceKind::HwSync, FenceKind::ISync};
-        case AccessPoint::StoreSeqCst: return {FenceKind::HwSync, FenceKind::None};
-        case AccessPoint::RmwAcqRel: return {FenceKind::LwSync, FenceKind::ISync};
-        case AccessPoint::FenceSeqCst: return {FenceKind::HwSync, FenceKind::None};
+        case AccessPoint::LoadAcquire:
+          return {.after = kAcquire, .after_idiom = SiteIdiom::PostLoad};
+        case AccessPoint::StoreRelease: return {.before = kRelease};
+        case AccessPoint::LoadSeqCst:
+          return {.before = kOrderFull,
+                  .after = kAcquire,
+                  .after_idiom = SiteIdiom::PostLoad};
+        case AccessPoint::StoreSeqCst: return {.before = kOrderFull};
+        case AccessPoint::RmwAcqRel:
+          return {.before = kRelease,
+                  .after = kAcquire,
+                  .after_idiom = SiteIdiom::PostLoad};
+        case AccessPoint::FenceSeqCst: return {.before = kOrderFull};
         default: break;
       }
       break;
     case sim::Arch::X86_TSO:
-      // TSO: only the seq_cst store (and the standalone fence) need an
-      // mfence; everything else is a compiler barrier.
+      // TSO: only the seq_cst store (and the standalone fence) expose a
+      // W->R requirement the free order does not already cover; everything
+      // else is a compiler barrier.
       switch (p) {
-        case AccessPoint::StoreSeqCst: return {FenceKind::None, FenceKind::Mfence};
-        case AccessPoint::FenceSeqCst: return {FenceKind::Mfence, FenceKind::None};
+        case AccessPoint::StoreSeqCst: return {.after = kOrderWR};
+        case AccessPoint::FenceSeqCst: return {.before = kOrderFull};
         default: break;
       }
       break;
     case sim::Arch::SC:
       break;
   }
-  return {sim::FenceKind::None, sim::FenceKind::None};
+  return {};
+}
+
+}  // namespace
+
+Lowering access_lowering(AccessPoint p, sim::Arch arch) {
+  const OrderReq req = access_order(p, arch);
+  return {synth::lower_order(req.before, arch, req.before_idiom,
+                             sim::FenceKind::None),
+          synth::lower_order(req.after, arch, req.after_idiom,
+                             sim::FenceKind::None)};
 }
 
 AtomicsRuntime::AtomicsRuntime(const Cxx11Config& config)

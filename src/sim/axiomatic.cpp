@@ -190,6 +190,24 @@ bool ppo_pair(const LitmusThread& thread, std::size_t i, std::size_t j,
   return false;
 }
 
+// Recompute the preserved-program-order rows of thread `t`.  This is the
+// only part of the candidate space that depends on fence kinds, so the
+// incremental evaluator calls it per dirty thread instead of rebuilding.
+void compute_ppo_rows(CandidateSpace& s, std::size_t t, Arch arch,
+                      const AxiomaticOptions& opt) {
+  const LitmusThread& thread = s.test->threads[t];
+  for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+    if (s.event_of[t][i] < 0) continue;
+    const std::size_t ei = static_cast<std::size_t>(s.event_of[t][i]);
+    s.ppo_rows[ei] = 0u;
+    for (std::size_t j = i + 1; j < thread.instrs.size(); ++j) {
+      if (s.event_of[t][j] < 0) continue;
+      const int ej = s.event_of[t][j];
+      if (ppo_pair(thread, i, j, arch, opt)) s.ppo_rows[ei] |= 1u << ej;
+    }
+  }
+}
+
 CandidateSpace build_space(const LitmusTest& test, Arch arch,
                            const AxiomaticOptions& opt) {
   CandidateSpace s;
@@ -238,13 +256,13 @@ CandidateSpace build_space(const LitmusTest& test, Arch arch,
   s.poloc_rows.assign(s.events.size(), 0u);
   for (std::size_t t = 0; t < test.threads.size(); ++t) {
     const LitmusThread& thread = test.threads[t];
+    compute_ppo_rows(s, t, arch, opt);
     for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
       if (s.event_of[t][i] < 0) continue;
       for (std::size_t j = i + 1; j < thread.instrs.size(); ++j) {
         if (s.event_of[t][j] < 0) continue;
         const std::size_t ei = static_cast<std::size_t>(s.event_of[t][i]);
         const int ej = s.event_of[t][j];
-        if (ppo_pair(thread, i, j, arch, opt)) s.ppo_rows[ei] |= 1u << ej;
         const LitmusInstr& a = thread.instrs[i];
         const LitmusInstr& b = thread.instrs[j];
         if (!opt.drop_same_location_order && a.var >= 0 && a.var == b.var) {
@@ -393,24 +411,93 @@ bool axiomatic_ppo(const LitmusThread& thread, std::size_t i, std::size_t j,
   return ppo_pair(thread, i, j, arch, options);
 }
 
+// The batch entry points are the zero-slot special case of the incremental
+// evaluator, so the two share every code path and cannot drift apart.
 std::set<Outcome> axiomatic_outcomes(const LitmusTest& test, Arch arch,
                                      const AxiomaticOptions& options) {
+  AxiomaticEvaluator ev(test, arch, {}, options);
+  return ev.outcomes();
+}
+
+bool axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
+                       Arch arch, const AxiomaticOptions& options) {
+  AxiomaticEvaluator ev(test, arch, {}, options);
+  return ev.allowed(outcome);
+}
+
+struct AxiomaticEvaluator::Impl {
+  LitmusTest test;  // mutable copy: set_assignment rewrites fence slots
+  Arch arch;
+  AxiomaticOptions opt;
+  std::vector<FenceSlotRef> slots;
+  CandidateSpace space;  // space.test points at `test` above
+
+  Impl(const LitmusTest& skeleton, Arch a, std::vector<FenceSlotRef> sl,
+       const AxiomaticOptions& options)
+      : test(skeleton), arch(a), opt(options), slots(std::move(sl)) {
+    for (const FenceSlotRef& slot : slots) {
+      const auto t = static_cast<std::size_t>(slot.tid);
+      const auto i = static_cast<std::size_t>(slot.idx);
+      if (t >= test.threads.size() || i >= test.threads[t].instrs.size() ||
+          test.threads[t].instrs[i].type != AccessType::Fence) {
+        throw std::invalid_argument("fence slot does not name a fence");
+      }
+    }
+    space = build_space(test, arch, opt);
+  }
+};
+
+AxiomaticEvaluator::AxiomaticEvaluator(const LitmusTest& skeleton, Arch arch,
+                                       std::vector<FenceSlotRef> slots,
+                                       const AxiomaticOptions& options)
+    : impl_(std::make_unique<Impl>(skeleton, arch, std::move(slots), options)) {}
+
+AxiomaticEvaluator::~AxiomaticEvaluator() = default;
+AxiomaticEvaluator::AxiomaticEvaluator(AxiomaticEvaluator&&) noexcept = default;
+AxiomaticEvaluator& AxiomaticEvaluator::operator=(AxiomaticEvaluator&&) noexcept =
+    default;
+
+void AxiomaticEvaluator::set_assignment(const std::vector<FenceKind>& kinds) {
+  Impl& im = *impl_;
+  if (kinds.size() != im.slots.size()) {
+    throw std::invalid_argument("assignment size does not match slot count");
+  }
+  // Fences are not candidate events, so the event space and the rf/po-loc
+  // relations are invariant; only the ppo rows of threads whose fence kinds
+  // actually changed need recomputing.
+  std::vector<bool> dirty(im.test.threads.size(), false);
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    LitmusInstr& in =
+        im.test.threads[static_cast<std::size_t>(im.slots[k].tid)]
+            .instrs[static_cast<std::size_t>(im.slots[k].idx)];
+    if (in.fence == kinds[k]) continue;
+    in.fence = kinds[k];
+    dirty[static_cast<std::size_t>(im.slots[k].tid)] = true;
+  }
+  for (std::size_t t = 0; t < dirty.size(); ++t) {
+    if (dirty[t]) compute_ppo_rows(im.space, t, im.arch, im.opt);
+  }
+}
+
+std::set<Outcome> AxiomaticEvaluator::outcomes() const {
   WMM_PROFILE_SPAN(obs::Phase::AxCheck);
-  const CandidateSpace s = build_space(test, arch, options);
+  const Impl& im = *impl_;
   std::set<Outcome> out;
-  for_each_candidate(s, [&](const Candidate& c) {
-    if (candidate_allowed(s, c, arch)) out.insert(outcome_of(s, c));
+  for_each_candidate(im.space, [&](const Candidate& c) {
+    if (candidate_allowed(im.space, c, im.arch)) {
+      out.insert(outcome_of(im.space, c));
+    }
     return false;
   });
   return out;
 }
 
-bool axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
-                       Arch arch, const AxiomaticOptions& options) {
-  const CandidateSpace s = build_space(test, arch, options);
+bool AxiomaticEvaluator::allowed(const Outcome& outcome) const {
+  const Impl& im = *impl_;
   bool found = false;
-  for_each_candidate(s, [&](const Candidate& c) {
-    if (candidate_allowed(s, c, arch) && outcome_of(s, c) == outcome) {
+  for_each_candidate(im.space, [&](const Candidate& c) {
+    if (candidate_allowed(im.space, c, im.arch) &&
+        outcome_of(im.space, c) == outcome) {
       found = true;
       return true;
     }

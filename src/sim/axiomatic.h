@@ -40,8 +40,11 @@
 // two disagree — which the differential fuzzer (fuzz.h) then reports.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "sim/axiomatic_power.h"
 #include "sim/memory_model.h"
@@ -97,5 +100,34 @@ bool axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
 // refer to read/write instructions.
 bool axiomatic_ppo(const LitmusThread& thread, std::size_t i, std::size_t j,
                    Arch arch, const AxiomaticOptions& options = {});
+
+// Incremental form of the checker for the fence-synthesis search: the
+// candidate-event space (events, reads-from candidates, same-location rows)
+// depends only on the *accesses* of the program, so it is built once per
+// skeleton; `set_assignment` rewrites the fence kinds at the registered
+// slots and recomputes only the preserved-program-order rows of threads
+// whose fences actually changed.  `axiomatic_outcomes` is the zero-slot
+// special case of this class, so the two cannot drift apart.
+class AxiomaticEvaluator {
+ public:
+  AxiomaticEvaluator(const LitmusTest& skeleton, Arch arch,
+                     std::vector<FenceSlotRef> slots,
+                     const AxiomaticOptions& options = {});
+  ~AxiomaticEvaluator();
+  AxiomaticEvaluator(AxiomaticEvaluator&&) noexcept;
+  AxiomaticEvaluator& operator=(AxiomaticEvaluator&&) noexcept;
+
+  // `kinds[i]` replaces the fence at slot i.  Size must match the slot list.
+  void set_assignment(const std::vector<FenceKind>& kinds);
+
+  // Axiomatic verdicts under the current assignment (same semantics as the
+  // batch entry points above).
+  std::set<Outcome> outcomes() const;
+  bool allowed(const Outcome& outcome) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace wmm::sim

@@ -189,9 +189,10 @@ class PwGraph {
   bool self_loop_ = false;
 };
 
-PwSpace build_space(const LitmusTest& test,
-                    const PowerAxiomaticOptions& opt) {
-  PwSpace s;
+// The access-only half of the candidate space: everything that depends on
+// the program's reads and writes but not on its fence kinds.  Built once
+// per skeleton by the incremental evaluator and reused across assignments.
+void build_static_space(PwSpace& s, const LitmusTest& test) {
   s.test = &test;
   s.event_of.resize(test.threads.size());
   for (std::size_t t = 0; t < test.threads.size(); ++t) {
@@ -207,38 +208,13 @@ PwSpace build_space(const LitmusTest& test,
       e.var = in.var;
       e.value = in.value;
       e.reg = in.reg;
-      if (e.write) {
-        // Cumulativity trigger, mirroring the operational executor: the
-        // write propagates the thread's observed set when it commits if it
-        // is a release store or any store-store ordering fence precedes it
-        // in program order (anywhere before, not only adjacent).
-        e.pusher = in.release;
-        for (std::size_t f = 0; f < i && !e.pusher; ++f) {
-          const LitmusInstr& fi = thread.instrs[f];
-          if (!pw_is_access(fi) && pw_fence_class(fi.fence, opt).ww) {
-            e.pusher = true;
-          }
-        }
-      }
       s.event_of[t][i] = static_cast<int>(s.events.size());
       s.events.push_back(e);
     }
   }
-
-  for (std::size_t t = 0; t < test.threads.size(); ++t) {
-    const LitmusThread& thread = test.threads[t];
-    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
-      const LitmusInstr& in = thread.instrs[i];
-      if (pw_is_access(in) || !pw_full_barrier(in.fence, opt)) continue;
-      PwBarrier b;
-      b.tid = static_cast<int>(t);
-      b.idx = static_cast<int>(i);
-      b.node = static_cast<int>(s.events.size() + s.barriers.size());
-      s.barriers.push_back(b);
-    }
-  }
-  s.nodes = s.events.size() + s.barriers.size();
-  if (s.nodes > kMaxNodes) {
+  // Guard the relation-row shifts below; apply_fence_state re-checks with
+  // the (assignment-dependent) barrier nodes included.
+  if (s.events.size() > kMaxNodes) {
     throw std::invalid_argument("litmus test too large for axiomatic checker");
   }
 
@@ -262,7 +238,6 @@ PwSpace build_space(const LitmusTest& test,
   }
 
   s.ppo.assign(s.events.size(), 0u);
-  s.fences.assign(s.events.size(), 0u);
   s.poloc.assign(s.events.size(), 0u);
   for (std::size_t t = 0; t < test.threads.size(); ++t) {
     const LitmusThread& thread = test.threads[t];
@@ -273,10 +248,73 @@ PwSpace build_space(const LitmusTest& test,
         const std::size_t ei = static_cast<std::size_t>(s.event_of[t][i]);
         const int ej = s.event_of[t][j];
         if (pw_ppo_pair(thread, i, j)) s.ppo[ei] |= 1u << ej;
-        if (pw_fence_pair(thread, i, j, opt)) s.fences[ei] |= 1u << ej;
         const LitmusInstr& a = thread.instrs[i];
         const LitmusInstr& b = thread.instrs[j];
         if (a.var >= 0 && a.var == b.var) s.poloc[ei] |= 1u << ej;
+      }
+    }
+  }
+}
+
+// The fence-derived half: pusher flags, fences rows, the full-barrier node
+// list and the folded per-axiom stage rows.  `dirty` restricts the pusher/
+// fences recomputation to changed threads (nullptr = all threads); the
+// barrier list and stage rows are always rebuilt because node ids shift
+// with the barrier count.
+void apply_fence_state(PwSpace& s, const PowerAxiomaticOptions& opt,
+                       const std::vector<bool>* dirty = nullptr) {
+  const LitmusTest& test = *s.test;
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    if (dirty && !(*dirty)[t]) continue;
+    const LitmusThread& thread = test.threads[t];
+    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+      if (s.event_of[t][i] < 0) continue;
+      PwEvent& e = s.events[static_cast<std::size_t>(s.event_of[t][i])];
+      if (!e.write) continue;
+      // Cumulativity trigger, mirroring the operational executor: the
+      // write propagates the thread's observed set when it commits if it
+      // is a release store or any store-store ordering fence precedes it
+      // in program order (anywhere before, not only adjacent).
+      e.pusher = thread.instrs[i].release;
+      for (std::size_t f = 0; f < i && !e.pusher; ++f) {
+        const LitmusInstr& fi = thread.instrs[f];
+        if (!pw_is_access(fi) && pw_fence_class(fi.fence, opt).ww) {
+          e.pusher = true;
+        }
+      }
+    }
+  }
+
+  s.barriers.clear();
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    const LitmusThread& thread = test.threads[t];
+    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+      const LitmusInstr& in = thread.instrs[i];
+      if (pw_is_access(in) || !pw_full_barrier(in.fence, opt)) continue;
+      PwBarrier b;
+      b.tid = static_cast<int>(t);
+      b.idx = static_cast<int>(i);
+      b.node = static_cast<int>(s.events.size() + s.barriers.size());
+      s.barriers.push_back(b);
+    }
+  }
+  s.nodes = s.events.size() + s.barriers.size();
+  if (s.nodes > kMaxNodes) {
+    throw std::invalid_argument("litmus test too large for axiomatic checker");
+  }
+
+  if (s.fences.empty()) s.fences.assign(s.events.size(), 0u);
+  for (std::size_t t = 0; t < test.threads.size(); ++t) {
+    if (dirty && !(*dirty)[t]) continue;
+    const LitmusThread& thread = test.threads[t];
+    for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+      if (s.event_of[t][i] < 0) continue;
+      const std::size_t ei = static_cast<std::size_t>(s.event_of[t][i]);
+      s.fences[ei] = 0u;
+      for (std::size_t j = i + 1; j < thread.instrs.size(); ++j) {
+        if (s.event_of[t][j] < 0) continue;
+        const int ej = s.event_of[t][j];
+        if (pw_fence_pair(thread, i, j, opt)) s.fences[ei] |= 1u << ej;
       }
     }
   }
@@ -308,7 +346,6 @@ PwSpace build_space(const LitmusTest& test,
       }
     }
   }
-  return s;
 }
 
 struct PwCandidate {
@@ -607,27 +644,99 @@ bool power_fence_ordered(const LitmusThread& thread, std::size_t i,
   return pw_fence_pair(thread, i, j, options);
 }
 
+// The batch entry points are the zero-slot special case of the incremental
+// evaluator, so the two share every code path and cannot drift apart.
 std::set<Outcome> power_axiomatic_outcomes(
     const LitmusTest& test, const PowerAxiomaticOptions& options) {
+  PowerAxiomaticEvaluator ev(test, {}, options);
+  return ev.outcomes();
+}
+
+bool power_axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
+                             const PowerAxiomaticOptions& options) {
+  PowerAxiomaticEvaluator ev(test, {}, options);
+  return ev.allowed(outcome);
+}
+
+PowerAxiom power_forbidding_axiom(const LitmusTest& test,
+                                  const Outcome& outcome,
+                                  const PowerAxiomaticOptions& options) {
+  PowerAxiomaticEvaluator ev(test, {}, options);
+  return ev.forbidding_axiom(outcome);
+}
+
+struct PowerAxiomaticEvaluator::Impl {
+  LitmusTest test;  // mutable copy: set_assignment rewrites fence slots
+  PowerAxiomaticOptions opt;
+  std::vector<FenceSlotRef> slots;
+  PwSpace space;  // space.test points at `test` above
+
+  Impl(const LitmusTest& skeleton, std::vector<FenceSlotRef> sl,
+       const PowerAxiomaticOptions& options)
+      : test(skeleton), opt(options), slots(std::move(sl)) {
+    for (const FenceSlotRef& slot : slots) {
+      const auto t = static_cast<std::size_t>(slot.tid);
+      const auto i = static_cast<std::size_t>(slot.idx);
+      if (t >= test.threads.size() || i >= test.threads[t].instrs.size() ||
+          test.threads[t].instrs[i].type != AccessType::Fence) {
+        throw std::invalid_argument("fence slot does not name a fence");
+      }
+    }
+    build_static_space(space, test);
+    apply_fence_state(space, opt);
+  }
+};
+
+PowerAxiomaticEvaluator::PowerAxiomaticEvaluator(
+    const LitmusTest& skeleton, std::vector<FenceSlotRef> slots,
+    const PowerAxiomaticOptions& options)
+    : impl_(std::make_unique<Impl>(skeleton, std::move(slots), options)) {}
+
+PowerAxiomaticEvaluator::~PowerAxiomaticEvaluator() = default;
+PowerAxiomaticEvaluator::PowerAxiomaticEvaluator(
+    PowerAxiomaticEvaluator&&) noexcept = default;
+PowerAxiomaticEvaluator& PowerAxiomaticEvaluator::operator=(
+    PowerAxiomaticEvaluator&&) noexcept = default;
+
+void PowerAxiomaticEvaluator::set_assignment(
+    const std::vector<FenceKind>& kinds) {
+  Impl& im = *impl_;
+  if (kinds.size() != im.slots.size()) {
+    throw std::invalid_argument("assignment size does not match slot count");
+  }
+  std::vector<bool> dirty(im.test.threads.size(), false);
+  bool any = false;
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    LitmusInstr& in =
+        im.test.threads[static_cast<std::size_t>(im.slots[k].tid)]
+            .instrs[static_cast<std::size_t>(im.slots[k].idx)];
+    if (in.fence == kinds[k]) continue;
+    in.fence = kinds[k];
+    dirty[static_cast<std::size_t>(im.slots[k].tid)] = true;
+    any = true;
+  }
+  if (any) apply_fence_state(im.space, im.opt, &dirty);
+}
+
+std::set<Outcome> PowerAxiomaticEvaluator::outcomes() const {
   WMM_PROFILE_SPAN(obs::Phase::AxPowerCheck);
-  const PwSpace s = build_space(test, options);
+  const Impl& im = *impl_;
   std::set<Outcome> out;
-  pw_for_each_candidate(s, [&](const PwCandidate& c) {
-    if (check_candidate(s, c, options) == PowerAxiom::None) {
-      out.insert(pw_outcome_of(s, c));
+  pw_for_each_candidate(im.space, [&](const PwCandidate& c) {
+    if (check_candidate(im.space, c, im.opt) == PowerAxiom::None) {
+      out.insert(pw_outcome_of(im.space, c));
     }
     return false;
   });
   return out;
 }
 
-bool power_axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
-                             const PowerAxiomaticOptions& options) {
-  const PwSpace s = build_space(test, options);
+bool PowerAxiomaticEvaluator::allowed(const Outcome& outcome) const {
+  const Impl& im = *impl_;
   bool found = false;
-  pw_for_each_candidate(s, [&](const PwCandidate& c) {
-    if (check_candidate(s, c, options) == PowerAxiom::None &&
-        pw_outcome_of(s, c) == outcome) {
+  pw_for_each_candidate(im.space, [&](const PwCandidate& c) {
+    if (check_candidate(im.space, c, im.opt) == PowerAxiom::None &&
+        pw_outcome_of(im.space, c) == outcome) {
       found = true;
       return true;
     }
@@ -636,17 +745,16 @@ bool power_axiomatic_allowed(const LitmusTest& test, const Outcome& outcome,
   return found;
 }
 
-PowerAxiom power_forbidding_axiom(const LitmusTest& test,
-                                  const Outcome& outcome,
-                                  const PowerAxiomaticOptions& options) {
-  const PwSpace s = build_space(test, options);
+PowerAxiom PowerAxiomaticEvaluator::forbidding_axiom(
+    const Outcome& outcome) const {
+  const Impl& im = *impl_;
   // Deepest check reached by any candidate producing the outcome: earlier
   // axioms passed for that candidate, so this one did the real forbidding.
   PowerAxiom deepest = PowerAxiom::ScPerLocation;
   bool allowed = false;
-  pw_for_each_candidate(s, [&](const PwCandidate& c) {
-    if (pw_outcome_of(s, c) != outcome) return false;
-    const PowerAxiom verdict = check_candidate(s, c, options);
+  pw_for_each_candidate(im.space, [&](const PwCandidate& c) {
+    if (pw_outcome_of(im.space, c) != outcome) return false;
+    const PowerAxiom verdict = check_candidate(im.space, c, im.opt);
     if (verdict == PowerAxiom::None) {
       allowed = true;
       return true;

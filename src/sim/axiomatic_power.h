@@ -53,12 +53,23 @@
 // equivalence argument and docs/models.md for the verdict table.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "sim/memory_model.h"
 
 namespace wmm::sim {
+
+// Position of a mutable fence instruction inside a litmus skeleton; used by
+// the incremental evaluators (here and in axiomatic.h) that the
+// fence-synthesis search drives.
+struct FenceSlotRef {
+  int tid = 0;
+  int idx = 0;  // instruction index within the thread (must be a fence)
+};
 
 // Deliberate single-constraint weakenings, used by the fuzzer's teeth
 // self-test: enabling any one of these must make the POWER differential
@@ -120,5 +131,38 @@ bool power_ppo(const LitmusThread& thread, std::size_t i, std::size_t j);
 bool power_fence_ordered(const LitmusThread& thread, std::size_t i,
                          std::size_t j,
                          const PowerAxiomaticOptions& options = {});
+
+// Incremental form of the POWER checker for the fence-synthesis search.
+// The access-only half of the candidate space (events, reads-from
+// candidates, ppo and po-loc rows) is built once per skeleton;
+// `set_assignment` rewrites the fence kinds at the registered slots and
+// recomputes only the fence-derived state: pusher flags and fences rows of
+// changed threads, the full-barrier node list, and the folded per-axiom
+// stage rows.  Crucially the barrier *nodes* are rebuilt per assignment —
+// pre-materialising nodes for empty slots would thread spurious
+// barrier-po edges through the PROPAGATION stage.  The batch entry points
+// below are the zero-slot special case of this class.
+class PowerAxiomaticEvaluator {
+ public:
+  PowerAxiomaticEvaluator(const LitmusTest& skeleton,
+                          std::vector<FenceSlotRef> slots,
+                          const PowerAxiomaticOptions& options = {});
+  ~PowerAxiomaticEvaluator();
+  PowerAxiomaticEvaluator(PowerAxiomaticEvaluator&&) noexcept;
+  PowerAxiomaticEvaluator& operator=(PowerAxiomaticEvaluator&&) noexcept;
+
+  // `kinds[i]` replaces the fence at slot i.  Size must match the slot list.
+  void set_assignment(const std::vector<FenceKind>& kinds);
+
+  // Verdicts under the current assignment (same semantics as the batch
+  // entry points).
+  std::set<Outcome> outcomes() const;
+  bool allowed(const Outcome& outcome) const;
+  PowerAxiom forbidding_axiom(const Outcome& outcome) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace wmm::sim

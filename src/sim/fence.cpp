@@ -1,5 +1,7 @@
 #include "sim/fence.h"
 
+#include "synth/lattice.h"
+
 namespace wmm::sim {
 
 const char* fence_name(FenceKind kind) {
@@ -23,36 +25,12 @@ const char* fence_name(FenceKind kind) {
 }
 
 FenceOrder fence_order(FenceKind kind) {
-  switch (kind) {
-    case FenceKind::DmbIsh:
-    case FenceKind::DsbSy:
-    case FenceKind::HwSync:
-    case FenceKind::Mfence:
-      return FenceOrder{true, true, true, true};
-    case FenceKind::LwSync:
-      // lwsync orders everything except store->load.
-      return FenceOrder{true, true, false, true};
-    case FenceKind::DmbIshLd:
-      // Orders loads before the barrier with loads and stores after.
-      return FenceOrder{true, true, false, false};
-    case FenceKind::DmbIshSt:
-      // Orders stores before the barrier with stores after.
-      return FenceOrder{false, false, false, true};
-    case FenceKind::CtrlIsb:
-    case FenceKind::ISync:
-      // A control dependency completed by isb/isync orders prior reads with
-      // all later accesses (ARMv8 manual B2.7.4 read-ordering recipe).
-      return FenceOrder{true, true, false, false};
-    case FenceKind::Isb:
-      // isb alone (no dependency) does not order memory accesses.
-      return FenceOrder{};
-    case FenceKind::CtrlDep:
-    case FenceKind::None:
-    case FenceKind::Nop:
-    case FenceKind::CompilerOnly:
-      return FenceOrder{};
-  }
-  return FenceOrder{};
+  // The litmus executor's view of the unified ordering lattice: the
+  // per-kind table lives in synth/lattice.cpp (ordering_class).  The two
+  // axiomatic checkers keep deliberately independent copies of this table
+  // for differential testing (see axiomatic.h); synth_lattice_test pins all
+  // of them equal.
+  return synth::to_fence_order(synth::ordering_class(kind));
 }
 
 std::string fence_seq_name(const FenceSeq& seq) {

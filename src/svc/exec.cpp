@@ -1,5 +1,6 @@
 #include "svc/exec.h"
 
+#include <algorithm>
 #include <exception>
 #include <optional>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "sim/axiomatic_power.h"
 #include "sim/litmus.h"
 #include "sim/litmus_family.h"
+#include "synth/oracle.h"
 
 namespace wmm::svc {
 
@@ -232,7 +234,105 @@ ExecResult exec_litmus(const obs::JsonValue& request,
   return result;
 }
 
+ExecResult exec_synth(const obs::JsonValue& request,
+                      const ExecOptions& options, const RecordSink& emit) {
+  ExecResult result;
+  const std::optional<sim::Arch> arch = parse_arch(str_field(request, "arch"));
+  if (!arch) {
+    result.error = "synth request needs \"arch\" (sc|tso|x86|arm|power)";
+    return result;
+  }
+  synth::SynthOptions synth_options;
+  const std::string mode_name = str_field(request, "mode", "exact");
+  const std::optional<synth::SearchMode> mode =
+      synth::search_mode_from_name(mode_name);
+  if (!mode) {
+    result.error = "unknown synth mode '" + mode_name + "' (exact|greedy)";
+    return result;
+  }
+  synth_options.mode = *mode;
+  const std::string cost_name = str_field(request, "cost", "vitro");
+  const std::optional<synth::CostModel> cost =
+      synth::cost_model_from_name(cost_name);
+  if (!cost) {
+    result.error = "unknown synth cost model '" + cost_name +
+                   "' (vitro|vivo)";
+    return result;
+  }
+  synth_options.cost.model = *cost;
+  if (const obs::JsonValue* rank = request.find("rank_all");
+      rank && rank->is_bool()) {
+    synth_options.rank_all = rank->boolean;
+  }
+
+  std::vector<sim::LitmusTest> inputs;
+  if (const obs::JsonValue* tests = request.find("tests");
+      tests && tests->is_array()) {
+    for (const obs::JsonValue& t : tests->array) {
+      if (!t.is_string()) continue;
+      try {
+        inputs.push_back(sim::parse_litmus(t.string).test);
+      } catch (const sim::LitmusParseError& e) {
+        result.error = "litmus parse error: " + e.detail();
+        return result;
+      }
+    }
+  } else {
+    const std::vector<std::string> names = string_list(request, "names");
+    for (const sim::LitmusCase& c : sim::litmus_suite()) {
+      if (!names.empty() &&
+          std::find(names.begin(), names.end(), c.test.name) == names.end()) {
+        continue;
+      }
+      inputs.push_back(c.test);
+    }
+  }
+
+  std::vector<int> indices(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    indices[i] = static_cast<int>(i);
+  }
+  const std::vector<std::string> lines = par::par_map(
+      indices,
+      [&](const int& i) {
+        return obs::synth_line(
+            synth_record(inputs[static_cast<std::size_t>(i)], *arch,
+                         synth_options, options.cache));
+      },
+      options.threads);
+  for (const std::string& line : lines) emit(line);
+  result.ok = true;
+  result.cells = lines.size();
+  return result;
+}
+
 }  // namespace
+
+obs::SynthRecord synth_record(const sim::LitmusTest& test, sim::Arch arch,
+                              synth::SynthOptions options,
+                              cache::ResultCache* store) {
+  options.cache = store;
+  const synth::SynthProblem problem = synth::make_problem(
+      test, arch, synth::sc_forbidden_outcomes(test, arch));
+  const synth::SynthResult r = synth::synthesize(problem, options);
+  obs::SynthRecord rec;
+  rec.name = test.name;
+  rec.arch = sim::arch_name(arch);
+  rec.mode = synth::search_mode_name(options.mode);
+  rec.cost_model = synth::cost_model_name(options.cost.model);
+  rec.slots = static_cast<int>(problem.slots.size());
+  rec.feasible = r.feasible;
+  rec.assignment = r.feasible ? r.best.name() : "infeasible";
+  rec.cost_ns = r.cost_ns;
+  for (const synth::RankedFix& f : r.ranked) {
+    rec.ranked.emplace_back(f.assignment.name(), f.cost_ns);
+  }
+  rec.candidates = r.stats.candidates;
+  rec.oracle_queries = r.stats.oracle_queries;
+  rec.pruned_correct = r.stats.pruned_correct;
+  rec.pruned_incorrect = r.stats.pruned_incorrect;
+  return rec;
+}
 
 obs::LitmusVerdict litmus_verdict(const sim::LitmusFile& file,
                                   const std::string& source,
@@ -308,6 +408,7 @@ ExecResult execute_request(const obs::JsonValue& request,
     if (op == "ranking") return exec_ranking(request, options, emit);
     if (op == "strategies") return exec_strategies(request, options, emit);
     if (op == "litmus") return exec_litmus(request, options, emit);
+    if (op == "synth") return exec_synth(request, options, emit);
   } catch (const std::exception& e) {
     result.error = e.what();
     return result;

@@ -30,6 +30,11 @@
 //   {"op":"litmus", "suite":true | "family":{"max_comm_edges":4,"limit":64}
 //    | "tests":["<litmus source>", ...]}
 //       -> one `litmus` record per test, input order
+//   {"op":"synth", "arch":"arm", "mode":"exact|greedy", "cost":"vitro|vivo",
+//    "rank_all":false, "suite":true | "tests":["<litmus source>", ...],
+//    "names":["MP","SB"]}
+//       -> one `synth` record per test, input order: the minimal-cost fence
+//          assignment restoring SC on `arch` (names filters the suite)
 //
 // Omitted list fields default to the platform's full set, mirroring the
 // StudyConfig defaults.
@@ -42,6 +47,7 @@
 #include "obs/json.h"
 #include "obs/record.h"
 #include "sim/litmus_format.h"
+#include "synth/search.h"
 
 namespace wmm::cache {
 class ResultCache;
@@ -83,5 +89,15 @@ ExecResult execute_request_text(const std::string& json,
 obs::LitmusVerdict litmus_verdict(const sim::LitmusFile& file,
                                   const std::string& source,
                                   cache::ResultCache* store);
+
+// One fence-synthesis answer for `test` on `arch` under the restore-SC
+// objective (forbid every outcome the arch admits that SC does not) — the
+// single implementation behind bench/fence_synth and the daemon's synth op.
+// `options.cache` is overridden by `store` (pass the same pointer or null);
+// `options.cost.contexts`, when non-empty, must be sized per slot of
+// make_problem's skeleton.
+obs::SynthRecord synth_record(const sim::LitmusTest& test, sim::Arch arch,
+                              synth::SynthOptions options,
+                              cache::ResultCache* store);
 
 }  // namespace wmm::svc

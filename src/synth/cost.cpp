@@ -1,0 +1,152 @@
+#include "synth/cost.h"
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "sim/machine.h"
+
+namespace wmm::synth {
+
+const char* cost_model_name(CostModel model) {
+  return model == CostModel::InVitro ? "vitro" : "vivo";
+}
+
+namespace {
+
+// One replayed instruction: a shared access or a fence, with the slot's
+// private-memory pressure (if any) issued immediately before a fence.
+struct ReplayStep {
+  sim::AccessType type = sim::AccessType::Fence;
+  sim::LineId line = 0;
+  sim::FenceKind fence = sim::FenceKind::None;
+  std::uint64_t site = 0;
+  SlotContext context;
+};
+
+class ReplayThread : public sim::SimThread {
+ public:
+  explicit ReplayThread(std::vector<ReplayStep> steps)
+      : steps_(std::move(steps)) {}
+
+  bool step(sim::Cpu& cpu) override {
+    if (pc_ >= steps_.size()) return false;
+    const ReplayStep& s = steps_[pc_++];
+    switch (s.type) {
+      case sim::AccessType::Read:
+        cpu.load_shared(s.line);
+        break;
+      case sim::AccessType::Write:
+        cpu.store_shared(s.line);
+        break;
+      case sim::AccessType::Fence:
+        // The context pressure belongs to the code path, not the candidate:
+        // it is replayed for every assignment (including all-None), so the
+        // baseline subtraction isolates the fence's in-context price.
+        if (!s.context.empty()) {
+          cpu.private_access(s.context.loads_before, s.context.stores_before,
+                             s.context.miss_rate);
+        }
+        if (s.fence != sim::FenceKind::None) cpu.fence(s.fence, s.site);
+        break;
+    }
+    return pc_ < steps_.size();
+  }
+
+ private:
+  std::vector<ReplayStep> steps_;
+  std::size_t pc_ = 0;
+};
+
+// Simulated run time of the skeleton with `kinds` at the slots, each slot
+// preceded by its context pressure.
+double replay_ns(const SynthProblem& problem,
+                 const std::vector<sim::FenceKind>& kinds,
+                 const std::vector<SlotContext>& contexts) {
+  std::map<std::pair<int, int>, std::size_t> slot_at;
+  for (std::size_t i = 0; i < problem.slots.size(); ++i) {
+    const sim::FenceSlotRef& ref = problem.slots[i].ref;
+    slot_at[{ref.tid, ref.idx}] = i;
+  }
+  std::vector<ReplayThread> threads;
+  threads.reserve(problem.skeleton.threads.size());
+  for (std::size_t tid = 0; tid < problem.skeleton.threads.size(); ++tid) {
+    const sim::LitmusThread& thread = problem.skeleton.threads[tid];
+    std::vector<ReplayStep> steps;
+    steps.reserve(thread.instrs.size());
+    for (std::size_t idx = 0; idx < thread.instrs.size(); ++idx) {
+      const sim::LitmusInstr& instr = thread.instrs[idx];
+      ReplayStep s;
+      s.type = instr.type;
+      if (instr.type == sim::AccessType::Fence) {
+        s.fence = instr.fence;
+        s.site = (static_cast<std::uint64_t>(tid) << 8) | (idx + 1);
+        const auto it =
+            slot_at.find({static_cast<int>(tid), static_cast<int>(idx)});
+        if (it != slot_at.end()) {
+          s.fence = kinds[it->second];
+          if (it->second < contexts.size()) s.context = contexts[it->second];
+        }
+      } else {
+        s.line = static_cast<sim::LineId>(instr.var);
+      }
+      steps.push_back(s);
+    }
+    threads.emplace_back(std::move(steps));
+  }
+  sim::Machine machine(sim::params_for(problem.arch));
+  std::vector<sim::SimThread*> ptrs;
+  ptrs.reserve(threads.size());
+  for (ReplayThread& t : threads) ptrs.push_back(&t);
+  return machine.run(ptrs);
+}
+
+}  // namespace
+
+double in_vitro_fence_ns(sim::FenceKind kind, const sim::ArchParams& params) {
+  class FenceOnce : public sim::SimThread {
+   public:
+    explicit FenceOnce(sim::FenceKind k) : kind_(k) {}
+    bool step(sim::Cpu& cpu) override {
+      cpu.fence(kind_, /*site=*/1);
+      return false;
+    }
+
+   private:
+    sim::FenceKind kind_;
+  };
+  sim::Machine machine(params);
+  FenceOnce thread(kind);
+  return machine.run({&thread});
+}
+
+double assignment_cost_ns(const SynthProblem& problem, const Assignment& a,
+                          const CostOptions& options) {
+  if (options.model == CostModel::InVitro) {
+    const sim::ArchParams params = sim::params_for(problem.arch);
+    double total = 0.0;
+    for (sim::FenceKind kind : a.kinds) {
+      if (kind != sim::FenceKind::None) total += in_vitro_fence_ns(kind, params);
+    }
+    return total;
+  }
+  const std::vector<sim::FenceKind> none(a.kinds.size(), sim::FenceKind::None);
+  return replay_ns(problem, a.kinds, options.contexts) -
+         replay_ns(problem, none, options.contexts);
+}
+
+std::string cost_options_key(const CostOptions& options) {
+  std::string key = cost_model_name(options.model);
+  if (options.model == CostModel::InVivo) {
+    for (const SlotContext& c : options.contexts) {
+      key += ":s" + std::to_string(c.stores_before) + "l" +
+             std::to_string(c.loads_before) + "m" +
+             obs::format_double(c.miss_rate);
+    }
+  }
+  return key;
+}
+
+}  // namespace wmm::synth

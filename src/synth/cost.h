@@ -1,0 +1,66 @@
+// Cost scoring for fence-synthesis candidates: the inverted cost model.
+//
+// The paper's claim (operationalized by bench/fence_synth --validate) is
+// that *in-vivo* fence costs — measured with the surrounding machine state
+// the fence actually meets — rank candidate orderings differently than
+// *in-vitro* fence timings taken on an idle core.  Both scorers run the
+// timing simulator (sim/machine.h), so the numbers are deterministic and
+// exactly the model the SensitivityStudy pipeline is calibrated against:
+//
+//   InVitro  — each slot's instruction is priced alone on a fresh machine
+//              (empty store buffer, empty invalidation queue) and the
+//              assignment cost is the sum.  This reproduces the paper's
+//              microbenchmark table (lwsync 5.9 ns < isync 9.0 ns < sync).
+//
+//   InVivo   — the whole skeleton is replayed on one machine, with each
+//              slot's SlotContext (private stores/loads issued just before
+//              the slot) recreating the buffer pressure of its code path;
+//              the assignment cost is the run time minus the all-None
+//              baseline replayed under the same contexts.  Store-buffer
+//              coupling (lwsync exposes 0.30 of the drain wait, isync none)
+//              is what flips rankings in context.
+#pragma once
+
+#include <string>
+
+#include "sim/arch.h"
+#include "synth/lattice.h"
+#include "synth/oracle.h"
+
+namespace wmm::synth {
+
+enum class CostModel : std::uint8_t { InVitro, InVivo };
+
+const char* cost_model_name(CostModel model);  // "vitro" / "vivo"
+
+// Store-buffer / load pressure surrounding one slot when costed in vivo.
+struct SlotContext {
+  unsigned stores_before = 0;  // private stores issued just before the slot
+  unsigned loads_before = 0;   // private loads issued just before the slot
+  double miss_rate = 0.0;      // L1 miss rate of those loads
+
+  bool empty() const {
+    return stores_before == 0 && loads_before == 0 && miss_rate == 0.0;
+  }
+};
+
+struct CostOptions {
+  CostModel model = CostModel::InVitro;
+  // Per-slot contexts, parallel to SynthProblem::slots; empty = no
+  // surrounding pressure anywhere.  Ignored by InVitro.
+  std::vector<SlotContext> contexts;
+};
+
+// In-vitro price of one fence instruction: a fresh machine, one core, the
+// instruction alone.  Exact with respect to the simulator by construction.
+double in_vitro_fence_ns(sim::FenceKind kind, const sim::ArchParams& params);
+
+// Cost of a full assignment under `options` (ns; see header comment).
+double assignment_cost_ns(const SynthProblem& problem, const Assignment& a,
+                          const CostOptions& options);
+
+// Stable identity of the cost configuration, mixed into the synthesis
+// result-cache key ("vitro", or "vivo" + each slot's context).
+std::string cost_options_key(const CostOptions& options);
+
+}  // namespace wmm::synth
